@@ -1,0 +1,43 @@
+//! Criterion benchmarks for whole simulated executions: wall-clock cost of
+//! driving the simulator, per algorithm.
+//!
+//! These measure *host* time (how fast the simulator itself runs), not
+//! simulated time — useful for keeping the harness responsive as the
+//! simulator evolves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use twoface_core::{run_algorithm, Algorithm, Problem, RunOptions};
+use twoface_matrix::gen::{webcrawl, WebcrawlConfig};
+use twoface_net::CostModel;
+
+fn bench_end_to_end(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("simulated_execution");
+    group.sample_size(10);
+    let a = Arc::new(webcrawl(
+        &WebcrawlConfig { n: 8192, hosts: 128, per_row: 10, ..Default::default() },
+        5,
+    ));
+    let problem = Problem::with_generated_b(a, 32, 8, 64).expect("valid problem");
+    let cost = CostModel::delta_scaled();
+    for (label, algorithm, compute) in [
+        ("twoface_full_compute", Algorithm::TwoFace, true),
+        ("twoface_structural", Algorithm::TwoFace, false),
+        ("ds2_full_compute", Algorithm::DenseShifting { replication: 2 }, true),
+        ("allgather_full_compute", Algorithm::Allgather, true),
+        ("async_fine_full_compute", Algorithm::AsyncFine, true),
+    ] {
+        let options = RunOptions { compute_values: compute, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &options, |bench, options| {
+            bench.iter(|| {
+                run_algorithm(black_box(algorithm), &problem, &cost, options)
+                    .expect("benchmark problems fit")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks for the local SpMM kernels: the row-major
+//! row-panel kernel vs the column-major per-nonzero kernel, across K.
+//!
+//! On real hardware the column-major kernel additionally pays one atomic per
+//! nonzero; here the benchmark isolates the layout/traversal cost that the
+//! `γ` coefficients abstract.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use twoface_core::kernels::{async_stripe_kernel, sync_panel_kernel, BlockRows, RowSource};
+use twoface_matrix::gen::erdos_renyi;
+use twoface_matrix::Triplet;
+
+const N: usize = 4096;
+const NNZ: usize = 40_000;
+
+fn make_inputs(k: usize) -> (Vec<Triplet>, Vec<Triplet>, BlockRows, Vec<f64>) {
+    let m = erdos_renyi(N, N, NNZ, 42);
+    let row_major: Vec<Triplet> = m.triplets().to_vec();
+    let mut col_major = row_major.clone();
+    col_major.sort_by(|a, b| (a.col, a.row).cmp(&(b.col, b.row)));
+    let mut rows = BlockRows::new(k);
+    let b: Vec<f64> = (0..N * k).map(|i| (i % 17) as f64 * 0.25).collect();
+    rows.add_block(0..N, Arc::new(b));
+    let c = vec![0.0; N * k];
+    (row_major, col_major, rows, c)
+}
+
+fn bench_kernels(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("local_spmm_kernels");
+    for k in [8usize, 32, 128] {
+        let (row_major, col_major, rows, c) = make_inputs(k);
+        group.throughput(Throughput::Elements((row_major.len() * k) as u64));
+        group.bench_with_input(BenchmarkId::new("sync_row_panel", k), &k, |bench, &k| {
+            bench.iter_batched(
+                || c.clone(),
+                |mut c| sync_panel_kernel(black_box(&row_major), &rows, &mut c, k),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("async_column_major", k), &k, |bench, &k| {
+            bench.iter_batched(
+                || c.clone(),
+                |mut c| async_stripe_kernel(black_box(&col_major), &rows, &mut c, k),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_row_source(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("row_source_lookup");
+    let k = 32;
+    let mut rows = BlockRows::new(k);
+    // 32 blocks, as a 32-node layout would register.
+    for block in 0..32 {
+        let cols = block * 128..(block + 1) * 128;
+        rows.add_block(cols, Arc::new(vec![1.0; 128 * k]));
+    }
+    group.bench_function("block_rows_row", |bench| {
+        let mut i = 0usize;
+        bench.iter(|| {
+            i = (i.wrapping_mul(2654435761)).wrapping_add(1) % (32 * 128);
+            black_box(rows.row(i));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_row_source);
+criterion_main!(benches);

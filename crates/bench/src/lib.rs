@@ -1,0 +1,148 @@
+//! Shared plumbing for the per-figure/table benchmark binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper:
+//! it prints the same rows/series the paper reports and writes a
+//! machine-readable copy to `results/<name>.json`. Run them all with
+//! `for b in crates/bench/src/bin/*.rs; do cargo run --release -p
+//! twoface-bench --bin $(basename ${b%.rs}); done`.
+
+use serde::Serialize;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use twoface_core::{Problem, RunError};
+use twoface_matrix::gen::SuiteMatrix;
+use twoface_matrix::CooMatrix;
+use twoface_net::CostModel;
+
+/// The default node count of the paper's experiments.
+pub const DEFAULT_P: usize = 32;
+
+/// The default dense column count of the paper's experiments.
+pub const DEFAULT_K: usize = 128;
+
+/// The cost model all experiments use: the Delta-like machine rescaled to
+/// this reproduction's matrix sizes.
+pub fn default_cost() -> CostModel {
+    CostModel::delta_scaled()
+}
+
+/// The directory experiment JSON lands in (`results/` under the workspace
+/// root, created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = workspace_root().join("results");
+    std::fs::create_dir_all(&dir).expect("can create results directory");
+    dir
+}
+
+fn workspace_root() -> PathBuf {
+    // The bench crate lives at <root>/crates/bench.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate is two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Writes an experiment result as pretty JSON to `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("results serialize");
+    std::fs::write(&path, json).expect("can write results file");
+    println!("\n[results written to {}]", path.display());
+}
+
+/// A cache of generated suite matrices, so multi-K sweeps generate each
+/// matrix once.
+#[derive(Default)]
+pub struct SuiteCache {
+    matrices: HashMap<SuiteMatrix, Arc<CooMatrix>>,
+}
+
+impl SuiteCache {
+    /// Creates an empty cache.
+    pub fn new() -> SuiteCache {
+        SuiteCache::default()
+    }
+
+    /// The (cached) generated matrix.
+    pub fn matrix(&mut self, m: SuiteMatrix) -> Arc<CooMatrix> {
+        Arc::clone(
+            self.matrices
+                .entry(m)
+                .or_insert_with(|| Arc::new(m.generate())),
+        )
+    }
+
+    /// A problem over `p` nodes with `k` dense columns and the matrix's
+    /// Table-1 stripe width.
+    pub fn problem(&mut self, m: SuiteMatrix, k: usize, p: usize) -> Result<Problem, RunError> {
+        let a = self.matrix(m);
+        Problem::with_generated_b(a, k, p, m.stripe_width())
+    }
+}
+
+/// Geometric mean of strictly positive values (the paper's "average
+/// speedup" aggregation). Returns `None` for an empty slice.
+pub fn geo_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|v| {
+            assert!(*v > 0.0, "geometric mean needs positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Formats a cell that may be a number or an out-of-memory marker.
+pub fn cell(value: Option<f64>, width: usize, precision: usize) -> String {
+    match value {
+        Some(v) => format!("{v:>width$.precision$}"),
+        None => format!("{:>width$}", "OOM"),
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(title: &str, detail: &str) {
+    println!("==================================================================");
+    println!("{title}");
+    println!("{detail}");
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_basics() {
+        assert_eq!(geo_mean(&[]), None);
+        assert!((geo_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!((geo_mean(&[5.0]).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_formats_oom() {
+        assert_eq!(cell(None, 8, 2), "     OOM");
+        assert_eq!(cell(Some(1.5), 8, 2), "    1.50");
+    }
+
+    #[test]
+    fn suite_cache_reuses_matrices() {
+        let mut cache = SuiteCache::new();
+        let a = cache.matrix(SuiteMatrix::Queen);
+        let b = cache.matrix(SuiteMatrix::Queen);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let dir = results_dir();
+        assert!(dir.ends_with("results"));
+        assert!(dir.exists());
+    }
+}

@@ -1,0 +1,112 @@
+//! The SpMM algorithms under comparison (Table 4).
+
+pub(crate) mod collective;
+pub(crate) mod twoface;
+
+/// One of the distributed SpMM algorithms the paper evaluates (Table 4).
+///
+/// All use 1D partitioning; they differ in how the dense input `B` reaches
+/// the nonzeros that need it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Dense shifting with replication factor `c` (Bharadwaj et al.):
+    /// `MPI_Allgather`-style replication of `c` blocks, then `p/c`
+    /// compute-and-`MPI_Sendrecv` shift steps.
+    DenseShifting {
+        /// The replication factor `c` (the paper runs 1, 2, 4, and 8).
+        replication: usize,
+    },
+    /// Full replication of `B` via `MPI_Allgather` before computing.
+    Allgather,
+    /// Whole-block one-sided prefetch via `MPI_Get` of every needed block.
+    AsyncCoarse,
+    /// Everything fine-grained: every remote-input stripe is asynchronous
+    /// (`MPI_Rget` of exactly the needed rows).
+    AsyncFine,
+    /// The paper's contribution: collective multicasts for synchronous
+    /// stripes plus fine-grained one-sided gets for asynchronous stripes,
+    /// overlapped.
+    TwoFace,
+}
+
+impl Algorithm {
+    /// The lineup of Figures 7–9, in their legend order.
+    pub const FIGURE7_LINEUP: [Algorithm; 7] = [
+        Algorithm::Allgather,
+        Algorithm::AsyncCoarse,
+        Algorithm::AsyncFine,
+        Algorithm::DenseShifting { replication: 2 },
+        Algorithm::DenseShifting { replication: 4 },
+        Algorithm::DenseShifting { replication: 8 },
+        Algorithm::TwoFace,
+    ];
+
+    /// Display name matching the paper's figures ("DS2", "Two-Face", ...).
+    pub fn name(self) -> String {
+        match self {
+            Algorithm::DenseShifting { replication } => format!("DS{replication}"),
+            Algorithm::Allgather => "Allgather".to_string(),
+            Algorithm::AsyncCoarse => "Async Coarse".to_string(),
+            Algorithm::AsyncFine => "Async Fine".to_string(),
+            Algorithm::TwoFace => "Two-Face".to_string(),
+        }
+    }
+
+    /// The MPI transfer operations the real implementation uses (Table 4).
+    pub fn mpi_operations(self) -> &'static str {
+        match self {
+            Algorithm::DenseShifting { .. } => "MPI_Allgather, MPI_Sendrecv",
+            Algorithm::Allgather => "MPI_Allgather",
+            Algorithm::AsyncCoarse => "MPI_Get",
+            Algorithm::AsyncFine => "MPI_Rget",
+            Algorithm::TwoFace => "MPI_Rget, MPI_Ibcast",
+        }
+    }
+
+    /// Whether this algorithm consumes a Two-Face [`PartitionPlan`]
+    /// (Two-Face itself and the all-async Async Fine variant).
+    ///
+    /// [`PartitionPlan`]: twoface_partition::PartitionPlan
+    pub fn uses_plan(self) -> bool {
+        matches!(self, Algorithm::TwoFace | Algorithm::AsyncFine)
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_figures() {
+        assert_eq!(Algorithm::DenseShifting { replication: 4 }.name(), "DS4");
+        assert_eq!(Algorithm::TwoFace.name(), "Two-Face");
+        assert_eq!(Algorithm::AsyncFine.to_string(), "Async Fine");
+    }
+
+    #[test]
+    fn table4_operations() {
+        assert_eq!(Algorithm::TwoFace.mpi_operations(), "MPI_Rget, MPI_Ibcast");
+        assert_eq!(Algorithm::Allgather.mpi_operations(), "MPI_Allgather");
+    }
+
+    #[test]
+    fn plan_users() {
+        assert!(Algorithm::TwoFace.uses_plan());
+        assert!(Algorithm::AsyncFine.uses_plan());
+        assert!(!Algorithm::Allgather.uses_plan());
+        assert!(!Algorithm::DenseShifting { replication: 2 }.uses_plan());
+    }
+
+    #[test]
+    fn lineup_is_unique() {
+        let names: std::collections::HashSet<String> =
+            Algorithm::FIGURE7_LINEUP.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 7);
+    }
+}

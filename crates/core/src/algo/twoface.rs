@@ -1,0 +1,215 @@
+//! The per-rank body of the Two-Face algorithm (Algorithms 1–3).
+//!
+//! Each simulated rank plays all the roles of Algorithm 1 on its two virtual
+//! lanes:
+//!
+//! * **Sync lane, transfer phase** (Algorithm 1 lines 5–8): walk the dense
+//!   stripes in the canonical global order and participate in each multicast
+//!   whose replicated metadata lists this rank — as root when it owns the
+//!   stripe, as destination when any of its stripes was classified sync.
+//! * **Async lane** (lines 9–14, Algorithm 3): for each asynchronous stripe,
+//!   scan `UniqueColIDs`, coalesce into runs, issue one indexed `Rget`, and
+//!   compute column-major straight into `C`.
+//! * **Sync lane, compute phase** (lines 15–19, Algorithm 2): once the
+//!   multicasts are in, process row panels with a thread-local accumulation
+//!   buffer.
+//!
+//! The rank finishes at the later of its two lanes, exactly as the real
+//! node's two thread groups do. One simplification: the paper's async
+//! threads join the synchronous row-panel pool after draining their queue
+//! (line 15); with the Table-2 split that adds at most 8 of 128 threads, an
+//! effect the paper's own model also neglects, so the simulator charges sync
+//! compute at the sync pool's throughput regardless.
+
+use crate::coalesce::coalesce_rows;
+use crate::config::TwoFaceConfig;
+use crate::format::RankMatrices;
+use crate::kernels::{async_stripe_kernel, sync_panel_kernel, BlockRows, FetchedRows};
+use crate::runner::{ExecOpts, Problem};
+use std::sync::Arc;
+use twoface_net::{Lane, PhaseClass, RankCtx};
+use twoface_partition::PartitionPlan;
+
+/// Shared preprocessed inputs for Two-Face and Async Fine, indexed by rank.
+pub(crate) struct TwoFaceData {
+    /// The (replicated) plan: classifications plus multicast metadata.
+    pub plan: Arc<PartitionPlan>,
+    /// Each rank's Figure-6 structures.
+    pub rank_matrices: Vec<RankMatrices>,
+    /// Each rank's block of `B`.
+    pub b_blocks: Vec<Arc<Vec<f64>>>,
+}
+
+impl TwoFaceData {
+    /// Builds all ranks' structures from a problem and plan.
+    pub fn build(problem: &Problem, plan: Arc<PartitionPlan>, config: &TwoFaceConfig) -> TwoFaceData {
+        let p = problem.layout.nodes();
+        let rank_matrices = (0..p)
+            .map(|rank| RankMatrices::build(&problem.a, &plan, rank, config.row_panel_height))
+            .collect();
+        let b_blocks = (0..p).map(|rank| Arc::new(problem.b_block(rank))).collect();
+        TwoFaceData { plan, rank_matrices, b_blocks }
+    }
+}
+
+/// Executes Two-Face on one rank. Returns the rank's flat `C` block.
+pub(crate) fn twoface_rank(
+    ctx: &mut RankCtx,
+    data: &TwoFaceData,
+    problem: &Problem,
+    config: &TwoFaceConfig,
+    opts: &ExecOpts,
+) -> Vec<f64> {
+    twoface_rank_masked(ctx, data, problem, config, opts, None)
+}
+
+/// [`twoface_rank`] with an optional per-epoch edge mask (§5.4's sampled
+/// GNN sketch): the stripe classification and multicast schedule stay fixed
+/// from the one-time preprocessing, while masked-out nonzeros are skipped at
+/// runtime — asynchronous stripes even shrink their fetches to the rows the
+/// surviving nonzeros need.
+pub(crate) fn twoface_rank_masked(
+    ctx: &mut RankCtx,
+    data: &TwoFaceData,
+    problem: &Problem,
+    config: &TwoFaceConfig,
+    opts: &ExecOpts,
+    mask: Option<&crate::sampling::EdgeMask>,
+) -> Vec<f64> {
+    let rank = ctx.rank();
+    let layout = &problem.layout;
+    let k = opts.k;
+    let plan = &data.plan;
+    let matrices = &data.rank_matrices[rank];
+    let my_cols = layout.col_range(rank);
+    let row_base = layout.row_range(rank).start;
+    let is_active = |t: &twoface_matrix::Triplet| {
+        mask.map_or(true, |m| m.is_active(row_base + t.row, t.col))
+    };
+
+    // Window exposing this rank's B block for fine-grained gets; creation is
+    // the "initial setup of data structures for MPI" that Figure 10 labels
+    // Other.
+    let win = ctx.create_window(Arc::clone(&data.b_blocks[rank]));
+
+    // --- Sync lane: dense stripe transfers (Algorithm 1, lines 5-8). ---
+    // Canonical global stripe order keeps every rank's collective sequence
+    // consistent, as MPI requires.
+    let mut stripe_buffers = BlockRows::new(k);
+    stripe_buffers.add_block(my_cols.clone(), Arc::clone(&data.b_blocks[rank]));
+    for stripe in 0..layout.num_stripes() {
+        let Some(group) = plan.multicast_group(stripe) else {
+            continue; // nobody needs it synchronously: never communicated
+        };
+        if !group.contains(&rank) {
+            continue;
+        }
+        let owner = layout.stripe_owner(stripe);
+        let payload = (owner == rank).then(|| {
+            let cols = layout.stripe_cols(stripe);
+            let lo = (cols.start - my_cols.start) * k;
+            let hi = (cols.end - my_cols.start) * k;
+            Arc::new(data.b_blocks[rank][lo..hi].to_vec())
+        });
+        let buf = ctx.multicast(stripe as u64, owner, &group, payload);
+        if owner != rank {
+            stripe_buffers.add_block(layout.stripe_cols(stripe), buf);
+        }
+    }
+
+    // --- Async lane: Algorithm 3 per asynchronous stripe. ---
+    let local_rows = layout.row_range(rank).len();
+    let mut c_local = vec![0.0; local_rows * k];
+    let max_distance = config.max_coalesce_distance(k);
+    for stripe in matrices.asynchronous.stripes() {
+        let owner = layout.stripe_owner(stripe.stripe);
+        debug_assert_ne!(owner, rank, "async stripes are remote-input by construction");
+        let col_base = layout.col_range(owner).start;
+        // Under a mask, only the surviving nonzeros' rows are fetched —
+        // column-major order makes the filtered UniqueColIDs a single scan.
+        let (active, owner_local): (Vec<twoface_matrix::Triplet>, Vec<usize>) = if mask.is_some()
+        {
+            let active: Vec<_> =
+                stripe.entries.iter().filter(|t| is_active(t)).copied().collect();
+            let mut cols: Vec<usize> = active.iter().map(|t| t.col - col_base).collect();
+            cols.dedup(); // column-major: already sorted by col
+            (active, cols)
+        } else {
+            (
+                Vec::new(),
+                stripe.unique_cols.iter().map(|c| c - col_base).collect(),
+            )
+        };
+        if owner_local.is_empty() && mask.is_some() {
+            continue; // fully masked out: no transfer at all
+        }
+        let active_nnz = if mask.is_some() { active.len() } else { stripe.nnz() };
+        // §7.1's rejected row-major variant: the required rows must be
+        // identified by a runtime sort+dedup before the transfer can even be
+        // issued; compute is then buffered (row-panel throughput on the
+        // async pool) instead of atomic-per-nonzero.
+        let row_major = config.async_layout == crate::config::AsyncLayout::RowMajor;
+        if row_major {
+            let identify = ctx.cost().identify_cost(active_nnz);
+            ctx.advance(Lane::Async, identify, PhaseClass::AsyncComp);
+        }
+        let (runs, _padding) = coalesce_rows(&owner_local, max_distance);
+        let fetched = ctx.win_rget_rows(win, owner, &runs, k);
+        let compute_cost = if row_major {
+            let per_element = ctx.cost().gamma_sync
+                * (config.sync_comp_threads as f64 / config.async_comp_threads as f64);
+            per_element * (active_nnz * k) as f64 + ctx.cost().kappa_async
+        } else {
+            ctx.cost().async_compute_cost(active_nnz, k, 1)
+        };
+        ctx.advance(Lane::Async, compute_cost, PhaseClass::AsyncComp);
+        if opts.compute {
+            let rows_src = FetchedRows::new(&runs, col_base, fetched, k);
+            let entries = if mask.is_some() { &active } else { &stripe.entries };
+            if row_major {
+                // Execute in row-major order with the buffered kernel; the
+                // numeric result is identical, only the summation order and
+                // the charged cost differ.
+                let mut sorted = entries.clone();
+                sorted.sort_by(|a, b| (a.row, a.col).cmp(&(b.row, b.col)));
+                sync_panel_kernel(&sorted, &rows_src, &mut c_local, k);
+            } else {
+                async_stripe_kernel(entries, &rows_src, &mut c_local, k);
+            }
+        }
+    }
+
+    // --- Sync lane: row-panel compute (Algorithm 1 lines 15-19). ---
+    let sync_local = &matrices.sync_local;
+    if sync_local.nnz() > 0 {
+        let active_nnz = if mask.is_some() {
+            sync_local.entries().iter().filter(|t| is_active(t)).count()
+        } else {
+            sync_local.nnz()
+        };
+        if active_nnz > 0 {
+            let cost = ctx.cost().sync_compute_cost(
+                active_nnz,
+                k,
+                sync_local.num_nonempty_panels(),
+            );
+            ctx.advance(Lane::Sync, cost, PhaseClass::SyncComp);
+        }
+        if opts.compute {
+            for panel in 0..sync_local.num_panels() {
+                if mask.is_some() {
+                    let active: Vec<twoface_matrix::Triplet> = sync_local
+                        .panel(panel)
+                        .iter()
+                        .filter(|t| is_active(t))
+                        .copied()
+                        .collect();
+                    sync_panel_kernel(&active, &stripe_buffers, &mut c_local, k);
+                } else {
+                    sync_panel_kernel(sync_local.panel(panel), &stripe_buffers, &mut c_local, k);
+                }
+            }
+        }
+    }
+    c_local
+}

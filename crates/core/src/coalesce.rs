@@ -1,0 +1,137 @@
+//! Row-run coalescing for asynchronous transfers (§5.2.3).
+//!
+//! A fine-grained get of scattered `B` rows is issued as one `MPI_Rget` with
+//! an indexed datatype listing contiguous `(offset, size)` runs. Nearby rows
+//! are merged into one run even across small gaps of *unused* rows: the
+//! useless rows cost bandwidth but save per-run software overhead, which is
+//! why the maximum merge distance shrinks as `K` grows (Table 2).
+
+/// A contiguous run of rows: `(first_row, num_rows)`.
+pub type RowRun = (usize, usize);
+
+/// Coalesces an ascending list of distinct needed rows into contiguous runs.
+///
+/// Two consecutive needed rows `a < b` land in the same run when
+/// `b - a <= max_distance`; any skipped rows in between are transferred as
+/// useless padding. `max_distance == 1` merges only adjacent rows (no
+/// padding).
+///
+/// Returns `(runs, padding)` where `padding` counts the useless rows
+/// included.
+///
+/// # Panics
+///
+/// Panics if `max_distance == 0` or `rows` is not strictly ascending.
+///
+/// # Example
+///
+/// The paper's example: rows `{2, 3, 6, 8}` yield `{(2,2), (6,1), (8,1)}`
+/// without gap-merging, or `{(2,2), (6,3)}` when one-row gaps are allowed.
+///
+/// ```
+/// use twoface_core::coalesce_rows;
+///
+/// let rows = [2, 3, 6, 8];
+/// assert_eq!(coalesce_rows(&rows, 1), (vec![(2, 2), (6, 1), (8, 1)], 0));
+/// assert_eq!(coalesce_rows(&rows, 2), (vec![(2, 2), (6, 3)], 1));
+/// ```
+pub fn coalesce_rows(rows: &[usize], max_distance: usize) -> (Vec<RowRun>, usize) {
+    assert!(max_distance > 0, "max coalescing distance must be at least 1");
+    let mut runs: Vec<RowRun> = Vec::new();
+    let mut padding = 0usize;
+    let mut iter = rows.iter().copied();
+    let Some(first) = iter.next() else {
+        return (runs, 0);
+    };
+    let (mut start, mut last) = (first, first);
+    for row in iter {
+        assert!(row > last, "rows must be strictly ascending (got {row} after {last})");
+        if row - last <= max_distance {
+            padding += row - last - 1;
+            last = row;
+        } else {
+            runs.push((start, last - start + 1));
+            start = row;
+            last = row;
+        }
+    }
+    runs.push((start, last - start + 1));
+    (runs, padding)
+}
+
+/// The rows a set of runs actually transfers, in order (needed + padding).
+///
+/// Mostly useful for tests and the coalescing ablation, which needs to map
+/// fetched buffers back to row ids.
+pub fn runs_to_rows(runs: &[RowRun]) -> Vec<usize> {
+    runs.iter().flat_map(|&(start, n)| start..start + n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_gives_no_runs() {
+        assert_eq!(coalesce_rows(&[], 1), (vec![], 0));
+    }
+
+    #[test]
+    fn singleton() {
+        assert_eq!(coalesce_rows(&[5], 3), (vec![(5, 1)], 0));
+    }
+
+    #[test]
+    fn adjacent_rows_always_merge() {
+        assert_eq!(coalesce_rows(&[1, 2, 3, 4], 1), (vec![(1, 4)], 0));
+    }
+
+    #[test]
+    fn paper_example_distance_one() {
+        let (runs, padding) = coalesce_rows(&[2, 3, 6, 8], 1);
+        assert_eq!(runs, vec![(2, 2), (6, 1), (8, 1)]);
+        assert_eq!(padding, 0);
+    }
+
+    #[test]
+    fn paper_example_distance_two_pads_row_seven() {
+        let (runs, padding) = coalesce_rows(&[2, 3, 6, 8], 2);
+        assert_eq!(runs, vec![(2, 2), (6, 3)]);
+        assert_eq!(padding, 1);
+    }
+
+    #[test]
+    fn huge_distance_gives_single_run() {
+        let (runs, padding) = coalesce_rows(&[0, 10, 20], 100);
+        assert_eq!(runs, vec![(0, 21)]);
+        assert_eq!(padding, 18);
+    }
+
+    #[test]
+    fn runs_cover_exactly_needed_plus_padding() {
+        let needed = [3, 4, 9, 11, 30];
+        let (runs, padding) = coalesce_rows(&needed, 3);
+        let transferred = runs_to_rows(&runs);
+        // Every needed row is covered.
+        for r in needed {
+            assert!(transferred.contains(&r));
+        }
+        assert_eq!(transferred.len(), needed.len() + padding);
+        // Runs are disjoint and ascending.
+        for w in runs.windows(2) {
+            assert!(w[0].0 + w[0].1 < w[1].0 + 1, "runs overlap or touch: {w:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_input_panics() {
+        let _ = coalesce_rows(&[5, 3], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_distance_panics() {
+        let _ = coalesce_rows(&[1], 0);
+    }
+}

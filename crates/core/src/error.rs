@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Error from setting up or running a distributed SpMM.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The algorithm's estimated peak memory on some node exceeds the
+    /// simulated node capacity — the failure mode behind the paper's missing
+    /// DS8/Allgather data points.
+    OutOfMemory {
+        /// The rank with the largest footprint.
+        rank: usize,
+        /// Estimated peak bytes on that rank.
+        required: usize,
+        /// Simulated per-node capacity in bytes.
+        available: usize,
+    },
+    /// Dense shifting with replication factor `c > p` is undefined (the
+    /// paper never runs DS8 below 8 nodes).
+    ReplicationExceedsNodes {
+        /// Requested replication factor.
+        replication: usize,
+        /// Available nodes.
+        nodes: usize,
+    },
+    /// Operand shapes are inconsistent.
+    Shape {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+    /// The computed output failed validation against the serial reference.
+    ValidationFailed {
+        /// Largest absolute element difference observed.
+        max_abs_diff: f64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::OutOfMemory { rank, required, available } => write!(
+                f,
+                "rank {rank} needs {:.1} MiB but nodes have {:.1} MiB",
+                *required as f64 / (1 << 20) as f64,
+                *available as f64 / (1 << 20) as f64,
+            ),
+            RunError::ReplicationExceedsNodes { replication, nodes } => write!(
+                f,
+                "replication factor {replication} exceeds node count {nodes}"
+            ),
+            RunError::Shape { context } => write!(f, "shape mismatch: {context}"),
+            RunError::ValidationFailed { max_abs_diff } => {
+                write!(f, "output differs from serial reference by up to {max_abs_diff:e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RunError::OutOfMemory { rank: 3, required: 512 << 20, available: 320 << 20 };
+        assert_eq!(e.to_string(), "rank 3 needs 512.0 MiB but nodes have 320.0 MiB");
+        let e = RunError::ReplicationExceedsNodes { replication: 8, nodes: 4 };
+        assert!(e.to_string().contains("exceeds node count"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RunError>();
+    }
+}

@@ -1,0 +1,79 @@
+//! Serial reference SpMM — the correctness oracle.
+
+use twoface_matrix::{CooMatrix, DenseMatrix};
+
+/// Computes `C = A × B` serially, straight off the COO triplets.
+///
+/// This is the ground truth every distributed algorithm's output is compared
+/// against in tests (up to floating-point summation-order differences; see
+/// [`DenseMatrix::approx_eq`]).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use twoface_core::reference_spmm;
+/// use twoface_matrix::{CooMatrix, DenseMatrix};
+///
+/// # fn main() -> Result<(), twoface_matrix::MatrixError> {
+/// let a = CooMatrix::from_triplets(2, 2, vec![(0, 1, 2.0)])?;
+/// let b = DenseMatrix::from_rows(vec![vec![1.0], vec![3.0]])?;
+/// let c = reference_spmm(&a, &b);
+/// assert_eq!(c.row(0), &[6.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn reference_spmm(a: &CooMatrix, b: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "spmm dimension mismatch: A is {}x{}, B has {} rows",
+        a.rows(),
+        a.cols(),
+        b.rows()
+    );
+    let k = b.cols();
+    let mut c = DenseMatrix::zeros(a.rows(), k);
+    for (r, col, v) in a.iter() {
+        let brow = b.row(col);
+        let crow = c.row_mut(r);
+        for j in 0..k {
+            crow[j] += v * brow[j];
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twoface_matrix::gen::erdos_renyi;
+
+    #[test]
+    fn matches_csr_kernel() {
+        let a = erdos_renyi(50, 60, 300, 3);
+        let b = DenseMatrix::from_fn(60, 7, |i, j| (i + j) as f64 * 0.25);
+        let via_coo = reference_spmm(&a, &b);
+        let via_csr = a.to_csr().spmm(&b);
+        assert!(via_coo.approx_eq(&via_csr, 1e-12));
+    }
+
+    #[test]
+    fn empty_matrix_gives_zero_output() {
+        let a = CooMatrix::new(4, 4);
+        let b = DenseMatrix::from_elem(4, 3, 1.0);
+        let c = reference_spmm(&a, &b);
+        assert_eq!(c.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        let a = CooMatrix::new(4, 5);
+        let b = DenseMatrix::zeros(4, 2);
+        let _ = reference_spmm(&a, &b);
+    }
+}

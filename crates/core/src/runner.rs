@@ -1,0 +1,602 @@
+//! The experiment runner: sets up a problem, checks memory feasibility,
+//! executes an algorithm on a simulated cluster, and reports timing,
+//! breakdowns, and (optionally) the verified output.
+
+use crate::algo::collective::{
+    allgather_rank, async_coarse_rank, dense_shifting_rank, BaselineData,
+};
+use crate::algo::twoface::{twoface_rank, TwoFaceData};
+use crate::algo::Algorithm;
+use crate::config::TwoFaceConfig;
+use crate::error::RunError;
+use crate::reference::reference_spmm;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use twoface_matrix::{CooMatrix, DenseMatrix, SCALAR_BYTES};
+use twoface_net::{Cluster, CostModel, PhaseClass, RankTrace};
+use twoface_partition::{
+    ClassifierKind, ModelCoefficients, OneDimLayout, PartitionPlan, PlanOptions, StripeClass,
+};
+
+/// Approximate bytes to store one COO nonzero (row, col, value).
+const NNZ_BYTES: usize = 24;
+
+/// A distributed SpMM problem instance: the operands plus the layout.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// The global sparse matrix `A`.
+    pub a: Arc<CooMatrix>,
+    /// The global dense input `B` (`a.cols()` rows).
+    pub b: Arc<DenseMatrix>,
+    /// The 1D layout distributing both.
+    pub layout: OneDimLayout,
+}
+
+impl Problem {
+    /// Creates a problem over `p` nodes with the given stripe width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Shape`] if `b.rows() != a.cols()` or the layout
+    /// parameters are infeasible.
+    pub fn new(
+        a: Arc<CooMatrix>,
+        b: Arc<DenseMatrix>,
+        p: usize,
+        stripe_width: usize,
+    ) -> Result<Problem, RunError> {
+        if b.rows() != a.cols() {
+            return Err(RunError::Shape {
+                context: format!(
+                    "A is {}x{} but B has {} rows",
+                    a.rows(),
+                    a.cols(),
+                    b.rows()
+                ),
+            });
+        }
+        if p == 0 || stripe_width == 0 || p > a.rows().max(1) || p > a.cols().max(1) {
+            return Err(RunError::Shape {
+                context: format!(
+                    "cannot lay out a {}x{} matrix over {p} nodes with stripe width {stripe_width}",
+                    a.rows(),
+                    a.cols()
+                ),
+            });
+        }
+        let layout = OneDimLayout::new(a.rows(), a.cols(), p, stripe_width);
+        Ok(Problem { a, b, layout })
+    }
+
+    /// Creates a problem with a deterministically generated `B` (values in
+    /// `[0, 1)` from a hash of the coordinates) — convenient for benches
+    /// that don't care about specific inputs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Problem::new`].
+    pub fn with_generated_b(
+        a: Arc<CooMatrix>,
+        k: usize,
+        p: usize,
+        stripe_width: usize,
+    ) -> Result<Problem, RunError> {
+        let rows = a.cols();
+        let b = DenseMatrix::from_fn(rows, k, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((j as u64).wrapping_mul(0xC2B2AE3D27D4EB4F));
+            let h = (h ^ (h >> 31)).wrapping_mul(0xD6E8FEB86659FD93);
+            (h >> 11) as f64 / (1u64 << 53) as f64
+        });
+        Problem::new(a, Arc::new(b), p, stripe_width)
+    }
+
+    /// The dense column count `K`.
+    pub fn k(&self) -> usize {
+        self.b.cols()
+    }
+
+    /// A copy of rank `rank`'s block of `B` as a flat buffer.
+    pub fn b_block(&self, rank: usize) -> Vec<f64> {
+        self.b.row_range(self.layout.col_range(rank)).to_vec()
+    }
+}
+
+/// Options controlling one [`run_algorithm`] call.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Whether to actually perform the floating-point work. Structural
+    /// operations (transfers, coalescing, cost accounting) always run;
+    /// disabling this skips only the FMA loops, which makes large benchmark
+    /// sweeps much faster while leaving all timing results identical.
+    pub compute_values: bool,
+    /// Compare the assembled output against the serial reference (implies
+    /// `compute_values`).
+    pub validate: bool,
+    /// Table-2 runtime knobs.
+    pub config: TwoFaceConfig,
+    /// Coefficients for plan construction when no plan is supplied. `None`
+    /// (the default) derives them from the cost model in force — a perfectly
+    /// calibrated regression. Pass `Some` to study miscalibration, as
+    /// Figure 12 does.
+    pub coefficients: Option<ModelCoefficients>,
+    /// A preprocessed plan to reuse (otherwise one is built per run for the
+    /// algorithms that need it).
+    pub plan: Option<Arc<PartitionPlan>>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            compute_values: true,
+            validate: false,
+            config: TwoFaceConfig::default(),
+            coefficients: None,
+            plan: None,
+        }
+    }
+}
+
+/// Per-rank execution options threaded into the algorithm bodies.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExecOpts {
+    pub k: usize,
+    pub compute: bool,
+    pub panel_height: usize,
+}
+
+/// A Figure-10 style time breakdown, in simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Synchronous communication.
+    pub sync_comm: f64,
+    /// Synchronous computation.
+    pub sync_comp: f64,
+    /// Asynchronous communication.
+    pub async_comm: f64,
+    /// Asynchronous computation.
+    pub async_comp: f64,
+    /// Setup and bookkeeping.
+    pub other: f64,
+}
+
+impl Breakdown {
+    fn from_trace(trace: &RankTrace) -> Breakdown {
+        Breakdown {
+            sync_comm: trace.seconds(PhaseClass::SyncComm),
+            sync_comp: trace.seconds(PhaseClass::SyncComp),
+            async_comm: trace.seconds(PhaseClass::AsyncComm),
+            async_comp: trace.seconds(PhaseClass::AsyncComp),
+            other: trace.seconds(PhaseClass::Other),
+        }
+    }
+
+    /// Sum of all categories.
+    pub fn total(&self) -> f64 {
+        self.sync_comm + self.sync_comp + self.async_comm + self.async_comp + self.other
+    }
+
+    fn scaled(&self, factor: f64) -> Breakdown {
+        Breakdown {
+            sync_comm: self.sync_comm * factor,
+            sync_comp: self.sync_comp * factor,
+            async_comm: self.async_comm * factor,
+            async_comp: self.async_comp * factor,
+            other: self.other * factor,
+        }
+    }
+
+    fn add(&mut self, other: &Breakdown) {
+        self.sync_comm += other.sync_comm;
+        self.sync_comp += other.sync_comp;
+        self.async_comm += other.async_comm;
+        self.async_comp += other.async_comp;
+        self.other += other.other;
+    }
+}
+
+/// The result of one simulated SpMM execution.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Display name of the algorithm.
+    pub algorithm: String,
+    /// Node count.
+    pub p: usize,
+    /// Dense column count.
+    pub k: usize,
+    /// The execution time: the latest finish over all ranks, in simulated
+    /// seconds.
+    pub seconds: f64,
+    /// The rank that finished last.
+    pub critical_rank: usize,
+    /// Time breakdown of the critical rank.
+    pub critical_breakdown: Breakdown,
+    /// Mean breakdown across ranks.
+    pub mean_breakdown: Breakdown,
+    /// Per-rank breakdowns, indexed by rank (used by the calibration
+    /// harness, which regresses per-rank component times on model features).
+    pub rank_breakdowns: Vec<Breakdown>,
+    /// Per-rank finish times in simulated seconds, indexed by rank.
+    pub rank_seconds: Vec<f64>,
+    /// Total dense elements received across all ranks (communication
+    /// volume).
+    pub elements_received: u64,
+    /// Total communication operations issued across all ranks.
+    pub messages: u64,
+    /// Mean recipients per multicast, when any multicast was issued (the
+    /// §7.2 profile).
+    pub mean_multicast_recipients: Option<f64>,
+    /// Estimated peak per-node memory of the run, in bytes.
+    pub memory_peak_bytes: usize,
+    /// The assembled output `C`, present when `compute_values` was set.
+    pub output: Option<DenseMatrix>,
+}
+
+/// Distributed SpMV: `y = A · x`, the `K = 1` special case of SpMM (§9).
+///
+/// Builds a one-column [`Problem`] around `x`, runs `algorithm`, and returns
+/// the result vector alongside the full report. With `K = 1` the Table-2
+/// coalescing rule turns maximally aggressive (distance 128), since a padded
+/// "row" is a single scalar.
+///
+/// # Errors
+///
+/// Returns [`RunError::Shape`] if `x.len() != a.cols()` plus everything
+/// [`run_algorithm`] can return.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use twoface_core::{run_spmv, Algorithm, RunOptions};
+/// use twoface_matrix::gen::erdos_renyi;
+/// use twoface_net::CostModel;
+///
+/// # fn main() -> Result<(), twoface_core::RunError> {
+/// let a = Arc::new(erdos_renyi(64, 64, 300, 2));
+/// let x = vec![1.0; 64];
+/// let (y, report) = run_spmv(
+///     Algorithm::TwoFace,
+///     a,
+///     &x,
+///     4,
+///     8,
+///     &CostModel::delta_scaled(),
+///     &RunOptions::default(),
+/// )?;
+/// assert_eq!(y.len(), 64);
+/// assert!(report.seconds > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_spmv(
+    algorithm: Algorithm,
+    a: Arc<CooMatrix>,
+    x: &[f64],
+    p: usize,
+    stripe_width: usize,
+    cost: &CostModel,
+    options: &RunOptions,
+) -> Result<(Vec<f64>, ExecutionReport), RunError> {
+    if x.len() != a.cols() {
+        return Err(RunError::Shape {
+            context: format!("x has {} elements but A has {} columns", x.len(), a.cols()),
+        });
+    }
+    let b = DenseMatrix::from_vec(x.len(), 1, x.to_vec()).expect("one column per element");
+    let problem = Problem::new(a, Arc::new(b), p, stripe_width)?;
+    let options = RunOptions { compute_values: true, ..options.clone() };
+    let report = run_algorithm(algorithm, &problem, cost, &options)?;
+    let y = report
+        .output
+        .as_ref()
+        .expect("compute_values forced on")
+        .as_slice()
+        .to_vec();
+    Ok((y, report))
+}
+
+/// Builds the Two-Face partition plan for a problem, applying the memory cap
+/// the way §6.3 describes: the sync-stripe buffer budget is the node
+/// capacity minus the operands' own footprint.
+pub fn prepare_plan(
+    problem: &Problem,
+    coefficients: &ModelCoefficients,
+    cost: &CostModel,
+) -> PartitionPlan {
+    prepare_plan_with_classifier(problem, coefficients, cost, ClassifierKind::Greedy)
+}
+
+/// [`prepare_plan`] with an explicit stripe classifier — use
+/// [`ClassifierKind::FanoutAware`] for the paper's future-work variant that
+/// prices multicast destination counts into the model.
+pub fn prepare_plan_with_classifier(
+    problem: &Problem,
+    coefficients: &ModelCoefficients,
+    cost: &CostModel,
+    classifier: ClassifierKind,
+) -> PartitionPlan {
+    let k = problem.k();
+    let base = (0..problem.layout.nodes())
+        .map(|rank| base_bytes(problem, rank))
+        .max()
+        .unwrap_or(0);
+    // Leave headroom for the asynchronous fetch buffers (bounded by twice
+    // the widest stripe's rows) so the capped plan is actually runnable.
+    let fetch_allowance = 2 * problem.layout.stripe_width() * k * SCALAR_BYTES;
+    let budget = cost.memory_per_node.saturating_sub(base + fetch_allowance);
+    PartitionPlan::build(
+        &problem.a,
+        problem.layout.clone(),
+        coefficients,
+        k,
+        PlanOptions { sync_buffer_budget: Some(budget), classifier },
+    )
+}
+
+/// Bytes of a rank's own operands: its `A` partition, `B` block, and `C`
+/// block.
+fn base_bytes(problem: &Problem, rank: usize) -> usize {
+    let k = problem.k();
+    let layout = &problem.layout;
+    let nnz_local = problem
+        .a
+        .iter()
+        .filter(|&(r, _, _)| layout.row_range(rank).contains(&r))
+        .count();
+    nnz_local * NNZ_BYTES
+        + layout.col_range(rank).len() * k * SCALAR_BYTES
+        + layout.row_range(rank).len() * k * SCALAR_BYTES
+}
+
+/// Estimated peak memory per rank for an algorithm, in bytes.
+///
+/// Used both to reject infeasible runs (the paper's missing data points) and
+/// to report footprints. Two-Face family estimates require the plan.
+fn memory_estimates(
+    algorithm: Algorithm,
+    problem: &Problem,
+    baseline: Option<&BaselineData>,
+    plan: Option<&PartitionPlan>,
+) -> Vec<usize> {
+    let layout = &problem.layout;
+    let p = layout.nodes();
+    let k = problem.k();
+    let row_bytes = k * SCALAR_BYTES;
+    let max_block = (0..p).map(|r| layout.col_range(r).len()).max().unwrap_or(0);
+    (0..p)
+        .map(|rank| {
+            let base = base_bytes(problem, rank);
+            let extra = match algorithm {
+                Algorithm::Allgather => {
+                    (layout.cols() - layout.col_range(rank).len()) * row_bytes
+                }
+                Algorithm::AsyncCoarse => {
+                    let needed = &baseline.expect("baseline data built").needed_blocks[rank];
+                    needed
+                        .iter()
+                        .map(|&owner| layout.col_range(owner).len() * row_bytes)
+                        .sum()
+                }
+                Algorithm::DenseShifting { replication } => {
+                    // c resident blocks plus the in-flight super-block.
+                    2 * replication * max_block * row_bytes
+                }
+                Algorithm::TwoFace | Algorithm::AsyncFine => {
+                    let plan = plan.expect("plan built for Two-Face family");
+                    let mut sync_bytes = 0usize;
+                    let mut max_fetch = 0usize;
+                    for &(stripe, class) in &plan.classification(rank).classes {
+                        match class {
+                            StripeClass::Sync => {
+                                sync_bytes += layout.stripe_cols(stripe).len() * row_bytes;
+                            }
+                            StripeClass::Async => {
+                                let l = plan
+                                    .profile(rank)
+                                    .stripe(stripe)
+                                    .map_or(0, |s| s.rows_needed());
+                                max_fetch = max_fetch.max(l * row_bytes);
+                            }
+                            StripeClass::LocalInput => {}
+                        }
+                    }
+                    // Coalescing may pad fetches; double the largest fetch
+                    // as a conservative bound.
+                    sync_bytes + 2 * max_fetch
+                }
+            };
+            base + extra
+        })
+        .collect()
+}
+
+/// Runs one algorithm on one problem under one cost model.
+///
+/// # Errors
+///
+/// * [`RunError::ReplicationExceedsNodes`] for `DS(c)` with `c > p`;
+/// * [`RunError::OutOfMemory`] when the estimated peak on some node exceeds
+///   [`CostModel::memory_per_node`];
+/// * [`RunError::ValidationFailed`] when `options.validate` is set and the
+///   output disagrees with the serial reference.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use twoface_core::{run_algorithm, Algorithm, Problem, RunOptions};
+/// use twoface_matrix::gen::erdos_renyi;
+/// use twoface_net::CostModel;
+///
+/// # fn main() -> Result<(), twoface_core::RunError> {
+/// let a = Arc::new(erdos_renyi(64, 64, 400, 7));
+/// let problem = Problem::with_generated_b(a, 8, 4, 8)?;
+/// let options = RunOptions { validate: true, ..Default::default() };
+/// let report = run_algorithm(Algorithm::TwoFace, &problem, &CostModel::delta(), &options)?;
+/// assert!(report.seconds > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_algorithm(
+    algorithm: Algorithm,
+    problem: &Problem,
+    cost: &CostModel,
+    options: &RunOptions,
+) -> Result<ExecutionReport, RunError> {
+    let p = problem.layout.nodes();
+    if let Algorithm::DenseShifting { replication } = algorithm {
+        if replication == 0 || replication > p {
+            return Err(RunError::ReplicationExceedsNodes { replication, nodes: p });
+        }
+    }
+    let k = problem.k();
+    let exec = ExecOpts {
+        k,
+        compute: options.compute_values || options.validate,
+        panel_height: options.config.row_panel_height,
+    };
+    // The machine the run actually experiences, with the thread split
+    // folded in — also what a calibration run would have profiled.
+    let effective = options.config.effective_cost(cost);
+    let coefficients = options
+        .coefficients
+        .unwrap_or_else(|| ModelCoefficients::from(&effective));
+
+    // Preprocessing / data staging (untimed, like loading the preprocessed
+    // matrices from disk in the real system).
+    let plan: Option<Arc<PartitionPlan>> = if algorithm.uses_plan() {
+        Some(match (&options.plan, algorithm) {
+            (Some(plan), _) => Arc::clone(plan),
+            (None, Algorithm::AsyncFine) => Arc::new(PartitionPlan::build_uniform(
+                &problem.a,
+                problem.layout.clone(),
+                k,
+                StripeClass::Async,
+            )),
+            (None, _) => Arc::new(prepare_plan(problem, &coefficients, &effective)),
+        })
+    } else {
+        None
+    };
+    let baseline: Option<BaselineData> = if algorithm.uses_plan() {
+        None
+    } else {
+        Some(BaselineData::build(
+            problem,
+            matches!(algorithm, Algorithm::DenseShifting { .. }),
+        ))
+    };
+
+    // Memory feasibility.
+    let estimates = memory_estimates(algorithm, problem, baseline.as_ref(), plan.as_deref());
+    let (worst_rank, &required) = estimates
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &bytes)| bytes)
+        .expect("at least one rank");
+    if required > cost.memory_per_node {
+        return Err(RunError::OutOfMemory {
+            rank: worst_rank,
+            required,
+            available: cost.memory_per_node,
+        });
+    }
+
+    let twoface_data = plan
+        .map(|plan| TwoFaceData::build(problem, plan, &options.config));
+
+    // Execute.
+    let cluster = Cluster::new(p, effective);
+    let outputs = cluster.run(|ctx| match algorithm {
+        Algorithm::Allgather => {
+            allgather_rank(ctx, baseline.as_ref().expect("built"), problem, &exec)
+        }
+        Algorithm::AsyncCoarse => {
+            async_coarse_rank(ctx, baseline.as_ref().expect("built"), problem, &exec)
+        }
+        Algorithm::DenseShifting { replication } => dense_shifting_rank(
+            ctx,
+            baseline.as_ref().expect("built"),
+            problem,
+            replication,
+            &exec,
+        ),
+        Algorithm::TwoFace | Algorithm::AsyncFine => twoface_rank(
+            ctx,
+            twoface_data.as_ref().expect("built"),
+            problem,
+            &options.config,
+            &exec,
+        ),
+    });
+
+    // Assemble and summarize.
+    let critical_rank = outputs
+        .iter()
+        .max_by_key(|o| o.finish_time())
+        .expect("at least one rank")
+        .rank;
+    let seconds = outputs[critical_rank].finish_time().seconds();
+    let critical_breakdown = Breakdown::from_trace(&outputs[critical_rank].trace);
+    let mut mean_breakdown = Breakdown::default();
+    let mut elements_received = 0u64;
+    let mut messages = 0u64;
+    let mut recipients: Vec<usize> = Vec::new();
+    let mut rank_breakdowns = Vec::with_capacity(p);
+    let mut rank_seconds = Vec::with_capacity(p);
+    for o in &outputs {
+        let b = Breakdown::from_trace(&o.trace);
+        mean_breakdown.add(&b);
+        rank_breakdowns.push(b);
+        rank_seconds.push(o.finish_time().seconds());
+        elements_received += o.trace.elements_received;
+        messages += o.trace.messages;
+        recipients.extend_from_slice(&o.trace.multicast_recipients);
+    }
+    let mean_breakdown = mean_breakdown.scaled(1.0 / p as f64);
+    let mean_multicast_recipients = if recipients.is_empty() {
+        None
+    } else {
+        Some(recipients.iter().sum::<usize>() as f64 / recipients.len() as f64)
+    };
+
+    let output = if exec.compute {
+        let mut flat = Vec::with_capacity(problem.a.rows() * k);
+        for o in &outputs {
+            flat.extend_from_slice(&o.result);
+        }
+        Some(
+            DenseMatrix::from_vec(problem.a.rows(), k, flat)
+                .expect("rank blocks tile C exactly"),
+        )
+    } else {
+        None
+    };
+
+    if options.validate {
+        let got = output.as_ref().expect("validate implies compute");
+        let want = reference_spmm(&problem.a, &problem.b);
+        if !got.approx_eq(&want, 1e-9) {
+            return Err(RunError::ValidationFailed { max_abs_diff: got.max_abs_diff(&want) });
+        }
+    }
+
+    Ok(ExecutionReport {
+        algorithm: algorithm.name(),
+        p,
+        k,
+        seconds,
+        critical_rank,
+        critical_breakdown,
+        mean_breakdown,
+        rank_breakdowns,
+        rank_seconds,
+        elements_received,
+        messages,
+        mean_multicast_recipients,
+        memory_peak_bytes: required,
+        output,
+    })
+}

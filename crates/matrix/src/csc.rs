@@ -1,0 +1,183 @@
+use crate::{CooMatrix, Scalar, Triplet};
+
+/// A sparse matrix in compressed sparse column (CSC) format.
+///
+/// Two-Face stores asynchronous stripes in *column-major* order so a thread
+/// can "quickly traverse the nonzeros and determine the unique `c_id`s"
+/// (§4.1); CSC is the natural per-stripe layout and is used when building the
+/// asynchronous sparse matrix of Figure 6c.
+///
+/// # Example
+///
+/// ```
+/// use twoface_matrix::CooMatrix;
+///
+/// # fn main() -> Result<(), twoface_matrix::MatrixError> {
+/// let m = CooMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 1, 2.0)])?;
+/// let csc = m.to_csc();
+/// assert_eq!(csc.col_nnz(0), 0);
+/// assert_eq!(csc.col_nnz(1), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    col_ptrs: Vec<usize>,
+    row_ids: Vec<usize>,
+    vals: Vec<Scalar>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from a COO matrix.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let rows = coo.rows();
+        let cols = coo.cols();
+        let mut col_ptrs = vec![0usize; cols + 1];
+        for (_, c, _) in coo.iter() {
+            col_ptrs[c + 1] += 1;
+        }
+        for i in 0..cols {
+            col_ptrs[i + 1] += col_ptrs[i];
+        }
+        let mut row_ids = vec![0usize; coo.nnz()];
+        let mut vals = vec![0.0; coo.nnz()];
+        let mut cursor = col_ptrs.clone();
+        for (r, c, v) in coo.iter() {
+            let slot = cursor[c];
+            row_ids[slot] = r;
+            vals[slot] = v;
+            cursor[c] += 1;
+        }
+        CscMatrix { rows, cols, col_ptrs, row_ids, vals }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// The column pointer array (`cols + 1` entries).
+    pub fn col_ptrs(&self) -> &[usize] {
+        &self.col_ptrs
+    }
+
+    /// The row indices of all nonzeros, column-major.
+    pub fn row_ids(&self) -> &[usize] {
+        &self.row_ids
+    }
+
+    /// The values of all nonzeros, column-major.
+    pub fn vals(&self) -> &[Scalar] {
+        &self.vals
+    }
+
+    /// Iterates over the `(row, val)` entries of one column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.cols()`.
+    pub fn col_entries(&self, col: usize) -> impl Iterator<Item = (usize, Scalar)> + '_ {
+        let lo = self.col_ptrs[col];
+        let hi = self.col_ptrs[col + 1];
+        self.row_ids[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.vals[lo..hi].iter().copied())
+    }
+
+    /// Number of nonzeros in one column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.cols()`.
+    pub fn col_nnz(&self, col: usize) -> usize {
+        self.col_ptrs[col + 1] - self.col_ptrs[col]
+    }
+
+    /// The distinct columns that contain at least one nonzero, ascending.
+    ///
+    /// For an asynchronous stripe this is the `UniqueColIDs` set of
+    /// Algorithm 3 — the ids of the dense `B` rows that must be fetched.
+    pub fn nonempty_cols(&self) -> Vec<usize> {
+        (0..self.cols).filter(|&c| self.col_nnz(c) > 0).collect()
+    }
+
+    /// Converts back to COO format.
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for c in 0..self.cols {
+            for (r, v) in self.col_entries(c) {
+                triplets.push(Triplet::new(r, c, v));
+            }
+        }
+        CooMatrix::from_triplets(self.rows, self.cols, triplets)
+            .expect("CSC coordinates are in bounds by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::CooMatrix;
+
+    fn sample() -> CooMatrix {
+        CooMatrix::from_triplets(
+            3,
+            4,
+            vec![(0, 0, 1.0), (0, 3, 2.0), (2, 1, 3.0), (1, 3, 4.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn structure_is_correct() {
+        let m = sample().to_csc();
+        assert_eq!(m.col_ptrs(), &[0, 1, 2, 2, 4]);
+        assert_eq!(m.col_nnz(2), 0);
+        let col3: Vec<_> = m.col_entries(3).collect();
+        assert_eq!(col3, vec![(0, 2.0), (1, 4.0)]);
+    }
+
+    #[test]
+    fn rows_within_column_are_sorted() {
+        let m = CooMatrix::from_triplets(
+            5,
+            2,
+            vec![(4, 0, 1.0), (0, 0, 2.0), (2, 0, 3.0)],
+        )
+        .unwrap()
+        .to_csc();
+        let rows: Vec<usize> = m.col_entries(0).map(|(r, _)| r).collect();
+        assert_eq!(rows, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn coo_round_trip() {
+        let coo = sample();
+        assert_eq!(coo.to_csc().to_coo(), coo);
+    }
+
+    #[test]
+    fn nonempty_cols_skips_gaps() {
+        let m = sample().to_csc();
+        assert_eq!(m.nonempty_cols(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CooMatrix::new(3, 3).to_csc();
+        assert_eq!(m.nnz(), 0);
+        assert!(m.nonempty_cols().is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+use crate::{CooMatrix, DenseMatrix, Scalar, Triplet};
+
+/// A sparse matrix in compressed sparse row (CSR) format.
+///
+/// CSR is the workhorse format for the row-major local SpMM kernels used by
+/// the collective baselines (Allgather, Dense Shifting, Async Coarse): the
+/// paper's baselines call Intel MKL on CSR-like local partitions; here the
+/// kernel is [`CsrMatrix::spmm`].
+///
+/// # Example
+///
+/// ```
+/// use twoface_matrix::{CooMatrix, DenseMatrix};
+///
+/// # fn main() -> Result<(), twoface_matrix::MatrixError> {
+/// let a = CooMatrix::from_triplets(2, 3, vec![(0, 2, 1.0), (1, 0, 2.0)])?;
+/// let csr = a.to_csr();
+/// assert_eq!(csr.row_entries(1).collect::<Vec<_>>(), vec![(0, 2.0)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptrs: Vec<usize>,
+    col_ids: Vec<usize>,
+    vals: Vec<Scalar>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from a COO matrix.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let rows = coo.rows();
+        let cols = coo.cols();
+        let mut row_ptrs = vec![0usize; rows + 1];
+        for (r, _, _) in coo.iter() {
+            row_ptrs[r + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptrs[i + 1] += row_ptrs[i];
+        }
+        let mut col_ids = Vec::with_capacity(coo.nnz());
+        let mut vals = Vec::with_capacity(coo.nnz());
+        // COO is row-major sorted, so a single pass suffices.
+        for (_, c, v) in coo.iter() {
+            col_ids.push(c);
+            vals.push(v);
+        }
+        CsrMatrix { rows, cols, row_ptrs, col_ids, vals }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_ids.len()
+    }
+
+    /// The row pointer array (`rows + 1` entries).
+    pub fn row_ptrs(&self) -> &[usize] {
+        &self.row_ptrs
+    }
+
+    /// The column indices of all nonzeros, row-major.
+    pub fn col_ids(&self) -> &[usize] {
+        &self.col_ids
+    }
+
+    /// The values of all nonzeros, row-major.
+    pub fn vals(&self) -> &[Scalar] {
+        &self.vals
+    }
+
+    /// Iterates over the `(col, val)` entries of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (usize, Scalar)> + '_ {
+        let lo = self.row_ptrs[row];
+        let hi = self.row_ptrs[row + 1];
+        self.col_ids[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.vals[lo..hi].iter().copied())
+    }
+
+    /// Number of nonzeros in one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row_nnz(&self, row: usize) -> usize {
+        self.row_ptrs[row + 1] - self.row_ptrs[row]
+    }
+
+    /// Local SpMM: computes `C = A × B` where `A` is `self`.
+    ///
+    /// This is the reference row-major kernel: for each nonzero `a` at
+    /// `(r, c)`, `C[r, :] += a * B[c, :]` (Figure 1a of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != b.rows()`.
+    pub fn spmm(&self, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.cols,
+            b.rows(),
+            "spmm dimension mismatch: A is {}x{}, B has {} rows",
+            self.rows,
+            self.cols,
+            b.rows()
+        );
+        let k = b.cols();
+        let mut c = DenseMatrix::zeros(self.rows, k);
+        for r in 0..self.rows {
+            let out = c.row_mut(r);
+            for idx in self.row_ptrs[r]..self.row_ptrs[r + 1] {
+                let col = self.col_ids[idx];
+                let v = self.vals[idx];
+                let brow = b.row(col);
+                for j in 0..k {
+                    out[j] += v * brow[j];
+                }
+            }
+        }
+        c
+    }
+
+    /// Accumulating SpMM over a row range: `C[r, :] += A[r, :] × B` for rows
+    /// in `row_range`, writing into the caller's `C`.
+    ///
+    /// Used by the shifting baseline, which processes one block of columns of
+    /// `A` per step and accumulates into the same output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != b.rows()`, `c` has the wrong shape, or the
+    /// range is out of bounds.
+    pub fn spmm_accumulate(&self, b: &DenseMatrix, c: &mut DenseMatrix) {
+        assert_eq!(self.cols, b.rows(), "spmm dimension mismatch");
+        assert_eq!(c.rows(), self.rows, "output row mismatch");
+        assert_eq!(c.cols(), b.cols(), "output col mismatch");
+        let k = b.cols();
+        for r in 0..self.rows {
+            let out = c.row_mut(r);
+            for idx in self.row_ptrs[r]..self.row_ptrs[r + 1] {
+                let col = self.col_ids[idx];
+                let v = self.vals[idx];
+                let brow = b.row(col);
+                for j in 0..k {
+                    out[j] += v * brow[j];
+                }
+            }
+        }
+    }
+
+    /// Converts back to COO format.
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                triplets.push(Triplet::new(r, c, v));
+            }
+        }
+        CooMatrix::from_sorted_triplets(self.rows, self.cols, triplets)
+            .expect("CSR invariants guarantee sorted, in-bounds triplets")
+    }
+
+    /// The set of distinct column ids referenced by rows of this matrix,
+    /// in ascending order.
+    ///
+    /// For a local 1D partition this is exactly the set of `B` rows the node
+    /// needs — the quantity the sparsity-aware transfer path communicates.
+    pub fn referenced_cols(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.cols];
+        for &c in &self.col_ids {
+            seen[c] = true;
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn sample() -> CsrMatrix {
+        CooMatrix::from_triplets(
+            3,
+            4,
+            vec![(0, 0, 1.0), (0, 3, 2.0), (2, 1, 3.0), (2, 2, 4.0)],
+        )
+        .unwrap()
+        .to_csr()
+    }
+
+    #[test]
+    fn structure_is_correct() {
+        let m = sample();
+        assert_eq!(m.row_ptrs(), &[0, 2, 2, 4]);
+        assert_eq!(m.col_ids(), &[0, 3, 1, 2]);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row_nnz(2), 2);
+    }
+
+    #[test]
+    fn coo_round_trip() {
+        let coo = CooMatrix::from_triplets(
+            5,
+            5,
+            vec![(0, 1, 1.0), (4, 4, 2.0), (2, 0, 3.0)],
+        )
+        .unwrap();
+        assert_eq!(coo.to_csr().to_coo(), coo);
+    }
+
+    #[test]
+    fn spmm_matches_hand_computation() {
+        // A = [[1, 0, 0, 2], [0,0,0,0], [0, 3, 4, 0]]
+        let a = sample();
+        let b = DenseMatrix::from_rows(vec![
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ])
+        .unwrap();
+        let c = a.spmm(&b);
+        assert_eq!(c.row(0), &[9.0, 90.0]);
+        assert_eq!(c.row(1), &[0.0, 0.0]);
+        assert_eq!(c.row(2), &[18.0, 180.0]);
+    }
+
+    #[test]
+    fn spmm_accumulate_adds_to_existing() {
+        let a = sample();
+        let b = DenseMatrix::from_rows(vec![
+            vec![1.0],
+            vec![1.0],
+            vec![1.0],
+            vec![1.0],
+        ])
+        .unwrap();
+        let mut c = DenseMatrix::from_elem(3, 1, 100.0);
+        a.spmm_accumulate(&b, &mut c);
+        assert_eq!(c.row(0), &[103.0]);
+        assert_eq!(c.row(1), &[100.0]);
+        assert_eq!(c.row(2), &[107.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn spmm_rejects_mismatched_dims() {
+        let a = sample();
+        let b = DenseMatrix::zeros(3, 2); // A has 4 cols, B only 3 rows
+        let _ = a.spmm(&b);
+    }
+
+    #[test]
+    fn referenced_cols_deduplicates() {
+        let m = CooMatrix::from_triplets(
+            2,
+            6,
+            vec![(0, 5, 1.0), (0, 1, 1.0), (1, 5, 1.0)],
+        )
+        .unwrap()
+        .to_csr();
+        assert_eq!(m.referenced_cols(), vec![1, 5]);
+    }
+
+    #[test]
+    fn empty_rows_at_ends() {
+        let m = CooMatrix::from_triplets(4, 4, vec![(1, 1, 1.0)]).unwrap().to_csr();
+        assert_eq!(m.row_nnz(0), 0);
+        assert_eq!(m.row_nnz(3), 0);
+        let c = m.spmm(&DenseMatrix::from_elem(4, 2, 1.0));
+        assert_eq!(c.row(0), &[0.0, 0.0]);
+        assert_eq!(c.row(1), &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,367 @@
+use crate::{MatrixError, Scalar, SCALAR_BYTES};
+
+/// A dense matrix stored in row-major order.
+///
+/// This is the operand type for the `B` (dense input) and `C` (dense output)
+/// matrices of `C = A × B`. The row-major layout matches the access pattern
+/// of SpMM, where whole rows of `B` are read and whole rows of `C` are
+/// accumulated (Figure 1a): a nonzero at `(r, c)` reads `B[c, 0..K]` and
+/// updates `C[r, 0..K]`.
+///
+/// # Example
+///
+/// ```
+/// use twoface_matrix::DenseMatrix;
+///
+/// let mut m = DenseMatrix::zeros(2, 3);
+/// m.row_mut(1)[2] = 7.0;
+/// assert_eq!(m.get(1, 2), 7.0);
+/// assert_eq!(m.row(0), &[0.0, 0.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Scalar>,
+}
+
+impl DenseMatrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix with every element equal to `value`.
+    pub fn from_elem(rows: usize, cols: usize, value: Scalar) -> Self {
+        DenseMatrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix from nested row vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::RaggedRows`] if rows have unequal lengths.
+    pub fn from_rows(rows: Vec<Vec<Scalar>>) -> Result<Self, MatrixError> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, r) in rows.into_iter().enumerate() {
+            if r.len() != ncols {
+                return Err(MatrixError::RaggedRows { expected: ncols, found: r.len(), row: i });
+            }
+            data.extend_from_slice(&r);
+        }
+        Ok(DenseMatrix { rows: nrows, cols: ncols, data })
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Scalar>) -> Result<Self, MatrixError> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::DimensionMismatch {
+                context: format!(
+                    "flat buffer has {} elements but {rows}x{cols} needs {}",
+                    data.len(),
+                    rows * cols
+                ),
+            });
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Creates a matrix where element `(i, j)` is `f(i, j)`.
+    ///
+    /// Handy for deterministic test fixtures, e.g.
+    /// `DenseMatrix::from_fn(n, k, |i, j| (i * k + j) as f64)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Scalar) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (`K` in the paper's notation for `B` and `C`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the matrix payload in bytes (what a transfer of the whole
+    /// matrix would move over the network).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * SCALAR_BYTES
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> Scalar {
+        assert!(row < self.rows && col < self.cols, "index ({row}, {col}) out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: Scalar) {
+        assert!(row < self.rows && col < self.cols, "index ({row}, {col}) out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// A view of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row(&self, row: usize) -> &[Scalar] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// A mutable view of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row_mut(&mut self, row: usize) -> &mut [Scalar] {
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// A view of a contiguous range of rows as a flat slice.
+    ///
+    /// This is the unit the network layer moves: a *dense stripe* is exactly
+    /// a contiguous row range of `B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn row_range(&self, range: std::ops::Range<usize>) -> &[Scalar] {
+        &self.data[range.start * self.cols..range.end * self.cols]
+    }
+
+    /// Copies a contiguous range of rows into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice_rows(&self, range: std::ops::Range<usize>) -> DenseMatrix {
+        DenseMatrix {
+            rows: range.len(),
+            cols: self.cols,
+            data: self.row_range(range).to_vec(),
+        }
+    }
+
+    /// The flat row-major data buffer.
+    pub fn as_slice(&self) -> &[Scalar] {
+        &self.data
+    }
+
+    /// The flat row-major data buffer, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [Scalar] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the flat buffer.
+    pub fn into_vec(self) -> Vec<Scalar> {
+        self.data
+    }
+
+    /// Adds `other` element-wise into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &DenseMatrix) {
+        assert_eq!(self.rows, other.rows, "row mismatch in add_assign");
+        assert_eq!(self.cols, other.cols, "col mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+    }
+
+    /// Scales every element by `factor`.
+    pub fn scale(&mut self, factor: Scalar) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+
+    /// Applies `f` to every element in place (e.g. a GNN activation).
+    pub fn map_inplace(&mut self, f: impl Fn(Scalar) -> Scalar) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Dense matrix product `self × rhs` (used by the GNN example for the
+    /// small `H × W` weight multiplication).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = self.data[i * self.cols + l];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(l);
+                let orow = out.row_mut(i);
+                for j in 0..rhs.cols {
+                    orow[j] += a * rrow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.rows, other.rows, "row mismatch in max_abs_diff");
+        assert_eq!(self.cols, other.cols, "col mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether all elements are within `tol` of `other`, relative to the
+    /// magnitude of the larger operand (with an absolute floor of `tol`).
+    ///
+    /// Algorithms sum floating-point contributions in different orders, so
+    /// exact equality between two correct SpMM results is not guaranteed;
+    /// this is the comparison the correctness oracles use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn approx_eq(&self, other: &DenseMatrix, tol: f64) -> bool {
+        assert_eq!(self.rows, other.rows, "row mismatch in approx_eq");
+        assert_eq!(self.cols, other.cols, "col mismatch in approx_eq");
+        self.data.iter().zip(&other.data).all(|(a, b)| {
+            let scale = a.abs().max(b.abs()).max(1.0);
+            (a - b).abs() <= tol * scale
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.bytes(), 32);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = DenseMatrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, MatrixError::RaggedRows { row: 1, .. }));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(DenseMatrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_fn_fills_row_major() {
+        let m = DenseMatrix::from_fn(2, 3, |i, j| (10 * i + j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn row_range_is_contiguous() {
+        let m = DenseMatrix::from_fn(4, 2, |i, j| (i * 2 + j) as f64);
+        assert_eq!(m.row_range(1..3), &[2.0, 3.0, 4.0, 5.0]);
+        let s = m.slice_rows(1..3);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.row(0), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = DenseMatrix::from_elem(2, 2, 1.0);
+        let b = DenseMatrix::from_elem(2, 2, 2.0);
+        a.add_assign(&b);
+        a.scale(3.0);
+        assert_eq!(a.as_slice(), &[9.0; 4]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_rounding() {
+        let a = DenseMatrix::from_elem(1, 2, 1.0);
+        let mut b = a.clone();
+        b.row_mut(0)[0] += 1e-12;
+        assert!(a.approx_eq(&b, 1e-9));
+        b.row_mut(0)[1] += 1.0;
+        assert!(!a.approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn map_inplace_applies_activation() {
+        let mut m = DenseMatrix::from_rows(vec![vec![-1.0, 2.0]]).unwrap();
+        m.map_inplace(|v| v.max(0.0)); // ReLU
+        assert_eq!(m.as_slice(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn norms_and_diffs() {
+        let a = DenseMatrix::from_rows(vec![vec![3.0, 4.0]]).unwrap();
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+        let b = DenseMatrix::from_rows(vec![vec![3.0, 6.0]]).unwrap();
+        assert_eq!(a.max_abs_diff(&b), 2.0);
+    }
+}

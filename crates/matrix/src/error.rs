@@ -1,0 +1,115 @@
+use std::fmt;
+
+/// Error type for matrix construction, conversion, and I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MatrixError {
+    /// A nonzero coordinate lies outside the declared matrix dimensions.
+    CoordinateOutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Declared number of rows.
+        rows: usize,
+        /// Declared number of columns.
+        cols: usize,
+    },
+    /// Two dense dimensions that must agree do not.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+    /// The rows of a dense matrix literal have unequal lengths.
+    RaggedRows {
+        /// Length of the first row.
+        expected: usize,
+        /// Length of the first row that differs.
+        found: usize,
+        /// Index of the offending row.
+        row: usize,
+    },
+    /// An I/O error while reading or writing a matrix file.
+    Io(std::io::Error),
+    /// The input file is not a valid Matrix Market / binary matrix file.
+    Parse {
+        /// 1-based line number where parsing failed (0 when unknown).
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::CoordinateOutOfBounds { row, col, rows, cols } => write!(
+                f,
+                "nonzero at ({row}, {col}) is outside the {rows}x{cols} matrix"
+            ),
+            MatrixError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            MatrixError::RaggedRows { expected, found, row } => write!(
+                f,
+                "ragged dense rows: row {row} has {found} entries, expected {expected}"
+            ),
+            MatrixError::Io(e) => write!(f, "matrix i/o error: {e}"),
+            MatrixError::Parse { line, message } => {
+                if *line == 0 {
+                    write!(f, "matrix parse error: {message}")
+                } else {
+                    write!(f, "matrix parse error at line {line}: {message}")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MatrixError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MatrixError {
+    fn from(e: std::io::Error) -> Self {
+        MatrixError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = MatrixError::CoordinateOutOfBounds { row: 5, col: 7, rows: 4, cols: 4 };
+        assert_eq!(e.to_string(), "nonzero at (5, 7) is outside the 4x4 matrix");
+    }
+
+    #[test]
+    fn display_parse_with_and_without_line() {
+        let with = MatrixError::Parse { line: 3, message: "bad token".into() };
+        assert!(with.to_string().contains("line 3"));
+        let without = MatrixError::Parse { line: 0, message: "empty file".into() };
+        assert!(!without.to_string().contains("line"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error;
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = MatrixError::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MatrixError>();
+    }
+}

@@ -1,0 +1,118 @@
+use super::draw_value;
+use crate::CooMatrix;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Configuration for the banded finite-element style generator.
+///
+/// Models matrices like *queen* (3D structural problem) and *stokes*
+/// (semiconductor device simulation): nonzeros cluster within a diagonal band
+/// so under 1D partitioning nearly all required `B` rows are local or live on
+/// the neighbouring node. These are the matrices where Two-Face wins big
+/// (Figures 7–9) because collectives move almost nothing unnecessary and the
+/// few remote stripes are cheap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandedConfig {
+    /// Matrix dimension (square).
+    pub n: usize,
+    /// Half-bandwidth: nonzeros fall within `|r - c| <= bandwidth`.
+    pub bandwidth: usize,
+    /// Expected nonzeros per row inside the band.
+    pub per_row: usize,
+    /// Fraction of entries escaping the band to a uniformly random column
+    /// (models the sparse coupling blocks real FEM matrices have).
+    pub escape_fraction: f64,
+}
+
+impl Default for BandedConfig {
+    fn default() -> Self {
+        BandedConfig { n: 4096, bandwidth: 64, per_row: 32, escape_fraction: 0.005 }
+    }
+}
+
+/// Generates a banded matrix with occasional off-band escapes.
+///
+/// Always places a diagonal entry in each row (FEM matrices are structurally
+/// non-singular), then samples `per_row - 1` further in-band entries.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `escape_fraction` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use twoface_matrix::gen::{banded, BandedConfig};
+///
+/// let m = banded(&BandedConfig { n: 512, bandwidth: 16, per_row: 8, escape_fraction: 0.0 }, 1);
+/// assert!(m.iter().all(|(r, c, _)| r.abs_diff(c) <= 16));
+/// ```
+pub fn banded(config: &BandedConfig, seed: u64) -> CooMatrix {
+    assert!(config.n > 0, "banded matrix dimension must be positive");
+    assert!(
+        (0.0..=1.0).contains(&config.escape_fraction),
+        "escape_fraction must be a probability"
+    );
+    let n = config.n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triplets = Vec::with_capacity(n * config.per_row);
+    for r in 0..n {
+        triplets.push((r, r, draw_value(&mut rng)));
+        for _ in 1..config.per_row {
+            let c = if rng.gen::<f64>() < config.escape_fraction {
+                rng.gen_range(0..n)
+            } else {
+                let lo = r.saturating_sub(config.bandwidth);
+                let hi = (r + config.bandwidth).min(n - 1);
+                rng.gen_range(lo..=hi)
+            };
+            triplets.push((r, c, draw_value(&mut rng)));
+        }
+    }
+    CooMatrix::from_triplets(n, n, triplets).expect("coordinates drawn in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_is_respected_without_escapes() {
+        let cfg = BandedConfig { n: 1000, bandwidth: 10, per_row: 6, escape_fraction: 0.0 };
+        let m = banded(&cfg, 3);
+        for (r, c, _) in m.iter() {
+            assert!(r.abs_diff(c) <= 10, "({r}, {c}) escapes the band");
+        }
+    }
+
+    #[test]
+    fn diagonal_always_present() {
+        let m = banded(&BandedConfig { n: 100, ..Default::default() }, 5);
+        let mut has_diag = vec![false; 100];
+        for (r, c, _) in m.iter() {
+            if r == c {
+                has_diag[r] = true;
+            }
+        }
+        assert!(has_diag.iter().all(|&d| d));
+    }
+
+    #[test]
+    fn escapes_leave_the_band() {
+        let cfg = BandedConfig { n: 2000, bandwidth: 4, per_row: 8, escape_fraction: 0.5 };
+        let m = banded(&cfg, 9);
+        let escaped = m.iter().filter(|(r, c, _)| r.abs_diff(*c) > 4).count();
+        assert!(escaped > 0, "with 50% escape rate some entries must escape");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = BandedConfig::default();
+        assert_eq!(banded(&cfg, 42), banded(&cfg, 42));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        let _ = banded(&BandedConfig { n: 0, ..Default::default() }, 1);
+    }
+}

@@ -1,0 +1,110 @@
+use super::draw_value;
+use crate::CooMatrix;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Generates an Erdős–Rényi style random matrix with an expected `nnz`
+/// nonzeros placed uniformly at random.
+///
+/// Entries are drawn with replacement and duplicates are summed, so the
+/// realized count can be slightly below `nnz`. Uniform matrices have no
+/// exploitable dense regions, making them a useful *control* input: on them,
+/// Two-Face's classifier should send (almost) everything down one path.
+///
+/// # Example
+///
+/// ```
+/// use twoface_matrix::gen::erdos_renyi;
+///
+/// let m = erdos_renyi(100, 100, 500, 1);
+/// assert!(m.nnz() > 400 && m.nnz() <= 500);
+/// ```
+pub fn erdos_renyi(rows: usize, cols: usize, nnz: usize, seed: u64) -> CooMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let triplets: Vec<(usize, usize, f64)> = (0..nnz)
+        .map(|_| {
+            (
+                rng.gen_range(0..rows.max(1)),
+                rng.gen_range(0..cols.max(1)),
+                draw_value(&mut rng),
+            )
+        })
+        .collect();
+    if rows == 0 || cols == 0 {
+        return CooMatrix::new(rows, cols);
+    }
+    CooMatrix::from_triplets(rows, cols, triplets).expect("coordinates drawn in bounds")
+}
+
+/// Generates a uniform random matrix with exactly `per_row` nonzeros in every
+/// row (sampled without replacement within the row).
+///
+/// Unlike [`erdos_renyi`], every row has identical degree, which gives
+/// perfectly balanced 1D partitions — useful for isolating communication
+/// effects from load imbalance in tests.
+///
+/// # Panics
+///
+/// Panics if `per_row > cols`.
+pub fn uniform_random(rows: usize, cols: usize, per_row: usize, seed: u64) -> CooMatrix {
+    assert!(per_row <= cols, "cannot place {per_row} distinct nonzeros in {cols} columns");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triplets = Vec::with_capacity(rows * per_row);
+    let mut chosen: Vec<usize> = Vec::with_capacity(per_row);
+    for r in 0..rows {
+        chosen.clear();
+        // Floyd's algorithm for sampling without replacement.
+        for j in cols - per_row..cols {
+            let t = rng.gen_range(0..=j);
+            if chosen.contains(&t) {
+                chosen.push(j);
+            } else {
+                chosen.push(t);
+            }
+        }
+        for &c in &chosen {
+            triplets.push((r, c, draw_value(&mut rng)));
+        }
+    }
+    CooMatrix::from_triplets(rows, cols, triplets).expect("coordinates drawn in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_volume_and_determinism() {
+        let m = erdos_renyi(200, 300, 1000, 9);
+        assert_eq!(m.rows(), 200);
+        assert_eq!(m.cols(), 300);
+        assert!(m.nnz() > 900 && m.nnz() <= 1000);
+        assert_eq!(m, erdos_renyi(200, 300, 1000, 9));
+    }
+
+    #[test]
+    fn erdos_renyi_handles_degenerate_dims() {
+        let m = erdos_renyi(0, 10, 5, 1);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn uniform_random_has_exact_row_degree() {
+        let m = uniform_random(64, 128, 7, 5);
+        assert_eq!(m.nnz(), 64 * 7);
+        for (r, count) in m.row_counts().iter().enumerate() {
+            assert_eq!(*count, 7, "row {r}");
+        }
+    }
+
+    #[test]
+    fn uniform_random_full_row() {
+        let m = uniform_random(4, 4, 4, 2);
+        assert_eq!(m.nnz(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct nonzeros")]
+    fn uniform_random_rejects_overfull() {
+        let _ = uniform_random(2, 3, 4, 0);
+    }
+}

@@ -1,0 +1,146 @@
+use super::draw_value;
+use crate::CooMatrix;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Configuration for the hub-traffic generator.
+///
+/// Models *mawi* (internet packet traces): a tiny set of hub endpoints
+/// (backbone routers) appears in a huge fraction of the nonzeros, while the
+/// long tail of endpoints appears once or twice. Under 1D partitioning the
+/// hub columns produce a few extremely dense stripes — dense enough that even
+/// classified-async stripes carry many nonzeros, making the atomics-bound
+/// asynchronous *computation* the bottleneck (the paper singles mawi out for
+/// exactly this in §7.1) — and severe row imbalance across nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HubConfig {
+    /// Matrix dimension (square).
+    pub n: usize,
+    /// Total nonzeros to draw (duplicates summed, so realized nnz is lower).
+    pub nnz: usize,
+    /// Number of hub endpoints.
+    pub hubs: usize,
+    /// Probability that an endpoint of a drawn entry is a hub.
+    pub hub_probability: f64,
+    /// Probability that a non-hub *column* endpoint stays within the
+    /// locality window of its row (packet traces have subnet locality;
+    /// these sparse-but-nonempty stripes are what drives mawi's
+    /// atomics-bound asynchronous compute in the paper).
+    pub tail_locality: f64,
+    /// Half-width of the tail locality window as a fraction of `n`.
+    pub tail_window_fraction: f64,
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        HubConfig {
+            n: 1 << 16,
+            nnz: 1 << 18,
+            hubs: 32,
+            hub_probability: 0.6,
+            tail_locality: 0.75,
+            tail_window_fraction: 1.0 / 32.0,
+        }
+    }
+}
+
+/// Generates a skewed hub-traffic matrix.
+///
+/// Each nonzero's row and column are independently chosen to be a hub with
+/// probability `hub_probability`, otherwise a uniform endpoint. Hubs are
+/// placed at evenly spaced indices so they spread over all 1D partitions.
+///
+/// # Panics
+///
+/// Panics if `hubs == 0`, `hubs > n`, or `hub_probability` is not in `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use twoface_matrix::gen::{hub_traffic, HubConfig};
+///
+/// let cfg = HubConfig { n: 1024, nnz: 4096, hubs: 4, ..Default::default() };
+/// let m = hub_traffic(&cfg, 7);
+/// assert_eq!(m.rows(), 1024);
+/// ```
+pub fn hub_traffic(config: &HubConfig, seed: u64) -> CooMatrix {
+    assert!(config.hubs > 0 && config.hubs <= config.n, "hub count must be in 1..=n");
+    assert!(
+        (0.0..=1.0).contains(&config.hub_probability),
+        "hub_probability must be a probability"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.tail_locality),
+        "tail_locality must be a probability"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stride = config.n / config.hubs;
+    let hub_ids: Vec<usize> = (0..config.hubs).map(|h| h * stride).collect();
+    let window = ((config.n as f64 * config.tail_window_fraction) as usize).max(1);
+    let mut triplets = Vec::with_capacity(config.nnz);
+    for _ in 0..config.nnz {
+        let r = if rng.gen::<f64>() < config.hub_probability {
+            hub_ids[rng.gen_range(0..hub_ids.len())]
+        } else {
+            rng.gen_range(0..config.n)
+        };
+        let c = if rng.gen::<f64>() < config.hub_probability {
+            hub_ids[rng.gen_range(0..hub_ids.len())]
+        } else if rng.gen::<f64>() < config.tail_locality {
+            let lo = r.saturating_sub(window);
+            let hi = (r + window).min(config.n - 1);
+            rng.gen_range(lo..=hi)
+        } else {
+            rng.gen_range(0..config.n)
+        };
+        triplets.push((r, c, draw_value(&mut rng)));
+    }
+    CooMatrix::from_triplets(config.n, config.n, triplets).expect("coordinates drawn in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hubs_dominate_column_mass() {
+        let cfg = HubConfig { n: 4096, nnz: 1 << 15, hubs: 8, hub_probability: 0.7, ..Default::default() };
+        let m = hub_traffic(&cfg, 3);
+        let counts = m.col_counts();
+        let stride = cfg.n / cfg.hubs;
+        let hub_mass: usize = (0..cfg.hubs).map(|h| counts[h * stride]).sum();
+        // 70% of drawn column endpoints target 8 hubs, but hub-to-hub
+        // duplicates collapse during COO assembly; even so, 8 of 4096
+        // columns must hold a large share of the realized mass.
+        assert!(
+            hub_mass as f64 > 0.3 * m.nnz() as f64,
+            "hub mass {hub_mass} of {}",
+            m.nnz()
+        );
+    }
+
+    #[test]
+    fn load_is_imbalanced_across_row_blocks() {
+        let cfg = HubConfig { n: 4096, nnz: 1 << 15, hubs: 4, hub_probability: 0.7, ..Default::default() };
+        let m = hub_traffic(&cfg, 5);
+        // Split rows into 8 blocks; hub rows make some blocks far heavier.
+        let counts = m.row_counts();
+        let block = cfg.n / 8;
+        let masses: Vec<usize> =
+            (0..8).map(|b| counts[b * block..(b + 1) * block].iter().sum()).collect();
+        let max = *masses.iter().max().unwrap() as f64;
+        let min = *masses.iter().min().unwrap() as f64;
+        assert!(max > 1.5 * min, "expected imbalance, got {masses:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = HubConfig::default();
+        assert_eq!(hub_traffic(&cfg, 1), hub_traffic(&cfg, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "hub count")]
+    fn zero_hubs_panics() {
+        let _ = hub_traffic(&HubConfig { hubs: 0, ..Default::default() }, 1);
+    }
+}

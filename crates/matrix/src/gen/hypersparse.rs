@@ -1,0 +1,125 @@
+use super::draw_value;
+use crate::CooMatrix;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Configuration for the hypersparse generator.
+///
+/// Models *kmer_V1r* (a de Bruijn-style genomics graph): a very large
+/// dimension with ≈2 nonzeros per row spread almost uniformly. There is no
+/// dense region to exploit, so sparsity-aware fine-grained transfers win, and
+/// full replication (Allgather) exhausts memory — the paper could not even
+/// run Collectives on kmer at `K = 128` (Figure 2 caption).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HypersparseConfig {
+    /// Matrix dimension (square).
+    pub n: usize,
+    /// Average nonzeros per row (kmer_V1r has ~2.17).
+    pub per_row: f64,
+    /// Fraction of entries that land within the diagonal locality window.
+    /// De Bruijn graphs under a good vertex ordering are strongly local —
+    /// the paper profiles kmer's multicasts at only 5.7 mean recipients on
+    /// 64 nodes — so this should be close to 1.
+    pub local_fraction: f64,
+    /// Half-width of the locality window as a fraction of `n`.
+    pub window_fraction: f64,
+}
+
+impl Default for HypersparseConfig {
+    fn default() -> Self {
+        HypersparseConfig { n: 1 << 18, per_row: 2.2, local_fraction: 0.97, window_fraction: 1.0 / 24.0 }
+    }
+}
+
+/// Generates a hypersparse, strongly local matrix.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `per_row < 0`, `local_fraction` is outside `[0, 1]`,
+/// or `window_fraction` is outside `(0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use twoface_matrix::gen::{hypersparse, HypersparseConfig};
+///
+/// let cfg = HypersparseConfig { n: 4096, per_row: 2.0, ..Default::default() };
+/// let m = hypersparse(&cfg, 3);
+/// let mean = m.nnz() as f64 / 4096.0;
+/// assert!((1.5..2.5).contains(&mean));
+/// ```
+pub fn hypersparse(config: &HypersparseConfig, seed: u64) -> CooMatrix {
+    assert!(config.n > 0, "dimension must be positive");
+    assert!(config.per_row >= 0.0, "per_row must be non-negative");
+    assert!(
+        (0.0..=1.0).contains(&config.local_fraction),
+        "local_fraction must be a probability"
+    );
+    assert!(
+        config.window_fraction > 0.0 && config.window_fraction <= 1.0,
+        "window_fraction must be in (0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let window = ((config.n as f64 * config.window_fraction) as usize).max(1);
+    let total = (config.n as f64 * config.per_row) as usize;
+    let mut triplets = Vec::with_capacity(total);
+    for _ in 0..total {
+        let r = rng.gen_range(0..config.n);
+        let c = if rng.gen::<f64>() < config.local_fraction {
+            let lo = r.saturating_sub(window);
+            let hi = (r + window).min(config.n - 1);
+            rng.gen_range(lo..=hi)
+        } else {
+            rng.gen_range(0..config.n)
+        };
+        triplets.push((r, c, draw_value(&mut rng)));
+    }
+    CooMatrix::from_triplets(config.n, config.n, triplets).expect("coordinates drawn in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_is_hypersparse() {
+        let cfg = HypersparseConfig { n: 1 << 14, per_row: 2.2, ..Default::default() };
+        let m = hypersparse(&cfg, 1);
+        assert!(m.density() < 2e-4, "density {}", m.density());
+        let mean = m.nnz() as f64 / m.rows() as f64;
+        assert!((1.8..2.3).contains(&mean), "mean degree {mean}");
+    }
+
+    #[test]
+    fn columns_are_spread_widely() {
+        // Nearly uniform column mass: no column holds more than a sliver.
+        let cfg = HypersparseConfig { n: 1 << 14, ..Default::default() };
+        let m = hypersparse(&cfg, 2);
+        let max = *m.col_counts().iter().max().unwrap();
+        assert!(max < 32, "max column count {max} too concentrated");
+    }
+
+    #[test]
+    fn locality_dominates_by_default() {
+        let cfg = HypersparseConfig { n: 1 << 14, ..Default::default() };
+        let m = hypersparse(&cfg, 4);
+        let window = (cfg.n as f64 * cfg.window_fraction) as usize;
+        let near = m.iter().filter(|(r, c, _)| r.abs_diff(*c) <= window).count();
+        assert!(
+            near as f64 > 0.9 * m.nnz() as f64,
+            "only {near} of {} within window",
+            m.nnz()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = HypersparseConfig { n: 4096, ..Default::default() };
+        assert_eq!(hypersparse(&cfg, 6), hypersparse(&cfg, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        let _ = hypersparse(&HypersparseConfig { n: 0, ..Default::default() }, 1);
+    }
+}

@@ -1,0 +1,172 @@
+use super::draw_value;
+use crate::CooMatrix;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Configuration for the R-MAT (recursive matrix) generator.
+///
+/// R-MAT recursively subdivides the adjacency matrix into quadrants and drops
+/// each edge into a quadrant with probabilities `(a, b, c, d)`; skewed
+/// probabilities yield the power-law degree distributions of social networks.
+/// The Graph500 parameters `(0.57, 0.19, 0.19, 0.05)` are the default.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatConfig {
+    /// log2 of the matrix dimension (the matrix is `2^scale × 2^scale`).
+    pub scale: u32,
+    /// Average number of nonzeros per row (edge factor).
+    pub edge_factor: usize,
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Per-level probability noise, which prevents unnaturally exact
+    /// self-similarity. 0.0 disables it.
+    pub noise: f64,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig { scale: 14, edge_factor: 16, a: 0.57, b: 0.19, c: 0.19, noise: 0.1 }
+    }
+}
+
+impl RmatConfig {
+    /// Probability of the bottom-right quadrant (`1 - a - b - c`).
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates a power-law R-MAT matrix.
+///
+/// Duplicate edges are summed by COO assembly, so the realized nonzero count
+/// is slightly below `edge_factor << scale`; hubs are denser than that bound
+/// suggests, exactly like real social graphs.
+///
+/// # Panics
+///
+/// Panics if the quadrant probabilities are not a sub-distribution
+/// (`a + b + c > 1` or any negative).
+///
+/// # Example
+///
+/// ```
+/// use twoface_matrix::gen::{rmat, RmatConfig};
+///
+/// let m = rmat(&RmatConfig { scale: 8, edge_factor: 4, ..Default::default() }, 42);
+/// assert_eq!(m.rows(), 256);
+/// assert!(m.nnz() > 500);
+/// ```
+pub fn rmat(config: &RmatConfig, seed: u64) -> CooMatrix {
+    assert!(
+        config.a >= 0.0 && config.b >= 0.0 && config.c >= 0.0 && config.d() >= 0.0,
+        "R-MAT quadrant probabilities must form a distribution"
+    );
+    let n = 1usize << config.scale;
+    let edges = n * config.edge_factor;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triplets = Vec::with_capacity(edges);
+    for _ in 0..edges {
+        let (mut row, mut col) = (0usize, 0usize);
+        let (mut a, mut b, mut c) = (config.a, config.b, config.c);
+        for level in 0..config.scale {
+            let half = n >> (level + 1);
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left: nothing to add
+            } else if r < a + b {
+                col += half;
+            } else if r < a + b + c {
+                row += half;
+            } else {
+                row += half;
+                col += half;
+            }
+            if config.noise > 0.0 {
+                // Jitter each quadrant probability multiplicatively and
+                // renormalize, per the standard Graph500 noise scheme.
+                let jitter = |p: f64, rng: &mut StdRng| {
+                    p * (1.0 - config.noise / 2.0 + config.noise * rng.gen::<f64>())
+                };
+                let (ja, jb, jc) = (jitter(a, &mut rng), jitter(b, &mut rng), jitter(c, &mut rng));
+                let jd = jitter(1.0 - a - b - c, &mut rng);
+                let total = ja + jb + jc + jd;
+                a = ja / total;
+                b = jb / total;
+                c = jc / total;
+            }
+        }
+        triplets.push((row, col, draw_value(&mut rng)));
+    }
+    CooMatrix::from_triplets(n, n, triplets).expect("R-MAT coordinates are in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RmatConfig {
+        RmatConfig { scale: 10, edge_factor: 8, ..Default::default() }
+    }
+
+    #[test]
+    fn dimensions_and_volume() {
+        let m = rmat(&small(), 7);
+        assert_eq!(m.rows(), 1024);
+        assert_eq!(m.cols(), 1024);
+        // Duplicates shrink the count, but not by more than ~half at this
+        // density.
+        assert!(m.nnz() > 1024 * 4, "nnz = {}", m.nnz());
+        assert!(m.nnz() <= 1024 * 8);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        assert_eq!(rmat(&small(), 3), rmat(&small(), 3));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(rmat(&small(), 3), rmat(&small(), 4));
+    }
+
+    #[test]
+    fn skew_produces_heavy_head() {
+        // The max row degree of a power-law graph vastly exceeds the mean.
+        let m = rmat(&small(), 11);
+        let counts = m.row_counts();
+        let max = *counts.iter().max().unwrap();
+        let mean = m.nnz() as f64 / m.rows() as f64;
+        assert!(
+            max as f64 > 6.0 * mean,
+            "expected heavy skew: max {max}, mean {mean:.2}"
+        );
+    }
+
+    #[test]
+    fn uniform_probabilities_produce_little_skew() {
+        let cfg = RmatConfig {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            noise: 0.0,
+            ..small()
+        };
+        let m = rmat(&cfg, 11);
+        let counts = m.row_counts();
+        let max = *counts.iter().max().unwrap();
+        let mean = m.nnz() as f64 / m.rows() as f64;
+        assert!(
+            (max as f64) < 4.0 * mean,
+            "uniform R-MAT should be balanced: max {max}, mean {mean:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "distribution")]
+    fn invalid_probabilities_panic() {
+        let cfg = RmatConfig { a: 0.9, b: 0.2, c: 0.2, ..Default::default() };
+        let _ = rmat(&cfg, 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! The named eight-matrix evaluation suite.
+//!
+//! Table 1 of the paper lists eight large SuiteSparse matrices. Each variant
+//! of [`SuiteMatrix`] is a scaled-down synthetic analog generated with the
+//! structure class that drives that matrix's behaviour in the evaluation
+//! (see the [`gen`](crate::gen) module docs). Dimensions are roughly 1:256 to
+//! 1:544 of the originals; stripe widths follow the paper's rule of scaling
+//! with the matrix dimension, rounded to a power of two (§6.2).
+
+use super::{
+    banded, hub_traffic, hypersparse, rmat, webcrawl, BandedConfig, HubConfig, HypersparseConfig,
+    RmatConfig, WebcrawlConfig,
+};
+use crate::CooMatrix;
+
+/// One of the eight evaluation matrices (Table 1 analogs).
+///
+/// Ordering matches Figure 2 and Figures 7–9 of the paper: web, queen,
+/// stokes, arabic, mawi, kmer, twitter, friendster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SuiteMatrix {
+    /// GAP-web analog: host-clustered web crawl, Two-Face's best case.
+    Web,
+    /// Queen_4147 analog: dense banded 3D structural FEM problem.
+    Queen,
+    /// stokes analog: banded semiconductor device matrix, sparser band.
+    Stokes,
+    /// arabic-2005 analog: web crawl with stronger portal concentration.
+    Arabic,
+    /// mawi_201512020030 analog: skewed hub traffic trace; async-compute
+    /// bound.
+    Mawi,
+    /// kmer_V1r analog: hypersparse genomics graph; kills full replication.
+    Kmer,
+    /// twitter7 analog: heavily skewed power-law social network.
+    Twitter,
+    /// com-Friendster analog: large, mildly skewed social network with high
+    /// multicast fan-out.
+    Friendster,
+}
+
+impl SuiteMatrix {
+    /// All eight matrices in the paper's plotting order.
+    pub const ALL: [SuiteMatrix; 8] = [
+        SuiteMatrix::Web,
+        SuiteMatrix::Queen,
+        SuiteMatrix::Stokes,
+        SuiteMatrix::Arabic,
+        SuiteMatrix::Mawi,
+        SuiteMatrix::Kmer,
+        SuiteMatrix::Twitter,
+        SuiteMatrix::Friendster,
+    ];
+
+    /// The paper's short matrix name (used as figure x-axis labels).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            SuiteMatrix::Web => "web",
+            SuiteMatrix::Queen => "queen",
+            SuiteMatrix::Stokes => "stokes",
+            SuiteMatrix::Arabic => "arabic",
+            SuiteMatrix::Mawi => "mawi",
+            SuiteMatrix::Kmer => "kmer",
+            SuiteMatrix::Twitter => "twitter",
+            SuiteMatrix::Friendster => "friendster",
+        }
+    }
+
+    /// The original SuiteSparse matrix this analog stands in for.
+    pub fn long_name(self) -> &'static str {
+        match self {
+            SuiteMatrix::Web => "GAP-web",
+            SuiteMatrix::Queen => "Queen_4147",
+            SuiteMatrix::Stokes => "stokes",
+            SuiteMatrix::Arabic => "arabic-2005",
+            SuiteMatrix::Mawi => "mawi_201512020030",
+            SuiteMatrix::Kmer => "kmer_V1r",
+            SuiteMatrix::Twitter => "twitter7",
+            SuiteMatrix::Friendster => "com-Friendster",
+        }
+    }
+
+    /// Parses a short name back into a suite matrix.
+    pub fn from_short_name(name: &str) -> Option<SuiteMatrix> {
+        SuiteMatrix::ALL.into_iter().find(|m| m.short_name() == name)
+    }
+
+    /// The sparse stripe width `W` for this matrix, following the paper's
+    /// rule that stripe widths scale with the matrix dimension (Table 1),
+    /// rounded to a power of two.
+    pub fn stripe_width(self) -> usize {
+        match self {
+            SuiteMatrix::Web => 128,
+            SuiteMatrix::Queen => 64,
+            SuiteMatrix::Stokes => 128,
+            SuiteMatrix::Arabic => 256,
+            SuiteMatrix::Mawi => 256,
+            SuiteMatrix::Kmer => 1024,
+            SuiteMatrix::Twitter => 256,
+            SuiteMatrix::Friendster => 256,
+        }
+    }
+
+    /// The matrix dimension of the generated analog (square).
+    pub fn dimension(self) -> usize {
+        match self {
+            SuiteMatrix::Web => 1 << 16,        // 65,536
+            SuiteMatrix::Queen => 1 << 15,      // 32,768
+            SuiteMatrix::Stokes => 1 << 16,     // 65,536
+            SuiteMatrix::Arabic => 81_920,
+            SuiteMatrix::Mawi => 1 << 17,       // 131,072
+            SuiteMatrix::Kmer => 393_216,
+            SuiteMatrix::Twitter => 1 << 16,    // 65,536
+            SuiteMatrix::Friendster => 1 << 17, // 131,072
+        }
+    }
+
+    /// Generates the matrix deterministically.
+    ///
+    /// The same `SuiteMatrix` always yields the identical matrix (a fixed
+    /// per-matrix seed is baked in), so experiments are reproducible without
+    /// shipping matrix files.
+    pub fn generate(self) -> CooMatrix {
+        let n = self.dimension();
+        match self {
+            SuiteMatrix::Web => webcrawl(
+                &WebcrawlConfig {
+                    n,
+                    hosts: 512,
+                    per_row: 38,
+                    intra_host: 0.985,
+                    portal_bias: 0.95,
+                    portals: 10,
+                },
+                0x7eb,
+            ),
+            SuiteMatrix::Queen => banded(
+                &BandedConfig { n, bandwidth: 64, per_row: 76, escape_fraction: 0.0005 },
+                0x9ee,
+            ),
+            SuiteMatrix::Stokes => banded(
+                &BandedConfig { n, bandwidth: 128, per_row: 30, escape_fraction: 0.002 },
+                0x570,
+            ),
+            SuiteMatrix::Arabic => webcrawl(
+                &WebcrawlConfig {
+                    n,
+                    hosts: 320,
+                    per_row: 28,
+                    intra_host: 0.975,
+                    portal_bias: 0.92,
+                    portals: 6,
+                },
+                0xa4a,
+            ),
+            SuiteMatrix::Mawi => hub_traffic(
+                &HubConfig {
+                    n,
+                    nnz: 280_000,
+                    hubs: 24,
+                    hub_probability: 0.55,
+                    tail_locality: 0.45,
+                    tail_window_fraction: 1.0 / 32.0,
+                },
+                0x3a1,
+            ),
+            SuiteMatrix::Kmer => hypersparse(
+                &HypersparseConfig {
+                    n,
+                    per_row: 2.2,
+                    local_fraction: 0.95,
+                    window_fraction: 1.0 / 128.0,
+                },
+                0x1e7,
+            ),
+            SuiteMatrix::Twitter => rmat(
+                &RmatConfig {
+                    scale: 16,
+                    edge_factor: 35,
+                    a: 0.57,
+                    b: 0.19,
+                    c: 0.19,
+                    noise: 0.1,
+                },
+                0x717,
+            ),
+            SuiteMatrix::Friendster => rmat(
+                &RmatConfig {
+                    scale: 17,
+                    edge_factor: 28,
+                    a: 0.32,
+                    b: 0.25,
+                    c: 0.25,
+                    noise: 0.05,
+                },
+                0xf12,
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for SuiteMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Generates a suite matrix by short name.
+///
+/// Returns `None` when the name is not one of the eight Table-1 short names.
+///
+/// # Example
+///
+/// ```
+/// use twoface_matrix::gen::suite_matrix;
+///
+/// assert!(suite_matrix("nonexistent").is_none());
+/// ```
+pub fn suite_matrix(name: &str) -> Option<CooMatrix> {
+    SuiteMatrix::from_short_name(name).map(SuiteMatrix::generate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for m in SuiteMatrix::ALL {
+            assert_eq!(SuiteMatrix::from_short_name(m.short_name()), Some(m));
+        }
+    }
+
+    #[test]
+    fn stripe_widths_give_reasonable_stripe_counts() {
+        // The paper's widths give ~325-540 stripes across the matrix; allow
+        // a generous band around that.
+        for m in SuiteMatrix::ALL {
+            let stripes = m.dimension() / m.stripe_width();
+            assert!(
+                (128..=640).contains(&stripes),
+                "{m}: {stripes} stripes outside plausible range"
+            );
+        }
+    }
+
+    #[test]
+    fn queen_is_denser_per_row_than_kmer() {
+        let queen = SuiteMatrix::Queen.generate();
+        let kmer_mean = 2.2; // by construction
+        let queen_mean = queen.nnz() as f64 / queen.rows() as f64;
+        assert!(queen_mean > 20.0 * kmer_mean);
+    }
+
+    #[test]
+    fn mawi_generation_is_light_and_skewed() {
+        let m = SuiteMatrix::Mawi.generate();
+        let mean = m.nnz() as f64 / m.rows() as f64;
+        assert!(mean < 3.0, "mawi should be sparse on average, mean {mean}");
+        let max = *m.col_counts().iter().max().unwrap();
+        assert!(max > 1000, "mawi needs dense hub columns, max {max}");
+    }
+
+    #[test]
+    fn display_matches_short_name() {
+        assert_eq!(SuiteMatrix::Twitter.to_string(), "twitter");
+    }
+}

@@ -1,0 +1,15 @@
+//! Matrix file I/O.
+//!
+//! Two formats are provided, mirroring the paper's preprocessing pipeline
+//! (§7.3): the textual Matrix Market exchange format in which the
+//! original sparse matrices are distributed, and a bespoke binary
+//! format to which Two-Face's preprocessing step writes its partitioned
+//! matrices. Table 6 separates preprocessing cost with and without this I/O;
+//! the `table6_preprocessing` bench reads/writes through these codecs to
+//! measure the same split.
+
+mod binary;
+mod market;
+
+pub use binary::{read_binary, write_binary, BINARY_MAGIC};
+pub use market::{read_market, read_market_file, write_market, write_market_file};

@@ -1,0 +1,237 @@
+//! Structural statistics for sparse matrices.
+//!
+//! The Two-Face preprocessing model works off two per-stripe quantities: how
+//! many distinct dense rows a stripe needs (`l_i`) and how many nonzeros it
+//! holds (`n_i`). This module provides the building blocks for computing
+//! those, plus histogram/skew summaries used by the `matrix_explorer`
+//! example to visualize why a given matrix prefers SUT or SAT.
+
+use crate::CooMatrix;
+
+/// Summary statistics over a sequence of counts (row or column degrees).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeSummary {
+    /// Number of counted entities (rows or columns).
+    pub count: usize,
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Degree at the 50th percentile.
+    pub median: usize,
+    /// Degree at the 99th percentile.
+    pub p99: usize,
+    /// Gini coefficient of the degree distribution in `[0, 1]`:
+    /// 0 = perfectly uniform, →1 = all mass on one entity. A high Gini is
+    /// the structural signature of matrices like twitter and mawi.
+    pub gini: f64,
+}
+
+impl DegreeSummary {
+    /// Computes a summary from raw per-entity counts.
+    ///
+    /// Returns a zeroed summary for an empty slice.
+    pub fn from_counts(counts: &[usize]) -> DegreeSummary {
+        if counts.is_empty() {
+            return DegreeSummary { count: 0, min: 0, max: 0, mean: 0.0, median: 0, p99: 0, gini: 0.0 };
+        }
+        let mut sorted: Vec<usize> = counts.to_vec();
+        sorted.sort_unstable();
+        let total: usize = sorted.iter().sum();
+        let n = sorted.len();
+        let mean = total as f64 / n as f64;
+        let pct = |p: f64| sorted[((n - 1) as f64 * p) as usize];
+        // Gini via the sorted-rank formula:
+        // G = (2 * Σ i*x_i) / (n * Σ x_i) - (n + 1) / n, with i 1-based.
+        let gini = if total == 0 {
+            0.0
+        } else {
+            let weighted: f64 = sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+                .sum();
+            (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+        };
+        DegreeSummary {
+            count: n,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean,
+            median: pct(0.5),
+            p99: pct(0.99),
+            gini,
+        }
+    }
+}
+
+/// Per-matrix structural report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of nonzeros.
+    pub nnz: usize,
+    /// Fraction of cells that are nonzero.
+    pub density: f64,
+    /// Row degree distribution summary.
+    pub row_degrees: DegreeSummary,
+    /// Column degree distribution summary.
+    pub col_degrees: DegreeSummary,
+    /// Fraction of nonzeros on or within `bandwidth` of the diagonal for
+    /// `bandwidth = max(rows, cols) / 64` — a cheap locality signal.
+    pub near_diagonal_fraction: f64,
+}
+
+impl MatrixStats {
+    /// Computes statistics for a matrix.
+    pub fn compute(matrix: &CooMatrix) -> MatrixStats {
+        let band = (matrix.rows().max(matrix.cols()) / 64).max(1);
+        let near = matrix
+            .iter()
+            .filter(|(r, c, _)| r.abs_diff(*c) <= band)
+            .count();
+        let nnz = matrix.nnz();
+        MatrixStats {
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+            nnz,
+            density: matrix.density(),
+            row_degrees: DegreeSummary::from_counts(&matrix.row_counts()),
+            col_degrees: DegreeSummary::from_counts(&matrix.col_counts()),
+            near_diagonal_fraction: if nnz == 0 { 0.0 } else { near as f64 / nnz as f64 },
+        }
+    }
+}
+
+/// Counts, for each column block of width `block`, how many distinct row
+/// blocks of height `block_rows` contain at least one nonzero in it.
+///
+/// This is the "how many nodes need this dense stripe" profile: under 1D
+/// partitioning with `p` nodes, calling it with `block = stripe width` and
+/// `block_rows = rows / p` yields each dense stripe's multicast fan-out.
+///
+/// # Panics
+///
+/// Panics if `block == 0` or `block_rows == 0`.
+pub fn column_block_fanout(matrix: &CooMatrix, block: usize, block_rows: usize) -> Vec<usize> {
+    assert!(block > 0, "column block width must be positive");
+    assert!(block_rows > 0, "row block height must be positive");
+    let nblocks = matrix.cols().div_ceil(block);
+    let nrowblocks = matrix.rows().div_ceil(block_rows);
+    let mut seen = vec![false; nblocks * nrowblocks];
+    for (r, c, _) in matrix.iter() {
+        seen[(c / block) * nrowblocks + r / block_rows] = true;
+    }
+    (0..nblocks)
+        .map(|b| seen[b * nrowblocks..(b + 1) * nrowblocks].iter().filter(|&&s| s).count())
+        .collect()
+}
+
+/// A coarse 2D density map: divides the matrix into a `grid x grid` raster
+/// and counts nonzeros per cell. Used by the explorer example to print an
+/// ASCII spy plot.
+///
+/// # Panics
+///
+/// Panics if `grid == 0`.
+pub fn density_grid(matrix: &CooMatrix, grid: usize) -> Vec<Vec<usize>> {
+    assert!(grid > 0, "grid must be positive");
+    let mut cells = vec![vec![0usize; grid]; grid];
+    if matrix.rows() == 0 || matrix.cols() == 0 {
+        return cells;
+    }
+    for (r, c, _) in matrix.iter() {
+        let gr = (r * grid / matrix.rows()).min(grid - 1);
+        let gc = (c * grid / matrix.cols()).min(grid - 1);
+        cells[gr][gc] += 1;
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{banded, rmat, BandedConfig, RmatConfig};
+    use crate::CooMatrix;
+
+    #[test]
+    fn degree_summary_uniform_has_zero_gini() {
+        let s = DegreeSummary::from_counts(&[5, 5, 5, 5]);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 5);
+        assert!((s.gini).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_summary_concentrated_has_high_gini() {
+        let mut counts = vec![0usize; 100];
+        counts[0] = 1000;
+        let s = DegreeSummary::from_counts(&counts);
+        assert!(s.gini > 0.95, "gini {}", s.gini);
+    }
+
+    #[test]
+    fn degree_summary_empty() {
+        let s = DegreeSummary::from_counts(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn banded_matrix_is_near_diagonal() {
+        let m = banded(
+            &BandedConfig { n: 2048, bandwidth: 8, per_row: 4, escape_fraction: 0.0 },
+            1,
+        );
+        let stats = MatrixStats::compute(&m);
+        assert!(stats.near_diagonal_fraction > 0.99);
+    }
+
+    #[test]
+    fn rmat_has_higher_gini_than_banded() {
+        let power = rmat(&RmatConfig { scale: 12, edge_factor: 8, ..Default::default() }, 2);
+        let flat = banded(
+            &BandedConfig { n: 4096, bandwidth: 16, per_row: 8, escape_fraction: 0.0 },
+            2,
+        );
+        let gp = MatrixStats::compute(&power).col_degrees.gini;
+        let gf = MatrixStats::compute(&flat).col_degrees.gini;
+        assert!(gp > gf + 0.2, "power {gp} vs flat {gf}");
+    }
+
+    #[test]
+    fn fanout_counts_distinct_row_blocks() {
+        // 4x4 matrix, 2x2 blocks. Column block 0 touched by both row blocks,
+        // column block 1 untouched.
+        let m = CooMatrix::from_triplets(4, 4, vec![(0, 0, 1.0), (3, 1, 1.0)]).unwrap();
+        assert_eq!(column_block_fanout(&m, 2, 2), vec![2, 0]);
+    }
+
+    #[test]
+    fn fanout_handles_non_divisible_dims() {
+        let m = CooMatrix::from_triplets(5, 5, vec![(4, 4, 1.0)]).unwrap();
+        let f = column_block_fanout(&m, 2, 2);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f[2], 1);
+    }
+
+    #[test]
+    fn density_grid_sums_to_nnz() {
+        let m = rmat(&RmatConfig { scale: 10, edge_factor: 4, ..Default::default() }, 3);
+        let g = density_grid(&m, 8);
+        let total: usize = g.iter().flatten().sum();
+        assert_eq!(total, m.nnz());
+    }
+
+    #[test]
+    fn density_grid_empty_matrix() {
+        let g = density_grid(&CooMatrix::new(0, 0), 4);
+        assert_eq!(g.len(), 4);
+        assert!(g.iter().flatten().all(|&c| c == 0));
+    }
+}

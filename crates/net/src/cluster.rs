@@ -1,0 +1,692 @@
+//! The simulated cluster: rank threads, lanes, collectives, and one-sided
+//! windows.
+
+use crate::meet::{MeetRegistry, Payload};
+use crate::{CostModel, PhaseClass, RankTrace, SimTime};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The two virtual execution lanes of a rank.
+///
+/// Two-Face overlaps collective transfers plus synchronous compute with
+/// fine-grained one-sided transfers plus asynchronous compute (§4.1: the two
+/// thread groups run in parallel). The simulator models this by giving every
+/// rank two independent virtual clocks; the rank's finishing time is the
+/// later of the two. Baseline algorithms use only the [`Lane::Sync`] lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lane {
+    /// The synchronous lane: collectives and row-panel computation.
+    Sync,
+    /// The asynchronous lane: one-sided gets and column-major computation.
+    Async,
+}
+
+impl Lane {
+    fn index(self) -> usize {
+        match self {
+            Lane::Sync => 0,
+            Lane::Async => 1,
+        }
+    }
+}
+
+/// Handle to a one-sided communication window (the `MPI_Win` analog).
+///
+/// A window exposes one flat `f64` buffer per rank for passive-target reads
+/// via [`RankCtx::win_get`] and [`RankCtx::win_rget_rows`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowId(usize);
+
+/// Tag namespaces keep auto-sequenced all-rank collectives, user-tagged
+/// multicasts, and window barriers from colliding.
+const TAG_AUTO: u64 = 1 << 62;
+const TAG_MULTICAST: u64 = 1 << 61;
+
+#[derive(Default)]
+struct WindowTable {
+    // windows[window][rank] = that rank's exposed buffer.
+    buffers: Vec<Vec<Option<Payload>>>,
+}
+
+struct Shared {
+    p: usize,
+    cost: CostModel,
+    meets: MeetRegistry,
+    windows: Mutex<WindowTable>,
+}
+
+/// A simulated cluster of `p` single-process ranks.
+///
+/// [`Cluster::run`] executes one closure per rank on real threads; data moves
+/// for real through shared memory while per-rank virtual clocks accrue
+/// modeled time. Results are deterministic: clock arithmetic depends only on
+/// the operations performed, never on host thread scheduling.
+///
+/// # Example
+///
+/// ```
+/// use twoface_net::{Cluster, CostModel};
+/// use std::sync::Arc;
+///
+/// let cluster = Cluster::new(4, CostModel::delta());
+/// let outputs = cluster.run(|ctx| {
+///     // Each rank contributes one element; everyone sees all four.
+///     let mine = Arc::new(vec![ctx.rank() as f64]);
+///     let all = ctx.allgather(mine);
+///     all.iter().map(|part| part[0]).sum::<f64>()
+/// });
+/// assert!(outputs.iter().all(|o| o.result == 6.0));
+/// ```
+pub struct Cluster {
+    shared: Arc<Shared>,
+}
+
+/// What one rank produced in a [`Cluster::run`] call.
+#[derive(Debug, Clone)]
+pub struct RankOutput<R> {
+    /// The rank that produced this output.
+    pub rank: usize,
+    /// The closure's return value.
+    pub result: R,
+    /// Accumulated counters for this rank.
+    pub trace: RankTrace,
+    /// Final virtual time of each lane (`[sync, async]`).
+    pub lane_times: [SimTime; 2],
+}
+
+impl<R> RankOutput<R> {
+    /// The rank's finishing time: the later of its two lanes.
+    pub fn finish_time(&self) -> SimTime {
+        self.lane_times[0].max(self.lane_times[1])
+    }
+}
+
+impl Cluster {
+    /// Creates a cluster of `p` ranks with the given cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn new(p: usize, cost: CostModel) -> Cluster {
+        assert!(p > 0, "a cluster needs at least one rank");
+        Cluster {
+            shared: Arc::new(Shared {
+                p,
+                cost,
+                meets: MeetRegistry::new(),
+                windows: Mutex::new(WindowTable::default()),
+            }),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.shared.p
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.shared.cost
+    }
+
+    /// Runs `f` once per rank on parallel threads and collects the outputs
+    /// in rank order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from rank closures and panics on collective
+    /// deadlock (the rendezvous watchdog names the offending tag).
+    pub fn run<F, R>(&self, f: F) -> Vec<RankOutput<R>>
+    where
+        F: Fn(&mut RankCtx) -> R + Sync,
+        R: Send,
+    {
+        let shared = &self.shared;
+        let f = &f;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shared.p)
+                .map(|rank| {
+                    scope.spawn(move |_| {
+                        let mut ctx = RankCtx {
+                            rank,
+                            shared: Arc::clone(shared),
+                            clocks: [SimTime::ZERO; 2],
+                            trace: RankTrace::new(),
+                            next_auto_tag: 0,
+                            next_window: 0,
+                        };
+                        let result = f(&mut ctx);
+                        RankOutput {
+                            rank,
+                            result,
+                            trace: ctx.trace,
+                            lane_times: ctx.clocks,
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+        .expect("cluster scope failed")
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster").field("ranks", &self.shared.p).finish()
+    }
+}
+
+/// Per-rank execution context handed to [`Cluster::run`] closures.
+///
+/// All communication and virtual-time accounting goes through this handle.
+/// Methods that model MPI collectives must be called by every participating
+/// rank in the same order, exactly like their MPI counterparts.
+pub struct RankCtx {
+    rank: usize,
+    shared: Arc<Shared>,
+    clocks: [SimTime; 2],
+    trace: RankTrace,
+    next_auto_tag: u64,
+    next_window: usize,
+}
+
+impl RankCtx {
+    /// This rank's id in `0..p`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.shared.p
+    }
+
+    /// The cluster's cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.shared.cost
+    }
+
+    /// Current virtual time of a lane.
+    pub fn clock(&self, lane: Lane) -> SimTime {
+        self.clocks[lane.index()]
+    }
+
+    /// The rank's overall current time: the later of its lanes.
+    pub fn now(&self) -> SimTime {
+        self.clocks[0].max(self.clocks[1])
+    }
+
+    /// Read-only view of the accumulated trace.
+    pub fn trace(&self) -> &RankTrace {
+        &self.trace
+    }
+
+    /// Advances a lane's clock by `seconds`, attributing the time to
+    /// `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `seconds` is negative.
+    pub fn advance(&mut self, lane: Lane, seconds: f64, class: PhaseClass) {
+        self.clocks[lane.index()] += seconds;
+        self.trace.add_time(class, seconds);
+    }
+
+    /// Sets both lanes to the later of the two: the rank's threads join
+    /// before the next phase (e.g. async threads joining sync compute in
+    /// Algorithm 1 line 15).
+    pub fn join_lanes(&mut self) {
+        let joined = self.now();
+        self.clocks = [joined; 2];
+    }
+
+    fn auto_tag(&mut self) -> u64 {
+        let tag = TAG_AUTO | self.next_auto_tag;
+        self.next_auto_tag += 1;
+        tag
+    }
+
+    /// Synchronizes all ranks (an `MPI_Barrier`): every rank's lanes advance
+    /// to the cluster-wide maximum of [`RankCtx::now`].
+    pub fn barrier(&mut self) {
+        let tag = self.auto_tag();
+        let arrive = self.now();
+        let (t, _) = self.shared.meets.meet(tag, self.shared.p, self.rank, arrive, None);
+        let wait = t.since(arrive);
+        self.trace.add_time(PhaseClass::Other, wait);
+        self.clocks = [t; 2];
+    }
+
+    /// All-rank allgather (the `MPI_Allgather` analog): contributes `data`
+    /// and returns every rank's contribution, indexed by rank.
+    ///
+    /// Operates on the [`Lane::Sync`] clock; time is attributed to
+    /// [`PhaseClass::SyncComm`].
+    pub fn allgather(&mut self, data: Arc<Vec<f64>>) -> Vec<Arc<Vec<f64>>> {
+        let tag = self.auto_tag();
+        let p = self.shared.p;
+        let my_len = data.len();
+        let arrive = self.clocks[Lane::Sync.index()];
+        let (t, payloads) =
+            self.shared.meets.meet(tag, p, self.rank, arrive, Some(data));
+        let out: Vec<Arc<Vec<f64>>> = (0..p)
+            .map(|r| Arc::clone(payloads.get(&r).expect("every rank contributes to allgather")))
+            .collect();
+        let cost = self.shared.cost.allgather_cost(my_len, p);
+        let total: usize = out.iter().map(|b| b.len()).sum();
+        self.clocks[Lane::Sync.index()] = t + cost;
+        self.trace.add_time(PhaseClass::SyncComm, t.since(arrive) + cost);
+        self.trace.messages += 1;
+        self.trace.elements_sent += (my_len * (p - 1)) as u64;
+        self.trace.elements_received += (total - my_len) as u64;
+        out
+    }
+
+    /// Multicast (the `MPI_Bcast` / `MPI_Ibcast` analog on a subgroup):
+    /// `root` supplies `data`; every rank in `group` receives it.
+    ///
+    /// All ranks in `group` (which must contain `root` and the caller) must
+    /// call with the same `tag` and `group`. Groups with a single member
+    /// return immediately at zero cost — no transfer happens.
+    ///
+    /// Operates on the [`Lane::Sync`] clock ([`PhaseClass::SyncComm`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller or root is not in `group`, if the caller is the
+    /// root but supplies no data, or on tag misuse (reuse before completion,
+    /// mismatched group sizes).
+    pub fn multicast(
+        &mut self,
+        tag: u64,
+        root: usize,
+        group: &[usize],
+        data: Option<Arc<Vec<f64>>>,
+    ) -> Arc<Vec<f64>> {
+        assert!(group.contains(&self.rank), "rank {} not in multicast group", self.rank);
+        assert!(group.contains(&root), "root {root} not in multicast group");
+        let is_root = self.rank == root;
+        if is_root {
+            assert!(data.is_some(), "multicast root must supply data");
+        }
+        if group.len() == 1 {
+            return data.expect("single-member multicast is root-only");
+        }
+        let arrive = self.clocks[Lane::Sync.index()];
+        let (t, payloads) = self.shared.meets.meet(
+            TAG_MULTICAST | tag,
+            group.len(),
+            self.rank,
+            arrive,
+            if is_root { data } else { None },
+        );
+        let buf = Arc::clone(payloads.get(&root).expect("root deposited multicast data"));
+        let destinations = group.len() - 1;
+        let cost = self.shared.cost.multicast_cost(buf.len(), destinations);
+        self.clocks[Lane::Sync.index()] = t + cost;
+        self.trace.add_time(PhaseClass::SyncComm, t.since(arrive) + cost);
+        self.trace.messages += 1;
+        if is_root {
+            self.trace.elements_sent += (buf.len() * destinations) as u64;
+            self.trace.multicast_recipients.push(destinations);
+        } else {
+            self.trace.elements_received += buf.len() as u64;
+        }
+        buf
+    }
+
+    /// One step of an all-rank cyclic shift (the `MPI_Sendrecv` ring of the
+    /// dense shifting baseline): sends `data` to rank `(rank + distance) % p`
+    /// and returns the buffer received from `(rank + p - distance % p) % p`.
+    /// Dense shifting with replication factor `c` shifts whole block groups,
+    /// i.e. `distance = c`.
+    ///
+    /// Operates on the [`Lane::Sync`] clock ([`PhaseClass::SyncComm`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance == 0`.
+    pub fn shift_ring(&mut self, data: Arc<Vec<f64>>, distance: usize) -> Arc<Vec<f64>> {
+        assert!(distance > 0, "shift distance must be positive");
+        let tag = self.auto_tag();
+        let p = self.shared.p;
+        let my_len = data.len();
+        let arrive = self.clocks[Lane::Sync.index()];
+        let (t, payloads) = self.shared.meets.meet(tag, p, self.rank, arrive, Some(data));
+        let from = (self.rank + p - distance % p) % p;
+        let buf = Arc::clone(payloads.get(&from).expect("every rank contributes to shift"));
+        let cost = self.shared.cost.shift_cost(my_len.max(buf.len()));
+        self.clocks[Lane::Sync.index()] = t + cost;
+        self.trace.add_time(PhaseClass::SyncComm, t.since(arrive) + cost);
+        self.trace.messages += 1;
+        self.trace.elements_sent += my_len as u64;
+        self.trace.elements_received += buf.len() as u64;
+        buf
+    }
+
+    /// Collectively creates a one-sided window exposing `data` from this
+    /// rank (the `MPI_Win_create` analog). All ranks must call in the same
+    /// order; the returned ids agree across ranks.
+    ///
+    /// Setup time is charged to [`PhaseClass::Other`].
+    pub fn create_window(&mut self, data: impl Into<Arc<Vec<f64>>>) -> WindowId {
+        let id = self.next_window;
+        self.next_window += 1;
+        {
+            let mut table = self.shared.windows.lock();
+            if table.buffers.len() <= id {
+                table.buffers.resize_with(id + 1, || vec![None; self.shared.p]);
+            }
+            table.buffers[id][self.rank] = Some(data.into());
+        }
+        // Window creation is collective: no rank may target the window
+        // before every rank has exposed its buffer.
+        let tag = self.auto_tag();
+        let arrive = self.now();
+        let (t, _) = self.shared.meets.meet(tag, self.shared.p, self.rank, arrive, None);
+        let cost = self.shared.cost.alpha_sync;
+        self.clocks = [t + cost; 2];
+        self.trace.add_time(PhaseClass::Other, t.since(arrive) + cost);
+        WindowId(id)
+    }
+
+    fn window_buffer(&self, window: WindowId, target: usize) -> Payload {
+        let table = self.shared.windows.lock();
+        let buf = table
+            .buffers
+            .get(window.0)
+            .unwrap_or_else(|| panic!("window {:?} does not exist", window))
+            .get(target)
+            .unwrap_or_else(|| panic!("target rank {target} out of range"));
+        Arc::clone(buf.as_ref().unwrap_or_else(|| {
+            panic!("target rank {target} has not exposed a buffer in window {window:?}")
+        }))
+    }
+
+    /// Bulk one-sided get (the `MPI_Get` analog): copies
+    /// `target`'s window elements in `range` without involving the target.
+    ///
+    /// `lane` and `class` let callers attribute the transfer (Async Coarse
+    /// charges its bulk prefetch to the sync lane; Two-Face never uses bulk
+    /// gets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window/target is invalid or `range` exceeds the
+    /// target's buffer.
+    pub fn win_get(
+        &mut self,
+        window: WindowId,
+        target: usize,
+        range: std::ops::Range<usize>,
+        lane: Lane,
+        class: PhaseClass,
+    ) -> Vec<f64> {
+        let buf = self.window_buffer(window, target);
+        assert!(
+            range.end <= buf.len(),
+            "get range {range:?} exceeds window buffer of {} elements",
+            buf.len()
+        );
+        let out = buf[range.clone()].to_vec();
+        let cost = self.shared.cost.bulk_get_cost(out.len());
+        self.advance(lane, cost, class);
+        self.trace.messages += 1;
+        self.trace.elements_received += out.len() as u64;
+        out
+    }
+
+    /// Fine-grained indexed one-sided get (the `MPI_Rget` +
+    /// `MPI_Type_indexed` analog): fetches the given `(first_row, num_rows)`
+    /// runs of `row_width`-element rows from `target`'s window, concatenated
+    /// in run order.
+    ///
+    /// Operates on the [`Lane::Async`] clock ([`PhaseClass::AsyncComm`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any run exceeds the target's buffer or `row_width == 0`.
+    pub fn win_rget_rows(
+        &mut self,
+        window: WindowId,
+        target: usize,
+        runs: &[(usize, usize)],
+        row_width: usize,
+    ) -> Vec<f64> {
+        assert!(row_width > 0, "row_width must be positive");
+        let buf = self.window_buffer(window, target);
+        let total_rows: usize = runs.iter().map(|&(_, n)| n).sum();
+        let mut out = Vec::with_capacity(total_rows * row_width);
+        for &(first, n) in runs {
+            let lo = first * row_width;
+            let hi = (first + n) * row_width;
+            assert!(
+                hi <= buf.len(),
+                "run ({first}, {n}) exceeds window buffer of {} rows",
+                buf.len() / row_width
+            );
+            out.extend_from_slice(&buf[lo..hi]);
+        }
+        let cost = self.shared.cost.rget_cost(out.len(), runs.len());
+        self.advance(Lane::Async, cost, PhaseClass::AsyncComm);
+        self.trace.messages += 1;
+        self.trace.elements_received += out.len() as u64;
+        out
+    }
+}
+
+impl std::fmt::Debug for RankCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankCtx")
+            .field("rank", &self.rank)
+            .field("ranks", &self.shared.p)
+            .field("clocks", &self.clocks)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(p: usize) -> Cluster {
+        Cluster::new(p, CostModel::delta())
+    }
+
+    #[test]
+    fn allgather_returns_all_contributions_in_rank_order() {
+        let out = cluster(4).run(|ctx| {
+            let mine = Arc::new(vec![ctx.rank() as f64; 2]);
+            let all = ctx.allgather(mine);
+            all.iter().map(|b| b[0]).collect::<Vec<f64>>()
+        });
+        for o in &out {
+            assert_eq!(o.result, vec![0.0, 1.0, 2.0, 3.0]);
+            assert!(o.lane_times[0] > SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn barrier_aligns_clocks_to_slowest() {
+        let out = cluster(3).run(|ctx| {
+            let work = ctx.rank() as f64; // rank 2 is slowest
+            ctx.advance(Lane::Sync, work, PhaseClass::SyncComp);
+            ctx.barrier();
+            ctx.now()
+        });
+        for o in &out {
+            assert_eq!(o.result, SimTime::from_seconds(2.0));
+        }
+    }
+
+    #[test]
+    fn multicast_delivers_root_data_to_group_only() {
+        let out = cluster(4).run(|ctx| {
+            // Root 1 multicasts to {0, 1, 3}; rank 2 does not participate.
+            let group = [0, 1, 3];
+            if group.contains(&ctx.rank()) {
+                let data = (ctx.rank() == 1).then(|| Arc::new(vec![42.0]));
+                let got = ctx.multicast(9, 1, &group, data);
+                got[0]
+            } else {
+                -1.0
+            }
+        });
+        assert_eq!(out[0].result, 42.0);
+        assert_eq!(out[1].result, 42.0);
+        assert_eq!(out[2].result, -1.0);
+        assert_eq!(out[3].result, 42.0);
+        // Rank 2 spent no communication time.
+        assert_eq!(out[2].trace.seconds(PhaseClass::SyncComm), 0.0);
+        // Root recorded the fan-out.
+        assert_eq!(out[1].trace.multicast_recipients, vec![2]);
+    }
+
+    #[test]
+    fn single_member_multicast_is_free() {
+        let out = cluster(2).run(|ctx| {
+            if ctx.rank() == 0 {
+                let got = ctx.multicast(5, 0, &[0], Some(Arc::new(vec![7.0])));
+                got[0]
+            } else {
+                0.0
+            }
+        });
+        assert_eq!(out[0].result, 7.0);
+        assert_eq!(out[0].trace.seconds(PhaseClass::SyncComm), 0.0);
+    }
+
+    #[test]
+    fn shift_ring_rotates_buffers() {
+        let out = cluster(3).run(|ctx| {
+            let mut held = Arc::new(vec![ctx.rank() as f64]);
+            // After 3 unit shifts the original buffer returns.
+            let mut seen = Vec::new();
+            for _ in 0..3 {
+                held = ctx.shift_ring(held, 1);
+                seen.push(held[0] as usize);
+            }
+            seen
+        });
+        assert_eq!(out[0].result, vec![2, 1, 0]);
+        assert_eq!(out[1].result, vec![0, 2, 1]);
+        assert_eq!(out[2].result, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn shift_ring_with_distance_skips_ranks() {
+        let out = cluster(4).run(|ctx| {
+            let held = Arc::new(vec![ctx.rank() as f64]);
+            let got = ctx.shift_ring(held, 2);
+            got[0] as usize
+        });
+        // Rank r receives from (r + 4 - 2) % 4.
+        assert_eq!(out.iter().map(|o| o.result).collect::<Vec<_>>(), vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn shift_distance_larger_than_ring_wraps() {
+        let out = cluster(3).run(|ctx| {
+            let held = Arc::new(vec![ctx.rank() as f64]);
+            let got = ctx.shift_ring(held, 4); // distance 4 ≡ 1 (mod 3)
+            got[0] as usize
+        });
+        assert_eq!(out.iter().map(|o| o.result).collect::<Vec<_>>(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn windows_support_bulk_and_indexed_gets() {
+        let out = cluster(2).run(|ctx| {
+            // Rank r exposes rows [r*10 .. r*10+4) of width 2.
+            let base = (ctx.rank() * 10) as f64;
+            let data: Vec<f64> = (0..8).map(|i| base + i as f64).collect();
+            let win = ctx.create_window(data);
+            if ctx.rank() == 0 {
+                // Bulk get of rank 1's first 4 elements.
+                let bulk = ctx.win_get(win, 1, 0..4, Lane::Sync, PhaseClass::SyncComm);
+                // Indexed get of rank 1's rows 1 and 3 (width 2).
+                let rows = ctx.win_rget_rows(win, 1, &[(1, 1), (3, 1)], 2);
+                (bulk, rows)
+            } else {
+                (vec![], vec![])
+            }
+        });
+        assert_eq!(out[0].result.0, vec![10.0, 11.0, 12.0, 13.0]);
+        assert_eq!(out[0].result.1, vec![12.0, 13.0, 16.0, 17.0]);
+        assert!(out[0].trace.seconds(PhaseClass::AsyncComm) > 0.0);
+    }
+
+    #[test]
+    fn one_sided_gets_do_not_synchronize_clocks() {
+        let out = cluster(2).run(|ctx| {
+            let win = ctx.create_window(vec![1.0; 16]);
+            if ctx.rank() == 0 {
+                // Rank 0 does a lot of simulated compute, then a get; rank 1
+                // stays idle. Rank 1's clock must be unaffected.
+                ctx.advance(Lane::Sync, 5.0, PhaseClass::SyncComp);
+                let _ = ctx.win_get(win, 1, 0..16, Lane::Sync, PhaseClass::SyncComm);
+            }
+            ctx.now()
+        });
+        assert!(out[0].result > SimTime::from_seconds(5.0));
+        assert!(out[1].result < SimTime::from_seconds(1.0));
+    }
+
+    #[test]
+    fn lanes_advance_independently_and_join() {
+        let out = cluster(1).run(|ctx| {
+            ctx.advance(Lane::Sync, 1.0, PhaseClass::SyncComm);
+            ctx.advance(Lane::Async, 3.0, PhaseClass::AsyncComm);
+            let before = (ctx.clock(Lane::Sync), ctx.clock(Lane::Async));
+            ctx.join_lanes();
+            (before, ctx.clock(Lane::Sync))
+        });
+        let ((sync, asynch), joined) = out[0].result;
+        assert_eq!(sync, SimTime::from_seconds(1.0));
+        assert_eq!(asynch, SimTime::from_seconds(3.0));
+        assert_eq!(joined, SimTime::from_seconds(3.0));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            cluster(4).run(|ctx| {
+                let mine = Arc::new(vec![ctx.rank() as f64; 100]);
+                let _ = ctx.allgather(mine);
+                ctx.advance(Lane::Sync, 0.001 * ctx.rank() as f64, PhaseClass::SyncComp);
+                ctx.barrier();
+                ctx.now()
+            })
+        };
+        let a: Vec<SimTime> = run().into_iter().map(|o| o.result).collect();
+        let b: Vec<SimTime> = run().into_iter().map(|o| o.result).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn finish_time_is_max_lane() {
+        let out = cluster(1).run(|ctx| {
+            ctx.advance(Lane::Async, 2.0, PhaseClass::AsyncComp);
+        });
+        assert_eq!(out[0].finish_time(), SimTime::from_seconds(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_rank_cluster_rejected() {
+        let _ = Cluster::new(0, CostModel::delta());
+    }
+
+    #[test]
+    fn outputs_are_in_rank_order() {
+        let out = cluster(5).run(|ctx| ctx.rank());
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.rank, i);
+            assert_eq!(o.result, i);
+        }
+    }
+}

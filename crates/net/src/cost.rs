@@ -1,0 +1,312 @@
+//! The analytic communication / computation cost model.
+//!
+//! Costs follow the structure of the paper's preprocessing model (§4.2) and
+//! its calibrated coefficients (Table 3): an `α` latency per operation plus a
+//! `β` cost per transferred *element* (one `f64`), with separate coefficients
+//! for coarse-grained synchronous collectives and fine-grained one-sided
+//! asynchronous transfers, and `γ`/`κ` terms for computation. Two extensions
+//! cover effects the paper observes but does not fold into its six
+//! coefficients:
+//!
+//! * a **multicast fan-out penalty** that makes broadcasts to many
+//!   destinations slower — the effect the paper measures in §7.2, where
+//!   twitter's and friendster's 35–44-recipient multicasts cripple Two-Face's
+//!   synchronous path at 64 nodes;
+//! * a **per-run** charge for one-sided indexed gets, so the row-coalescing
+//!   optimization of §5.2.3 has a measurable benefit.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost model coefficients for the simulated machine.
+///
+/// All `α`/`κ` values are seconds per operation; `β`/`γ` values are seconds
+/// per dense element (one `f64`). Defaults are the paper's Table 3 values,
+/// which were calibrated on NCSA Delta (AMD EPYC 7763 nodes on a Cray
+/// Slingshot fabric).
+///
+/// # Example
+///
+/// ```
+/// use twoface_net::CostModel;
+///
+/// let m = CostModel::delta();
+/// // Fine-grained transfers cost ~18.5x more per element than collectives.
+/// assert!(m.beta_async / m.beta_sync > 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// `β_S`: synchronous (collective) transfer cost per element.
+    pub beta_sync: f64,
+    /// `α_S`: per-operation overhead of a synchronous transfer.
+    pub alpha_sync: f64,
+    /// `β_A`: asynchronous (one-sided) transfer cost per element, including
+    /// per-row software overhead.
+    pub beta_async: f64,
+    /// `α_A`: per-operation overhead of an asynchronous transfer (one
+    /// `MPI_Rget` with an indexed datatype per stripe).
+    pub alpha_async: f64,
+    /// `γ_A`: asynchronous computation cost per nonzero-times-`K` element
+    /// (column-major kernel, one atomic per nonzero, few threads).
+    pub gamma_async: f64,
+    /// `κ_A`: per-stripe software overhead of asynchronous computation.
+    pub kappa_async: f64,
+    /// Synchronous computation cost per nonzero-times-`K` element
+    /// (row-major row-panel kernel with thread-local buffering across the
+    /// node's full synchronous thread pool). Not one of the paper's six
+    /// regression coefficients — its model neglects sync compute — but
+    /// Figure 10 shows the component, so the simulator charges it.
+    pub gamma_sync: f64,
+    /// Per-row-panel overhead of synchronous computation.
+    pub kappa_sync: f64,
+    /// Multicast fan-out penalty coefficient: a broadcast to `d`
+    /// destinations costs `β_S · elements · (1 + (multicast_fanout · d)²)`,
+    /// with the squared term saturating at [`CostModel::FANOUT_PENALTY_CAP`]
+    /// (very large groups degrade to tree-broadcast behaviour rather than
+    /// worsening quadratically forever).
+    /// This models the §7.2 observation that multicasts with many recipients
+    /// (twitter: 35.7, friendster: 43.5 mean recipients at 64 nodes) are
+    /// "significantly slower than the cyclic shifting operations", while
+    /// small-group multicasts (kmer: 5.7 recipients) stay near the
+    /// calibrated `β_S` rate — hence the superlinear form.
+    pub multicast_fanout: f64,
+    /// Per-coalesced-run overhead of an indexed one-sided get.
+    pub alpha_run: f64,
+    /// One-sided *bulk* transfer cost per element, used by whole-block
+    /// `MPI_Get` operations (Async Coarse).
+    pub beta_bulk: f64,
+    /// Per-nonzero-per-`log2(nnz)` cost of identifying the unique column
+    /// ids of a *row-major* asynchronous stripe at runtime (a sort plus
+    /// dedup). Column-major storage gets this for free in a linear scan —
+    /// the §7.1 experiment that made the authors keep column-major order.
+    pub gamma_identify: f64,
+    /// Per-element cost of *bulk* collective payloads — whole `B` blocks
+    /// moved by `MPI_Allgather` and `MPI_Sendrecv` shifts. Empirically these
+    /// run well above the stripe-multicast bandwidth `β_S` was calibrated
+    /// on: Table 5's DS2 times are 7–13x the pure `β_S`-volume cost across
+    /// all eight matrices (cache-unfriendly gigabyte payloads, incast).
+    pub beta_bulk_collective: f64,
+    /// Simulated memory capacity per node, in bytes. Algorithms whose
+    /// estimated peak exceeds this fail with an out-of-memory error, which
+    /// is how the paper's missing DS8/Allgather data points arise.
+    pub memory_per_node: usize,
+}
+
+impl CostModel {
+    /// Saturation point of the multicast fan-out penalty's squared term.
+    pub const FANOUT_PENALTY_CAP: f64 = 20.0;
+
+    /// The model resembling NCSA Delta (Table 3 coefficients).
+    ///
+    /// `gamma_sync` is not a Table-3 coefficient (the paper's model neglects
+    /// synchronous compute); it is set so the synchronous compute share of a
+    /// dense-shifting run matches Figure 10's ~10–15%, i.e. an MKL-like
+    /// ~25 G-updates/s across the node's 120-thread sync pool.
+    /// `memory_per_node` is scaled to match this reproduction's ~1:256-scale
+    /// matrices: 320 MiB plays the role of the paper's 256 GiB.
+    pub fn delta() -> CostModel {
+        CostModel {
+            beta_sync: 1.95e-10,
+            alpha_sync: 1.36e-6,
+            beta_async: 3.61e-9,
+            alpha_async: 1.02e-5,
+            gamma_async: 2.07e-8,
+            kappa_async: 8.72e-9,
+            gamma_sync: 4.0e-11,
+            kappa_sync: 2.0e-8,
+            multicast_fanout: 0.14,
+            alpha_run: 2.0e-7,
+            gamma_identify: 8.0e-7,
+            beta_bulk: 2.0e-9,
+            beta_bulk_collective: 1.75e-9,
+            memory_per_node: 320 << 20,
+        }
+    }
+
+    /// The [`CostModel::delta`] machine rescaled for this reproduction's
+    /// ~1:256-scale matrices — **the recommended model for the bundled
+    /// suite**.
+    ///
+    /// Per-element costs (`β`, `γ`) are scale-free, but the paper's
+    /// per-operation `α`/`κ` overheads were calibrated against stripes
+    /// holding hundreds of times more elements than our scaled stripes. A
+    /// scaled machine divides every per-operation constant by the matrix
+    /// scale factor so the *ratio* of per-operation to per-element cost —
+    /// which is what the §4.2 classifier trades off — matches the paper's.
+    pub fn delta_scaled() -> CostModel {
+        const SCALE: f64 = 256.0;
+        let base = CostModel::delta();
+        CostModel {
+            alpha_sync: base.alpha_sync / SCALE,
+            alpha_async: base.alpha_async / SCALE,
+            kappa_async: base.kappa_async / SCALE,
+            kappa_sync: base.kappa_sync / SCALE,
+            // alpha_run stays unscaled: it trades against the cost of one
+            // padding *row* (K elements), and K does not shrink with the
+            // matrix scale - so the Table-2 coalescing rule keeps its
+            // crossover point.
+            ..base
+        }
+    }
+
+    /// A model with zero communication cost, isolating computation in tests.
+    pub fn free_network() -> CostModel {
+        CostModel {
+            beta_sync: 0.0,
+            alpha_sync: 0.0,
+            beta_async: 0.0,
+            alpha_async: 0.0,
+            alpha_run: 0.0,
+            beta_bulk: 0.0,
+            beta_bulk_collective: 0.0,
+            multicast_fanout: 0.0,
+            ..CostModel::delta()
+        }
+    }
+
+    /// Cost of a broadcast/multicast of `elements` dense elements from one
+    /// root to `destinations` other nodes.
+    ///
+    /// Zero destinations means no transfer happens and the cost is zero.
+    pub fn multicast_cost(&self, elements: usize, destinations: usize) -> f64 {
+        if destinations == 0 {
+            return 0.0;
+        }
+        let scaled = self.multicast_fanout * destinations as f64;
+        let fanout = 1.0 + (scaled * scaled).min(Self::FANOUT_PENALTY_CAP);
+        self.alpha_sync + self.beta_sync * elements as f64 * fanout
+    }
+
+    /// Cost of one step of a cyclic shift in which every node simultaneously
+    /// sends `elements` elements to its neighbour (`MPI_Sendrecv`), at the
+    /// bulk-collective rate.
+    pub fn shift_cost(&self, elements: usize) -> f64 {
+        self.alpha_sync + self.beta_bulk_collective * elements as f64
+    }
+
+    /// Cost of an `MPI_Allgather` in which each of `p` ranks contributes
+    /// `elements_per_rank` elements, at the bulk-collective rate.
+    ///
+    /// Uses the standard ring-algorithm estimate: `(p-1)` steps each moving
+    /// one contribution, with a logarithmic latency term.
+    pub fn allgather_cost(&self, elements_per_rank: usize, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let steps = (p - 1) as f64;
+        self.alpha_sync * (p as f64).log2().max(1.0)
+            + self.beta_bulk_collective * elements_per_rank as f64 * steps
+    }
+
+    /// Cost of a fine-grained one-sided indexed get transferring `elements`
+    /// elements in `runs` coalesced contiguous runs (one `MPI_Rget` with an
+    /// `MPI_Type_indexed` datatype, §5.2.3).
+    pub fn rget_cost(&self, elements: usize, runs: usize) -> f64 {
+        self.alpha_async + self.alpha_run * runs as f64 + self.beta_async * elements as f64
+    }
+
+    /// Cost of a bulk one-sided get of `elements` contiguous elements
+    /// (`MPI_Get` of a whole block, as Async Coarse issues).
+    pub fn bulk_get_cost(&self, elements: usize) -> f64 {
+        self.alpha_async + self.beta_bulk * elements as f64
+    }
+
+    /// Cost of synchronous (row-panel, buffered) computation over `nnz`
+    /// nonzeros with `k` dense columns, organized into `panels` row panels.
+    pub fn sync_compute_cost(&self, nnz: usize, k: usize, panels: usize) -> f64 {
+        self.gamma_sync * (nnz * k) as f64 + self.kappa_sync * panels as f64
+    }
+
+    /// Cost of identifying the distinct columns of a row-major stripe of
+    /// `nnz` nonzeros at runtime (§7.1's rejected design).
+    pub fn identify_cost(&self, nnz: usize) -> f64 {
+        self.gamma_identify * nnz as f64 * (nnz.max(2) as f64).log2()
+    }
+
+    /// Cost of asynchronous (column-major, atomic-per-nonzero) computation
+    /// over `nnz` nonzeros with `k` dense columns across `stripes` stripes.
+    ///
+    /// Matches the paper's `Comp_A = γ_A · K · N_A + κ_A · S_A`.
+    pub fn async_compute_cost(&self, nnz: usize, k: usize, stripes: usize) -> f64 {
+        self.gamma_async * (nnz * k) as f64 + self.kappa_async * stripes as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::delta()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_matches_table3() {
+        let m = CostModel::delta();
+        assert_eq!(m.beta_sync, 1.95e-10);
+        assert_eq!(m.alpha_async, 1.02e-5);
+        let ratio = m.beta_async / m.beta_sync;
+        assert!((18.0..19.0).contains(&ratio), "β_A/β_S ≈ 18.5, got {ratio}");
+    }
+
+    #[test]
+    fn multicast_grows_with_fanout() {
+        let m = CostModel::delta();
+        let small = m.multicast_cost(10_000, 1);
+        let large = m.multicast_cost(10_000, 40);
+        assert!(large > small);
+        assert_eq!(m.multicast_cost(10_000, 0), 0.0);
+    }
+
+    #[test]
+    fn allgather_scales_with_ranks() {
+        let m = CostModel::delta();
+        assert_eq!(m.allgather_cost(1000, 1), 0.0);
+        assert!(m.allgather_cost(1000, 32) > m.allgather_cost(1000, 8));
+    }
+
+    #[test]
+    fn coalescing_reduces_rget_cost() {
+        let m = CostModel::delta();
+        let fragmented = m.rget_cost(1024, 64);
+        let coalesced = m.rget_cost(1024, 2);
+        assert!(coalesced < fragmented);
+    }
+
+    #[test]
+    fn async_compute_is_pricier_per_element_than_sync() {
+        let m = CostModel::delta();
+        let a = m.async_compute_cost(1000, 128, 1);
+        let s = m.sync_compute_cost(1000, 128, 1);
+        assert!(a > 100.0 * s, "atomics-per-nonzero vs buffered row panels");
+    }
+
+    #[test]
+    fn scaled_model_preserves_per_element_costs() {
+        let base = CostModel::delta();
+        let scaled = CostModel::delta_scaled();
+        assert_eq!(scaled.beta_sync, base.beta_sync);
+        assert_eq!(scaled.beta_async, base.beta_async);
+        assert_eq!(scaled.gamma_async, base.gamma_async);
+        assert_eq!(scaled.memory_per_node, base.memory_per_node);
+        assert!(scaled.alpha_sync < base.alpha_sync / 200.0);
+        assert!(scaled.alpha_async < base.alpha_async / 200.0);
+    }
+
+    #[test]
+    fn free_network_removes_all_comm_cost() {
+        let m = CostModel::free_network();
+        assert_eq!(m.multicast_cost(1 << 20, 63), 0.0);
+        assert_eq!(m.rget_cost(1 << 20, 100), 0.0);
+        assert!(m.async_compute_cost(10, 1, 1) > 0.0, "compute still costs");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = CostModel::delta();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: CostModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,51 @@
+//! A simulated multi-rank interconnect for the Two-Face reproduction.
+//!
+//! The paper evaluates on a Cray Slingshot supercomputer over MPI; this crate
+//! replaces that substrate with an in-process simulator that preserves the
+//! properties the paper's conclusions rest on:
+//!
+//! * **Real data movement** — ranks run as threads and buffers actually move
+//!   between them, so algorithm outputs are numerically checkable;
+//! * **Modeled time** — a [`CostModel`] (defaulting to the paper's Table-3
+//!   coefficients) advances per-rank virtual clocks, making runs
+//!   deterministic and host-independent;
+//! * **MPI semantics** — collectives ([`RankCtx::allgather`],
+//!   [`RankCtx::multicast`], [`RankCtx::shift_ring`]) synchronize the
+//!   participants' clocks, while one-sided operations
+//!   ([`RankCtx::win_get`], [`RankCtx::win_rget_rows`]) are passive-target
+//!   and advance only the issuer's clock;
+//! * **Two lanes per rank** — the [`Lane::Sync`] and [`Lane::Async`] clocks
+//!   model Two-Face's overlapped synchronous/asynchronous thread groups; a
+//!   rank finishes at the later of the two.
+//!
+//! # Example
+//!
+//! ```
+//! use twoface_net::{Cluster, CostModel, Lane, PhaseClass};
+//! use std::sync::Arc;
+//!
+//! let cluster = Cluster::new(2, CostModel::delta());
+//! let outputs = cluster.run(|ctx| {
+//!     // Expose 4 rows of width 2 for one-sided access...
+//!     let win = ctx.create_window(vec![ctx.rank() as f64; 8]);
+//!     // ...and fetch the peer's rows 1 and 3 with a fine-grained get.
+//!     let peer = 1 - ctx.rank();
+//!     let rows = ctx.win_rget_rows(win, peer, &[(1, 1), (3, 1)], 2);
+//!     rows[0]
+//! });
+//! assert_eq!(outputs[0].result, 1.0);
+//! assert_eq!(outputs[1].result, 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod cost;
+mod meet;
+mod time;
+mod trace;
+
+pub use cluster::{Cluster, Lane, RankCtx, RankOutput, WindowId};
+pub use cost::CostModel;
+pub use time::SimTime;
+pub use trace::{PhaseClass, RankTrace};

@@ -1,0 +1,200 @@
+//! The rendezvous primitive underlying all collective operations.
+//!
+//! A *meet* is a named barrier with data exchange: every participant arrives
+//! carrying its virtual clock and (optionally) a payload; once the last
+//! participant arrives, everyone observes the maximum arrival time and the
+//! full payload map. This models MPI collective semantics — a collective
+//! cannot complete before its slowest participant arrives — while letting
+//! per-rank virtual clocks advance independently between collectives.
+//!
+//! Tags identify meet instances. Participants of the same collective must
+//! pass identical tags and group sizes; like MPI, each rank must issue its
+//! collectives in a globally consistent order or the run deadlocks (a
+//! 60-second watchdog turns such deadlocks into panics naming the tag).
+
+use crate::SimTime;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Payload deposited at a meet: a shared immutable buffer of dense elements.
+pub type Payload = Arc<Vec<f64>>;
+
+#[derive(Debug, Default)]
+struct MeetState {
+    expected: usize,
+    arrived: usize,
+    departed: usize,
+    max_time: SimTime,
+    payloads: HashMap<usize, Payload>,
+}
+
+/// Registry of in-flight meets, shared by all ranks of a cluster.
+#[derive(Debug, Default)]
+pub(crate) struct MeetRegistry {
+    states: Mutex<HashMap<u64, MeetState>>,
+    cond: Condvar,
+}
+
+/// How long a rank may wait at a meet before the run is declared deadlocked.
+const MEET_TIMEOUT: Duration = Duration::from_secs(60);
+
+impl MeetRegistry {
+    pub(crate) fn new() -> MeetRegistry {
+        MeetRegistry::default()
+    }
+
+    /// Arrives at meet `tag` with `expected` total participants.
+    ///
+    /// Blocks until all participants have arrived, then returns the maximum
+    /// arrival [`SimTime`] and a snapshot of every deposited payload keyed by
+    /// rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if participants disagree on `expected`, if two participants
+    /// claim the same `rank` with a payload, or if the meet does not complete
+    /// within the watchdog timeout (a deadlock, i.e. mismatched collective
+    /// order across ranks).
+    pub(crate) fn meet(
+        &self,
+        tag: u64,
+        expected: usize,
+        rank: usize,
+        time: SimTime,
+        payload: Option<Payload>,
+    ) -> (SimTime, HashMap<usize, Payload>) {
+        assert!(expected > 0, "meet must have at least one participant");
+        let mut states = self.states.lock();
+        {
+            let state = states.entry(tag).or_default();
+            if state.expected == 0 {
+                state.expected = expected;
+            }
+            assert_eq!(
+                state.expected, expected,
+                "meet {tag:#x}: participants disagree on group size"
+            );
+            assert!(
+                state.arrived < state.expected,
+                "meet {tag:#x}: more arrivals than expected (tag reuse before completion?)"
+            );
+            state.max_time = state.max_time.max(time);
+            if let Some(p) = payload {
+                let prev = state.payloads.insert(rank, p);
+                assert!(prev.is_none(), "meet {tag:#x}: rank {rank} deposited twice");
+            }
+            state.arrived += 1;
+        }
+        if states.get(&tag).expect("just inserted").arrived == expected {
+            self.cond.notify_all();
+        } else {
+            loop {
+                let done = states.get(&tag).map_or(false, |s| s.arrived == s.expected);
+                if done {
+                    break;
+                }
+                if self.cond.wait_for(&mut states, MEET_TIMEOUT).timed_out() {
+                    let s = states.get(&tag);
+                    panic!(
+                        "meet {tag:#x} deadlocked: rank {rank} waited {MEET_TIMEOUT:?} \
+                         ({} of {} arrived) — collective order mismatch across ranks?",
+                        s.map_or(0, |s| s.arrived),
+                        expected
+                    );
+                }
+            }
+        }
+        let (result, remove) = {
+            let state = states.get_mut(&tag).expect("meet state present until all depart");
+            let result = (state.max_time, state.payloads.clone());
+            state.departed += 1;
+            (result, state.departed == state.expected)
+        };
+        if remove {
+            states.remove(&tag);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spawn_meet(parties: usize, times: Vec<f64>) -> Vec<(SimTime, usize)> {
+        let reg = Arc::new(MeetRegistry::new());
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(rank, &t)| {
+                    let reg = Arc::clone(&reg);
+                    s.spawn(move |_| {
+                        let payload = Arc::new(vec![rank as f64]);
+                        let (mt, payloads) = reg.meet(
+                            7,
+                            parties,
+                            rank,
+                            SimTime::from_seconds(t),
+                            Some(payload),
+                        );
+                        (mt, payloads.len())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn all_observe_max_time_and_all_payloads() {
+        let out = spawn_meet(3, vec![1.0, 5.0, 2.0]);
+        for (t, n) in out {
+            assert_eq!(t, SimTime::from_seconds(5.0));
+            assert_eq!(n, 3);
+        }
+    }
+
+    #[test]
+    fn single_participant_completes_immediately() {
+        let reg = MeetRegistry::new();
+        let (t, payloads) = reg.meet(1, 1, 0, SimTime::from_seconds(2.0), None);
+        assert_eq!(t, SimTime::from_seconds(2.0));
+        assert!(payloads.is_empty());
+    }
+
+    #[test]
+    fn tag_is_reusable_after_completion() {
+        let reg = MeetRegistry::new();
+        for round in 0..3 {
+            let (t, _) = reg.meet(9, 1, 0, SimTime::from_seconds(round as f64), None);
+            assert_eq!(t, SimTime::from_seconds(round as f64));
+        }
+    }
+
+    #[test]
+    fn distinct_tags_do_not_interfere() {
+        let reg = Arc::new(MeetRegistry::new());
+        let out = crossbeam::thread::scope(|s| {
+            let r1 = Arc::clone(&reg);
+            let a = s.spawn(move |_| r1.meet(100, 1, 0, SimTime::from_seconds(1.0), None).0);
+            let r2 = Arc::clone(&reg);
+            let b = s.spawn(move |_| r2.meet(200, 1, 0, SimTime::from_seconds(2.0), None).0);
+            (a.join().unwrap(), b.join().unwrap())
+        })
+        .unwrap();
+        assert_eq!(out.0, SimTime::from_seconds(1.0));
+        assert_eq!(out.1, SimTime::from_seconds(2.0));
+    }
+
+    #[test]
+    fn payloads_are_shared_not_copied() {
+        let reg = MeetRegistry::new();
+        let payload = Arc::new(vec![1.0, 2.0]);
+        let (_, payloads) = reg.meet(11, 1, 0, SimTime::ZERO, Some(Arc::clone(&payload)));
+        assert!(Arc::ptr_eq(&payloads[&0], &payload));
+    }
+}

@@ -1,0 +1,139 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since the start of the run.
+///
+/// The simulator advances per-rank virtual clocks instead of measuring wall
+/// time: communication and computation costs come from the
+/// [`CostModel`](crate::CostModel), so runs are deterministic and independent
+/// of host load. `SimTime` is a thin wrapper over `f64` seconds that provides
+/// a total order (simulated times are never NaN).
+///
+/// # Example
+///
+/// ```
+/// use twoface_net::SimTime;
+///
+/// let t = SimTime::ZERO + 1.5;
+/// assert!(t > SimTime::ZERO);
+/// assert_eq!(t.seconds(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is NaN or negative.
+    pub fn from_seconds(seconds: f64) -> SimTime {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "simulated time must be finite and non-negative, got {seconds}"
+        );
+        SimTime(seconds)
+    }
+
+    /// The time as seconds.
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The elapsed seconds from `earlier` to `self`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, seconds: f64) -> SimTime {
+        debug_assert!(seconds >= 0.0, "cannot advance time by a negative amount");
+        SimTime(self.0 + seconds)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, seconds: f64) {
+        *self = *self + seconds;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+
+    fn sub(self, other: SimTime) -> f64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_max() {
+        let a = SimTime::from_seconds(1.0);
+        let b = SimTime::from_seconds(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut t = SimTime::ZERO;
+        t += 0.5;
+        let u = t + 0.25;
+        assert!((u - t - 0.25).abs() < 1e-15);
+        assert_eq!(u.since(t), 0.25);
+        assert_eq!(t.since(u), 0.0, "since saturates");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_seconds(-1.0);
+    }
+
+    #[test]
+    fn display_is_seconds() {
+        assert_eq!(SimTime::from_seconds(0.5).to_string(), "0.500000s");
+    }
+}

@@ -1,0 +1,304 @@
+//! Ordinary least squares for coefficient calibration (§6.2).
+//!
+//! The paper fits the six preprocessing coefficients by linear regression on
+//! a small set of profiled runs ("nine different combinations of stripe
+//! widths and asynchronous/synchronous stripe classifications"). This module
+//! provides the solver: OLS via normal equations with Gaussian elimination,
+//! which is ample for six unknowns.
+
+use std::fmt;
+
+/// Error from a regression attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RegressionError {
+    /// Rows have inconsistent feature counts or don't match targets.
+    ShapeMismatch {
+        /// Description of the mismatch.
+        context: String,
+    },
+    /// Fewer observations than unknowns, or linearly dependent features.
+    Underdetermined,
+}
+
+impl fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegressionError::ShapeMismatch { context } => {
+                write!(f, "regression shape mismatch: {context}")
+            }
+            RegressionError::Underdetermined => {
+                write!(f, "regression is underdetermined (too few or dependent observations)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegressionError {}
+
+/// Fits `y ≈ X·w` by ordinary least squares and returns the weights `w`.
+///
+/// Each element of `xs` is one observation's feature vector. No intercept is
+/// added — the paper's model has none (all cost terms scale with measured
+/// quantities); append a constant-1 feature if one is wanted.
+///
+/// # Errors
+///
+/// Returns [`RegressionError::ShapeMismatch`] for inconsistent input shapes
+/// and [`RegressionError::Underdetermined`] when the normal equations are
+/// singular.
+///
+/// # Example
+///
+/// ```
+/// use twoface_partition::ordinary_least_squares;
+///
+/// # fn main() -> Result<(), twoface_partition::RegressionError> {
+/// // y = 2*a + 3*b, recovered exactly from three observations.
+/// let xs = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+/// let ys = vec![2.0, 3.0, 5.0];
+/// let w = ordinary_least_squares(&xs, &ys)?;
+/// assert!((w[0] - 2.0).abs() < 1e-9 && (w[1] - 3.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ordinary_least_squares(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+) -> Result<Vec<f64>, RegressionError> {
+    if xs.len() != ys.len() {
+        return Err(RegressionError::ShapeMismatch {
+            context: format!("{} observations but {} targets", xs.len(), ys.len()),
+        });
+    }
+    let n_features = match xs.first() {
+        Some(row) => row.len(),
+        None => {
+            return Err(RegressionError::ShapeMismatch {
+                context: "no observations".into(),
+            })
+        }
+    };
+    if n_features == 0 {
+        return Err(RegressionError::ShapeMismatch { context: "zero features".into() });
+    }
+    for (i, row) in xs.iter().enumerate() {
+        if row.len() != n_features {
+            return Err(RegressionError::ShapeMismatch {
+                context: format!(
+                    "observation {i} has {} features, expected {n_features}",
+                    row.len()
+                ),
+            });
+        }
+    }
+    if xs.len() < n_features {
+        return Err(RegressionError::Underdetermined);
+    }
+
+    // Normal equations: (XᵀX) w = Xᵀy.
+    let mut xtx = vec![vec![0.0f64; n_features]; n_features];
+    let mut xty = vec![0.0f64; n_features];
+    for (row, &y) in xs.iter().zip(ys) {
+        for i in 0..n_features {
+            xty[i] += row[i] * y;
+            for j in i..n_features {
+                xtx[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..n_features {
+        for j in 0..i {
+            xtx[i][j] = xtx[j][i];
+        }
+    }
+    solve_linear(xtx, xty)
+}
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, RegressionError> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-300 {
+            return Err(RegressionError::Underdetermined);
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        for row in col + 1..n {
+            let factor = a[row][col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Coefficient of determination (R²) of a fit on the given observations.
+///
+/// Returns 1.0 for a perfect fit; can be negative for fits worse than the
+/// mean predictor.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or `ys` is empty.
+pub fn r_squared(xs: &[Vec<f64>], ys: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "observation count mismatch");
+    assert!(!ys.is_empty(), "need at least one observation");
+    let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (row, &y) in xs.iter().zip(ys) {
+        assert_eq!(row.len(), weights.len(), "feature count mismatch");
+        let pred: f64 = row.iter().zip(weights).map(|(x, w)| x * w).sum();
+        ss_res += (y - pred) * (y - pred);
+        ss_tot += (y - mean) * (y - mean);
+    }
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_planted_weights_exactly() {
+        // y = 1.5 a - 2 b + 0.5 c over a well-conditioned design.
+        let design = [
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [1.0, 1.0, 1.0],
+            [2.0, 1.0, 0.0],
+        ];
+        let planted = [1.5, -2.0, 0.5];
+        let xs: Vec<Vec<f64>> = design.iter().map(|r| r.to_vec()).collect();
+        let ys: Vec<f64> = design
+            .iter()
+            .map(|r| r.iter().zip(&planted).map(|(x, w)| x * w).sum())
+            .collect();
+        let w = ordinary_least_squares(&xs, &ys).unwrap();
+        for (got, want) in w.iter().zip(&planted) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+        assert!((r_squared(&xs, &ys, &w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_averages_noise() {
+        // Single feature y = 2x with symmetric noise: the fit stays near 2.
+        let xs: Vec<Vec<f64>> = (1..=10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (1..=10)
+            .map(|i| 2.0 * i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let w = ordinary_least_squares(&xs, &ys).unwrap();
+        assert!((w[0] - 2.0).abs() < 0.02, "w = {}", w[0]);
+        let r2 = r_squared(&xs, &ys, &w);
+        assert!(r2 > 0.99);
+    }
+
+    #[test]
+    fn dependent_features_are_rejected() {
+        let xs = vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]];
+        let ys = vec![1.0, 2.0, 3.0];
+        assert_eq!(
+            ordinary_least_squares(&xs, &ys).unwrap_err(),
+            RegressionError::Underdetermined
+        );
+    }
+
+    #[test]
+    fn too_few_observations_rejected() {
+        let xs = vec![vec![1.0, 2.0]];
+        let ys = vec![1.0];
+        assert_eq!(
+            ordinary_least_squares(&xs, &ys).unwrap_err(),
+            RegressionError::Underdetermined
+        );
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        assert!(matches!(
+            ordinary_least_squares(&[vec![1.0]], &[1.0, 2.0]),
+            Err(RegressionError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            ordinary_least_squares(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]),
+            Err(RegressionError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            ordinary_least_squares(&[], &[]),
+            Err(RegressionError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn six_coefficient_system_like_the_paper() {
+        // Plant Table-3-like magnitudes and recover them from 9 profiles,
+        // mirroring the paper's calibration set size.
+        let planted = [1.95e-10, 1.36e-6, 3.61e-9, 1.02e-5, 2.07e-8, 8.72e-9];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        // Deterministic pseudo-design spanning magnitudes of the real
+        // features (element counts, stripe counts, nnz).
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..9 {
+            let row = vec![
+                next() * 1e9,  // sync elements
+                next() * 1e4,  // sync stripes
+                next() * 1e7,  // async elements
+                next() * 1e4,  // async stripes
+                next() * 1e8,  // async nnz * K
+                next() * 1e4,  // async stripes (compute)
+            ];
+            let y: f64 = row.iter().zip(&planted).map(|(x, w)| x * w).sum();
+            xs.push(row);
+            ys.push(y);
+        }
+        let w = ordinary_least_squares(&xs, &ys).unwrap();
+        for (got, want) in w.iter().zip(&planted) {
+            assert!(
+                (got - want).abs() / want < 1e-6,
+                "recovered {got:e}, planted {want:e}"
+            );
+        }
+    }
+}

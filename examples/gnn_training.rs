@@ -1,0 +1,87 @@
+//! Full-graph GNN training over distributed SpMM (§5.4 of the paper).
+//!
+//! Trains a two-layer GCN on a power-law social graph, comparing the
+//! per-epoch aggregation time of Two-Face against dense shifting, and shows
+//! how the one-time preprocessing cost amortizes over epochs.
+//!
+//! ```text
+//! cargo run --release -p twoface-core --example gnn_training
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+use std::time::Instant;
+use twoface_core::gnn::{normalize_adjacency, train_gcn};
+use twoface_core::{prepare_plan, Algorithm, Problem, RunOptions};
+use twoface_matrix::gen::{rmat, RmatConfig};
+use twoface_matrix::DenseMatrix;
+use twoface_net::CostModel;
+use twoface_partition::ModelCoefficients;
+
+const P: usize = 8;
+const STRIPE_WIDTH: usize = 64;
+const FEATURES: usize = 16;
+const HIDDEN: usize = 32;
+const EPOCHS: usize = 5;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A social graph: symmetrized power-law R-MAT, row-normalized with self
+    // loops (the standard GCN Â).
+    let raw = rmat(&RmatConfig { scale: 12, edge_factor: 10, ..Default::default() }, 7);
+    let adjacency = Arc::new(normalize_adjacency(&raw.symmetrize()?));
+    println!(
+        "graph: {} vertices, {} edges (after symmetrization + self loops)",
+        adjacency.rows(),
+        adjacency.nnz()
+    );
+    let features = DenseMatrix::from_fn(adjacency.rows(), FEATURES, |i, j| {
+        ((i * 31 + j * 7) % 97) as f64 / 97.0
+    });
+    let cost = CostModel::delta_scaled();
+
+    // Preprocess once; reuse the plan for every SpMM of every epoch — the
+    // amortization argument of §5.4.
+    let probe = Problem::with_generated_b(Arc::clone(&adjacency), FEATURES, P, STRIPE_WIDTH)?;
+    let wall = Instant::now();
+    let plan = Arc::new(prepare_plan(&probe, &ModelCoefficients::from(&cost), &cost));
+    let prep_wall = wall.elapsed();
+    let (local, sync, async_) = plan.class_totals();
+    println!(
+        "preprocessing: {:.1}ms wall; stripe classes: {local} local-input, {sync} sync, {async_} async",
+        prep_wall.as_secs_f64() * 1e3
+    );
+
+    for algorithm in [Algorithm::TwoFace, Algorithm::DenseShifting { replication: 2 }] {
+        let options = RunOptions {
+            plan: algorithm.uses_plan().then(|| Arc::clone(&plan)),
+            ..Default::default()
+        };
+        let summary = train_gcn(
+            &adjacency,
+            &features,
+            HIDDEN,
+            EPOCHS,
+            algorithm,
+            P,
+            STRIPE_WIDTH,
+            &cost,
+            &options,
+        )?;
+        let per_epoch = summary.epoch_seconds[0];
+        let total: f64 = summary.epoch_seconds.iter().sum();
+        println!(
+            "\n{algorithm}: {EPOCHS} epochs x 2 SpMM layers on {P} nodes\n  \
+             per-epoch aggregation: {:.3}ms   total: {:.3}ms   embedding norm: {:.4}",
+            per_epoch * 1e3,
+            total * 1e3,
+            summary.final_norm
+        );
+    }
+
+    println!(
+        "\nEvery epoch reuses the same preprocessed plan; in GNN training with\n\
+         hundreds of epochs the one-time preprocessing disappears into noise —\n\
+         exactly the amortization the paper quantifies in Table 6."
+    );
+    Ok(())
+}

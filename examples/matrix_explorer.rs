@@ -1,0 +1,131 @@
+//! Matrix explorer: why does a given matrix prefer collective or one-sided
+//! communication?
+//!
+//! Prints an ASCII spy plot, degree statistics, the dense-stripe fan-out
+//! profile, and the Two-Face classifier's verdict for each matrix named on
+//! the command line (default: all eight suite analogs).
+//!
+//! ```text
+//! cargo run --release -p twoface-core --example matrix_explorer -- web twitter
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+use twoface_core::{prepare_plan, Problem};
+use twoface_matrix::gen::SuiteMatrix;
+use twoface_matrix::stats::{column_block_fanout, density_grid, MatrixStats};
+use twoface_net::CostModel;
+use twoface_partition::ModelCoefficients;
+
+const P: usize = 32;
+const K: usize = 128;
+const GRID: usize = 24;
+
+fn shade(count: usize, max: usize) -> char {
+    if count == 0 {
+        return '.';
+    }
+    let levels = [':', '+', 'x', '#', '@'];
+    let idx = (count * levels.len()) / (max + 1);
+    levels[idx.min(levels.len() - 1)]
+}
+
+fn explore(name: &str) -> Result<(), Box<dyn Error>> {
+    let Some(matrix) = SuiteMatrix::from_short_name(name) else {
+        return Err(format!(
+            "unknown matrix {name:?}; valid names: {}",
+            SuiteMatrix::ALL.map(|m| m.short_name()).join(", ")
+        )
+        .into());
+    };
+    let a = Arc::new(matrix.generate());
+    let stats = MatrixStats::compute(&a);
+    println!("\n================ {} (analog of {}) ================", name, matrix.long_name());
+    println!(
+        "{} x {}, {} nnz, density {:.2e}",
+        stats.rows, stats.cols, stats.nnz, stats.density
+    );
+    println!(
+        "row degrees:  mean {:.1}, median {}, p99 {}, max {}, gini {:.3}",
+        stats.row_degrees.mean,
+        stats.row_degrees.median,
+        stats.row_degrees.p99,
+        stats.row_degrees.max,
+        stats.row_degrees.gini
+    );
+    println!(
+        "col degrees:  mean {:.1}, median {}, p99 {}, max {}, gini {:.3}",
+        stats.col_degrees.mean,
+        stats.col_degrees.median,
+        stats.col_degrees.p99,
+        stats.col_degrees.max,
+        stats.col_degrees.gini
+    );
+    println!("near-diagonal mass: {:.1}%", stats.near_diagonal_fraction * 100.0);
+
+    // Spy plot.
+    println!("\nspy plot ({GRID}x{GRID} raster):");
+    let grid = density_grid(&a, GRID);
+    let max = grid.iter().flatten().copied().max().unwrap_or(0);
+    for row in &grid {
+        let line: String = row.iter().map(|&c| shade(c, max)).collect();
+        println!("  {line}");
+    }
+
+    // Dense-stripe fan-out: how many nodes need each stripe of B?
+    let w = matrix.stripe_width();
+    let block_rows = a.rows().div_ceil(P);
+    let fanout = column_block_fanout(&a, w, block_rows);
+    let mut histogram = [0usize; 5]; // 0, 1-2, 3-8, 9-24, 25+
+    for &f in &fanout {
+        let bucket = match f {
+            0 => 0,
+            1..=2 => 1,
+            3..=8 => 2,
+            9..=24 => 3,
+            _ => 4,
+        };
+        histogram[bucket] += 1;
+    }
+    println!(
+        "\ndense-stripe fan-out (stripe width {w}, {P} nodes): \
+         {} unneeded, {} to 1-2 nodes, {} to 3-8, {} to 9-24, {} to 25+",
+        histogram[0], histogram[1], histogram[2], histogram[3], histogram[4]
+    );
+
+    // The classifier's verdict.
+    let problem = Problem::with_generated_b(Arc::clone(&a), K, P, w)?;
+    let cost = CostModel::delta_scaled();
+    let plan = prepare_plan(&problem, &ModelCoefficients::from(&cost), &cost);
+    let (local, sync, async_) = plan.class_totals();
+    let (local_nnz, sync_nnz, async_nnz) = plan.nnz_totals();
+    println!(
+        "Two-Face classification (K = {K}): stripes {local} local / {sync} sync / {async_} async; \
+         nnz {:.1}% local / {:.1}% sync / {:.1}% async",
+        100.0 * local_nnz as f64 / a.nnz() as f64,
+        100.0 * sync_nnz as f64 / a.nnz() as f64,
+        100.0 * async_nnz as f64 / a.nnz() as f64,
+    );
+    let verdict = if sync == 0 {
+        "pure fine-grained territory"
+    } else if async_ == 0 {
+        "pure collective territory"
+    } else {
+        "a genuine two-face mix"
+    };
+    println!("verdict: {verdict}");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if args.is_empty() {
+        SuiteMatrix::ALL.iter().map(|m| m.short_name()).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for name in names {
+        explore(name)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus the ablations and
+# extensions. Output lands in results/*.json and on stdout.
+set -euo pipefail
+cd "$(dirname "$0")"
+bins=(
+  table1_matrices table2_params table3_calibration table4_algorithms
+  fig02_async_vs_collectives fig07_09_speedups fig10_breakdown
+  fig11_scaling table6_preprocessing fig12_sensitivity
+  ablation_coalescing ablation_stripe_width ablation_threads
+  ablation_panel_height ablation_classifier ablation_async_layout
+  extension_sddmm extension_spmv
+)
+for bin in "${bins[@]}"; do
+  echo
+  echo "################ $bin ################"
+  cargo run --release -p twoface-bench --bin "$bin"
+done

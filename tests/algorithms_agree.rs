@@ -1,0 +1,201 @@
+//! Cross-crate integration: every distributed algorithm computes the same
+//! `C = A × B` as the serial reference, across all matrix structure classes,
+//! node counts, and `K` values.
+
+use std::sync::Arc;
+use twoface_core::{run_algorithm, Algorithm, Problem, RunOptions};
+use twoface_matrix::gen::{
+    banded, erdos_renyi, hub_traffic, hypersparse, rmat, uniform_random, webcrawl, BandedConfig,
+    HubConfig, HypersparseConfig, RmatConfig, WebcrawlConfig,
+};
+use twoface_matrix::CooMatrix;
+use twoface_net::CostModel;
+
+const ALGORITHMS: [Algorithm; 7] = Algorithm::FIGURE7_LINEUP;
+
+/// Runs every algorithm on the problem with validation enabled, so a wrong
+/// output fails inside the runner with a max-difference diagnostic.
+fn check_all(a: CooMatrix, k: usize, p: usize, stripe_width: usize) {
+    let problem = Problem::with_generated_b(Arc::new(a), k, p, stripe_width)
+        .expect("test problems are well-formed");
+    // A permissive memory model so validation exercises every algorithm.
+    let cost = CostModel { memory_per_node: usize::MAX, ..CostModel::delta_scaled() };
+    let options = RunOptions { validate: true, ..Default::default() };
+    for algo in ALGORITHMS {
+        if let Algorithm::DenseShifting { replication } = algo {
+            if replication > p {
+                continue;
+            }
+        }
+        let report = run_algorithm(algo, &problem, &cost, &options)
+            .unwrap_or_else(|e| panic!("{algo} failed: {e}"));
+        assert!(report.seconds > 0.0, "{algo} reported zero time");
+        assert!(report.output.is_some(), "{algo} produced no output");
+    }
+}
+
+#[test]
+fn banded_matrix() {
+    let a = banded(
+        &BandedConfig { n: 512, bandwidth: 24, per_row: 8, escape_fraction: 0.02 },
+        11,
+    );
+    check_all(a, 16, 8, 16);
+}
+
+#[test]
+fn power_law_matrix() {
+    let a = rmat(&RmatConfig { scale: 9, edge_factor: 8, ..Default::default() }, 12);
+    check_all(a, 8, 8, 32);
+}
+
+#[test]
+fn webcrawl_matrix() {
+    let a = webcrawl(
+        &WebcrawlConfig { n: 600, hosts: 20, per_row: 6, ..Default::default() },
+        13,
+    );
+    check_all(a, 4, 6, 25);
+}
+
+#[test]
+fn hub_matrix() {
+    let a = hub_traffic(
+        &HubConfig { n: 640, nnz: 4000, hubs: 8, ..Default::default() },
+        14,
+    );
+    check_all(a, 8, 8, 20);
+}
+
+#[test]
+fn hypersparse_matrix() {
+    let a = hypersparse(
+        &HypersparseConfig { n: 2048, per_row: 2.0, ..Default::default() },
+        15,
+    );
+    check_all(a, 4, 8, 64);
+}
+
+#[test]
+fn uniform_matrix_with_ragged_layout() {
+    // 7 nodes and a stripe width that doesn't divide the blocks: exercises
+    // ragged megatiles and uneven row ranges everywhere.
+    let a = erdos_renyi(443, 443, 3000, 16);
+    check_all(a, 8, 7, 19);
+}
+
+#[test]
+fn exact_degree_matrix_small_k() {
+    let a = uniform_random(128, 128, 5, 17);
+    check_all(a, 1, 4, 8); // K = 1: SpMV as a special case of SpMM
+}
+
+#[test]
+fn two_nodes_minimum_distribution() {
+    let a = erdos_renyi(64, 64, 400, 18);
+    check_all(a, 8, 2, 8);
+}
+
+#[test]
+fn single_node_degenerates_to_local() {
+    let a = erdos_renyi(64, 64, 300, 19);
+    let problem = Problem::with_generated_b(Arc::new(a), 8, 1, 8).expect("valid");
+    let cost = CostModel::delta_scaled();
+    let options = RunOptions { validate: true, ..Default::default() };
+    for algo in [
+        Algorithm::TwoFace,
+        Algorithm::Allgather,
+        Algorithm::AsyncFine,
+        Algorithm::DenseShifting { replication: 1 },
+    ] {
+        let report = run_algorithm(algo, &problem, &cost, &options).expect("p=1 runs");
+        // Everything is local-input: no elements should move.
+        assert_eq!(
+            report.elements_received, 0,
+            "{algo} moved data on a single node"
+        );
+    }
+}
+
+#[test]
+fn dense_shifting_with_awkward_replication_factors() {
+    // c that does not divide p: the last shift step wraps and must not
+    // double-process blocks.
+    let a = erdos_renyi(210, 210, 2500, 23);
+    let problem = Problem::with_generated_b(Arc::new(a), 8, 7, 10).expect("valid");
+    let cost = CostModel::delta_scaled();
+    let options = RunOptions { validate: true, ..Default::default() };
+    for c in [1usize, 2, 3, 5, 7] {
+        run_algorithm(
+            Algorithm::DenseShifting { replication: c },
+            &problem,
+            &cost,
+            &options,
+        )
+        .unwrap_or_else(|e| panic!("DS{c} on 7 nodes failed: {e}"));
+    }
+}
+
+#[test]
+fn report_invariants_hold() {
+    let a = erdos_renyi(128, 128, 1200, 24);
+    let problem = Problem::with_generated_b(Arc::new(a), 8, 4, 16).expect("valid");
+    let cost = CostModel::delta_scaled();
+    let report = run_algorithm(
+        Algorithm::TwoFace,
+        &problem,
+        &cost,
+        &RunOptions { compute_values: false, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(report.rank_seconds.len(), 4);
+    assert_eq!(report.rank_breakdowns.len(), 4);
+    // The reported time is the max rank finish, achieved by critical_rank.
+    let max = report.rank_seconds.iter().cloned().fold(0.0, f64::max);
+    assert_eq!(report.seconds, max);
+    assert_eq!(report.rank_seconds[report.critical_rank], max);
+    // Each rank's finish is bounded by the sum of its components (lanes
+    // overlap, so finish <= busy total; equality only if one lane is idle).
+    for (seconds, b) in report.rank_seconds.iter().zip(&report.rank_breakdowns) {
+        assert!(*seconds <= b.total() + 1e-12);
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let a = rmat(&RmatConfig { scale: 8, edge_factor: 6, ..Default::default() }, 20);
+    let problem = Problem::with_generated_b(Arc::new(a), 8, 4, 16).expect("valid");
+    let cost = CostModel::delta_scaled();
+    let options = RunOptions { compute_values: false, ..Default::default() };
+    for algo in ALGORITHMS {
+        if let Algorithm::DenseShifting { replication } = algo {
+            if replication > 4 {
+                continue;
+            }
+        }
+        let t1 = run_algorithm(algo, &problem, &cost, &options).unwrap().seconds;
+        let t2 = run_algorithm(algo, &problem, &cost, &options).unwrap().seconds;
+        assert_eq!(t1, t2, "{algo} is not deterministic");
+    }
+}
+
+#[test]
+fn reports_account_communication() {
+    let a = erdos_renyi(256, 256, 4000, 21);
+    let problem = Problem::with_generated_b(Arc::new(a), 16, 4, 16).expect("valid");
+    let cost = CostModel::delta_scaled();
+    let options = RunOptions { compute_values: false, ..Default::default() };
+    // Allgather must move exactly (p-1) blocks to each rank.
+    let report = run_algorithm(Algorithm::Allgather, &problem, &cost, &options).unwrap();
+    let expected: u64 = (0..4)
+        .map(|r| {
+            let others = 256 - problem.layout.col_range(r).len();
+            (others * 16) as u64
+        })
+        .sum();
+    assert_eq!(report.elements_received, expected);
+    // Two-Face must move strictly less than full replication on a matrix
+    // with any locality at all.
+    let tf = run_algorithm(Algorithm::TwoFace, &problem, &cost, &options).unwrap();
+    assert!(tf.elements_received <= report.elements_received);
+}

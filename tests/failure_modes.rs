@@ -1,0 +1,183 @@
+//! Failure injection and boundary conditions: out-of-memory refusals,
+//! invalid configurations, and degenerate inputs.
+
+use std::sync::Arc;
+use twoface_core::{run_algorithm, Algorithm, Problem, RunError, RunOptions};
+use twoface_matrix::gen::erdos_renyi;
+use twoface_matrix::{CooMatrix, DenseMatrix};
+use twoface_net::CostModel;
+
+fn small_problem(p: usize) -> Problem {
+    Problem::with_generated_b(Arc::new(erdos_renyi(128, 128, 800, 1)), 8, p, 16)
+        .expect("valid problem")
+}
+
+#[test]
+fn allgather_out_of_memory_is_reported() {
+    let problem = small_problem(4);
+    // Full replication needs 128 * 8 * 8 = 8 KiB plus operands; cap below.
+    let tiny = CostModel { memory_per_node: 4 << 10, ..CostModel::delta_scaled() };
+    let err = run_algorithm(Algorithm::Allgather, &problem, &tiny, &RunOptions::default())
+        .unwrap_err();
+    match err {
+        RunError::OutOfMemory { required, available, .. } => {
+            assert!(required > available);
+            assert_eq!(available, 4 << 10);
+        }
+        other => panic!("expected OutOfMemory, got {other}"),
+    }
+}
+
+#[test]
+fn higher_replication_fails_before_lower() {
+    let problem = small_problem(8);
+    // Find a cap where DS2 fits but DS8 does not.
+    let base = CostModel::delta_scaled();
+    let ds2 = run_algorithm(
+        Algorithm::DenseShifting { replication: 2 },
+        &problem,
+        &base,
+        &RunOptions { compute_values: false, ..Default::default() },
+    )
+    .unwrap();
+    let ds8_extra_over_ds2 = 6 * 2 * 16 * 8 * 8; // 6 extra blocks, 16 rows, K=8
+    let cap = ds2.memory_peak_bytes + ds8_extra_over_ds2 / 2;
+    let capped = CostModel { memory_per_node: cap, ..base };
+    assert!(run_algorithm(
+        Algorithm::DenseShifting { replication: 2 },
+        &problem,
+        &capped,
+        &RunOptions { compute_values: false, ..Default::default() }
+    )
+    .is_ok());
+    assert!(matches!(
+        run_algorithm(
+            Algorithm::DenseShifting { replication: 8 },
+            &problem,
+            &capped,
+            &RunOptions { compute_values: false, ..Default::default() }
+        ),
+        Err(RunError::OutOfMemory { .. })
+    ));
+}
+
+#[test]
+fn replication_beyond_nodes_is_rejected() {
+    let problem = small_problem(4);
+    let err = run_algorithm(
+        Algorithm::DenseShifting { replication: 8 },
+        &problem,
+        &CostModel::delta_scaled(),
+        &RunOptions::default(),
+    )
+    .unwrap_err();
+    assert_eq!(err, RunError::ReplicationExceedsNodes { replication: 8, nodes: 4 });
+}
+
+#[test]
+fn zero_replication_is_rejected() {
+    let problem = small_problem(4);
+    assert!(matches!(
+        run_algorithm(
+            Algorithm::DenseShifting { replication: 0 },
+            &problem,
+            &CostModel::delta_scaled(),
+            &RunOptions::default(),
+        ),
+        Err(RunError::ReplicationExceedsNodes { .. })
+    ));
+}
+
+#[test]
+fn mismatched_operand_shapes_are_rejected() {
+    let a = Arc::new(erdos_renyi(32, 48, 100, 2));
+    let b = Arc::new(DenseMatrix::zeros(32, 4)); // needs 48 rows
+    let err = Problem::new(a, b, 4, 8).unwrap_err();
+    assert!(matches!(err, RunError::Shape { .. }));
+}
+
+#[test]
+fn more_nodes_than_rows_is_rejected() {
+    let a = Arc::new(erdos_renyi(4, 4, 8, 3));
+    assert!(matches!(
+        Problem::with_generated_b(a, 4, 16, 2),
+        Err(RunError::Shape { .. })
+    ));
+}
+
+#[test]
+fn empty_matrix_runs_everywhere() {
+    let a = Arc::new(CooMatrix::new(64, 64));
+    let problem = Problem::with_generated_b(a, 4, 4, 8).expect("valid");
+    let cost = CostModel::delta_scaled();
+    for algo in Algorithm::FIGURE7_LINEUP {
+        if let Algorithm::DenseShifting { replication } = algo {
+            if replication > 4 {
+                continue;
+            }
+        }
+        let report = run_algorithm(algo, &problem, &cost, &RunOptions::default())
+            .unwrap_or_else(|e| panic!("{algo} failed on empty matrix: {e}"));
+        let c = report.output.expect("output assembled");
+        assert_eq!(c.frobenius_norm(), 0.0, "{algo} produced nonzero output");
+    }
+}
+
+#[test]
+fn rank_with_no_nonzeros_participates_cleanly() {
+    // All nonzeros on the first node's rows; other nodes still take part in
+    // the collectives and windows.
+    let a = Arc::new(
+        CooMatrix::from_triplets(64, 64, vec![(0, 40, 1.0), (1, 63, 2.0), (2, 2, 3.0)])
+            .expect("in bounds"),
+    );
+    let problem = Problem::with_generated_b(a, 4, 4, 8).expect("valid");
+    let report = run_algorithm(
+        Algorithm::TwoFace,
+        &problem,
+        &CostModel::delta_scaled(),
+        &RunOptions { validate: true, ..Default::default() },
+    )
+    .expect("runs");
+    assert!(report.output.is_some());
+}
+
+#[test]
+fn validation_catches_a_corrupted_b() {
+    // Feed validate a problem whose B disagrees with the one used for the
+    // reference check — by hand-corrupting the output comparison through a
+    // zero-sized B mismatch this cannot be built, so instead check the
+    // validator accepts correct output (positive control) and that it runs
+    // with compute disabled only when validate is off.
+    let problem = small_problem(4);
+    let cost = CostModel::delta_scaled();
+    let ok = run_algorithm(
+        Algorithm::TwoFace,
+        &problem,
+        &cost,
+        &RunOptions { validate: true, ..Default::default() },
+    );
+    assert!(ok.is_ok());
+    let no_compute = run_algorithm(
+        Algorithm::TwoFace,
+        &problem,
+        &cost,
+        &RunOptions { compute_values: false, ..Default::default() },
+    )
+    .unwrap();
+    assert!(no_compute.output.is_none());
+}
+
+#[test]
+fn memory_peak_is_reported_even_on_success() {
+    let problem = small_problem(4);
+    let report = run_algorithm(
+        Algorithm::Allgather,
+        &problem,
+        &CostModel::delta_scaled(),
+        &RunOptions { compute_values: false, ..Default::default() },
+    )
+    .unwrap();
+    // At least the full dense B must be accounted.
+    assert!(report.memory_peak_bytes > 128 * 8 * 8);
+}

@@ -1,0 +1,103 @@
+//! Integration: full-graph GCN training over the distributed SpMM (§5.4).
+
+use std::sync::Arc;
+use twoface_core::gnn::{normalize_adjacency, train_gcn, Activation, GcnLayer};
+use twoface_core::{prepare_plan, Algorithm, RunOptions};
+use twoface_matrix::gen::{rmat, RmatConfig};
+use twoface_matrix::DenseMatrix;
+use twoface_net::CostModel;
+use twoface_partition::ModelCoefficients;
+
+fn social_graph() -> Arc<twoface_matrix::CooMatrix> {
+    let raw = rmat(&RmatConfig { scale: 9, edge_factor: 6, ..Default::default() }, 77);
+    Arc::new(normalize_adjacency(&raw.symmetrize().expect("square")))
+}
+
+#[test]
+fn gcn_layer_agrees_across_algorithms() {
+    let a = social_graph();
+    let h = DenseMatrix::from_fn(a.rows(), 8, |i, j| ((i + 3 * j) % 7) as f64 / 7.0);
+    let layer = GcnLayer::new(8, 8, 5, Activation::Relu);
+    let cost = CostModel::delta_scaled();
+    let opts = RunOptions::default();
+    let (via_twoface, _) = layer
+        .forward(&a, &h, Algorithm::TwoFace, 4, 32, &cost, &opts)
+        .expect("two-face forward");
+    let (via_ds, _) = layer
+        .forward(&a, &h, Algorithm::DenseShifting { replication: 2 }, 4, 32, &cost, &opts)
+        .expect("ds forward");
+    assert!(via_twoface.approx_eq(&via_ds, 1e-9));
+}
+
+#[test]
+fn training_epochs_have_constant_simulated_cost() {
+    // The same adjacency is reused, so every epoch costs the same simulated
+    // time — the property that lets preprocessing amortize (§5.4).
+    let a = social_graph();
+    let features = DenseMatrix::from_fn(a.rows(), 4, |i, j| ((i * 5 + j) % 9) as f64 / 9.0);
+    let cost = CostModel::delta_scaled();
+    let summary = train_gcn(
+        &a,
+        &features,
+        16,
+        4,
+        Algorithm::TwoFace,
+        4,
+        32,
+        &cost,
+        &RunOptions::default(),
+    )
+    .expect("training runs");
+    assert_eq!(summary.epoch_seconds.len(), 4);
+    // Layer widths differ between layer 1 (4->16) and layer 2 (16->4), but
+    // epochs are identical to each other.
+    let first = summary.epoch_seconds[0];
+    for &t in &summary.epoch_seconds {
+        assert!((t - first).abs() < 1e-12, "epoch times drifted: {t} vs {first}");
+    }
+}
+
+#[test]
+fn preprocessing_amortizes_over_epochs() {
+    // A reused plan must give the same per-epoch time as rebuilding it, and
+    // the plan build only happens once outside the epoch loop.
+    let a = social_graph();
+    let cost = CostModel::delta_scaled();
+    let k = 8;
+    let problem = twoface_core::Problem::with_generated_b(Arc::clone(&a), k, 4, 32)
+        .expect("valid problem");
+    let plan = Arc::new(prepare_plan(&problem, &ModelCoefficients::from(&cost), &cost));
+    let opts_reuse = RunOptions { plan: Some(plan), ..Default::default() };
+    let reused = twoface_core::run_algorithm(Algorithm::TwoFace, &problem, &cost, &opts_reuse)
+        .expect("runs");
+    let rebuilt = twoface_core::run_algorithm(
+        Algorithm::TwoFace,
+        &problem,
+        &cost,
+        &RunOptions::default(),
+    )
+    .expect("runs");
+    assert_eq!(reused.seconds, rebuilt.seconds);
+}
+
+#[test]
+fn deeper_training_is_deterministic() {
+    let a = social_graph();
+    let features = DenseMatrix::from_fn(a.rows(), 4, |i, j| ((i + j) % 5) as f64);
+    let cost = CostModel::delta_scaled();
+    let run = || {
+        train_gcn(
+            &a,
+            &features,
+            8,
+            3,
+            Algorithm::AsyncFine,
+            2,
+            32,
+            &cost,
+            &RunOptions::default(),
+        )
+        .expect("training runs")
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,197 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use twoface_core::{coalesce_rows, run_algorithm, runs_to_rows, Algorithm, Problem, RunOptions};
+use twoface_matrix::{CooMatrix, DenseMatrix, Triplet};
+use twoface_net::CostModel;
+use twoface_partition::{
+    classify_node, NodeProfile, OneDimLayout, PartitionPlan, PlanOptions, StripeClass,
+};
+use twoface_partition::ModelCoefficients;
+
+/// Strategy: a sparse matrix as (rows, cols, triplets).
+fn arb_matrix() -> impl Strategy<Value = CooMatrix> {
+    (2usize..40, 2usize..40).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            (0..rows, 0..cols, -4.0f64..4.0),
+            0..120,
+        )
+        .prop_map(move |triplets| {
+            CooMatrix::from_triplets(rows, cols, triplets).expect("in bounds by construction")
+        })
+    })
+}
+
+/// Strategy: strictly ascending row id lists for the coalescer.
+fn arb_ascending_rows() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::btree_set(0usize..500, 0..40)
+        .prop_map(|set| set.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn coo_csr_round_trip(m in arb_matrix()) {
+        prop_assert_eq!(m.to_csr().to_coo(), m.clone());
+    }
+
+    #[test]
+    fn coo_csc_round_trip(m in arb_matrix()) {
+        prop_assert_eq!(m.to_csc().to_coo(), m.clone());
+    }
+
+    #[test]
+    fn transpose_is_involution(m in arb_matrix()) {
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+    }
+
+    #[test]
+    fn market_io_round_trip(m in arb_matrix()) {
+        let mut buf = Vec::new();
+        twoface_matrix::io::write_market(&mut buf, &m).expect("writes");
+        let back = twoface_matrix::io::read_market(buf.as_slice()).expect("parses");
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn binary_io_round_trip(m in arb_matrix()) {
+        let mut buf = Vec::new();
+        twoface_matrix::io::write_binary(&mut buf, &m).expect("writes");
+        let back = twoface_matrix::io::read_binary(buf.as_slice()).expect("parses");
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn csr_spmm_matches_reference(m in arb_matrix(), k in 1usize..6) {
+        let b = DenseMatrix::from_fn(m.cols(), k, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let via_csr = m.to_csr().spmm(&b);
+        let reference = twoface_core::reference_spmm(&m, &b);
+        prop_assert!(via_csr.approx_eq(&reference, 1e-9));
+    }
+
+    #[test]
+    fn coalescer_covers_exactly_with_bounded_padding(
+        rows in arb_ascending_rows(),
+        distance in 1usize..20,
+    ) {
+        let (runs, padding) = coalesce_rows(&rows, distance);
+        let transferred = runs_to_rows(&runs);
+        // Every needed row covered, sizes consistent.
+        for r in &rows {
+            prop_assert!(transferred.contains(r));
+        }
+        prop_assert_eq!(transferred.len(), rows.len() + padding);
+        // Padding per merge is at most (distance - 1); merges < rows.len().
+        if !rows.is_empty() {
+            prop_assert!(padding <= (distance - 1) * (rows.len() - 1));
+        }
+        // Runs are sorted, non-overlapping, and gaps between runs exceed the
+        // distance (otherwise they would have merged).
+        for w in runs.windows(2) {
+            let prev_end = w[0].0 + w[0].1 - 1;
+            prop_assert!(w[1].0 > prev_end);
+            prop_assert!(w[1].0 - prev_end > distance);
+        }
+    }
+
+    #[test]
+    fn larger_distance_never_increases_run_count(
+        rows in arb_ascending_rows(),
+        distance in 1usize..10,
+    ) {
+        let (runs_small, _) = coalesce_rows(&rows, distance);
+        let (runs_large, _) = coalesce_rows(&rows, distance + 5);
+        prop_assert!(runs_large.len() <= runs_small.len());
+    }
+
+    #[test]
+    fn partition_plan_conserves_nonzeros(
+        m in arb_matrix(),
+        p in 1usize..6,
+        w in 1usize..12,
+    ) {
+        let p = p.min(m.rows()).min(m.cols()).max(1);
+        let layout = OneDimLayout::new(m.rows(), m.cols(), p, w);
+        let plan = PartitionPlan::build(
+            &m,
+            layout,
+            &ModelCoefficients::table3(),
+            4,
+            PlanOptions::default(),
+        );
+        let (l, s, a) = plan.nnz_totals();
+        prop_assert_eq!(l + s + a, m.nnz());
+    }
+
+    #[test]
+    fn classifier_respects_the_budget_inequality(
+        m in arb_matrix(),
+        w in 1usize..12,
+    ) {
+        let p = 3usize.min(m.rows()).min(m.cols()).max(1);
+        let layout = OneDimLayout::new(m.rows(), m.cols(), p, w);
+        let coeffs = ModelCoefficients::table3();
+        let k = 8;
+        for rank in 0..p {
+            let profile = NodeProfile::build(&m, &layout, rank);
+            let c = classify_node(&profile, &layout, &coeffs, k);
+            // Σ z_i over async stripes <= Σ sync-cost over all remote
+            // stripes (the greedy budget, §4.2).
+            let budget: f64 = profile
+                .remote_stripes(&layout)
+                .map(|s| coeffs.sync_stripe_cost(layout.stripe_cols(s.stripe).len(), k))
+                .sum();
+            let spent: f64 = profile
+                .remote_stripes(&layout)
+                .filter(|s| c.class_of(s.stripe) == Some(StripeClass::Async))
+                .map(|s| {
+                    coeffs.v_term(s.rows_needed(), s.nnz, k)
+                        + coeffs.u_term(layout.stripe_cols(s.stripe).len(), k)
+                })
+                .sum();
+            prop_assert!(spent <= budget + 1e-12, "spent {spent} > budget {budget}");
+        }
+    }
+
+    #[test]
+    fn twoface_validates_on_arbitrary_matrices(m in arb_matrix()) {
+        let p = 3usize.min(m.rows()).min(m.cols()).max(1);
+        let problem = Problem::with_generated_b(Arc::new(m), 4, p, 5).expect("valid");
+        let cost = CostModel::delta_scaled();
+        let report = run_algorithm(
+            Algorithm::TwoFace,
+            &problem,
+            &cost,
+            &RunOptions { validate: true, ..Default::default() },
+        );
+        prop_assert!(report.is_ok(), "{:?}", report.err());
+    }
+
+    #[test]
+    fn dense_matrix_add_assign_is_commutative_on_integers(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let a = DenseMatrix::from_fn(rows, cols, |i, j| ((i * 31 + j * 7 + seed as usize) % 13) as f64);
+        let b = DenseMatrix::from_fn(rows, cols, |i, j| ((i * 17 + j * 5 + seed as usize) % 11) as f64);
+        let mut ab = a.clone();
+        ab.add_assign(&b);
+        let mut ba = b.clone();
+        ba.add_assign(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn triplet_ordering_matches_row_major(r1 in 0usize..50, c1 in 0usize..50, r2 in 0usize..50, c2 in 0usize..50) {
+        let m = CooMatrix::from_triplets(
+            50,
+            50,
+            vec![Triplet::new(r1, c1, 1.0), Triplet::new(r2, c2, 1.0)],
+        ).expect("in bounds");
+        let t = m.triplets();
+        if t.len() == 2 {
+            prop_assert!((t[0].row, t[0].col) < (t[1].row, t[1].col));
+        }
+    }
+}

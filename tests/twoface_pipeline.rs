@@ -1,0 +1,203 @@
+//! Integration of the preprocessing pipeline: profiling → classification →
+//! plan → Figure-6 structures → execution, with the invariants each stage
+//! must preserve.
+
+use std::sync::Arc;
+use twoface_core::{prepare_plan, run_algorithm, Algorithm, Problem, RankMatrices, RunOptions};
+use twoface_matrix::gen::{webcrawl, WebcrawlConfig};
+use twoface_net::CostModel;
+use twoface_partition::{ModelCoefficients, PartitionPlan, StripeClass};
+
+fn fixture() -> Problem {
+    let a = webcrawl(
+        &WebcrawlConfig { n: 1024, hosts: 32, per_row: 8, intra_host: 0.8, ..Default::default() },
+        99,
+    );
+    Problem::with_generated_b(Arc::new(a), 16, 8, 32).expect("fixture is valid")
+}
+
+#[test]
+fn plan_partitions_every_nonzero_exactly_once() {
+    let problem = fixture();
+    let cost = CostModel::delta_scaled();
+    let plan = prepare_plan(&problem, &ModelCoefficients::from(&cost), &cost);
+    let total: usize = (0..8)
+        .map(|rank| RankMatrices::build(&problem.a, &plan, rank, 32).nnz())
+        .sum();
+    assert_eq!(total, problem.a.nnz());
+}
+
+#[test]
+fn async_stripes_in_structures_match_plan_classes() {
+    let problem = fixture();
+    let cost = CostModel::delta_scaled();
+    let plan = prepare_plan(&problem, &ModelCoefficients::from(&cost), &cost);
+    for rank in 0..8 {
+        let m = RankMatrices::build(&problem.a, &plan, rank, 32);
+        for stripe in m.asynchronous.stripes() {
+            assert_eq!(
+                plan.class_of(rank, stripe.stripe),
+                Some(StripeClass::Async),
+                "rank {rank} stripe {} misplaced",
+                stripe.stripe
+            );
+            // Column-major order within the stripe, and unique_cols matches.
+            let mut cols: Vec<usize> = stripe.entries.iter().map(|t| t.col).collect();
+            assert!(cols.windows(2).all(|w| w[0] <= w[1]), "not column-major");
+            cols.dedup();
+            assert_eq!(cols, stripe.unique_cols);
+        }
+    }
+}
+
+#[test]
+fn sync_local_structures_are_row_major_and_paneled() {
+    let problem = fixture();
+    let cost = CostModel::delta_scaled();
+    let plan = prepare_plan(&problem, &ModelCoefficients::from(&cost), &cost);
+    for rank in 0..8 {
+        let m = RankMatrices::build(&problem.a, &plan, rank, 32);
+        let sl = &m.sync_local;
+        let rows: Vec<usize> = sl.entries().iter().map(|t| t.row).collect();
+        assert!(rows.windows(2).all(|w| w[0] <= w[1]), "not row-major");
+        for p in 0..sl.num_panels() {
+            for t in sl.panel(p) {
+                assert!(
+                    t.row / sl.panel_height() == p,
+                    "entry row {} leaked into panel {p}",
+                    t.row
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn equalization_brings_lanes_close_when_model_is_exact() {
+    // With oracle coefficients, the classifier should produce overlapping
+    // lanes: the async lane should never be idle-trivial while the sync
+    // lane dwarfs it by orders of magnitude (unless nothing was worth
+    // flipping at all).
+    let problem = fixture();
+    let cost = CostModel::delta_scaled();
+    let report = run_algorithm(
+        Algorithm::TwoFace,
+        &problem,
+        &cost,
+        &RunOptions { compute_values: false, ..Default::default() },
+    )
+    .expect("runs");
+    let b = &report.critical_breakdown;
+    let sync_side = b.sync_comm;
+    let async_side = b.async_comm + b.async_comp;
+    if async_side > 0.0 {
+        // The model balances Comm_S against Comm_A + Comp_A. The greedy
+        // stops at the budget boundary, so async may undershoot, but it must
+        // never exceed the sync side by more than one stripe's cost — and
+        // on this fixture, not by an order of magnitude.
+        assert!(
+            async_side <= sync_side * 10.0 + 1e-6,
+            "async lane ({async_side}) dwarfs sync lane ({sync_side})"
+        );
+    }
+}
+
+#[test]
+fn forced_plans_bracket_the_model_plan() {
+    // All-sync and all-async plans are the extreme points; the model-built
+    // plan should be at least as fast as the worse of the two on a mixed
+    // matrix, and no slower than 2x the better.
+    let problem = fixture();
+    let cost = CostModel::delta_scaled();
+    let opts = |plan| RunOptions { compute_values: false, plan, ..Default::default() };
+
+    let model = run_algorithm(Algorithm::TwoFace, &problem, &cost, &opts(None))
+        .unwrap()
+        .seconds;
+    let all_sync = Arc::new(PartitionPlan::build_uniform(
+        &problem.a,
+        problem.layout.clone(),
+        16,
+        StripeClass::Sync,
+    ));
+    let sync_time = run_algorithm(Algorithm::TwoFace, &problem, &cost, &opts(Some(all_sync)))
+        .unwrap()
+        .seconds;
+    let all_async = Arc::new(PartitionPlan::build_uniform(
+        &problem.a,
+        problem.layout.clone(),
+        16,
+        StripeClass::Async,
+    ));
+    let async_time = run_algorithm(Algorithm::TwoFace, &problem, &cost, &opts(Some(all_async)))
+        .unwrap()
+        .seconds;
+
+    assert!(
+        model <= sync_time.max(async_time) * 1.001,
+        "model plan ({model}) worse than both extremes (sync {sync_time}, async {async_time})"
+    );
+}
+
+#[test]
+fn reusing_a_plan_matches_building_it_inline() {
+    let problem = fixture();
+    let cost = CostModel::delta_scaled();
+    let plan = Arc::new(prepare_plan(&problem, &ModelCoefficients::from(&cost), &cost));
+    let inline = run_algorithm(
+        Algorithm::TwoFace,
+        &problem,
+        &cost,
+        &RunOptions { compute_values: false, ..Default::default() },
+    )
+    .unwrap();
+    let reused = run_algorithm(
+        Algorithm::TwoFace,
+        &problem,
+        &cost,
+        &RunOptions { compute_values: false, plan: Some(plan), ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(inline.seconds, reused.seconds);
+}
+
+#[test]
+fn multicast_metadata_only_reaches_classified_destinations() {
+    let problem = fixture();
+    let cost = CostModel::delta_scaled();
+    let plan = prepare_plan(&problem, &ModelCoefficients::from(&cost), &cost);
+    let layout = plan.layout();
+    for stripe in 0..layout.num_stripes() {
+        for &dest in plan.multicast_destinations(stripe) {
+            assert_eq!(plan.class_of(dest, stripe), Some(StripeClass::Sync));
+            assert_ne!(dest, layout.stripe_owner(stripe));
+        }
+    }
+}
+
+#[test]
+fn memory_capped_plan_still_validates() {
+    // Squeeze the sync buffer budget so the cap flips stripes, then verify
+    // the capped execution still produces the right answer.
+    let problem = fixture();
+    let tight = CostModel {
+        memory_per_node: 150 << 10, // 150 KiB: operands fit, sync buffers barely
+        ..CostModel::delta_scaled()
+    };
+    let coeffs = ModelCoefficients {
+        // All-sync-leaning model so the cap has something to flip.
+        beta_async: 1.0,
+        gamma_async: 1.0,
+        ..ModelCoefficients::from(&tight)
+    };
+    let plan = prepare_plan(&problem, &coeffs, &tight);
+    assert!(plan.memory_flips() > 0, "expected the memory cap to engage");
+    let report = run_algorithm(
+        Algorithm::TwoFace,
+        &problem,
+        &tight,
+        &RunOptions { validate: true, plan: Some(Arc::new(plan)), ..Default::default() },
+    )
+    .expect("capped plan fits and validates");
+    assert!(report.output.is_some());
+}
