@@ -8,7 +8,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::Arc;
-use twoface_core::kernels::{async_stripe_kernel, sync_panel_kernel, BlockRows, RowSource};
+use twoface_core::kernels::{
+    async_stripe_kernel, sync_panel_kernel, BlockRows, FetchedRows, RowSource,
+};
 use twoface_matrix::gen::erdos_renyi;
 use twoface_matrix::Triplet;
 
@@ -19,7 +21,7 @@ fn make_inputs(k: usize) -> (Vec<Triplet>, Vec<Triplet>, BlockRows, Vec<f64>) {
     let m = erdos_renyi(N, N, NNZ, 42);
     let row_major: Vec<Triplet> = m.triplets().to_vec();
     let mut col_major = row_major.clone();
-    col_major.sort_by(|a, b| (a.col, a.row).cmp(&(b.col, b.row)));
+    col_major.sort_by_key(|t| (t.col, t.row));
     let mut rows = BlockRows::new(k);
     let b: Vec<f64> = (0..N * k).map(|i| (i % 17) as f64 * 0.25).collect();
     rows.add_block(0..N, Arc::new(b));
@@ -46,6 +48,16 @@ fn bench_kernels(criterion: &mut Criterion) {
                 criterion::BatchSize::LargeInput,
             );
         });
+        // The same column-major kernel over a FetchedRows source — the
+        // per-nonzero lookup path Two-Face's async lane actually runs.
+        let fetched = FetchedRows::new(&[(0, N)], 0, vec![0.5; N * k], k);
+        group.bench_with_input(BenchmarkId::new("async_fetched_rows", k), &k, |bench, &k| {
+            bench.iter_batched(
+                || c.clone(),
+                |mut c| async_stripe_kernel(black_box(&col_major), &fetched, &mut c, k),
+                criterion::BatchSize::LargeInput,
+            );
+        });
     }
     group.finish();
 }
@@ -64,6 +76,27 @@ fn bench_row_source(criterion: &mut Criterion) {
         bench.iter(|| {
             i = (i.wrapping_mul(2654435761)).wrapping_add(1) % (32 * 128);
             black_box(rows.row(i));
+        });
+    });
+    // Ascending sweep: the access pattern of the column-major async kernel.
+    group.bench_function("block_rows_row_ascending", |bench| {
+        let mut i = 0usize;
+        bench.iter(|| {
+            i = (i + 1) % (32 * 128);
+            black_box(rows.row(i));
+        });
+    });
+    // FetchedRows over 256 coalesced runs of 4 rows each (gap 4), swept in
+    // ascending column order as the async kernel does.
+    let runs: Vec<(usize, usize)> = (0..256).map(|r| (r * 8, 4)).collect();
+    let fetched = FetchedRows::new(&runs, 1000, vec![0.5; 256 * 4 * k], k);
+    let cols: Vec<usize> =
+        runs.iter().flat_map(|&(first, n)| (first..first + n).map(|r| 1000 + r)).collect();
+    group.bench_function("fetched_rows_row_ascending", |bench| {
+        let mut i = 0usize;
+        bench.iter(|| {
+            i = (i + 1) % cols.len();
+            black_box(fetched.row(cols[i]));
         });
     });
     group.finish();

@@ -12,9 +12,7 @@
 use serde::Serialize;
 use std::sync::Arc;
 use twoface_bench::{banner, default_cost, write_json, SuiteCache, DEFAULT_K, DEFAULT_P};
-use twoface_core::{
-    prepare_plan_with_classifier, run_algorithm, Algorithm, RunOptions,
-};
+use twoface_core::{prepare_plan_with_classifier, run_algorithm, Algorithm, RunOptions};
 use twoface_matrix::gen::SuiteMatrix;
 use twoface_partition::{ClassifierKind, ModelCoefficients};
 
@@ -45,16 +43,10 @@ fn main() {
         "matrix", "DS2 (s)", "greedy", "aware", "greedy x", "aware x", "g-recips", "a-recips"
     );
     for m in SuiteMatrix::ALL {
-        let problem = cache
-            .problem(m, DEFAULT_K, DEFAULT_P)
-            .expect("suite problems are valid");
-        let ds2 = run_algorithm(
-            Algorithm::DenseShifting { replication: 2 },
-            &problem,
-            &cost,
-            &options,
-        )
-        .expect("DS2 fits at K = 128");
+        let problem = cache.problem(m, DEFAULT_K, DEFAULT_P).expect("suite problems are valid");
+        let ds2 =
+            run_algorithm(Algorithm::DenseShifting { replication: 2 }, &problem, &cost, &options)
+                .expect("DS2 fits at K = 128");
         let run = |kind: ClassifierKind| {
             let plan = Arc::new(prepare_plan_with_classifier(&problem, &coeffs, &cost, kind));
             run_algorithm(
@@ -85,10 +77,8 @@ fn main() {
             row.fanout_aware_seconds,
             row.greedy_speedup_vs_ds2,
             row.fanout_aware_speedup_vs_ds2,
-            row.greedy_mean_recipients
-                .map_or("-".into(), |r| format!("{r:.1}")),
-            row.fanout_mean_recipients
-                .map_or("-".into(), |r| format!("{r:.1}")),
+            row.greedy_mean_recipients.map_or("-".into(), |r| format!("{r:.1}")),
+            row.fanout_mean_recipients.map_or("-".into(), |r| format!("{r:.1}")),
         );
         rows.push(row);
     }

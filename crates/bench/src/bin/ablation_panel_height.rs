@@ -30,9 +30,7 @@ fn main() {
     let mut rows = Vec::new();
     println!("{:<10} {:>8} {:>10} {:>12}", "matrix", "height", "default?", "seconds");
     for m in [SuiteMatrix::Queen, SuiteMatrix::Web] {
-        let problem = cache
-            .problem(m, DEFAULT_K, DEFAULT_P)
-            .expect("suite problems are valid");
+        let problem = cache.problem(m, DEFAULT_K, DEFAULT_P).expect("suite problems are valid");
         for height in [4usize, 8, 16, 32, 64, 128, 256] {
             let config = TwoFaceConfig { row_panel_height: height, ..Default::default() };
             let report = run_algorithm(

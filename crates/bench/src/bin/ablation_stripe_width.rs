@@ -41,9 +41,8 @@ fn main() {
         let table1 = m.stripe_width();
         for factor in [1usize, 2, 4, 8, 16] {
             let width = (table1 * factor / 4).max(4);
-            let problem =
-                Problem::with_generated_b(a.clone(), DEFAULT_K, DEFAULT_P, width)
-                    .expect("layouts are valid");
+            let problem = Problem::with_generated_b(a.clone(), DEFAULT_K, DEFAULT_P, width)
+                .expect("layouts are valid");
             let wall = Instant::now();
             let plan = std::sync::Arc::new(twoface_core::prepare_plan(
                 &problem,

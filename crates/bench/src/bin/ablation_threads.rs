@@ -24,7 +24,8 @@ struct Row {
 fn main() {
     banner(
         "Ablation: sync/async thread split (Table 2)",
-        format!("Two-Face at K = {DEFAULT_K}, p = {DEFAULT_P}; 128 threads per node total.").as_str(),
+        format!("Two-Face at K = {DEFAULT_K}, p = {DEFAULT_P}; 128 threads per node total.")
+            .as_str(),
     );
     let cost = default_cost();
     let mut cache = SuiteCache::new();
@@ -42,9 +43,7 @@ fn main() {
         "matrix", "comm", "comp", "sync", "default?", "seconds"
     );
     for m in [SuiteMatrix::Mawi, SuiteMatrix::Arabic] {
-        let problem = cache
-            .problem(m, DEFAULT_K, DEFAULT_P)
-            .expect("suite problems are valid");
+        let problem = cache.problem(m, DEFAULT_K, DEFAULT_P).expect("suite problems are valid");
         for (comm, comp, sync) in splits {
             let config = TwoFaceConfig {
                 async_comm_threads: comm,

@@ -36,9 +36,7 @@ fn main() {
         "matrix", "Allgather", "AsyncFine", "Two-Face", "speedup"
     );
     for m in SuiteMatrix::ALL {
-        let problem = cache
-            .problem(m, DEFAULT_K, DEFAULT_P)
-            .expect("suite problems are valid");
+        let problem = cache.problem(m, DEFAULT_K, DEFAULT_P).expect("suite problems are valid");
         // X follows A's rows; contents are irrelevant for timing.
         let x = DenseMatrix::zeros(problem.a.rows(), DEFAULT_K);
         let time = |algo| {

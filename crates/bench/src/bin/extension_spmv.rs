@@ -40,15 +40,7 @@ fn main() {
         let a = cache.matrix(m);
         let x: Vec<f64> = (0..a.cols()).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
         let time = |algo: Algorithm| -> Option<f64> {
-            match run_spmv(
-                algo,
-                Arc::clone(&a),
-                &x,
-                DEFAULT_P,
-                m.stripe_width(),
-                &cost,
-                &options,
-            ) {
+            match run_spmv(algo, Arc::clone(&a), &x, DEFAULT_P, m.stripe_width(), &cost, &options) {
                 Ok((_, report)) => Some(report.seconds),
                 Err(RunError::OutOfMemory { .. }) => None,
                 Err(e) => panic!("unexpected error: {e}"),

@@ -50,7 +50,8 @@ fn main() {
         for m in SuiteMatrix::ALL {
             let problem = cache.problem(m, k, DEFAULT_P).expect("suite problems are valid");
             let allgather = seconds(run_algorithm(Algorithm::Allgather, &problem, &cost, &options));
-            let async_fine = seconds(run_algorithm(Algorithm::AsyncFine, &problem, &cost, &options));
+            let async_fine =
+                seconds(run_algorithm(Algorithm::AsyncFine, &problem, &cost, &options));
             let speedup = match (allgather, async_fine) {
                 (Some(a), Some(f)) => Some(a / f),
                 _ => None,
@@ -72,7 +73,7 @@ fn main() {
         }
         let winners = rows
             .iter()
-            .filter(|r| r.k == k && r.speedup_async_over_collectives.map_or(false, |s| s > 1.0))
+            .filter(|r| r.k == k && r.speedup_async_over_collectives.is_some_and(|s| s > 1.0))
             .count();
         println!("(Async Fine wins on {winners} of 8 matrices at K = {k})");
     }

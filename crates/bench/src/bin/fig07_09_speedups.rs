@@ -34,11 +34,14 @@ fn main() {
     let lineup = Algorithm::FIGURE7_LINEUP;
 
     for k in [32usize, 128, 512] {
-        println!("\n===== K = {k} (Figure {}) =====", match k {
-            32 => "7",
-            128 => "8",
-            _ => "9",
-        });
+        println!(
+            "\n===== K = {k} (Figure {}) =====",
+            match k {
+                32 => "7",
+                128 => "8",
+                _ => "9",
+            }
+        );
         let header: String = lineup.iter().map(|a| format!("{:>12}", a.name())).collect();
         println!("{:<12}{header}", "matrix");
         let mut speedups_by_algo: BTreeMap<String, Vec<f64>> = BTreeMap::new();
@@ -77,9 +80,7 @@ fn main() {
         }
         let mut avg_line = format!("{:<12}", "avg (geo)");
         for algo in lineup {
-            let avg = speedups_by_algo
-                .get(&algo.name())
-                .and_then(|v| geo_mean(v));
+            let avg = speedups_by_algo.get(&algo.name()).and_then(|v| geo_mean(v));
             avg_line.push_str(&cell(avg, 12, 2));
         }
         println!("{avg_line}");
@@ -98,13 +99,7 @@ fn main() {
                 .iter()
                 .find(|e| e.matrix == m.short_name() && e.k == k && e.algorithm == "Two-Face")
                 .and_then(|e| e.seconds);
-            println!(
-                "{:<8} {:<12} {} {}",
-                k,
-                m.short_name(),
-                cell(ds2, 14, 5),
-                cell(tf, 14, 5)
-            );
+            println!("{:<8} {:<12} {} {}", k, m.short_name(), cell(ds2, 14, 5), cell(tf, 14, 5));
         }
     }
 
@@ -120,9 +115,7 @@ fn main() {
                 .and_then(|e| e.seconds);
             let best_ds = entries
                 .iter()
-                .filter(|e| {
-                    e.matrix == m.short_name() && e.k == k && e.algorithm.starts_with("DS")
-                })
+                .filter(|e| e.matrix == m.short_name() && e.k == k && e.algorithm.starts_with("DS"))
                 .filter_map(|e| e.seconds)
                 .fold(f64::INFINITY, f64::min);
             if let Some(tf) = tf {

@@ -58,13 +58,19 @@ fn main() {
     let mut rows = Vec::new();
     println!(
         "{:<12} {:>9} | {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9} {:>9} | {:>8}",
-        "matrix", "DS4 (s)", "DS4 comm", "DS4 comp", "TF s.comm", "TF s.comp", "TF a.comm",
-        "TF a.comp", "TF other", "TF/DS4"
+        "matrix",
+        "DS4 (s)",
+        "DS4 comm",
+        "DS4 comp",
+        "TF s.comm",
+        "TF s.comp",
+        "TF a.comm",
+        "TF a.comp",
+        "TF other",
+        "TF/DS4"
     );
     for m in SuiteMatrix::ALL {
-        let problem = cache
-            .problem(m, DEFAULT_K, DEFAULT_P)
-            .expect("suite problems are valid");
+        let problem = cache.problem(m, DEFAULT_K, DEFAULT_P).expect("suite problems are valid");
         let ds4 = match run_algorithm(
             Algorithm::DenseShifting { replication: 4 },
             &problem,
@@ -109,9 +115,7 @@ fn main() {
         }
         rows.push(Row {
             matrix: m.short_name(),
-            ds4: ds4
-                .as_ref()
-                .map(|d| BreakdownOut::new(d.seconds, &d.critical_breakdown)),
+            ds4: ds4.as_ref().map(|d| BreakdownOut::new(d.seconds, &d.critical_breakdown)),
             two_face: BreakdownOut::new(tf.seconds, &tf.critical_breakdown),
             two_face_normalized: normalized,
         });

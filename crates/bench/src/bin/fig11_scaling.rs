@@ -62,12 +62,7 @@ fn main() {
                     Err(e) => panic!("unexpected error: {e}"),
                 };
                 line.push_str(&text);
-                entries.push(Entry {
-                    matrix: m.short_name(),
-                    p,
-                    algorithm: algo.name(),
-                    seconds,
-                });
+                entries.push(Entry { matrix: m.short_name(), p, algorithm: algo.name(), seconds });
                 // The §7.2 profile: recipients per multicast at p = 64.
                 if p == 64 && algo == Algorithm::TwoFace {
                     if let Ok(r) = &result {
@@ -85,11 +80,7 @@ fn main() {
     println!("\n===== §7.2 profile: mean multicast recipients at p = 64 =====");
     println!("(paper: twitter 35.7, friendster 43.5, next-largest kmer 5.7)");
     for prof in &profiles {
-        println!(
-            "{:<12} {}",
-            prof.matrix,
-            cell(prof.mean_multicast_recipients, 8, 1)
-        );
+        println!("{:<12} {}", prof.matrix, cell(prof.mean_multicast_recipients, 8, 1));
     }
 
     // Scaling summary: Two-Face time(p=1) / time(p=64) per matrix.

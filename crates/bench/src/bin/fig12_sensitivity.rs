@@ -59,15 +59,21 @@ fn main() {
     // (label, row setter (alpha-like), column setter (beta-like)).
     type Setter = fn(&mut ModelCoefficients, f64);
     let grids: [(&'static str, Setter, Setter); 3] = [
-        ("(a) varying alpha_A (rows) and beta_A (cols)",
+        (
+            "(a) varying alpha_A (rows) and beta_A (cols)",
             |c, s| c.alpha_async *= s,
-            |c, s| c.beta_async *= s),
-        ("(b) varying alpha_S (rows) and beta_S (cols)",
+            |c, s| c.beta_async *= s,
+        ),
+        (
+            "(b) varying alpha_S (rows) and beta_S (cols)",
             |c, s| c.alpha_sync *= s,
-            |c, s| c.beta_sync *= s),
-        ("(c) varying gamma_A (rows) and kappa_A (cols)",
+            |c, s| c.beta_sync *= s,
+        ),
+        (
+            "(c) varying gamma_A (rows) and kappa_A (cols)",
             |c, s| c.gamma_async *= s,
-            |c, s| c.kappa_async *= s),
+            |c, s| c.kappa_async *= s,
+        ),
     ];
 
     let mut out = Vec::new();

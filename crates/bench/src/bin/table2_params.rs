@@ -33,7 +33,10 @@ fn main() {
     };
     println!("{:<52} {:>6}", "Async Communication Threads per Node", params.async_comm_threads);
     println!("{:<52} {:>6}", "Async Computation Threads per Node", params.async_comp_threads);
-    println!("{:<52} {:>6}", "Sync/Local-Input Computation Threads per Node", params.sync_comp_threads);
+    println!(
+        "{:<52} {:>6}",
+        "Sync/Local-Input Computation Threads per Node", params.sync_comp_threads
+    );
     println!("{:<52} {:>6}", "Row Panel Height (rows)", params.row_panel_height);
     println!(
         "{:<52} {:>6} / {} / {}",

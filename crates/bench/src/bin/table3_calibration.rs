@@ -21,13 +21,11 @@
 use serde::Serialize;
 use std::sync::Arc;
 use twoface_bench::{banner, default_cost, write_json, SuiteCache, DEFAULT_P};
+use twoface_core::Problem;
 use twoface_core::{run_algorithm, Algorithm, RunOptions};
 use twoface_matrix::gen::SuiteMatrix;
 use twoface_net::CostModel;
-use twoface_partition::{
-    ordinary_least_squares, r_squared, PartitionPlan, StripeClass,
-};
-use twoface_core::Problem;
+use twoface_partition::{ordinary_least_squares, r_squared, PartitionPlan, StripeClass};
 
 const K: usize = 32;
 
@@ -103,11 +101,7 @@ fn observe(problem: &Problem, plan: Arc<PartitionPlan>, cost: &CostModel) -> Vec
         })
         .collect();
 
-    let options = RunOptions {
-        compute_values: false,
-        plan: Some(plan),
-        ..Default::default()
-    };
+    let options = RunOptions { compute_values: false, plan: Some(plan), ..Default::default() };
     let report = run_algorithm(Algorithm::TwoFace, problem, cost, &options)
         .expect("calibration profiles fit in memory");
     for (f, b) in features.iter_mut().zip(&report.rank_breakdowns) {
@@ -222,9 +216,7 @@ fn main() {
     for r in &rows {
         println!("{:<10} {:>14.3e} {:>14.3e} {:>8.2}", r.name, r.fitted, r.machine, r.ratio);
     }
-    println!(
-        "\nR²: sync comm {sync_r2:.4}, async comm {acomm_r2:.4}, async comp {acomp_r2:.4}"
-    );
+    println!("\nR²: sync comm {sync_r2:.4}, async comm {acomm_r2:.4}, async comp {acomp_r2:.4}");
     println!(
         "β_S fits above the machine value because measured sync time includes\n\
          multicast fan-out penalties and straggler waits the two-term model\n\

@@ -27,7 +27,8 @@ fn main() {
     println!("{:<24} {:<28} {:>10}", "Algorithm", "MPI Transfer Operations", "Uses plan");
     let mut out = Vec::new();
     for a in algorithms {
-        let row = Row { name: a.name(), mpi_operations: a.mpi_operations(), uses_plan: a.uses_plan() };
+        let row =
+            Row { name: a.name(), mpi_operations: a.mpi_operations(), uses_plan: a.uses_plan() };
         println!("{:<24} {:<28} {:>10}", row.name, row.mpi_operations, row.uses_plan);
         out.push(row);
     }

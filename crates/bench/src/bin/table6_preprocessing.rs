@@ -10,7 +10,9 @@
 use serde::Serialize;
 use std::time::Instant;
 use twoface_bench::{banner, default_cost, write_json, SuiteCache, DEFAULT_K, DEFAULT_P};
-use twoface_core::{prepare_plan, run_algorithm, Algorithm, RankMatrices, RunOptions, TwoFaceConfig};
+use twoface_core::{
+    prepare_plan, run_algorithm, Algorithm, RankMatrices, RunOptions, TwoFaceConfig,
+};
 use twoface_matrix::gen::SuiteMatrix;
 use twoface_matrix::io::{read_market, write_binary, write_market};
 use twoface_matrix::{CooMatrix, Triplet};
@@ -48,9 +50,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     for m in SuiteMatrix::ALL {
-        let problem = cache
-            .problem(m, DEFAULT_K, DEFAULT_P)
-            .expect("suite problems are valid");
+        let problem = cache.problem(m, DEFAULT_K, DEFAULT_P).expect("suite problems are valid");
         // Stage the textual input, as SuiteSparse distributes it (untimed).
         let mtx_path = tmp.join(format!("{}.mtx", m.short_name()));
         {
@@ -61,15 +61,14 @@ fn main() {
         // Preprocessing including I/O: read text, classify, build the two
         // Figure-6 matrices, write them in the bespoke binary format.
         let start = Instant::now();
-        let a = read_market(std::fs::File::open(&mtx_path).expect("mtx exists"))
-            .expect("mtx parses");
+        let a =
+            read_market(std::fs::File::open(&mtx_path).expect("mtx exists")).expect("mtx parses");
         let plan = prepare_plan(&problem, &coefficients, &cost);
         let per_rank: Vec<RankMatrices> = (0..DEFAULT_P)
             .map(|rank| RankMatrices::build(&a, &plan, rank, config.row_panel_height))
             .collect();
-        let offsets: Vec<usize> = (0..DEFAULT_P)
-            .map(|rank| plan.layout().row_range(rank).start)
-            .collect();
+        let offsets: Vec<usize> =
+            (0..DEFAULT_P).map(|rank| plan.layout().row_range(rank).start).collect();
         write_structures(&tmp, m.short_name(), &a, &per_rank, &offsets);
         let prep_io = start.elapsed().as_secs_f64();
 
@@ -85,13 +84,9 @@ fn main() {
 
         let tf = run_algorithm(Algorithm::TwoFace, &problem, &cost, &options)
             .expect("Two-Face fits on the whole suite");
-        let ds2 = run_algorithm(
-            Algorithm::DenseShifting { replication: 2 },
-            &problem,
-            &cost,
-            &options,
-        )
-        .expect("DS2 fits at K = 128");
+        let ds2 =
+            run_algorithm(Algorithm::DenseShifting { replication: 2 }, &problem, &cost, &options)
+                .expect("DS2 fits at K = 128");
         let saved_per_op = ds2.seconds - tf.seconds;
         let amortization = (saved_per_op > 0.0).then(|| prep / saved_per_op);
 
@@ -112,17 +107,14 @@ fn main() {
             row.spmm_seconds,
             row.t_norm_io,
             row.t_norm,
-            row.amortization_ops
-                .map_or("never".to_string(), |a| format!("{a:.0} ops")),
+            row.amortization_ops.map_or("never".to_string(), |a| format!("{a:.0} ops")),
         );
         rows.push(row);
         std::fs::remove_file(&mtx_path).ok();
     }
     let avg_io: f64 = rows.iter().map(|r| r.t_norm_io).sum::<f64>() / rows.len() as f64;
     let avg: f64 = rows.iter().map(|r| r.t_norm).sum::<f64>() / rows.len() as f64;
-    println!(
-        "\nAverage t_norm_IO = {avg_io:.1} (paper: 134.35), t_norm = {avg:.1} (paper: 24.27)"
-    );
+    println!("\nAverage t_norm_IO = {avg_io:.1} (paper: 134.35), t_norm = {avg:.1} (paper: 24.27)");
     write_json("table6_preprocessing", &rows);
 }
 
@@ -141,10 +133,7 @@ fn write_structures(
         // Rebase local rows back to global for a single container file.
         let offset = offsets[rank];
         sync_triplets.extend(
-            m.sync_local
-                .entries()
-                .iter()
-                .map(|t| Triplet::new(t.row + offset, t.col, t.val)),
+            m.sync_local.entries().iter().map(|t| Triplet::new(t.row + offset, t.col, t.val)),
         );
         for stripe in m.asynchronous.stripes() {
             async_triplets

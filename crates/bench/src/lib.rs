@@ -67,11 +67,7 @@ impl SuiteCache {
 
     /// The (cached) generated matrix.
     pub fn matrix(&mut self, m: SuiteMatrix) -> Arc<CooMatrix> {
-        Arc::clone(
-            self.matrices
-                .entry(m)
-                .or_insert_with(|| Arc::new(m.generate())),
-        )
+        Arc::clone(self.matrices.entry(m).or_insert_with(|| Arc::new(m.generate())))
     }
 
     /// A problem over `p` nodes with `k` dense columns and the matrix's

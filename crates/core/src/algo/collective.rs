@@ -5,7 +5,7 @@ use crate::kernels::{sync_panel_kernel, BlockRows};
 use crate::runner::{ExecOpts, Problem};
 use std::sync::Arc;
 use twoface_matrix::Triplet;
-use twoface_net::{Lane, PhaseClass, RankCtx};
+use twoface_net::{Lane, Payload, PhaseClass, RankCtx};
 
 /// Shared preprocessed inputs for the baselines, indexed by rank.
 pub(crate) struct BaselineData {
@@ -28,11 +28,8 @@ impl BaselineData {
         let layout = &problem.layout;
         let p = layout.nodes();
         let mut local_triplets: Vec<Vec<Triplet>> = vec![Vec::new(); p];
-        let mut triplets_by_block: Vec<Vec<Vec<Triplet>>> = if group_by_block {
-            vec![vec![Vec::new(); p]; p]
-        } else {
-            Vec::new()
-        };
+        let mut triplets_by_block: Vec<Vec<Vec<Triplet>>> =
+            if group_by_block { vec![vec![Vec::new(); p]; p] } else { Vec::new() };
         let mut needs: Vec<Vec<bool>> = vec![vec![false; p]; p];
         for (r, c, v) in problem.a.iter() {
             let rank = layout.owner_of_row(r);
@@ -44,9 +41,7 @@ impl BaselineData {
                 triplets_by_block[rank][owner].push(local);
             }
         }
-        let b_blocks = (0..p)
-            .map(|rank| Arc::new(problem.b_block(rank)))
-            .collect();
+        let b_blocks = (0..p).map(|rank| Arc::new(problem.b_block(rank))).collect();
         let needed_blocks = needs
             .into_iter()
             .enumerate()
@@ -110,8 +105,9 @@ pub(crate) fn async_coarse_rank(
     rows_src.add_block(layout.col_range(rank), Arc::clone(&data.b_blocks[rank]));
     for &owner in &data.needed_blocks[rank] {
         let cols = layout.col_range(owner);
-        let buf = ctx.win_get(win, owner, 0..cols.len() * opts.k, Lane::Sync, PhaseClass::AsyncComm);
-        rows_src.add_block(cols, Arc::new(buf));
+        let buf =
+            ctx.win_get(win, owner, 0..cols.len() * opts.k, Lane::Sync, PhaseClass::AsyncComm);
+        rows_src.add_block(cols, buf);
     }
     let local_rows = layout.row_range(rank).len();
     let mut c_local = vec![0.0; local_rows * opts.k];
@@ -154,11 +150,11 @@ pub(crate) fn dense_shifting_rank(
 
     // Replication phase: (c - 1) unit shifts pipe each block one hop, after
     // which rank r holds blocks {r, r-1, ..., r-c+1} — replication factor c.
-    let mut resident: Vec<Arc<Vec<f64>>> = vec![Arc::clone(&data.b_blocks[rank])];
-    let mut passing = Arc::clone(&data.b_blocks[rank]);
+    let mut resident: Vec<Payload> = vec![Payload::from(Arc::clone(&data.b_blocks[rank]))];
+    let mut passing = Payload::from(Arc::clone(&data.b_blocks[rank]));
     for _ in 1..c {
         passing = ctx.shift_ring(passing, 1);
-        resident.push(Arc::clone(&passing));
+        resident.push(passing.clone());
     }
 
     let local_rows = layout.row_range(rank).len();
@@ -169,7 +165,7 @@ pub(crate) fn dense_shifting_rank(
         let ids = ids_at(step);
         let mut rows_src = BlockRows::new(opts.k);
         for (id, buf) in ids.iter().zip(&resident) {
-            rows_src.add_block(layout.col_range(*id), Arc::clone(buf));
+            rows_src.add_block(layout.col_range(*id), buf.clone());
         }
         for &id in &ids {
             if processed[id] {
@@ -185,16 +181,16 @@ pub(crate) fn dense_shifting_rank(
         if step + 1 < steps {
             // Ship the whole resident group `c` ranks ahead in one
             // Sendrecv, as the real implementation does.
-            let concat: Vec<f64> =
-                resident.iter().flat_map(|b| b.iter().copied()).collect();
-            let received = ctx.shift_ring(Arc::new(concat), c);
-            // Split by the next step's block lengths.
+            let concat: Vec<f64> = resident.iter().flat_map(|b| b.iter().copied()).collect();
+            let received = ctx.shift_ring(concat, c);
+            // Split by the next step's block lengths — zero-copy views into
+            // the received super-block.
             let next_ids = ids_at(step + 1);
             let mut offset = 0usize;
             resident.clear();
             for &id in &next_ids {
                 let len = layout.col_range(id).len() * opts.k;
-                resident.push(Arc::new(received[offset..offset + len].to_vec()));
+                resident.push(received.subslice(offset..offset + len));
                 offset += len;
             }
             debug_assert_eq!(offset, received.len());

@@ -27,7 +27,7 @@ use crate::format::RankMatrices;
 use crate::kernels::{async_stripe_kernel, sync_panel_kernel, BlockRows, FetchedRows};
 use crate::runner::{ExecOpts, Problem};
 use std::sync::Arc;
-use twoface_net::{Lane, PhaseClass, RankCtx};
+use twoface_net::{Lane, Payload, PhaseClass, RankCtx};
 use twoface_partition::PartitionPlan;
 
 /// Shared preprocessed inputs for Two-Face and Async Fine, indexed by rank.
@@ -42,7 +42,11 @@ pub(crate) struct TwoFaceData {
 
 impl TwoFaceData {
     /// Builds all ranks' structures from a problem and plan.
-    pub fn build(problem: &Problem, plan: Arc<PartitionPlan>, config: &TwoFaceConfig) -> TwoFaceData {
+    pub fn build(
+        problem: &Problem,
+        plan: Arc<PartitionPlan>,
+        config: &TwoFaceConfig,
+    ) -> TwoFaceData {
         let p = problem.layout.nodes();
         let rank_matrices = (0..p)
             .map(|rank| RankMatrices::build(&problem.a, &plan, rank, config.row_panel_height))
@@ -83,9 +87,8 @@ pub(crate) fn twoface_rank_masked(
     let matrices = &data.rank_matrices[rank];
     let my_cols = layout.col_range(rank);
     let row_base = layout.row_range(rank).start;
-    let is_active = |t: &twoface_matrix::Triplet| {
-        mask.map_or(true, |m| m.is_active(row_base + t.row, t.col))
-    };
+    let is_active =
+        |t: &twoface_matrix::Triplet| mask.is_none_or(|m| m.is_active(row_base + t.row, t.col));
 
     // Window exposing this rank's B block for fine-grained gets; creation is
     // the "initial setup of data structures for MPI" that Figure 10 labels
@@ -106,10 +109,12 @@ pub(crate) fn twoface_rank_masked(
         }
         let owner = layout.stripe_owner(stripe);
         let payload = (owner == rank).then(|| {
+            // Zero-copy: the multicast payload is a view into the resident
+            // B block, not a materialised stripe copy.
             let cols = layout.stripe_cols(stripe);
             let lo = (cols.start - my_cols.start) * k;
             let hi = (cols.end - my_cols.start) * k;
-            Arc::new(data.b_blocks[rank][lo..hi].to_vec())
+            Payload::from(Arc::clone(&data.b_blocks[rank])).subslice(lo..hi)
         });
         let buf = ctx.multicast(stripe as u64, owner, &group, payload);
         if owner != rank {
@@ -127,18 +132,13 @@ pub(crate) fn twoface_rank_masked(
         let col_base = layout.col_range(owner).start;
         // Under a mask, only the surviving nonzeros' rows are fetched —
         // column-major order makes the filtered UniqueColIDs a single scan.
-        let (active, owner_local): (Vec<twoface_matrix::Triplet>, Vec<usize>) = if mask.is_some()
-        {
-            let active: Vec<_> =
-                stripe.entries.iter().filter(|t| is_active(t)).copied().collect();
+        let (active, owner_local): (Vec<twoface_matrix::Triplet>, Vec<usize>) = if mask.is_some() {
+            let active: Vec<_> = stripe.entries.iter().filter(|t| is_active(t)).copied().collect();
             let mut cols: Vec<usize> = active.iter().map(|t| t.col - col_base).collect();
             cols.dedup(); // column-major: already sorted by col
             (active, cols)
         } else {
-            (
-                Vec::new(),
-                stripe.unique_cols.iter().map(|c| c - col_base).collect(),
-            )
+            (Vec::new(), stripe.unique_cols.iter().map(|c| c - col_base).collect())
         };
         if owner_local.is_empty() && mask.is_some() {
             continue; // fully masked out: no transfer at all
@@ -165,15 +165,25 @@ pub(crate) fn twoface_rank_masked(
         ctx.advance(Lane::Async, compute_cost, PhaseClass::AsyncComp);
         if opts.compute {
             let rows_src = FetchedRows::new(&runs, col_base, fetched, k);
-            let entries = if mask.is_some() { &active } else { &stripe.entries };
             if row_major {
                 // Execute in row-major order with the buffered kernel; the
                 // numeric result is identical, only the summation order and
-                // the charged cost differ.
-                let mut sorted = entries.clone();
-                sorted.sort_by(|a, b| (a.row, a.col).cmp(&(b.row, b.col)));
-                sync_panel_kernel(&sorted, &rows_src, &mut c_local, k);
+                // the charged cost differ. The row-major ordering is
+                // precomputed at preprocessing time; a mask only needs a
+                // runtime filter, never a sort.
+                if mask.is_some() {
+                    let active_rm: Vec<twoface_matrix::Triplet> = stripe
+                        .entries_row_major()
+                        .iter()
+                        .filter(|t| is_active(t))
+                        .copied()
+                        .collect();
+                    sync_panel_kernel(&active_rm, &rows_src, &mut c_local, k);
+                } else {
+                    sync_panel_kernel(stripe.entries_row_major(), &rows_src, &mut c_local, k);
+                }
             } else {
+                let entries = if mask.is_some() { &active } else { &stripe.entries };
                 async_stripe_kernel(entries, &rows_src, &mut c_local, k);
             }
         }
@@ -188,22 +198,15 @@ pub(crate) fn twoface_rank_masked(
             sync_local.nnz()
         };
         if active_nnz > 0 {
-            let cost = ctx.cost().sync_compute_cost(
-                active_nnz,
-                k,
-                sync_local.num_nonempty_panels(),
-            );
+            let cost =
+                ctx.cost().sync_compute_cost(active_nnz, k, sync_local.num_nonempty_panels());
             ctx.advance(Lane::Sync, cost, PhaseClass::SyncComp);
         }
         if opts.compute {
             for panel in 0..sync_local.num_panels() {
                 if mask.is_some() {
-                    let active: Vec<twoface_matrix::Triplet> = sync_local
-                        .panel(panel)
-                        .iter()
-                        .filter(|t| is_active(t))
-                        .copied()
-                        .collect();
+                    let active: Vec<twoface_matrix::Triplet> =
+                        sync_local.panel(panel).iter().filter(|t| is_active(t)).copied().collect();
                     sync_panel_kernel(&active, &stripe_buffers, &mut c_local, k);
                 } else {
                     sync_panel_kernel(sync_local.panel(panel), &stripe_buffers, &mut c_local, k);

@@ -44,10 +44,9 @@ impl fmt::Display for RunError {
                 *required as f64 / (1 << 20) as f64,
                 *available as f64 / (1 << 20) as f64,
             ),
-            RunError::ReplicationExceedsNodes { replication, nodes } => write!(
-                f,
-                "replication factor {replication} exceeds node count {nodes}"
-            ),
+            RunError::ReplicationExceedsNodes { replication, nodes } => {
+                write!(f, "replication factor {replication} exceeds node count {nodes}")
+            }
             RunError::Shape { context } => write!(f, "shape mismatch: {context}"),
             RunError::ValidationFailed { max_abs_diff } => {
                 write!(f, "output differs from serial reference by up to {max_abs_diff:e}")

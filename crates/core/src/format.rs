@@ -80,12 +80,21 @@ pub struct AsyncStripe {
     /// The distinct global column ids of the entries, ascending — the
     /// `UniqueColIDs` of Algorithm 3, identifying the `B` rows to fetch.
     pub unique_cols: Vec<usize>,
+    /// The same nonzeros in row-major order, precomputed so the §7.1
+    /// row-major ablation does not re-sort the stripe on every run.
+    entries_row_major: Vec<Triplet>,
 }
 
 impl AsyncStripe {
     /// Nonzeros in this stripe.
     pub fn nnz(&self) -> usize {
         self.entries.len()
+    }
+
+    /// The stripe's nonzeros in row-major order (sorted by local row, then
+    /// column) — the traversal order of the §7.1 row-major ablation.
+    pub fn entries_row_major(&self) -> &[Triplet] {
+        &self.entries_row_major
     }
 }
 
@@ -148,10 +157,7 @@ impl RankMatrices {
             }
             let stripe = layout.stripe_of_col(c);
             let local = Triplet::new(r - rows.start, c, v);
-            match plan
-                .class_of(rank, stripe)
-                .expect("every nonzero's stripe is classified")
-            {
+            match plan.class_of(rank, stripe).expect("every nonzero's stripe is classified") {
                 StripeClass::Sync | StripeClass::LocalInput => sync_entries.push(local),
                 StripeClass::Async => async_buckets.entry(stripe).or_default().push(local),
             }
@@ -174,10 +180,13 @@ impl RankMatrices {
         let stripes = async_buckets
             .into_iter()
             .map(|(stripe, mut entries)| {
-                entries.sort_by(|a, b| (a.col, a.row).cmp(&(b.col, b.row)));
+                // The bucket preserves a.iter()'s row-major order; snapshot it
+                // before the column-major sort instead of re-sorting later.
+                let entries_row_major = entries.clone();
+                entries.sort_by_key(|t| (t.col, t.row));
                 let mut unique_cols: Vec<usize> = entries.iter().map(|t| t.col).collect();
                 unique_cols.dedup(); // sorted by col already
-                AsyncStripe { stripe, entries, unique_cols }
+                AsyncStripe { stripe, entries, unique_cols, entries_row_major }
             })
             .collect();
 
@@ -244,6 +253,11 @@ mod tests {
         // Column-major: col 4 first, then col 5 rows ascending.
         let order: Vec<(usize, usize)> = s2.entries.iter().map(|t| (t.col, t.row)).collect();
         assert_eq!(order, vec![(4, 2), (5, 0), (5, 2)]);
+        // The precomputed row-major view holds the same nonzeros sorted by
+        // (row, col).
+        let rm: Vec<(usize, usize)> =
+            s2.entries_row_major().iter().map(|t| (t.row, t.col)).collect();
+        assert_eq!(rm, vec![(0, 5), (2, 4), (2, 5)]);
     }
 
     #[test]
@@ -293,9 +307,7 @@ mod tests {
             4,
             PlanOptions::default(),
         );
-        let total: usize = (0..2)
-            .map(|rank| RankMatrices::build(&a, &plan, rank, 2).nnz())
-            .sum();
+        let total: usize = (0..2).map(|rank| RankMatrices::build(&a, &plan, rank, 2).nnz()).sum();
         assert_eq!(total, a.nnz());
     }
 

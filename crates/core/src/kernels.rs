@@ -12,9 +12,9 @@
 //!   nonzero on real hardware).
 
 use crate::coalesce::RowRun;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::cell::Cell;
 use twoface_matrix::{Scalar, Triplet};
+use twoface_net::Payload;
 
 /// A source of dense `B` rows addressed by global column id.
 pub trait RowSource {
@@ -37,31 +37,33 @@ pub trait RowSource {
 pub struct BlockRows {
     k: usize,
     /// `(col_start, col_end, buffer)`, sorted by `col_start`.
-    blocks: Vec<(usize, usize, Arc<Vec<Scalar>>)>,
+    blocks: Vec<(usize, usize, Payload)>,
+    /// Index of the block that satisfied the last lookup. Kernels walk
+    /// columns in runs, so consecutive lookups almost always hit the same
+    /// block; checking it first skips the binary search on the hot path.
+    last_hit: Cell<usize>,
 }
 
 impl BlockRows {
     /// Creates an empty source for `K` columns.
     pub fn new(k: usize) -> BlockRows {
         assert!(k > 0, "K must be positive");
-        BlockRows { k, blocks: Vec::new() }
+        BlockRows { k, blocks: Vec::new(), last_hit: Cell::new(0) }
     }
 
-    /// Adds a block buffer covering global columns `cols`.
+    /// Adds a block buffer covering global columns `cols`. Accepts anything
+    /// convertible into a [`Payload`] — an owned `Vec`, a shared
+    /// `Arc<Vec<f64>>`, or a zero-copy view returned by a collective.
     ///
     /// # Panics
     ///
     /// Panics if the buffer length is not `cols.len() * K`.
-    pub fn add_block(&mut self, cols: std::ops::Range<usize>, buffer: Arc<Vec<Scalar>>) {
-        assert_eq!(
-            buffer.len(),
-            cols.len() * self.k,
-            "block buffer for {cols:?} has wrong length"
-        );
-        let pos = self
-            .blocks
-            .partition_point(|&(start, _, _)| start < cols.start);
+    pub fn add_block(&mut self, cols: std::ops::Range<usize>, buffer: impl Into<Payload>) {
+        let buffer = buffer.into();
+        assert_eq!(buffer.len(), cols.len() * self.k, "block buffer for {cols:?} has wrong length");
+        let pos = self.blocks.partition_point(|&(start, _, _)| start < cols.start);
         self.blocks.insert(pos, (cols.start, cols.end, buffer));
+        self.last_hit.set(0);
     }
 
     /// Removes the block starting at `col_start`, if present (used by the
@@ -70,6 +72,7 @@ impl BlockRows {
         match self.blocks.binary_search_by_key(&col_start, |&(s, _, _)| s) {
             Ok(i) => {
                 self.blocks.remove(i);
+                self.last_hit.set(0);
                 true
             }
             Err(_) => false,
@@ -81,13 +84,22 @@ impl BlockRows {
         self.find(col).is_some()
     }
 
-    fn find(&self, col: usize) -> Option<(usize, &Arc<Vec<Scalar>>)> {
+    fn find(&self, col: usize) -> Option<(usize, &Payload)> {
+        if let Some(&(start, end, ref buf)) = self.blocks.get(self.last_hit.get()) {
+            if (start..end).contains(&col) {
+                return Some((col - start, buf));
+            }
+        }
         let i = self.blocks.partition_point(|&(start, _, _)| start <= col);
         if i == 0 {
             return None;
         }
         let (start, end, ref buf) = self.blocks[i - 1];
-        (col < end).then_some((col - start, buf))
+        if col >= end {
+            return None;
+        }
+        self.last_hit.set(i - 1);
+        Some((col - start, buf))
     }
 }
 
@@ -97,22 +109,27 @@ impl RowSource for BlockRows {
     }
 
     fn row(&self, col: usize) -> &[Scalar] {
-        let (offset, buf) = self
-            .find(col)
-            .unwrap_or_else(|| panic!("no block holds B row {col}"));
+        let (offset, buf) = self.find(col).unwrap_or_else(|| panic!("no block holds B row {col}"));
         &buf[offset * self.k..(offset + 1) * self.k]
     }
 }
 
 /// A [`RowSource`] over rows fetched by a coalesced one-sided get.
 ///
-/// Maps global column ids through the run list to slots in the received
-/// buffer (which may include padding rows from gap coalescing).
+/// Maps global column ids through a flat, sorted run table to slots in the
+/// received buffer (which may include padding rows from gap coalescing).
+/// Each run is `(col_start, col_end, slot_base)`: global columns
+/// `col_start..col_end` occupy consecutive slots starting at `slot_base`.
+/// Lookups binary-search the table, but first probe the run that satisfied
+/// the previous lookup — the async kernel walks columns in ascending order,
+/// so nearly every lookup after the first in a run is a cache hit.
 #[derive(Debug, Clone)]
 pub struct FetchedRows {
     k: usize,
     data: Vec<Scalar>,
-    slot_of_col: HashMap<usize, usize>,
+    runs: Vec<(usize, usize, usize)>,
+    num_rows: usize,
+    last_run: Cell<usize>,
 }
 
 impl FetchedRows {
@@ -126,20 +143,36 @@ impl FetchedRows {
         assert!(k > 0, "K must be positive");
         let total_rows: usize = runs.iter().map(|&(_, n)| n).sum();
         assert_eq!(data.len(), total_rows * k, "fetched buffer length mismatch");
-        let mut slot_of_col = HashMap::with_capacity(total_rows);
+        let mut table = Vec::with_capacity(runs.len());
         let mut slot = 0usize;
         for &(first, n) in runs {
-            for local_row in first..first + n {
-                slot_of_col.insert(col_base + local_row, slot);
-                slot += 1;
-            }
+            table.push((col_base + first, col_base + first + n, slot));
+            slot += n;
         }
-        FetchedRows { k, data, slot_of_col }
+        FetchedRows { k, data, runs: table, num_rows: total_rows, last_run: Cell::new(0) }
     }
 
     /// Number of rows held (needed + padding).
     pub fn num_rows(&self) -> usize {
-        self.slot_of_col.len()
+        self.num_rows
+    }
+
+    fn slot_of_col(&self, col: usize) -> Option<usize> {
+        if let Some(&(start, end, base)) = self.runs.get(self.last_run.get()) {
+            if (start..end).contains(&col) {
+                return Some(base + (col - start));
+            }
+        }
+        let i = self.runs.partition_point(|&(start, _, _)| start <= col);
+        if i == 0 {
+            return None;
+        }
+        let (start, end, base) = self.runs[i - 1];
+        if col >= end {
+            return None;
+        }
+        self.last_run.set(i - 1);
+        Some(base + (col - start))
     }
 }
 
@@ -149,10 +182,7 @@ impl RowSource for FetchedRows {
     }
 
     fn row(&self, col: usize) -> &[Scalar] {
-        let slot = *self
-            .slot_of_col
-            .get(&col)
-            .unwrap_or_else(|| panic!("B row {col} was not fetched"));
+        let slot = self.slot_of_col(col).unwrap_or_else(|| panic!("B row {col} was not fetched"));
         &self.data[slot * self.k..(slot + 1) * self.k]
     }
 }
@@ -228,6 +258,7 @@ pub fn async_stripe_kernel(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn arc_rows(rows: &[[Scalar; 2]]) -> Arc<Vec<Scalar>> {
         Arc::new(rows.iter().flatten().copied().collect())
@@ -280,13 +311,54 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "was not fetched")]
+    fn gap_between_runs_panics() {
+        let f = FetchedRows::new(&[(0, 1), (4, 1)], 10, vec![0.0; 4], 2);
+        let _ = f.row(12); // between run ends 11 and start 14
+    }
+
+    #[test]
+    #[should_panic(expected = "was not fetched")]
+    fn column_below_first_run_panics() {
+        let f = FetchedRows::new(&[(5, 1)], 10, vec![0.0, 0.0], 2);
+        let _ = f.row(3);
+    }
+
+    #[test]
+    fn fetched_rows_random_access_after_cached_run() {
+        // Jump between runs in both directions: the last-run cache must not
+        // return stale slots.
+        let data: Vec<f64> = (0..6).flat_map(|i| [i as f64, -(i as f64)]).collect();
+        let f = FetchedRows::new(&[(0, 2), (10, 2), (20, 2)], 0, data, 2);
+        assert_eq!(f.row(21), &[5.0, -5.0]);
+        assert_eq!(f.row(0), &[0.0, 0.0]);
+        assert_eq!(f.row(11), &[3.0, -3.0]);
+        assert_eq!(f.row(10), &[2.0, -2.0]);
+        assert_eq!(f.row(1), &[1.0, -1.0]);
+        assert_eq!(f.row(20), &[4.0, -4.0]);
+    }
+
+    #[test]
+    fn block_rows_random_access_after_cached_block() {
+        let mut b = BlockRows::new(1);
+        b.add_block(0..2, Arc::new(vec![0.0, 1.0]));
+        b.add_block(8..10, Arc::new(vec![8.0, 9.0]));
+        assert_eq!(b.row(9), &[9.0]);
+        assert_eq!(b.row(0), &[0.0]);
+        assert_eq!(b.row(8), &[8.0]);
+        assert!(!b.contains(5));
+        assert_eq!(b.row(1), &[1.0]);
+        // Removing a block invalidates the cached index.
+        assert!(b.remove_block(0));
+        assert_eq!(b.row(8), &[8.0]);
+        assert!(!b.contains(1));
+    }
+
+    #[test]
     fn sync_kernel_accumulates_per_row() {
         // Panel: row 0 has cols 0 and 1; row 2 has col 1. K=2.
-        let panel = vec![
-            Triplet::new(0, 0, 2.0),
-            Triplet::new(0, 1, 3.0),
-            Triplet::new(2, 1, 10.0),
-        ];
+        let panel =
+            vec![Triplet::new(0, 0, 2.0), Triplet::new(0, 1, 3.0), Triplet::new(2, 1, 10.0)];
         let mut b = BlockRows::new(2);
         b.add_block(0..2, arc_rows(&[[1.0, 10.0], [2.0, 20.0]]));
         let mut c = vec![0.0; 3 * 2];
@@ -319,13 +391,10 @@ mod tests {
         // The same nonzeros in row-major vs column-major order produce the
         // same C (different summation order, identical here by exactness of
         // small integer-valued doubles).
-        let row_major = vec![
-            Triplet::new(0, 0, 1.0),
-            Triplet::new(0, 1, 2.0),
-            Triplet::new(1, 0, 3.0),
-        ];
+        let row_major =
+            vec![Triplet::new(0, 0, 1.0), Triplet::new(0, 1, 2.0), Triplet::new(1, 0, 3.0)];
         let mut col_major = row_major.clone();
-        col_major.sort_by(|a, b| (a.col, a.row).cmp(&(b.col, b.row)));
+        col_major.sort_by_key(|t| (t.col, t.row));
         let mut b = BlockRows::new(2);
         b.add_block(0..2, arc_rows(&[[1.0, 2.0], [3.0, 4.0]]));
         let mut c_sync = vec![0.0; 4];

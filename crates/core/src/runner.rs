@@ -47,12 +47,7 @@ impl Problem {
     ) -> Result<Problem, RunError> {
         if b.rows() != a.cols() {
             return Err(RunError::Shape {
-                context: format!(
-                    "A is {}x{} but B has {} rows",
-                    a.rows(),
-                    a.cols(),
-                    b.rows()
-                ),
+                context: format!("A is {}x{} but B has {} rows", a.rows(), a.cols(), b.rows()),
             });
         }
         if p == 0 || stripe_width == 0 || p > a.rows().max(1) || p > a.cols().max(1) {
@@ -288,12 +283,7 @@ pub fn run_spmv(
     let problem = Problem::new(a, Arc::new(b), p, stripe_width)?;
     let options = RunOptions { compute_values: true, ..options.clone() };
     let report = run_algorithm(algorithm, &problem, cost, &options)?;
-    let y = report
-        .output
-        .as_ref()
-        .expect("compute_values forced on")
-        .as_slice()
-        .to_vec();
+    let y = report.output.as_ref().expect("compute_values forced on").as_slice().to_vec();
     Ok((y, report))
 }
 
@@ -318,10 +308,7 @@ pub fn prepare_plan_with_classifier(
     classifier: ClassifierKind,
 ) -> PartitionPlan {
     let k = problem.k();
-    let base = (0..problem.layout.nodes())
-        .map(|rank| base_bytes(problem, rank))
-        .max()
-        .unwrap_or(0);
+    let base = base_bytes_all_ranks(problem).into_iter().max().unwrap_or(0);
     // Leave headroom for the asynchronous fetch buffers (bounded by twice
     // the widest stripe's rows) so the capped plan is actually runnable.
     let fetch_allowance = 2 * problem.layout.stripe_width() * k * SCALAR_BYTES;
@@ -335,19 +322,25 @@ pub fn prepare_plan_with_classifier(
     )
 }
 
-/// Bytes of a rank's own operands: its `A` partition, `B` block, and `C`
-/// block.
-fn base_bytes(problem: &Problem, rank: usize) -> usize {
+/// Bytes of every rank's own operands: its `A` partition, `B` block, and `C`
+/// block — computed for all ranks in one pass over the matrix (nonzeros are
+/// bucketed by row owner) instead of one full scan per rank.
+fn base_bytes_all_ranks(problem: &Problem) -> Vec<usize> {
     let k = problem.k();
     let layout = &problem.layout;
-    let nnz_local = problem
-        .a
-        .iter()
-        .filter(|&(r, _, _)| layout.row_range(rank).contains(&r))
-        .count();
-    nnz_local * NNZ_BYTES
-        + layout.col_range(rank).len() * k * SCALAR_BYTES
-        + layout.row_range(rank).len() * k * SCALAR_BYTES
+    let mut nnz_local = vec![0usize; layout.nodes()];
+    for (r, _, _) in problem.a.iter() {
+        nnz_local[layout.owner_of_row(r)] += 1;
+    }
+    nnz_local
+        .into_iter()
+        .enumerate()
+        .map(|(rank, nnz)| {
+            nnz * NNZ_BYTES
+                + layout.col_range(rank).len() * k * SCALAR_BYTES
+                + layout.row_range(rank).len() * k * SCALAR_BYTES
+        })
+        .collect()
 }
 
 /// Estimated peak memory per rank for an algorithm, in bytes.
@@ -365,19 +358,15 @@ fn memory_estimates(
     let k = problem.k();
     let row_bytes = k * SCALAR_BYTES;
     let max_block = (0..p).map(|r| layout.col_range(r).len()).max().unwrap_or(0);
+    let base_all = base_bytes_all_ranks(problem);
     (0..p)
         .map(|rank| {
-            let base = base_bytes(problem, rank);
+            let base = base_all[rank];
             let extra = match algorithm {
-                Algorithm::Allgather => {
-                    (layout.cols() - layout.col_range(rank).len()) * row_bytes
-                }
+                Algorithm::Allgather => (layout.cols() - layout.col_range(rank).len()) * row_bytes,
                 Algorithm::AsyncCoarse => {
                     let needed = &baseline.expect("baseline data built").needed_blocks[rank];
-                    needed
-                        .iter()
-                        .map(|&owner| layout.col_range(owner).len() * row_bytes)
-                        .sum()
+                    needed.iter().map(|&owner| layout.col_range(owner).len() * row_bytes).sum()
                 }
                 Algorithm::DenseShifting { replication } => {
                     // c resident blocks plus the in-flight super-block.
@@ -460,9 +449,7 @@ pub fn run_algorithm(
     // The machine the run actually experiences, with the thread split
     // folded in — also what a calibration run would have profiled.
     let effective = options.config.effective_cost(cost);
-    let coefficients = options
-        .coefficients
-        .unwrap_or_else(|| ModelCoefficients::from(&effective));
+    let coefficients = options.coefficients.unwrap_or_else(|| ModelCoefficients::from(&effective));
 
     // Preprocessing / data staging (untimed, like loading the preprocessed
     // matrices from disk in the real system).
@@ -483,19 +470,13 @@ pub fn run_algorithm(
     let baseline: Option<BaselineData> = if algorithm.uses_plan() {
         None
     } else {
-        Some(BaselineData::build(
-            problem,
-            matches!(algorithm, Algorithm::DenseShifting { .. }),
-        ))
+        Some(BaselineData::build(problem, matches!(algorithm, Algorithm::DenseShifting { .. })))
     };
 
     // Memory feasibility.
     let estimates = memory_estimates(algorithm, problem, baseline.as_ref(), plan.as_deref());
-    let (worst_rank, &required) = estimates
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, &bytes)| bytes)
-        .expect("at least one rank");
+    let (worst_rank, &required) =
+        estimates.iter().enumerate().max_by_key(|&(_, &bytes)| bytes).expect("at least one rank");
     if required > cost.memory_per_node {
         return Err(RunError::OutOfMemory {
             rank: worst_rank,
@@ -504,8 +485,7 @@ pub fn run_algorithm(
         });
     }
 
-    let twoface_data = plan
-        .map(|plan| TwoFaceData::build(problem, plan, &options.config));
+    let twoface_data = plan.map(|plan| TwoFaceData::build(problem, plan, &options.config));
 
     // Execute.
     let cluster = Cluster::new(p, effective);
@@ -516,13 +496,9 @@ pub fn run_algorithm(
         Algorithm::AsyncCoarse => {
             async_coarse_rank(ctx, baseline.as_ref().expect("built"), problem, &exec)
         }
-        Algorithm::DenseShifting { replication } => dense_shifting_rank(
-            ctx,
-            baseline.as_ref().expect("built"),
-            problem,
-            replication,
-            &exec,
-        ),
+        Algorithm::DenseShifting { replication } => {
+            dense_shifting_rank(ctx, baseline.as_ref().expect("built"), problem, replication, &exec)
+        }
         Algorithm::TwoFace | Algorithm::AsyncFine => twoface_rank(
             ctx,
             twoface_data.as_ref().expect("built"),
@@ -533,11 +509,8 @@ pub fn run_algorithm(
     });
 
     // Assemble and summarize.
-    let critical_rank = outputs
-        .iter()
-        .max_by_key(|o| o.finish_time())
-        .expect("at least one rank")
-        .rank;
+    let critical_rank =
+        outputs.iter().max_by_key(|o| o.finish_time()).expect("at least one rank").rank;
     let seconds = outputs[critical_rank].finish_time().seconds();
     let critical_breakdown = Breakdown::from_trace(&outputs[critical_rank].trace);
     let mut mean_breakdown = Breakdown::default();
@@ -567,10 +540,7 @@ pub fn run_algorithm(
         for o in &outputs {
             flat.extend_from_slice(&o.result);
         }
-        Some(
-            DenseMatrix::from_vec(problem.a.rows(), k, flat)
-                .expect("rank blocks tile C exactly"),
-        )
+        Some(DenseMatrix::from_vec(problem.a.rows(), k, flat).expect("rank blocks tile C exactly"))
     } else {
         None
     };

@@ -43,10 +43,7 @@ impl EdgeSampler {
     ///
     /// Panics if `keep_probability` is not in `[0, 1]`.
     pub fn new(keep_probability: f64, seed: u64) -> EdgeSampler {
-        assert!(
-            (0.0..=1.0).contains(&keep_probability),
-            "keep_probability must be a probability"
-        );
+        assert!((0.0..=1.0).contains(&keep_probability), "keep_probability must be a probability");
         EdgeSampler { keep_probability, seed }
     }
 
@@ -85,12 +82,8 @@ impl EdgeMask {
     /// Materializes the sampled matrix (used by correctness oracles; the
     /// runtime never builds it).
     pub fn apply(&self, a: &CooMatrix) -> CooMatrix {
-        let triplets: Vec<_> = a
-            .triplets()
-            .iter()
-            .filter(|t| self.is_active(t.row, t.col))
-            .copied()
-            .collect();
+        let triplets: Vec<_> =
+            a.triplets().iter().filter(|t| self.is_active(t.row, t.col)).copied().collect();
         CooMatrix::from_sorted_triplets(a.rows(), a.cols(), triplets)
             .expect("filtering preserves order and bounds")
     }
@@ -135,14 +128,10 @@ pub fn run_sampled_twoface(
     let data = TwoFaceData::build(problem, plan, &options.config);
     let p = problem.layout.nodes();
     let cluster = Cluster::new(p, effective);
-    let outputs = cluster.run(|ctx| {
-        twoface_rank_masked(ctx, &data, problem, &options.config, &exec, Some(&mask))
-    });
+    let outputs = cluster
+        .run(|ctx| twoface_rank_masked(ctx, &data, problem, &options.config, &exec, Some(&mask)));
 
-    let seconds = outputs
-        .iter()
-        .map(|o| o.finish_time().seconds())
-        .fold(0.0, f64::max);
+    let seconds = outputs.iter().map(|o| o.finish_time().seconds()).fold(0.0, f64::max);
     let elements_received = outputs.iter().map(|o| o.trace.elements_received).sum();
     let sampled = mask.apply(&problem.a);
     let output = if exec.compute {
@@ -161,12 +150,7 @@ pub fn run_sampled_twoface(
             return Err(RunError::ValidationFailed { max_abs_diff: got.max_abs_diff(&want) });
         }
     }
-    Ok(SampledReport {
-        seconds,
-        elements_received,
-        active_nnz: sampled.nnz(),
-        output,
-    })
+    Ok(SampledReport { seconds, elements_received, active_nnz: sampled.nnz(), output })
 }
 
 #[cfg(test)]
@@ -178,7 +162,13 @@ mod tests {
 
     fn fixture() -> (Problem, Arc<PartitionPlan>, CostModel) {
         let a = webcrawl(
-            &WebcrawlConfig { n: 512, hosts: 16, per_row: 6, intra_host: 0.7, ..Default::default() },
+            &WebcrawlConfig {
+                n: 512,
+                hosts: 16,
+                per_row: 6,
+                intra_host: 0.7,
+                ..Default::default()
+            },
             55,
         );
         let problem = Problem::with_generated_b(Arc::new(a), 8, 4, 32).expect("valid");

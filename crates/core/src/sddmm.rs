@@ -67,10 +67,8 @@ pub fn reference_sddmm(a: &CooMatrix, x: &DenseMatrix, y: &DenseMatrix) -> CooMa
     assert_eq!(x.rows(), a.rows(), "X must have one row per A row");
     assert_eq!(y.rows(), a.cols(), "Y must have one row per A column");
     assert_eq!(x.cols(), y.cols(), "X and Y must share K");
-    let triplets: Vec<Triplet> = a
-        .iter()
-        .map(|(r, c, v)| Triplet::new(r, c, v * dot(x.row(r), y.row(c))))
-        .collect();
+    let triplets: Vec<Triplet> =
+        a.iter().map(|(r, c, v)| Triplet::new(r, c, v * dot(x.row(r), y.row(c)))).collect();
     CooMatrix::from_sorted_triplets(a.rows(), a.cols(), triplets)
         .expect("pattern unchanged, still sorted and in bounds")
 }
@@ -109,9 +107,7 @@ pub fn run_sddmm(
         });
     }
     let effective = options.config.effective_cost(cost);
-    let coefficients = options
-        .coefficients
-        .unwrap_or_else(|| ModelCoefficients::from(&effective));
+    let coefficients = options.coefficients.unwrap_or_else(|| ModelCoefficients::from(&effective));
     let plan: Arc<PartitionPlan> = match (&options.plan, algorithm) {
         (Some(plan), _) => Arc::clone(plan),
         (None, SddmmAlgorithm::AsyncFine) => Arc::new(PartitionPlan::build_uniform(
@@ -135,14 +131,10 @@ pub fn run_sddmm(
 
     let p = problem.layout.nodes();
     let cluster = Cluster::new(p, effective);
-    let outputs = cluster.run(|ctx| {
-        sddmm_rank(ctx, &data, problem, x, &options.config, compute, algorithm)
-    });
+    let outputs =
+        cluster.run(|ctx| sddmm_rank(ctx, &data, problem, x, &options.config, compute, algorithm));
 
-    let seconds = outputs
-        .iter()
-        .map(|o| o.finish_time().seconds())
-        .fold(0.0, f64::max);
+    let seconds = outputs.iter().map(|o| o.finish_time().seconds()).fold(0.0, f64::max);
     let elements_received = outputs.iter().map(|o| o.trace.elements_received).sum();
     let output = if compute {
         let mut triplets: Vec<Triplet> = Vec::with_capacity(problem.a.nnz());
@@ -168,12 +160,7 @@ pub fn run_sddmm(
             return Err(RunError::ValidationFailed { max_abs_diff: max_diff });
         }
     }
-    Ok(SddmmReport {
-        algorithm: algorithm.to_string(),
-        seconds,
-        elements_received,
-        output,
-    })
+    Ok(SddmmReport { algorithm: algorithm.to_string(), seconds, elements_received, output })
 }
 
 /// Per-rank SDDMM body: Two-Face's transfer schedule with dot-product
@@ -209,10 +196,11 @@ fn sddmm_rank(
         }
         let owner = layout.stripe_owner(stripe);
         let payload = (owner == rank).then(|| {
+            // Zero-copy stripe view, as in the SpMM sync lane.
             let cols = layout.stripe_cols(stripe);
             let lo = (cols.start - my_cols.start) * k;
             let hi = (cols.end - my_cols.start) * k;
-            Arc::new(data.b_blocks[rank][lo..hi].to_vec())
+            twoface_net::Payload::from(Arc::clone(&data.b_blocks[rank])).subslice(lo..hi)
         });
         let buf = ctx.multicast(stripe as u64, owner, &group, payload);
         if owner != rank {
@@ -227,8 +215,7 @@ fn sddmm_rank(
     for stripe in matrices.asynchronous.stripes() {
         let owner = layout.stripe_owner(stripe.stripe);
         let col_base = layout.col_range(owner).start;
-        let owner_local: Vec<usize> =
-            stripe.unique_cols.iter().map(|c| c - col_base).collect();
+        let owner_local: Vec<usize> = stripe.unique_cols.iter().map(|c| c - col_base).collect();
         let (runs, _) = coalesce_rows(&owner_local, max_distance);
         let fetched = ctx.win_rget_rows(win, owner, &runs, k);
         let cost = ctx.cost().async_compute_cost(stripe.nnz(), k, 1);
@@ -245,11 +232,8 @@ fn sddmm_rank(
     // Sync lane: row-panel dot products over sync/local-input entries.
     let sync_local = &matrices.sync_local;
     if sync_local.nnz() > 0 {
-        let cost = ctx.cost().sync_compute_cost(
-            sync_local.nnz(),
-            k,
-            sync_local.num_nonempty_panels(),
-        );
+        let cost =
+            ctx.cost().sync_compute_cost(sync_local.nnz(), k, sync_local.num_nonempty_panels());
         ctx.advance(Lane::Sync, cost, PhaseClass::SyncComp);
         if compute {
             for t in sync_local.entries() {
@@ -267,12 +251,9 @@ mod tests {
     use twoface_matrix::gen::{webcrawl, WebcrawlConfig};
 
     fn fixture() -> (Problem, DenseMatrix) {
-        let a = webcrawl(
-            &WebcrawlConfig { n: 512, hosts: 16, per_row: 6, ..Default::default() },
-            31,
-        );
-        let problem =
-            Problem::with_generated_b(Arc::new(a), 8, 4, 32).expect("fixture is valid");
+        let a =
+            webcrawl(&WebcrawlConfig { n: 512, hosts: 16, per_row: 6, ..Default::default() }, 31);
+        let problem = Problem::with_generated_b(Arc::new(a), 8, 4, 32).expect("fixture is valid");
         let x = DenseMatrix::from_fn(512, 8, |i, j| ((i * 3 + j) % 7) as f64 / 7.0);
         (problem, x)
     }
@@ -292,11 +273,8 @@ mod tests {
         let (problem, x) = fixture();
         let cost = CostModel::delta_scaled();
         let options = RunOptions { validate: true, ..Default::default() };
-        for algo in [
-            SddmmAlgorithm::TwoFace,
-            SddmmAlgorithm::AsyncFine,
-            SddmmAlgorithm::Allgather,
-        ] {
+        for algo in [SddmmAlgorithm::TwoFace, SddmmAlgorithm::AsyncFine, SddmmAlgorithm::Allgather]
+        {
             let report = run_sddmm(algo, &problem, &x, &cost, &options)
                 .unwrap_or_else(|e| panic!("{algo} failed: {e}"));
             assert!(report.seconds > 0.0);
@@ -308,14 +286,9 @@ mod tests {
     fn output_pattern_matches_input_pattern() {
         let (problem, x) = fixture();
         let cost = CostModel::delta_scaled();
-        let report = run_sddmm(
-            SddmmAlgorithm::TwoFace,
-            &problem,
-            &x,
-            &cost,
-            &RunOptions::default(),
-        )
-        .unwrap();
+        let report =
+            run_sddmm(SddmmAlgorithm::TwoFace, &problem, &x, &cost, &RunOptions::default())
+                .unwrap();
         let out = report.output.unwrap();
         for ((r1, c1, _), (r2, c2, _)) in out.iter().zip(problem.a.iter()) {
             assert_eq!((r1, c1), (r2, c2));
@@ -345,8 +318,8 @@ mod tests {
         let cost = CostModel::delta_scaled();
         let options = RunOptions { compute_values: false, ..Default::default() };
         let sddmm = run_sddmm(SddmmAlgorithm::TwoFace, &problem, &x, &cost, &options).unwrap();
-        let spmm = crate::run_algorithm(crate::Algorithm::TwoFace, &problem, &cost, &options)
-            .unwrap();
+        let spmm =
+            crate::run_algorithm(crate::Algorithm::TwoFace, &problem, &cost, &options).unwrap();
         assert_eq!(sddmm.elements_received, spmm.elements_received);
     }
 }

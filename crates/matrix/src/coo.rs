@@ -86,7 +86,7 @@ impl CooMatrix {
             }
             entries.push(t);
         }
-        entries.sort_by(|a, b| (a.row, a.col).cmp(&(b.row, b.col)));
+        entries.sort_by_key(|t| (t.row, t.col));
         // Sum duplicates in place.
         let mut out: Vec<Triplet> = Vec::with_capacity(entries.len());
         for t in entries {
@@ -194,11 +194,7 @@ impl CooMatrix {
             .filter(|t| row_range.contains(&t.row))
             .map(|t| Triplet::new(t.row - row_range.start, t.col, t.val))
             .collect();
-        CooMatrix {
-            rows: row_range.len(),
-            cols: self.cols,
-            entries,
-        }
+        CooMatrix { rows: row_range.len(), cols: self.cols, entries }
     }
 
     /// Converts to CSR (compressed sparse row).
@@ -213,12 +209,9 @@ impl CooMatrix {
 
     /// Returns the transpose as a new COO matrix.
     pub fn transpose(&self) -> CooMatrix {
-        let mut entries: Vec<Triplet> = self
-            .entries
-            .iter()
-            .map(|t| Triplet::new(t.col, t.row, t.val))
-            .collect();
-        entries.sort_by(|a, b| (a.row, a.col).cmp(&(b.row, b.col)));
+        let mut entries: Vec<Triplet> =
+            self.entries.iter().map(|t| Triplet::new(t.col, t.row, t.val)).collect();
+        entries.sort_by_key(|t| (t.row, t.col));
         CooMatrix { rows: self.cols, cols: self.rows, entries }
     }
 

@@ -91,10 +91,7 @@ impl CscMatrix {
     pub fn col_entries(&self, col: usize) -> impl Iterator<Item = (usize, Scalar)> + '_ {
         let lo = self.col_ptrs[col];
         let hi = self.col_ptrs[col + 1];
-        self.row_ids[lo..hi]
-            .iter()
-            .copied()
-            .zip(self.vals[lo..hi].iter().copied())
+        self.row_ids[lo..hi].iter().copied().zip(self.vals[lo..hi].iter().copied())
     }
 
     /// Number of nonzeros in one column.
@@ -132,12 +129,8 @@ mod tests {
     use crate::CooMatrix;
 
     fn sample() -> CooMatrix {
-        CooMatrix::from_triplets(
-            3,
-            4,
-            vec![(0, 0, 1.0), (0, 3, 2.0), (2, 1, 3.0), (1, 3, 4.0)],
-        )
-        .unwrap()
+        CooMatrix::from_triplets(3, 4, vec![(0, 0, 1.0), (0, 3, 2.0), (2, 1, 3.0), (1, 3, 4.0)])
+            .unwrap()
     }
 
     #[test]
@@ -151,13 +144,9 @@ mod tests {
 
     #[test]
     fn rows_within_column_are_sorted() {
-        let m = CooMatrix::from_triplets(
-            5,
-            2,
-            vec![(4, 0, 1.0), (0, 0, 2.0), (2, 0, 3.0)],
-        )
-        .unwrap()
-        .to_csc();
+        let m = CooMatrix::from_triplets(5, 2, vec![(4, 0, 1.0), (0, 0, 2.0), (2, 0, 3.0)])
+            .unwrap()
+            .to_csc();
         let rows: Vec<usize> = m.col_entries(0).map(|(r, _)| r).collect();
         assert_eq!(rows, vec![0, 2, 4]);
     }

@@ -88,10 +88,7 @@ impl CsrMatrix {
     pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (usize, Scalar)> + '_ {
         let lo = self.row_ptrs[row];
         let hi = self.row_ptrs[row + 1];
-        self.col_ids[lo..hi]
-            .iter()
-            .copied()
-            .zip(self.vals[lo..hi].iter().copied())
+        self.col_ids[lo..hi].iter().copied().zip(self.vals[lo..hi].iter().copied())
     }
 
     /// Number of nonzeros in one row.
@@ -186,10 +183,7 @@ impl CsrMatrix {
         for &c in &self.col_ids {
             seen[c] = true;
         }
-        seen.iter()
-            .enumerate()
-            .filter_map(|(i, &s)| s.then_some(i))
-            .collect()
+        seen.iter().enumerate().filter_map(|(i, &s)| s.then_some(i)).collect()
     }
 }
 
@@ -199,13 +193,9 @@ mod tests {
     use crate::CooMatrix;
 
     fn sample() -> CsrMatrix {
-        CooMatrix::from_triplets(
-            3,
-            4,
-            vec![(0, 0, 1.0), (0, 3, 2.0), (2, 1, 3.0), (2, 2, 4.0)],
-        )
-        .unwrap()
-        .to_csr()
+        CooMatrix::from_triplets(3, 4, vec![(0, 0, 1.0), (0, 3, 2.0), (2, 1, 3.0), (2, 2, 4.0)])
+            .unwrap()
+            .to_csr()
     }
 
     #[test]
@@ -220,12 +210,8 @@ mod tests {
 
     #[test]
     fn coo_round_trip() {
-        let coo = CooMatrix::from_triplets(
-            5,
-            5,
-            vec![(0, 1, 1.0), (4, 4, 2.0), (2, 0, 3.0)],
-        )
-        .unwrap();
+        let coo =
+            CooMatrix::from_triplets(5, 5, vec![(0, 1, 1.0), (4, 4, 2.0), (2, 0, 3.0)]).unwrap();
         assert_eq!(coo.to_csr().to_coo(), coo);
     }
 
@@ -249,13 +235,7 @@ mod tests {
     #[test]
     fn spmm_accumulate_adds_to_existing() {
         let a = sample();
-        let b = DenseMatrix::from_rows(vec![
-            vec![1.0],
-            vec![1.0],
-            vec![1.0],
-            vec![1.0],
-        ])
-        .unwrap();
+        let b = DenseMatrix::from_rows(vec![vec![1.0], vec![1.0], vec![1.0], vec![1.0]]).unwrap();
         let mut c = DenseMatrix::from_elem(3, 1, 100.0);
         a.spmm_accumulate(&b, &mut c);
         assert_eq!(c.row(0), &[103.0]);
@@ -273,13 +253,9 @@ mod tests {
 
     #[test]
     fn referenced_cols_deduplicates() {
-        let m = CooMatrix::from_triplets(
-            2,
-            6,
-            vec![(0, 5, 1.0), (0, 1, 1.0), (1, 5, 1.0)],
-        )
-        .unwrap()
-        .to_csr();
+        let m = CooMatrix::from_triplets(2, 6, vec![(0, 5, 1.0), (0, 1, 1.0), (1, 5, 1.0)])
+            .unwrap()
+            .to_csr();
         assert_eq!(m.referenced_cols(), vec![1, 5]);
     }
 

@@ -168,11 +168,7 @@ impl DenseMatrix {
     ///
     /// Panics if the range is out of bounds.
     pub fn slice_rows(&self, range: std::ops::Range<usize>) -> DenseMatrix {
-        DenseMatrix {
-            rows: range.len(),
-            cols: self.cols,
-            data: self.row_range(range).to_vec(),
-        }
+        DenseMatrix { rows: range.len(), cols: self.cols, data: self.row_range(range).to_vec() }
     }
 
     /// The flat row-major data buffer.
@@ -255,11 +251,7 @@ impl DenseMatrix {
     pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
         assert_eq!(self.rows, other.rows, "row mismatch in max_abs_diff");
         assert_eq!(self.cols, other.cols, "col mismatch in max_abs_diff");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// Whether all elements are within `tol` of `other`, relative to the

@@ -43,17 +43,15 @@ pub enum MatrixError {
 impl fmt::Display for MatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MatrixError::CoordinateOutOfBounds { row, col, rows, cols } => write!(
-                f,
-                "nonzero at ({row}, {col}) is outside the {rows}x{cols} matrix"
-            ),
+            MatrixError::CoordinateOutOfBounds { row, col, rows, cols } => {
+                write!(f, "nonzero at ({row}, {col}) is outside the {rows}x{cols} matrix")
+            }
             MatrixError::DimensionMismatch { context } => {
                 write!(f, "dimension mismatch: {context}")
             }
-            MatrixError::RaggedRows { expected, found, row } => write!(
-                f,
-                "ragged dense rows: row {row} has {found} entries, expected {expected}"
-            ),
+            MatrixError::RaggedRows { expected, found, row } => {
+                write!(f, "ragged dense rows: row {row} has {found} entries, expected {expected}")
+            }
             MatrixError::Io(e) => write!(f, "matrix i/o error: {e}"),
             MatrixError::Parse { line, message } => {
                 if *line == 0 {

@@ -48,10 +48,7 @@ impl Default for BandedConfig {
 /// ```
 pub fn banded(config: &BandedConfig, seed: u64) -> CooMatrix {
     assert!(config.n > 0, "banded matrix dimension must be positive");
-    assert!(
-        (0.0..=1.0).contains(&config.escape_fraction),
-        "escape_fraction must be a probability"
-    );
+    assert!((0.0..=1.0).contains(&config.escape_fraction), "escape_fraction must be a probability");
     let n = config.n;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut triplets = Vec::with_capacity(n * config.per_row);
@@ -87,7 +84,7 @@ mod tests {
     #[test]
     fn diagonal_always_present() {
         let m = banded(&BandedConfig { n: 100, ..Default::default() }, 5);
-        let mut has_diag = vec![false; 100];
+        let mut has_diag = [false; 100];
         for (r, c, _) in m.iter() {
             if r == c {
                 has_diag[r] = true;

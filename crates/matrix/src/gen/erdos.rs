@@ -22,11 +22,7 @@ pub fn erdos_renyi(rows: usize, cols: usize, nnz: usize, seed: u64) -> CooMatrix
     let mut rng = StdRng::seed_from_u64(seed);
     let triplets: Vec<(usize, usize, f64)> = (0..nnz)
         .map(|_| {
-            (
-                rng.gen_range(0..rows.max(1)),
-                rng.gen_range(0..cols.max(1)),
-                draw_value(&mut rng),
-            )
+            (rng.gen_range(0..rows.max(1)), rng.gen_range(0..cols.max(1)), draw_value(&mut rng))
         })
         .collect();
     if rows == 0 || cols == 0 {

@@ -64,14 +64,8 @@ impl Default for HubConfig {
 /// ```
 pub fn hub_traffic(config: &HubConfig, seed: u64) -> CooMatrix {
     assert!(config.hubs > 0 && config.hubs <= config.n, "hub count must be in 1..=n");
-    assert!(
-        (0.0..=1.0).contains(&config.hub_probability),
-        "hub_probability must be a probability"
-    );
-    assert!(
-        (0.0..=1.0).contains(&config.tail_locality),
-        "tail_locality must be a probability"
-    );
+    assert!((0.0..=1.0).contains(&config.hub_probability), "hub_probability must be a probability");
+    assert!((0.0..=1.0).contains(&config.tail_locality), "tail_locality must be a probability");
     let mut rng = StdRng::seed_from_u64(seed);
     let stride = config.n / config.hubs;
     let hub_ids: Vec<usize> = (0..config.hubs).map(|h| h * stride).collect();
@@ -103,7 +97,13 @@ mod tests {
 
     #[test]
     fn hubs_dominate_column_mass() {
-        let cfg = HubConfig { n: 4096, nnz: 1 << 15, hubs: 8, hub_probability: 0.7, ..Default::default() };
+        let cfg = HubConfig {
+            n: 4096,
+            nnz: 1 << 15,
+            hubs: 8,
+            hub_probability: 0.7,
+            ..Default::default()
+        };
         let m = hub_traffic(&cfg, 3);
         let counts = m.col_counts();
         let stride = cfg.n / cfg.hubs;
@@ -111,16 +111,18 @@ mod tests {
         // 70% of drawn column endpoints target 8 hubs, but hub-to-hub
         // duplicates collapse during COO assembly; even so, 8 of 4096
         // columns must hold a large share of the realized mass.
-        assert!(
-            hub_mass as f64 > 0.3 * m.nnz() as f64,
-            "hub mass {hub_mass} of {}",
-            m.nnz()
-        );
+        assert!(hub_mass as f64 > 0.3 * m.nnz() as f64, "hub mass {hub_mass} of {}", m.nnz());
     }
 
     #[test]
     fn load_is_imbalanced_across_row_blocks() {
-        let cfg = HubConfig { n: 4096, nnz: 1 << 15, hubs: 4, hub_probability: 0.7, ..Default::default() };
+        let cfg = HubConfig {
+            n: 4096,
+            nnz: 1 << 15,
+            hubs: 4,
+            hub_probability: 0.7,
+            ..Default::default()
+        };
         let m = hub_traffic(&cfg, 5);
         // Split rows into 8 blocks; hub rows make some blocks far heavier.
         let counts = m.row_counts();

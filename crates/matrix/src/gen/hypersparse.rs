@@ -26,7 +26,12 @@ pub struct HypersparseConfig {
 
 impl Default for HypersparseConfig {
     fn default() -> Self {
-        HypersparseConfig { n: 1 << 18, per_row: 2.2, local_fraction: 0.97, window_fraction: 1.0 / 24.0 }
+        HypersparseConfig {
+            n: 1 << 18,
+            per_row: 2.2,
+            local_fraction: 0.97,
+            window_fraction: 1.0 / 24.0,
+        }
     }
 }
 
@@ -50,10 +55,7 @@ impl Default for HypersparseConfig {
 pub fn hypersparse(config: &HypersparseConfig, seed: u64) -> CooMatrix {
     assert!(config.n > 0, "dimension must be positive");
     assert!(config.per_row >= 0.0, "per_row must be non-negative");
-    assert!(
-        (0.0..=1.0).contains(&config.local_fraction),
-        "local_fraction must be a probability"
-    );
+    assert!((0.0..=1.0).contains(&config.local_fraction), "local_fraction must be a probability");
     assert!(
         config.window_fraction > 0.0 && config.window_fraction <= 1.0,
         "window_fraction must be in (0, 1]"
@@ -104,11 +106,7 @@ mod tests {
         let m = hypersparse(&cfg, 4);
         let window = (cfg.n as f64 * cfg.window_fraction) as usize;
         let near = m.iter().filter(|(r, c, _)| r.abs_diff(*c) <= window).count();
-        assert!(
-            near as f64 > 0.9 * m.nnz() as f64,
-            "only {near} of {} within window",
-            m.nnz()
-        );
+        assert!(near as f64 > 0.9 * m.nnz() as f64, "only {near} of {} within window", m.nnz());
     }
 
     #[test]

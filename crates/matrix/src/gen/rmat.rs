@@ -138,21 +138,12 @@ mod tests {
         let counts = m.row_counts();
         let max = *counts.iter().max().unwrap();
         let mean = m.nnz() as f64 / m.rows() as f64;
-        assert!(
-            max as f64 > 6.0 * mean,
-            "expected heavy skew: max {max}, mean {mean:.2}"
-        );
+        assert!(max as f64 > 6.0 * mean, "expected heavy skew: max {max}, mean {mean:.2}");
     }
 
     #[test]
     fn uniform_probabilities_produce_little_skew() {
-        let cfg = RmatConfig {
-            a: 0.25,
-            b: 0.25,
-            c: 0.25,
-            noise: 0.0,
-            ..small()
-        };
+        let cfg = RmatConfig { a: 0.25, b: 0.25, c: 0.25, noise: 0.0, ..small() };
         let m = rmat(&cfg, 11);
         let counts = m.row_counts();
         let max = *counts.iter().max().unwrap();

@@ -104,11 +104,11 @@ impl SuiteMatrix {
     /// The matrix dimension of the generated analog (square).
     pub fn dimension(self) -> usize {
         match self {
-            SuiteMatrix::Web => 1 << 16,        // 65,536
-            SuiteMatrix::Queen => 1 << 15,      // 32,768
-            SuiteMatrix::Stokes => 1 << 16,     // 65,536
+            SuiteMatrix::Web => 1 << 16,    // 65,536
+            SuiteMatrix::Queen => 1 << 15,  // 32,768
+            SuiteMatrix::Stokes => 1 << 16, // 65,536
             SuiteMatrix::Arabic => 81_920,
-            SuiteMatrix::Mawi => 1 << 17,       // 131,072
+            SuiteMatrix::Mawi => 1 << 17, // 131,072
             SuiteMatrix::Kmer => 393_216,
             SuiteMatrix::Twitter => 1 << 16,    // 65,536
             SuiteMatrix::Friendster => 1 << 17, // 131,072
@@ -174,25 +174,11 @@ impl SuiteMatrix {
                 0x1e7,
             ),
             SuiteMatrix::Twitter => rmat(
-                &RmatConfig {
-                    scale: 16,
-                    edge_factor: 35,
-                    a: 0.57,
-                    b: 0.19,
-                    c: 0.19,
-                    noise: 0.1,
-                },
+                &RmatConfig { scale: 16, edge_factor: 35, a: 0.57, b: 0.19, c: 0.19, noise: 0.1 },
                 0x717,
             ),
             SuiteMatrix::Friendster => rmat(
-                &RmatConfig {
-                    scale: 17,
-                    edge_factor: 28,
-                    a: 0.32,
-                    b: 0.25,
-                    c: 0.25,
-                    noise: 0.05,
-                },
+                &RmatConfig { scale: 17, edge_factor: 28, a: 0.32, b: 0.25, c: 0.25, noise: 0.05 },
                 0xf12,
             ),
         }

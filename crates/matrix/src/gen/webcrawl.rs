@@ -98,15 +98,8 @@ mod tests {
         let cfg = WebcrawlConfig { n: 8192, hosts: 64, per_row: 8, ..Default::default() };
         let m = webcrawl(&cfg, 4);
         let host_size = cfg.n / cfg.hosts;
-        let intra = m
-            .iter()
-            .filter(|(r, c, _)| r / host_size == c / host_size)
-            .count();
-        assert!(
-            intra as f64 > 0.8 * m.nnz() as f64,
-            "intra {intra} of {}",
-            m.nnz()
-        );
+        let intra = m.iter().filter(|(r, c, _)| r / host_size == c / host_size).count();
+        assert!(intra as f64 > 0.8 * m.nnz() as f64, "intra {intra} of {}", m.nnz());
     }
 
     #[test]

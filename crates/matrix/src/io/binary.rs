@@ -97,12 +97,8 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let m = CooMatrix::from_triplets(
-            10,
-            7,
-            vec![(0, 6, 1.25), (3, 2, -8.0), (9, 0, 1e-3)],
-        )
-        .unwrap();
+        let m = CooMatrix::from_triplets(10, 7, vec![(0, 6, 1.25), (3, 2, -8.0), (9, 0, 1e-3)])
+            .unwrap();
         let mut buf = Vec::new();
         write_binary(&mut buf, &m).unwrap();
         assert_eq!(read_binary(buf.as_slice()).unwrap(), m);

@@ -41,13 +41,10 @@ pub fn read_market<R: Read>(reader: R) -> Result<CooMatrix, MatrixError> {
                     break (i + 1, line);
                 }
             }
-            None => {
-                return Err(MatrixError::Parse { line: 0, message: "empty file".into() })
-            }
+            None => return Err(MatrixError::Parse { line: 0, message: "empty file".into() }),
         }
     };
-    let tokens: Vec<String> =
-        header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    let tokens: Vec<String> = header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
     if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
         return Err(MatrixError::Parse {
             line: header_line_no,
@@ -104,10 +101,8 @@ pub fn read_market<R: Read>(reader: R) -> Result<CooMatrix, MatrixError> {
         });
     }
     let parse_usize = |s: &str, line: usize| {
-        s.parse::<usize>().map_err(|_| MatrixError::Parse {
-            line,
-            message: format!("invalid integer {s:?}"),
-        })
+        s.parse::<usize>()
+            .map_err(|_| MatrixError::Parse { line, message: format!("invalid integer {s:?}") })
     };
     let rows = parse_usize(dims[0], size_line_no)?;
     let cols = parse_usize(dims[1], size_line_no)?;
@@ -208,12 +203,8 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let m = CooMatrix::from_triplets(
-            3,
-            4,
-            vec![(0, 0, 1.5), (2, 3, -2.0), (1, 1, 0.25)],
-        )
-        .unwrap();
+        let m =
+            CooMatrix::from_triplets(3, 4, vec![(0, 0, 1.5), (2, 3, -2.0), (1, 1, 0.25)]).unwrap();
         let mut buf = Vec::new();
         write_market(&mut buf, &m).unwrap();
         let back = read_market(buf.as_slice()).unwrap();

@@ -35,7 +35,15 @@ impl DegreeSummary {
     /// Returns a zeroed summary for an empty slice.
     pub fn from_counts(counts: &[usize]) -> DegreeSummary {
         if counts.is_empty() {
-            return DegreeSummary { count: 0, min: 0, max: 0, mean: 0.0, median: 0, p99: 0, gini: 0.0 };
+            return DegreeSummary {
+                count: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0,
+                p99: 0,
+                gini: 0.0,
+            };
         }
         let mut sorted: Vec<usize> = counts.to_vec();
         sorted.sort_unstable();
@@ -48,11 +56,8 @@ impl DegreeSummary {
         let gini = if total == 0 {
             0.0
         } else {
-            let weighted: f64 = sorted
-                .iter()
-                .enumerate()
-                .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
-                .sum();
+            let weighted: f64 =
+                sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
             (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
         };
         DegreeSummary {
@@ -91,10 +96,7 @@ impl MatrixStats {
     /// Computes statistics for a matrix.
     pub fn compute(matrix: &CooMatrix) -> MatrixStats {
         let band = (matrix.rows().max(matrix.cols()) / 64).max(1);
-        let near = matrix
-            .iter()
-            .filter(|(r, c, _)| r.abs_diff(*c) <= band)
-            .count();
+        let near = matrix.iter().filter(|(r, c, _)| r.abs_diff(*c) <= band).count();
         let nnz = matrix.nnz();
         MatrixStats {
             rows: matrix.rows(),
@@ -184,10 +186,8 @@ mod tests {
 
     #[test]
     fn banded_matrix_is_near_diagonal() {
-        let m = banded(
-            &BandedConfig { n: 2048, bandwidth: 8, per_row: 4, escape_fraction: 0.0 },
-            1,
-        );
+        let m =
+            banded(&BandedConfig { n: 2048, bandwidth: 8, per_row: 4, escape_fraction: 0.0 }, 1);
         let stats = MatrixStats::compute(&m);
         assert!(stats.near_diagonal_fraction > 0.99);
     }
@@ -195,10 +195,8 @@ mod tests {
     #[test]
     fn rmat_has_higher_gini_than_banded() {
         let power = rmat(&RmatConfig { scale: 12, edge_factor: 8, ..Default::default() }, 2);
-        let flat = banded(
-            &BandedConfig { n: 4096, bandwidth: 16, per_row: 8, escape_fraction: 0.0 },
-            2,
-        );
+        let flat =
+            banded(&BandedConfig { n: 4096, bandwidth: 16, per_row: 8, escape_fraction: 0.0 }, 2);
         let gp = MatrixStats::compute(&power).col_degrees.gini;
         let gf = MatrixStats::compute(&flat).col_degrees.gini;
         assert!(gp > gf + 0.2, "power {gp} vs flat {gf}");

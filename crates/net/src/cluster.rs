@@ -3,8 +3,8 @@
 
 use crate::meet::{MeetRegistry, Payload};
 use crate::{CostModel, PhaseClass, RankTrace, SimTime};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// The two virtual execution lanes of a rank.
 ///
@@ -42,6 +42,15 @@ pub struct WindowId(usize);
 const TAG_AUTO: u64 = 1 << 62;
 const TAG_MULTICAST: u64 = 1 << 61;
 
+/// Each [`Cluster::run`] call gets a fresh epoch, folded into every meet tag
+/// at this bit position, so per-rank tag counters restarting at zero in a
+/// later run can never alias a meet left over from an earlier one.
+const EPOCH_SHIFT: u32 = 40;
+const EPOCH_MASK: u64 = (1 << 20) - 1;
+/// User-visible tags (e.g. multicast stripe ids) must stay below the epoch
+/// bits.
+const TAG_LIMIT: u64 = 1 << EPOCH_SHIFT;
+
 #[derive(Default)]
 struct WindowTable {
     // windows[window][rank] = that rank's exposed buffer.
@@ -53,6 +62,7 @@ struct Shared {
     cost: CostModel,
     meets: MeetRegistry,
     windows: Mutex<WindowTable>,
+    run_epoch: AtomicU64,
 }
 
 /// A simulated cluster of `p` single-process ranks.
@@ -115,6 +125,7 @@ impl Cluster {
                 cost,
                 meets: MeetRegistry::new(),
                 windows: Mutex::new(WindowTable::default()),
+                run_epoch: AtomicU64::new(0),
             }),
         }
     }
@@ -141,36 +152,34 @@ impl Cluster {
         F: Fn(&mut RankCtx) -> R + Sync,
         R: Send,
     {
+        // Per-run state must not leak between run() calls on one cluster:
+        // window handles from a previous run are invalidated here, and the
+        // fresh epoch namespaces this run's meet tags (per-rank tag counters
+        // restart at zero each run, while the meet registry is shared).
+        let epoch = self.shared.run_epoch.fetch_add(1, Ordering::Relaxed) & EPOCH_MASK;
+        self.shared.windows.lock().expect("window table poisoned").buffers.clear();
         let shared = &self.shared;
         let f = &f;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shared.p)
                 .map(|rank| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut ctx = RankCtx {
                             rank,
                             shared: Arc::clone(shared),
+                            epoch,
                             clocks: [SimTime::ZERO; 2],
                             trace: RankTrace::new(),
                             next_auto_tag: 0,
                             next_window: 0,
                         };
                         let result = f(&mut ctx);
-                        RankOutput {
-                            rank,
-                            result,
-                            trace: ctx.trace,
-                            lane_times: ctx.clocks,
-                        }
+                        RankOutput { rank, result, trace: ctx.trace, lane_times: ctx.clocks }
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
-                .collect()
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
         })
-        .expect("cluster scope failed")
     }
 }
 
@@ -188,6 +197,7 @@ impl std::fmt::Debug for Cluster {
 pub struct RankCtx {
     rank: usize,
     shared: Arc<Shared>,
+    epoch: u64,
     clocks: [SimTime; 2],
     trace: RankTrace,
     next_auto_tag: u64,
@@ -244,8 +254,14 @@ impl RankCtx {
         self.clocks = [joined; 2];
     }
 
+    /// Folds the run epoch into a tag within `namespace`.
+    fn epoch_tag(&self, namespace: u64, tag: u64) -> u64 {
+        debug_assert!(tag < TAG_LIMIT, "tag {tag:#x} collides with epoch bits");
+        namespace | (self.epoch << EPOCH_SHIFT) | tag
+    }
+
     fn auto_tag(&mut self) -> u64 {
-        let tag = TAG_AUTO | self.next_auto_tag;
+        let tag = self.epoch_tag(TAG_AUTO, self.next_auto_tag);
         self.next_auto_tag += 1;
         tag
     }
@@ -266,15 +282,15 @@ impl RankCtx {
     ///
     /// Operates on the [`Lane::Sync`] clock; time is attributed to
     /// [`PhaseClass::SyncComm`].
-    pub fn allgather(&mut self, data: Arc<Vec<f64>>) -> Vec<Arc<Vec<f64>>> {
+    pub fn allgather(&mut self, data: impl Into<Payload>) -> Vec<Payload> {
+        let data = data.into();
         let tag = self.auto_tag();
         let p = self.shared.p;
         let my_len = data.len();
         let arrive = self.clocks[Lane::Sync.index()];
-        let (t, payloads) =
-            self.shared.meets.meet(tag, p, self.rank, arrive, Some(data));
-        let out: Vec<Arc<Vec<f64>>> = (0..p)
-            .map(|r| Arc::clone(payloads.get(&r).expect("every rank contributes to allgather")))
+        let (t, payloads) = self.shared.meets.meet(tag, p, self.rank, arrive, Some(data));
+        let out: Vec<Payload> = (0..p)
+            .map(|r| payloads.get(&r).expect("every rank contributes to allgather").clone())
             .collect();
         let cost = self.shared.cost.allgather_cost(my_len, p);
         let total: usize = out.iter().map(|b| b.len()).sum();
@@ -305,8 +321,8 @@ impl RankCtx {
         tag: u64,
         root: usize,
         group: &[usize],
-        data: Option<Arc<Vec<f64>>>,
-    ) -> Arc<Vec<f64>> {
+        data: Option<Payload>,
+    ) -> Payload {
         assert!(group.contains(&self.rank), "rank {} not in multicast group", self.rank);
         assert!(group.contains(&root), "root {root} not in multicast group");
         let is_root = self.rank == root;
@@ -318,13 +334,13 @@ impl RankCtx {
         }
         let arrive = self.clocks[Lane::Sync.index()];
         let (t, payloads) = self.shared.meets.meet(
-            TAG_MULTICAST | tag,
+            self.epoch_tag(TAG_MULTICAST, tag),
             group.len(),
             self.rank,
             arrive,
             if is_root { data } else { None },
         );
-        let buf = Arc::clone(payloads.get(&root).expect("root deposited multicast data"));
+        let buf = payloads.get(&root).expect("root deposited multicast data").clone();
         let destinations = group.len() - 1;
         let cost = self.shared.cost.multicast_cost(buf.len(), destinations);
         self.clocks[Lane::Sync.index()] = t + cost;
@@ -350,15 +366,16 @@ impl RankCtx {
     /// # Panics
     ///
     /// Panics if `distance == 0`.
-    pub fn shift_ring(&mut self, data: Arc<Vec<f64>>, distance: usize) -> Arc<Vec<f64>> {
+    pub fn shift_ring(&mut self, data: impl Into<Payload>, distance: usize) -> Payload {
         assert!(distance > 0, "shift distance must be positive");
+        let data = data.into();
         let tag = self.auto_tag();
         let p = self.shared.p;
         let my_len = data.len();
         let arrive = self.clocks[Lane::Sync.index()];
         let (t, payloads) = self.shared.meets.meet(tag, p, self.rank, arrive, Some(data));
         let from = (self.rank + p - distance % p) % p;
-        let buf = Arc::clone(payloads.get(&from).expect("every rank contributes to shift"));
+        let buf = payloads.get(&from).expect("every rank contributes to shift").clone();
         let cost = self.shared.cost.shift_cost(my_len.max(buf.len()));
         self.clocks[Lane::Sync.index()] = t + cost;
         self.trace.add_time(PhaseClass::SyncComm, t.since(arrive) + cost);
@@ -373,11 +390,11 @@ impl RankCtx {
     /// order; the returned ids agree across ranks.
     ///
     /// Setup time is charged to [`PhaseClass::Other`].
-    pub fn create_window(&mut self, data: impl Into<Arc<Vec<f64>>>) -> WindowId {
+    pub fn create_window(&mut self, data: impl Into<Payload>) -> WindowId {
         let id = self.next_window;
         self.next_window += 1;
         {
-            let mut table = self.shared.windows.lock();
+            let mut table = self.shared.windows.lock().expect("window table poisoned");
             if table.buffers.len() <= id {
                 table.buffers.resize_with(id + 1, || vec![None; self.shared.p]);
             }
@@ -395,20 +412,23 @@ impl RankCtx {
     }
 
     fn window_buffer(&self, window: WindowId, target: usize) -> Payload {
-        let table = self.shared.windows.lock();
+        let table = self.shared.windows.lock().expect("window table poisoned");
         let buf = table
             .buffers
             .get(window.0)
             .unwrap_or_else(|| panic!("window {:?} does not exist", window))
             .get(target)
             .unwrap_or_else(|| panic!("target rank {target} out of range"));
-        Arc::clone(buf.as_ref().unwrap_or_else(|| {
-            panic!("target rank {target} has not exposed a buffer in window {window:?}")
-        }))
+        buf.as_ref()
+            .unwrap_or_else(|| {
+                panic!("target rank {target} has not exposed a buffer in window {window:?}")
+            })
+            .clone()
     }
 
-    /// Bulk one-sided get (the `MPI_Get` analog): copies
-    /// `target`'s window elements in `range` without involving the target.
+    /// Bulk one-sided get (the `MPI_Get` analog): reads `target`'s window
+    /// elements in `range` without involving the target. The returned
+    /// [`Payload`] is a zero-copy view into the target's exposed buffer.
     ///
     /// `lane` and `class` let callers attribute the transfer (Async Coarse
     /// charges its bulk prefetch to the sync lane; Two-Face never uses bulk
@@ -425,14 +445,14 @@ impl RankCtx {
         range: std::ops::Range<usize>,
         lane: Lane,
         class: PhaseClass,
-    ) -> Vec<f64> {
+    ) -> Payload {
         let buf = self.window_buffer(window, target);
         assert!(
             range.end <= buf.len(),
             "get range {range:?} exceeds window buffer of {} elements",
             buf.len()
         );
-        let out = buf[range.clone()].to_vec();
+        let out = buf.subslice(range);
         let cost = self.shared.cost.bulk_get_cost(out.len());
         self.advance(lane, cost, class);
         self.trace.messages += 1;
@@ -461,15 +481,23 @@ impl RankCtx {
         let buf = self.window_buffer(window, target);
         let total_rows: usize = runs.iter().map(|&(_, n)| n).sum();
         let mut out = Vec::with_capacity(total_rows * row_width);
+        let window_rows = buf.len() / row_width;
         for &(first, n) in runs {
-            let lo = first * row_width;
-            let hi = (first + n) * row_width;
+            let end_row = first
+                .checked_add(n)
+                .unwrap_or_else(|| panic!("run ({first}, {n}): row range overflows usize"));
+            let hi = end_row.checked_mul(row_width).unwrap_or_else(|| {
+                panic!(
+                    "run ({first}, {n}): element offset overflows usize at row width {row_width}"
+                )
+            });
             assert!(
                 hi <= buf.len(),
-                "run ({first}, {n}) exceeds window buffer of {} rows",
-                buf.len() / row_width
+                "run ({first}, {n}) ends at row {end_row} but target window holds \
+                 {window_rows} rows of {row_width} elements ({} elements total)",
+                buf.len()
             );
-            out.extend_from_slice(&buf[lo..hi]);
+            out.extend_from_slice(&buf[first * row_width..hi]);
         }
         let cost = self.shared.cost.rget_cost(out.len(), runs.len());
         self.advance(Lane::Async, cost, PhaseClass::AsyncComm);
@@ -529,7 +557,7 @@ mod tests {
             // Root 1 multicasts to {0, 1, 3}; rank 2 does not participate.
             let group = [0, 1, 3];
             if group.contains(&ctx.rank()) {
-                let data = (ctx.rank() == 1).then(|| Arc::new(vec![42.0]));
+                let data = (ctx.rank() == 1).then(|| Payload::from(vec![42.0]));
                 let got = ctx.multicast(9, 1, &group, data);
                 got[0]
             } else {
@@ -550,7 +578,7 @@ mod tests {
     fn single_member_multicast_is_free() {
         let out = cluster(2).run(|ctx| {
             if ctx.rank() == 0 {
-                let got = ctx.multicast(5, 0, &[0], Some(Arc::new(vec![7.0])));
+                let got = ctx.multicast(5, 0, &[0], Some(Payload::from(vec![7.0])));
                 got[0]
             } else {
                 0.0
@@ -563,7 +591,7 @@ mod tests {
     #[test]
     fn shift_ring_rotates_buffers() {
         let out = cluster(3).run(|ctx| {
-            let mut held = Arc::new(vec![ctx.rank() as f64]);
+            let mut held = Payload::from(vec![ctx.rank() as f64]);
             // After 3 unit shifts the original buffer returns.
             let mut seen = Vec::new();
             for _ in 0..3 {
@@ -610,7 +638,7 @@ mod tests {
                 let bulk = ctx.win_get(win, 1, 0..4, Lane::Sync, PhaseClass::SyncComm);
                 // Indexed get of rank 1's rows 1 and 3 (width 2).
                 let rows = ctx.win_rget_rows(win, 1, &[(1, 1), (3, 1)], 2);
-                (bulk, rows)
+                (bulk.to_vec(), rows)
             } else {
                 (vec![], vec![])
             }
@@ -688,5 +716,67 @@ mod tests {
             assert_eq!(o.rank, i);
             assert_eq!(o.result, i);
         }
+    }
+
+    #[test]
+    fn bulk_get_returns_a_view_not_a_copy() {
+        let out = cluster(2).run(|ctx| {
+            let exposed = Payload::from(vec![1.0, 2.0, 3.0, 4.0]);
+            let win = ctx.create_window(exposed.clone());
+            let got = ctx.win_get(win, ctx.rank(), 1..3, Lane::Sync, PhaseClass::SyncComm);
+            (got.shares_buffer(&exposed), got.to_vec())
+        });
+        for o in &out {
+            assert!(o.result.0, "win_get must alias the exposed buffer");
+            assert_eq!(o.result.1, vec![2.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn cluster_is_reusable_across_runs() {
+        // Regression test: per-rank tag and window counters restart at zero
+        // each run, so a second run() on the same cluster must not collide
+        // with meets or windows left over from the first.
+        let c = cluster(2);
+        for round in 0..3usize {
+            let out = c.run(|ctx| {
+                let win = ctx.create_window(vec![(round * 10 + ctx.rank()) as f64; 4]);
+                let peer = 1 - ctx.rank();
+                let got = ctx.win_get(win, peer, 0..4, Lane::Sync, PhaseClass::SyncComm);
+                let all = ctx.allgather(Payload::from(vec![ctx.rank() as f64]));
+                let _ = ctx.multicast(
+                    round as u64,
+                    0,
+                    &[0, 1],
+                    (ctx.rank() == 0).then(|| Payload::from(vec![round as f64])),
+                );
+                ctx.barrier();
+                (got[0], all.len())
+            });
+            for (r, o) in out.iter().enumerate() {
+                assert_eq!(o.result.0, (round * 10 + (1 - r)) as f64);
+                assert_eq!(o.result.1, 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn stale_window_handles_do_not_survive_a_new_run() {
+        let c = cluster(2);
+        let win = c.run(|ctx| ctx.create_window(vec![0.0; 4]))[0].result;
+        let _ = c.run(move |ctx| {
+            let _ = ctx.win_get(win, 0, 0..4, Lane::Sync, PhaseClass::SyncComm);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn rget_run_past_window_end_panics() {
+        let _ = cluster(1).run(|ctx| {
+            // 4 rows of width 2; the run (3, 2) reaches row 5.
+            let win = ctx.create_window(vec![0.0; 8]);
+            ctx.win_rget_rows(win, 0, &[(3, 2)], 2)
+        });
     }
 }

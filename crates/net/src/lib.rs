@@ -47,5 +47,6 @@ mod trace;
 
 pub use cluster::{Cluster, Lane, RankCtx, RankOutput, WindowId};
 pub use cost::CostModel;
+pub use meet::Payload;
 pub use time::SimTime;
 pub use trace::{PhaseClass, RankTrace};

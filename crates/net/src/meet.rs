@@ -13,13 +13,95 @@
 //! 60-second watchdog turns such deadlocks into panics naming the tag).
 
 use crate::SimTime;
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::ops::{Deref, Range};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-/// Payload deposited at a meet: a shared immutable buffer of dense elements.
-pub type Payload = Arc<Vec<f64>>;
+/// Payload deposited at a meet: a shared immutable view into a dense buffer.
+///
+/// A payload is an `Arc`-backed buffer plus a sub-range, so a collective can
+/// ship a stripe of a rank's resident block without materialising a copy:
+/// cloning a `Payload` (as every meet participant does when it snapshots the
+/// payload map) only bumps the reference count, and [`Payload::subslice`]
+/// narrows the view in O(1). Dereferences as `&[f64]`.
+#[derive(Debug, Clone)]
+pub struct Payload {
+    buf: Arc<Vec<f64>>,
+    start: usize,
+    len: usize,
+}
+
+impl Payload {
+    /// Wraps an entire shared buffer.
+    pub fn new(buf: Arc<Vec<f64>>) -> Payload {
+        let len = buf.len();
+        Payload { buf, start: 0, len }
+    }
+
+    /// A zero-copy view of `range` within this payload (indices relative to
+    /// this view, not the underlying buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds this payload's bounds.
+    pub fn subslice(&self, range: Range<usize>) -> Payload {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "subslice {range:?} out of bounds for payload of {} elements",
+            self.len
+        );
+        Payload {
+            buf: Arc::clone(&self.buf),
+            start: self.start + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// `true` if both payloads view the same underlying allocation — i.e. no
+    /// copy separates them, regardless of the ranges they expose.
+    pub fn shares_buffer(&self, other: &Payload) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
+    }
+}
+
+impl Deref for Payload {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        &self.buf[self.start..self.start + self.len]
+    }
+}
+
+impl From<Arc<Vec<f64>>> for Payload {
+    fn from(buf: Arc<Vec<f64>>) -> Payload {
+        Payload::new(buf)
+    }
+}
+
+impl From<Vec<f64>> for Payload {
+    fn from(buf: Vec<f64>) -> Payload {
+        Payload::new(Arc::new(buf))
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Payload) -> bool {
+        **self == **other
+    }
+}
+
+impl PartialEq<Vec<f64>> for Payload {
+    fn eq(&self, other: &Vec<f64>) -> bool {
+        **self == other[..]
+    }
+}
+
+impl PartialEq<[f64]> for Payload {
+    fn eq(&self, other: &[f64]) -> bool {
+        **self == *other
+    }
+}
 
 #[derive(Debug, Default)]
 struct MeetState {
@@ -66,7 +148,7 @@ impl MeetRegistry {
         payload: Option<Payload>,
     ) -> (SimTime, HashMap<usize, Payload>) {
         assert!(expected > 0, "meet must have at least one participant");
-        let mut states = self.states.lock();
+        let mut states = self.states.lock().expect("meet registry poisoned");
         {
             let state = states.entry(tag).or_default();
             if state.expected == 0 {
@@ -91,11 +173,15 @@ impl MeetRegistry {
             self.cond.notify_all();
         } else {
             loop {
-                let done = states.get(&tag).map_or(false, |s| s.arrived == s.expected);
+                let done = states.get(&tag).is_some_and(|s| s.arrived == s.expected);
                 if done {
                     break;
                 }
-                if self.cond.wait_for(&mut states, MEET_TIMEOUT).timed_out() {
+                let (guard, wait) =
+                    self.cond.wait_timeout(states, MEET_TIMEOUT).expect("meet registry poisoned");
+                states = guard;
+                let done = states.get(&tag).is_some_and(|s| s.arrived == s.expected);
+                if wait.timed_out() && !done {
                     let s = states.get(&tag);
                     panic!(
                         "meet {tag:#x} deadlocked: rank {rank} waited {MEET_TIMEOUT:?} \
@@ -125,28 +211,22 @@ mod tests {
 
     fn spawn_meet(parties: usize, times: Vec<f64>) -> Vec<(SimTime, usize)> {
         let reg = Arc::new(MeetRegistry::new());
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = times
                 .iter()
                 .enumerate()
                 .map(|(rank, &t)| {
                     let reg = Arc::clone(&reg);
-                    s.spawn(move |_| {
-                        let payload = Arc::new(vec![rank as f64]);
-                        let (mt, payloads) = reg.meet(
-                            7,
-                            parties,
-                            rank,
-                            SimTime::from_seconds(t),
-                            Some(payload),
-                        );
+                    s.spawn(move || {
+                        let payload = Payload::from(vec![rank as f64]);
+                        let (mt, payloads) =
+                            reg.meet(7, parties, rank, SimTime::from_seconds(t), Some(payload));
                         (mt, payloads.len())
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         })
-        .unwrap()
     }
 
     #[test]
@@ -178,14 +258,13 @@ mod tests {
     #[test]
     fn distinct_tags_do_not_interfere() {
         let reg = Arc::new(MeetRegistry::new());
-        let out = crossbeam::thread::scope(|s| {
+        let out = std::thread::scope(|s| {
             let r1 = Arc::clone(&reg);
-            let a = s.spawn(move |_| r1.meet(100, 1, 0, SimTime::from_seconds(1.0), None).0);
+            let a = s.spawn(move || r1.meet(100, 1, 0, SimTime::from_seconds(1.0), None).0);
             let r2 = Arc::clone(&reg);
-            let b = s.spawn(move |_| r2.meet(200, 1, 0, SimTime::from_seconds(2.0), None).0);
+            let b = s.spawn(move || r2.meet(200, 1, 0, SimTime::from_seconds(2.0), None).0);
             (a.join().unwrap(), b.join().unwrap())
-        })
-        .unwrap();
+        });
         assert_eq!(out.0, SimTime::from_seconds(1.0));
         assert_eq!(out.1, SimTime::from_seconds(2.0));
     }
@@ -193,8 +272,26 @@ mod tests {
     #[test]
     fn payloads_are_shared_not_copied() {
         let reg = MeetRegistry::new();
-        let payload = Arc::new(vec![1.0, 2.0]);
-        let (_, payloads) = reg.meet(11, 1, 0, SimTime::ZERO, Some(Arc::clone(&payload)));
-        assert!(Arc::ptr_eq(&payloads[&0], &payload));
+        let payload = Payload::from(vec![1.0, 2.0]);
+        let (_, payloads) = reg.meet(11, 1, 0, SimTime::ZERO, Some(payload.clone()));
+        assert!(payloads[&0].shares_buffer(&payload));
+    }
+
+    #[test]
+    fn subslice_views_share_the_buffer() {
+        let payload = Payload::from(vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        let mid = payload.subslice(1..4);
+        assert_eq!(mid, vec![1.0, 2.0, 3.0]);
+        assert!(mid.shares_buffer(&payload));
+        let inner = mid.subslice(1..2);
+        assert_eq!(inner, vec![2.0]);
+        assert!(inner.shares_buffer(&payload));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn subslice_past_view_end_panics() {
+        let payload = Payload::from(vec![0.0; 4]);
+        let _ = payload.subslice(2..4).subslice(0..3);
     }
 }

@@ -45,10 +45,7 @@ impl OneDimLayout {
     pub fn new(rows: usize, cols: usize, p: usize, stripe_width: usize) -> OneDimLayout {
         assert!(p > 0, "node count must be positive");
         assert!(stripe_width > 0, "stripe width must be positive");
-        assert!(
-            p <= rows.max(1),
-            "cannot distribute {rows} rows over {p} nodes"
-        );
+        assert!(p <= rows.max(1), "cannot distribute {rows} rows over {p} nodes");
         let mut stripes = Vec::new();
         for owner in 0..p {
             let block = balanced_range(cols, p, owner);
@@ -172,10 +169,7 @@ impl OneDimLayout {
         let start = self.stripes.iter().position(|&(o, _, _)| o == rank);
         match start {
             Some(start) => {
-                let end = self.stripes[start..]
-                    .iter()
-                    .take_while(|&&(o, _, _)| o == rank)
-                    .count();
+                let end = self.stripes[start..].iter().take_while(|&&(o, _, _)| o == rank).count();
                 start..start + end
             }
             None => 0..0,

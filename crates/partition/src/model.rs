@@ -114,10 +114,7 @@ pub struct NodeClassification {
 impl NodeClassification {
     /// The class of a stripe, if it is non-empty on this node.
     pub fn class_of(&self, stripe: usize) -> Option<StripeClass> {
-        self.classes
-            .binary_search_by_key(&stripe, |&(s, _)| s)
-            .ok()
-            .map(|i| self.classes[i].1)
+        self.classes.binary_search_by_key(&stripe, |&(s, _)| s).ok().map(|i| self.classes[i].1)
     }
 
     /// Count of stripes with the given class.
@@ -165,8 +162,7 @@ pub fn classify_node_fanout_aware(
         match fanout {
             Some((dests, c)) => {
                 let scaled = c * dests[stripe] as f64;
-                let penalty =
-                    1.0 + (scaled * scaled).min(CostModel::FANOUT_PENALTY_CAP);
+                let penalty = 1.0 + (scaled * scaled).min(CostModel::FANOUT_PENALTY_CAP);
                 coeffs.alpha_sync + (base - coeffs.alpha_sync) * penalty
             }
             None => base,
@@ -176,17 +172,14 @@ pub fn classify_node_fanout_aware(
     let mut scored: Vec<(f64, &StripeProfile)> = Vec::new();
     let mut budget = 0.0;
     for s in profile.remote_stripes(layout) {
-        let z = coeffs.v_term(s.rows_needed(), s.nnz, k) + coeffs.u_term_with_sync_cost(
-            sync_cost(s.stripe),
-        );
+        let z = coeffs.v_term(s.rows_needed(), s.nnz, k)
+            + coeffs.u_term_with_sync_cost(sync_cost(s.stripe));
         budget += sync_cost(s.stripe);
         scored.push((z, s));
     }
     // Ascending by score; ties broken by stripe index for determinism.
     scored.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .expect("stripe scores are finite")
-            .then(a.1.stripe.cmp(&b.1.stripe))
+        a.0.partial_cmp(&b.0).expect("stripe scores are finite").then(a.1.stripe.cmp(&b.1.stripe))
     });
     // Greedy prefix: classify async while the cumulative z stays within the
     // all-sync budget S_T (β_S W K + α_S).
@@ -441,8 +434,7 @@ mod tests {
         let mut dests = vec![0usize; layout.num_stripes()];
         dests[2] = 30;
         dests[3] = 1;
-        let aware =
-            classify_node_fanout_aware(&profile, &layout, &coeffs, k, Some((&dests, 0.2)));
+        let aware = classify_node_fanout_aware(&profile, &layout, &coeffs, k, Some((&dests, 0.2)));
         let blind = classify_node_fanout_aware(&profile, &layout, &coeffs, k, None);
         // The blind and aware classifiers must at least agree that the
         // stripes are classified; and the aware one's budget is larger, so
@@ -461,8 +453,7 @@ mod tests {
         let profile = NodeProfile::build(&a, &layout, 0);
         let coeffs = ModelCoefficients::table3();
         let dests = vec![7usize; layout.num_stripes()];
-        let aware =
-            classify_node_fanout_aware(&profile, &layout, &coeffs, 32, Some((&dests, 0.0)));
+        let aware = classify_node_fanout_aware(&profile, &layout, &coeffs, 32, Some((&dests, 0.0)));
         let greedy = classify_node(&profile, &layout, &coeffs, 32);
         assert_eq!(aware, greedy);
     }

@@ -90,8 +90,7 @@ impl PartitionPlan {
             .map(|profile| {
                 let mut c = classify_node_fanout_aware(profile, &layout, coeffs, k, fanout);
                 if let Some(budget) = options.sync_buffer_budget {
-                    memory_flips +=
-                        enforce_memory_cap(&mut c, profile, &layout, coeffs, k, budget);
+                    memory_flips += enforce_memory_cap(&mut c, profile, &layout, coeffs, k, budget);
                 }
                 c
             })
@@ -124,11 +123,7 @@ impl PartitionPlan {
         k: usize,
         class: StripeClass,
     ) -> PartitionPlan {
-        assert_ne!(
-            class,
-            StripeClass::LocalInput,
-            "remote stripes cannot be local-input"
-        );
+        assert_ne!(class, StripeClass::LocalInput, "remote stripes cannot be local-input");
         let profiles = profile_all_nodes(a, &layout);
         let classifications: Vec<NodeClassification> = profiles
             .iter()
@@ -251,10 +246,8 @@ mod tests {
     use twoface_matrix::gen::{webcrawl, WebcrawlConfig};
 
     fn small_plan(coeffs: &ModelCoefficients) -> (CooMatrix, PartitionPlan) {
-        let a = webcrawl(
-            &WebcrawlConfig { n: 256, hosts: 16, per_row: 6, ..Default::default() },
-            42,
-        );
+        let a =
+            webcrawl(&WebcrawlConfig { n: 256, hosts: 16, per_row: 6, ..Default::default() }, 42);
         let layout = OneDimLayout::new(256, 256, 4, 16);
         let plan = PartitionPlan::build(&a, layout, coeffs, 8, PlanOptions::default());
         (a, plan)
@@ -319,10 +312,8 @@ mod tests {
 
     #[test]
     fn uniform_async_plan_has_no_sync_stripes() {
-        let a = webcrawl(
-            &WebcrawlConfig { n: 256, hosts: 16, per_row: 6, ..Default::default() },
-            42,
-        );
+        let a =
+            webcrawl(&WebcrawlConfig { n: 256, hosts: 16, per_row: 6, ..Default::default() }, 42);
         let layout = OneDimLayout::new(256, 256, 4, 16);
         let plan = PartitionPlan::build_uniform(&a, layout, 8, StripeClass::Async);
         let (local, sync, async_) = plan.class_totals();
@@ -335,10 +326,8 @@ mod tests {
 
     #[test]
     fn uniform_sync_plan_has_no_async_stripes() {
-        let a = webcrawl(
-            &WebcrawlConfig { n: 256, hosts: 16, per_row: 6, ..Default::default() },
-            42,
-        );
+        let a =
+            webcrawl(&WebcrawlConfig { n: 256, hosts: 16, per_row: 6, ..Default::default() }, 42);
         let layout = OneDimLayout::new(256, 256, 4, 16);
         let plan = PartitionPlan::build_uniform(&a, layout, 8, StripeClass::Sync);
         let (_, sync, async_) = plan.class_totals();
@@ -365,12 +354,17 @@ mod tests {
             kappa_async: 1e3,
         };
         let a = webcrawl(
-            &WebcrawlConfig { n: 256, hosts: 16, per_row: 6, intra_host: 0.2, ..Default::default() },
+            &WebcrawlConfig {
+                n: 256,
+                hosts: 16,
+                per_row: 6,
+                intra_host: 0.2,
+                ..Default::default()
+            },
             42,
         );
         let layout = OneDimLayout::new(256, 256, 4, 16);
-        let uncapped =
-            PartitionPlan::build(&a, layout.clone(), &coeffs, 8, PlanOptions::default());
+        let uncapped = PartitionPlan::build(&a, layout.clone(), &coeffs, 8, PlanOptions::default());
         assert_eq!(uncapped.memory_flips(), 0);
         let (_, sync_before, async_before) = uncapped.class_totals();
         assert!(sync_before > 0);

@@ -62,10 +62,10 @@ impl std::error::Error for RegressionError {}
 /// # Ok(())
 /// # }
 /// ```
-pub fn ordinary_least_squares(
-    xs: &[Vec<f64>],
-    ys: &[f64],
-) -> Result<Vec<f64>, RegressionError> {
+// Index loops mirror the textbook normal-equations formulation; iterator
+// rewrites obscure the symmetric-fill structure.
+#[allow(clippy::needless_range_loop)]
+pub fn ordinary_least_squares(xs: &[Vec<f64>], ys: &[f64]) -> Result<Vec<f64>, RegressionError> {
     if xs.len() != ys.len() {
         return Err(RegressionError::ShapeMismatch {
             context: format!("{} observations but {} targets", xs.len(), ys.len()),
@@ -73,11 +73,7 @@ pub fn ordinary_least_squares(
     }
     let n_features = match xs.first() {
         Some(row) => row.len(),
-        None => {
-            return Err(RegressionError::ShapeMismatch {
-                context: "no observations".into(),
-            })
-        }
+        None => return Err(RegressionError::ShapeMismatch { context: "no observations".into() }),
     };
     if n_features == 0 {
         return Err(RegressionError::ShapeMismatch { context: "zero features".into() });
@@ -116,16 +112,14 @@ pub fn ordinary_least_squares(
 }
 
 /// Solves `A x = b` by Gaussian elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)]
 fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, RegressionError> {
     let n = b.len();
     for col in 0..n {
         // Partial pivot.
         let pivot = (col..n)
             .max_by(|&i, &j| {
-                a[i][col]
-                    .abs()
-                    .partial_cmp(&a[j][col].abs())
-                    .expect("finite matrix entries")
+                a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite matrix entries")
             })
             .expect("non-empty range");
         if a[pivot][col].abs() < 1e-300 {
@@ -195,19 +189,12 @@ mod tests {
     #[test]
     fn recovers_planted_weights_exactly() {
         // y = 1.5 a - 2 b + 0.5 c over a well-conditioned design.
-        let design = [
-            [1.0, 0.0, 0.0],
-            [0.0, 1.0, 0.0],
-            [0.0, 0.0, 1.0],
-            [1.0, 1.0, 1.0],
-            [2.0, 1.0, 0.0],
-        ];
+        let design =
+            [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [1.0, 1.0, 1.0], [2.0, 1.0, 0.0]];
         let planted = [1.5, -2.0, 0.5];
         let xs: Vec<Vec<f64>> = design.iter().map(|r| r.to_vec()).collect();
-        let ys: Vec<f64> = design
-            .iter()
-            .map(|r| r.iter().zip(&planted).map(|(x, w)| x * w).sum())
-            .collect();
+        let ys: Vec<f64> =
+            design.iter().map(|r| r.iter().zip(&planted).map(|(x, w)| x * w).sum()).collect();
         let w = ordinary_least_squares(&xs, &ys).unwrap();
         for (got, want) in w.iter().zip(&planted) {
             assert!((got - want).abs() < 1e-9, "{got} vs {want}");
@@ -219,9 +206,8 @@ mod tests {
     fn least_squares_averages_noise() {
         // Single feature y = 2x with symmetric noise: the fit stays near 2.
         let xs: Vec<Vec<f64>> = (1..=10).map(|i| vec![i as f64]).collect();
-        let ys: Vec<f64> = (1..=10)
-            .map(|i| 2.0 * i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 })
-            .collect();
+        let ys: Vec<f64> =
+            (1..=10).map(|i| 2.0 * i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
         let w = ordinary_least_squares(&xs, &ys).unwrap();
         assert!((w[0] - 2.0).abs() < 0.02, "w = {}", w[0]);
         let r2 = r_squared(&xs, &ys, &w);
@@ -232,20 +218,14 @@ mod tests {
     fn dependent_features_are_rejected() {
         let xs = vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]];
         let ys = vec![1.0, 2.0, 3.0];
-        assert_eq!(
-            ordinary_least_squares(&xs, &ys).unwrap_err(),
-            RegressionError::Underdetermined
-        );
+        assert_eq!(ordinary_least_squares(&xs, &ys).unwrap_err(), RegressionError::Underdetermined);
     }
 
     #[test]
     fn too_few_observations_rejected() {
         let xs = vec![vec![1.0, 2.0]];
         let ys = vec![1.0];
-        assert_eq!(
-            ordinary_least_squares(&xs, &ys).unwrap_err(),
-            RegressionError::Underdetermined
-        );
+        assert_eq!(ordinary_least_squares(&xs, &ys).unwrap_err(), RegressionError::Underdetermined);
     }
 
     #[test]
@@ -282,12 +262,12 @@ mod tests {
         };
         for _ in 0..9 {
             let row = vec![
-                next() * 1e9,  // sync elements
-                next() * 1e4,  // sync stripes
-                next() * 1e7,  // async elements
-                next() * 1e4,  // async stripes
-                next() * 1e8,  // async nnz * K
-                next() * 1e4,  // async stripes (compute)
+                next() * 1e9, // sync elements
+                next() * 1e4, // sync stripes
+                next() * 1e7, // async elements
+                next() * 1e4, // async stripes
+                next() * 1e8, // async nnz * K
+                next() * 1e4, // async stripes (compute)
             ];
             let y: f64 = row.iter().zip(&planted).map(|(x, w)| x * w).sum();
             xs.push(row);
@@ -295,10 +275,7 @@ mod tests {
         }
         let w = ordinary_least_squares(&xs, &ys).unwrap();
         for (got, want) in w.iter().zip(&planted) {
-            assert!(
-                (got - want).abs() / want < 1e-6,
-                "recovered {got:e}, planted {want:e}"
-            );
+            assert!((got - want).abs() / want < 1e-6, "recovered {got:e}, planted {want:e}");
         }
     }
 }

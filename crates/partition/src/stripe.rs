@@ -69,10 +69,7 @@ impl NodeProfile {
 
     /// The profile of a specific stripe, if it is non-empty on this node.
     pub fn stripe(&self, stripe: usize) -> Option<&StripeProfile> {
-        self.stripes
-            .binary_search_by_key(&stripe, |p| p.stripe)
-            .ok()
-            .map(|i| &self.stripes[i])
+        self.stripes.binary_search_by_key(&stripe, |p| p.stripe).ok().map(|i| &self.stripes[i])
     }
 
     /// Total nonzeros across all stripes (the node's local nnz).

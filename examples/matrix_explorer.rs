@@ -41,10 +41,7 @@ fn explore(name: &str) -> Result<(), Box<dyn Error>> {
     let a = Arc::new(matrix.generate());
     let stats = MatrixStats::compute(&a);
     println!("\n================ {} (analog of {}) ================", name, matrix.long_name());
-    println!(
-        "{} x {}, {} nnz, density {:.2e}",
-        stats.rows, stats.cols, stats.nnz, stats.density
-    );
+    println!("{} x {}, {} nnz, density {:.2e}", stats.rows, stats.cols, stats.nnz, stats.density);
     println!(
         "row degrees:  mean {:.1}, median {}, p99 {}, max {}, gini {:.3}",
         stats.row_degrees.mean,

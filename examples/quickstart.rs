@@ -33,14 +33,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     //    against a serial reference.
     let options = RunOptions { validate: true, ..Default::default() };
     let two_face = run_algorithm(Algorithm::TwoFace, &problem, &cost, &options)?;
-    let ds2 = run_algorithm(
-        Algorithm::DenseShifting { replication: 2 },
-        &problem,
-        &cost,
-        &options,
-    )?;
+    let ds2 =
+        run_algorithm(Algorithm::DenseShifting { replication: 2 }, &problem, &cost, &options)?;
 
-    println!("\n{:<22} {:>14} {:>16} {:>12}", "algorithm", "sim time (s)", "elements moved", "messages");
+    println!(
+        "\n{:<22} {:>14} {:>16} {:>12}",
+        "algorithm", "sim time (s)", "elements moved", "messages"
+    );
     for r in [&ds2, &two_face] {
         println!(
             "{:<22} {:>14.6} {:>16} {:>12}",

@@ -20,8 +20,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let name = args.first().map(String::as_str).unwrap_or("queen");
     let max_p: usize = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(32);
-    let matrix = SuiteMatrix::from_short_name(name)
-        .ok_or_else(|| format!("unknown matrix {name:?}"))?;
+    let matrix =
+        SuiteMatrix::from_short_name(name).ok_or_else(|| format!("unknown matrix {name:?}"))?;
     let a = std::sync::Arc::new(matrix.generate());
     println!(
         "scaling {} ({} nnz) from 1 to {max_p} nodes at K = {K}\n",
@@ -43,7 +43,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut p = 1usize;
     let mut twoface_at_1: Option<f64> = None;
     while p <= max_p {
-        let problem = Problem::with_generated_b(std::sync::Arc::clone(&a), K, p, matrix.stripe_width())?;
+        let problem =
+            Problem::with_generated_b(std::sync::Arc::clone(&a), K, p, matrix.stripe_width())?;
         let mut line = format!("{:<6}", p);
         let mut twoface_seconds = None;
         for algo in algorithms {

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_async_layout-04e2ce3d7e8b49e7.d: crates/bench/src/bin/ablation_async_layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_async_layout-04e2ce3d7e8b49e7.rmeta: crates/bench/src/bin/ablation_async_layout.rs Cargo.toml
+
+crates/bench/src/bin/ablation_async_layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

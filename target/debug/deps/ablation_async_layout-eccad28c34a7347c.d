@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_async_layout-eccad28c34a7347c.d: crates/bench/src/bin/ablation_async_layout.rs
+
+/root/repo/target/debug/deps/ablation_async_layout-eccad28c34a7347c: crates/bench/src/bin/ablation_async_layout.rs
+
+crates/bench/src/bin/ablation_async_layout.rs:

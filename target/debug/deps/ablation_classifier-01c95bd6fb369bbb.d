@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_classifier-01c95bd6fb369bbb.d: crates/bench/src/bin/ablation_classifier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_classifier-01c95bd6fb369bbb.rmeta: crates/bench/src/bin/ablation_classifier.rs Cargo.toml
+
+crates/bench/src/bin/ablation_classifier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_classifier-1bf1d05394f49e1b.d: crates/bench/src/bin/ablation_classifier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_classifier-1bf1d05394f49e1b.rmeta: crates/bench/src/bin/ablation_classifier.rs Cargo.toml
+
+crates/bench/src/bin/ablation_classifier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_classifier-50c10b81835f52a3.d: crates/bench/src/bin/ablation_classifier.rs
+
+/root/repo/target/debug/deps/ablation_classifier-50c10b81835f52a3: crates/bench/src/bin/ablation_classifier.rs
+
+crates/bench/src/bin/ablation_classifier.rs:

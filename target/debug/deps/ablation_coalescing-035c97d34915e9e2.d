@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_coalescing-035c97d34915e9e2.d: crates/bench/src/bin/ablation_coalescing.rs
+
+/root/repo/target/debug/deps/ablation_coalescing-035c97d34915e9e2: crates/bench/src/bin/ablation_coalescing.rs
+
+crates/bench/src/bin/ablation_coalescing.rs:

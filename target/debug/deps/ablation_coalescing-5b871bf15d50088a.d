@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_coalescing-5b871bf15d50088a.d: crates/bench/src/bin/ablation_coalescing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_coalescing-5b871bf15d50088a.rmeta: crates/bench/src/bin/ablation_coalescing.rs Cargo.toml
+
+crates/bench/src/bin/ablation_coalescing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

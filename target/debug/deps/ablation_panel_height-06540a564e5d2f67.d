@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_panel_height-06540a564e5d2f67.d: crates/bench/src/bin/ablation_panel_height.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_panel_height-06540a564e5d2f67.rmeta: crates/bench/src/bin/ablation_panel_height.rs Cargo.toml
+
+crates/bench/src/bin/ablation_panel_height.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_panel_height-a4d54f952ed39ea0.d: crates/bench/src/bin/ablation_panel_height.rs
+
+/root/repo/target/debug/deps/ablation_panel_height-a4d54f952ed39ea0: crates/bench/src/bin/ablation_panel_height.rs
+
+crates/bench/src/bin/ablation_panel_height.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_panel_height-ede18021870035f8.d: crates/bench/src/bin/ablation_panel_height.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_panel_height-ede18021870035f8.rmeta: crates/bench/src/bin/ablation_panel_height.rs Cargo.toml
+
+crates/bench/src/bin/ablation_panel_height.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_stripe_width-4860758781554ee4.d: crates/bench/src/bin/ablation_stripe_width.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_stripe_width-4860758781554ee4.rmeta: crates/bench/src/bin/ablation_stripe_width.rs Cargo.toml
+
+crates/bench/src/bin/ablation_stripe_width.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_stripe_width-76973fba7ebb2232.d: crates/bench/src/bin/ablation_stripe_width.rs
+
+/root/repo/target/debug/deps/ablation_stripe_width-76973fba7ebb2232: crates/bench/src/bin/ablation_stripe_width.rs
+
+crates/bench/src/bin/ablation_stripe_width.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_threads-4cf806f4ac0b554a.d: crates/bench/src/bin/ablation_threads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_threads-4cf806f4ac0b554a.rmeta: crates/bench/src/bin/ablation_threads.rs Cargo.toml
+
+crates/bench/src/bin/ablation_threads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

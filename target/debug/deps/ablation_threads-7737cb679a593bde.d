@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_threads-7737cb679a593bde.d: crates/bench/src/bin/ablation_threads.rs
+
+/root/repo/target/debug/deps/ablation_threads-7737cb679a593bde: crates/bench/src/bin/ablation_threads.rs
+
+crates/bench/src/bin/ablation_threads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithms_agree-35b45cc331c846c8.d: crates/core/../../tests/algorithms_agree.rs
+
+/root/repo/target/debug/deps/algorithms_agree-35b45cc331c846c8: crates/core/../../tests/algorithms_agree.rs
+
+crates/core/../../tests/algorithms_agree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algorithms_agree-d877a32677bec302.d: crates/core/../../tests/algorithms_agree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgorithms_agree-d877a32677bec302.rmeta: crates/core/../../tests/algorithms_agree.rs Cargo.toml
+
+crates/core/../../tests/algorithms_agree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/classification-ed5360544e1f5e16.d: crates/bench/benches/classification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclassification-ed5360544e1f5e16.rmeta: crates/bench/benches/classification.rs Cargo.toml
+
+crates/bench/benches/classification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

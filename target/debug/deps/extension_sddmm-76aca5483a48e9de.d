@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extension_sddmm-76aca5483a48e9de.d: crates/bench/src/bin/extension_sddmm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_sddmm-76aca5483a48e9de.rmeta: crates/bench/src/bin/extension_sddmm.rs Cargo.toml
+
+crates/bench/src/bin/extension_sddmm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extension_sddmm-984705e49046ff3a.d: crates/bench/src/bin/extension_sddmm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_sddmm-984705e49046ff3a.rmeta: crates/bench/src/bin/extension_sddmm.rs Cargo.toml
+
+crates/bench/src/bin/extension_sddmm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

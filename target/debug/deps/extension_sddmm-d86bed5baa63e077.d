@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_sddmm-d86bed5baa63e077.d: crates/bench/src/bin/extension_sddmm.rs
+
+/root/repo/target/debug/deps/extension_sddmm-d86bed5baa63e077: crates/bench/src/bin/extension_sddmm.rs
+
+crates/bench/src/bin/extension_sddmm.rs:

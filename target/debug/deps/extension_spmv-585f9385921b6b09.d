@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extension_spmv-585f9385921b6b09.d: crates/bench/src/bin/extension_spmv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_spmv-585f9385921b6b09.rmeta: crates/bench/src/bin/extension_spmv.rs Cargo.toml
+
+crates/bench/src/bin/extension_spmv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_spmv-7e4cfa7342af0834.d: crates/bench/src/bin/extension_spmv.rs
+
+/root/repo/target/debug/deps/extension_spmv-7e4cfa7342af0834: crates/bench/src/bin/extension_spmv.rs
+
+crates/bench/src/bin/extension_spmv.rs:

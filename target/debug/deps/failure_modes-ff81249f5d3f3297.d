@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_modes-ff81249f5d3f3297.d: crates/core/../../tests/failure_modes.rs
+
+/root/repo/target/debug/deps/failure_modes-ff81249f5d3f3297: crates/core/../../tests/failure_modes.rs
+
+crates/core/../../tests/failure_modes.rs:

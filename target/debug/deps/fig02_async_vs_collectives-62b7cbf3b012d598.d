@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_async_vs_collectives-62b7cbf3b012d598.d: crates/bench/src/bin/fig02_async_vs_collectives.rs
+
+/root/repo/target/debug/deps/fig02_async_vs_collectives-62b7cbf3b012d598: crates/bench/src/bin/fig02_async_vs_collectives.rs
+
+crates/bench/src/bin/fig02_async_vs_collectives.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_async_vs_collectives-66488a5bb73148d8.d: crates/bench/src/bin/fig02_async_vs_collectives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_async_vs_collectives-66488a5bb73148d8.rmeta: crates/bench/src/bin/fig02_async_vs_collectives.rs Cargo.toml
+
+crates/bench/src/bin/fig02_async_vs_collectives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

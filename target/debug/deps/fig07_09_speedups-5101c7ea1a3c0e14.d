@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_09_speedups-5101c7ea1a3c0e14.d: crates/bench/src/bin/fig07_09_speedups.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_09_speedups-5101c7ea1a3c0e14.rmeta: crates/bench/src/bin/fig07_09_speedups.rs Cargo.toml
+
+crates/bench/src/bin/fig07_09_speedups.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

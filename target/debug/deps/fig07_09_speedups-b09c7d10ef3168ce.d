@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_09_speedups-b09c7d10ef3168ce.d: crates/bench/src/bin/fig07_09_speedups.rs
+
+/root/repo/target/debug/deps/fig07_09_speedups-b09c7d10ef3168ce: crates/bench/src/bin/fig07_09_speedups.rs
+
+crates/bench/src/bin/fig07_09_speedups.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_breakdown-4b5575db50cade79.d: crates/bench/src/bin/fig10_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_breakdown-4b5575db50cade79.rmeta: crates/bench/src/bin/fig10_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig10_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_breakdown-c8786d53241b081b.d: crates/bench/src/bin/fig10_breakdown.rs
+
+/root/repo/target/debug/deps/fig10_breakdown-c8786d53241b081b: crates/bench/src/bin/fig10_breakdown.rs
+
+crates/bench/src/bin/fig10_breakdown.rs:

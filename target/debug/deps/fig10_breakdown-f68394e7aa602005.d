@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_breakdown-f68394e7aa602005.d: crates/bench/src/bin/fig10_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_breakdown-f68394e7aa602005.rmeta: crates/bench/src/bin/fig10_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig10_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_scaling-2055150bd64e649c.d: crates/bench/src/bin/fig11_scaling.rs
+
+/root/repo/target/debug/deps/fig11_scaling-2055150bd64e649c: crates/bench/src/bin/fig11_scaling.rs
+
+crates/bench/src/bin/fig11_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_scaling-a855c7f22f0db2e3.d: crates/bench/src/bin/fig11_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_scaling-a855c7f22f0db2e3.rmeta: crates/bench/src/bin/fig11_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig11_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_scaling-f78ae4eaeccca36b.d: crates/bench/src/bin/fig11_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_scaling-f78ae4eaeccca36b.rmeta: crates/bench/src/bin/fig11_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig11_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

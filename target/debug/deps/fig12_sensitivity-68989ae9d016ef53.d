@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_sensitivity-68989ae9d016ef53.d: crates/bench/src/bin/fig12_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_sensitivity-68989ae9d016ef53.rmeta: crates/bench/src/bin/fig12_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/fig12_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_sensitivity-ac20bbba245d37fd.d: crates/bench/src/bin/fig12_sensitivity.rs
+
+/root/repo/target/debug/deps/fig12_sensitivity-ac20bbba245d37fd: crates/bench/src/bin/fig12_sensitivity.rs
+
+crates/bench/src/bin/fig12_sensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_sensitivity-bf3cca38d7199670.d: crates/bench/src/bin/fig12_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_sensitivity-bf3cca38d7199670.rmeta: crates/bench/src/bin/fig12_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/fig12_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gnn_integration-6bb514c2716f7016.d: crates/core/../../tests/gnn_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgnn_integration-6bb514c2716f7016.rmeta: crates/core/../../tests/gnn_integration.rs Cargo.toml
+
+crates/core/../../tests/gnn_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

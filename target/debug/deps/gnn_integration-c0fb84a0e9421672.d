@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gnn_integration-c0fb84a0e9421672.d: crates/core/../../tests/gnn_integration.rs
+
+/root/repo/target/debug/deps/gnn_integration-c0fb84a0e9421672: crates/core/../../tests/gnn_integration.rs
+
+crates/core/../../tests/gnn_integration.rs:

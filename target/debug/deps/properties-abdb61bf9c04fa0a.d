@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-abdb61bf9c04fa0a.d: crates/core/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-abdb61bf9c04fa0a: crates/core/../../tests/properties.rs
+
+crates/core/../../tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-bb384694820dd915.d: crates/core/../../tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-bb384694820dd915.rmeta: crates/core/../../tests/properties.rs Cargo.toml
+
+crates/core/../../tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

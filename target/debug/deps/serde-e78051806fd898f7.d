@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-e78051806fd898f7.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-e78051806fd898f7: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

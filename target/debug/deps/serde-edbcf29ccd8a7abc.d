@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-edbcf29ccd8a7abc.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-edbcf29ccd8a7abc.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-edbcf29ccd8a7abc.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-2fc719ea15ec9609.d: vendor/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-2fc719ea15ec9609.rmeta: vendor/serde_derive/src/lib.rs Cargo.toml
+
+vendor/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-74318d682837af9b.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-74318d682837af9b: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

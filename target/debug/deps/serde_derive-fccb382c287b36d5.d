@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-fccb382c287b36d5.d: vendor/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-fccb382c287b36d5.so: vendor/serde_derive/src/lib.rs Cargo.toml
+
+vendor/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

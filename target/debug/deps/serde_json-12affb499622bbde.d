@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-12affb499622bbde.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-12affb499622bbde.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-12affb499622bbde.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

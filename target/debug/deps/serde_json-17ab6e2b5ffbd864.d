@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-17ab6e2b5ffbd864.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-17ab6e2b5ffbd864: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

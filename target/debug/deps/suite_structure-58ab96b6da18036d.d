@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suite_structure-58ab96b6da18036d.d: crates/core/../../tests/suite_structure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuite_structure-58ab96b6da18036d.rmeta: crates/core/../../tests/suite_structure.rs Cargo.toml
+
+crates/core/../../tests/suite_structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

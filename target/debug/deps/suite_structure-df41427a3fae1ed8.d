@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_structure-df41427a3fae1ed8.d: crates/core/../../tests/suite_structure.rs
+
+/root/repo/target/debug/deps/suite_structure-df41427a3fae1ed8: crates/core/../../tests/suite_structure.rs
+
+crates/core/../../tests/suite_structure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_matrices-6b4917e433f259ef.d: crates/bench/src/bin/table1_matrices.rs
+
+/root/repo/target/debug/deps/table1_matrices-6b4917e433f259ef: crates/bench/src/bin/table1_matrices.rs
+
+crates/bench/src/bin/table1_matrices.rs:

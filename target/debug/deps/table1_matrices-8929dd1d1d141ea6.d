@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_matrices-8929dd1d1d141ea6.d: crates/bench/src/bin/table1_matrices.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_matrices-8929dd1d1d141ea6.rmeta: crates/bench/src/bin/table1_matrices.rs Cargo.toml
+
+crates/bench/src/bin/table1_matrices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_params-2560a20245208b03.d: crates/bench/src/bin/table2_params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_params-2560a20245208b03.rmeta: crates/bench/src/bin/table2_params.rs Cargo.toml
+
+crates/bench/src/bin/table2_params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

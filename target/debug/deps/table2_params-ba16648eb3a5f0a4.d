@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_params-ba16648eb3a5f0a4.d: crates/bench/src/bin/table2_params.rs
+
+/root/repo/target/debug/deps/table2_params-ba16648eb3a5f0a4: crates/bench/src/bin/table2_params.rs
+
+crates/bench/src/bin/table2_params.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_calibration-856743d0ec2c7147.d: crates/bench/src/bin/table3_calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_calibration-856743d0ec2c7147.rmeta: crates/bench/src/bin/table3_calibration.rs Cargo.toml
+
+crates/bench/src/bin/table3_calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

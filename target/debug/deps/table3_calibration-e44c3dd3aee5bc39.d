@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_calibration-e44c3dd3aee5bc39.d: crates/bench/src/bin/table3_calibration.rs
+
+/root/repo/target/debug/deps/table3_calibration-e44c3dd3aee5bc39: crates/bench/src/bin/table3_calibration.rs
+
+crates/bench/src/bin/table3_calibration.rs:

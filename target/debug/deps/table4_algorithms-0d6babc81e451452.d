@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_algorithms-0d6babc81e451452.d: crates/bench/src/bin/table4_algorithms.rs
+
+/root/repo/target/debug/deps/table4_algorithms-0d6babc81e451452: crates/bench/src/bin/table4_algorithms.rs
+
+crates/bench/src/bin/table4_algorithms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_algorithms-2df1c30b32536372.d: crates/bench/src/bin/table4_algorithms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_algorithms-2df1c30b32536372.rmeta: crates/bench/src/bin/table4_algorithms.rs Cargo.toml
+
+crates/bench/src/bin/table4_algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_algorithms-40736375e8f60999.d: crates/bench/src/bin/table4_algorithms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_algorithms-40736375e8f60999.rmeta: crates/bench/src/bin/table4_algorithms.rs Cargo.toml
+
+crates/bench/src/bin/table4_algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

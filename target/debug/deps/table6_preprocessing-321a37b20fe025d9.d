@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_preprocessing-321a37b20fe025d9.d: crates/bench/src/bin/table6_preprocessing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_preprocessing-321a37b20fe025d9.rmeta: crates/bench/src/bin/table6_preprocessing.rs Cargo.toml
+
+crates/bench/src/bin/table6_preprocessing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

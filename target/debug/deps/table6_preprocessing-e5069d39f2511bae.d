@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_preprocessing-e5069d39f2511bae.d: crates/bench/src/bin/table6_preprocessing.rs
+
+/root/repo/target/debug/deps/table6_preprocessing-e5069d39f2511bae: crates/bench/src/bin/table6_preprocessing.rs
+
+crates/bench/src/bin/table6_preprocessing.rs:

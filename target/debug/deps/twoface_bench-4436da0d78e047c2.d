@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/twoface_bench-4436da0d78e047c2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/twoface_bench-4436da0d78e047c2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

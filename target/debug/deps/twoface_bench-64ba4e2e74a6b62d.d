@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twoface_bench-64ba4e2e74a6b62d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtwoface_bench-64ba4e2e74a6b62d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtwoface_bench-64ba4e2e74a6b62d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/twoface_core-6e6ad665d3a6ec95.d: crates/core/src/lib.rs crates/core/src/algo/mod.rs crates/core/src/algo/collective.rs crates/core/src/algo/twoface.rs crates/core/src/coalesce.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/format.rs crates/core/src/gnn.rs crates/core/src/kernels.rs crates/core/src/reference.rs crates/core/src/runner.rs crates/core/src/sampling.rs crates/core/src/sddmm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwoface_core-6e6ad665d3a6ec95.rmeta: crates/core/src/lib.rs crates/core/src/algo/mod.rs crates/core/src/algo/collective.rs crates/core/src/algo/twoface.rs crates/core/src/coalesce.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/format.rs crates/core/src/gnn.rs crates/core/src/kernels.rs crates/core/src/reference.rs crates/core/src/runner.rs crates/core/src/sampling.rs crates/core/src/sddmm.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/algo/mod.rs:
+crates/core/src/algo/collective.rs:
+crates/core/src/algo/twoface.rs:
+crates/core/src/coalesce.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/format.rs:
+crates/core/src/gnn.rs:
+crates/core/src/kernels.rs:
+crates/core/src/reference.rs:
+crates/core/src/runner.rs:
+crates/core/src/sampling.rs:
+crates/core/src/sddmm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/twoface_core-eae934a61cf15c3a.d: crates/core/src/lib.rs crates/core/src/algo/mod.rs crates/core/src/algo/collective.rs crates/core/src/algo/twoface.rs crates/core/src/coalesce.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/format.rs crates/core/src/gnn.rs crates/core/src/kernels.rs crates/core/src/reference.rs crates/core/src/runner.rs crates/core/src/sampling.rs crates/core/src/sddmm.rs
+
+/root/repo/target/debug/deps/twoface_core-eae934a61cf15c3a: crates/core/src/lib.rs crates/core/src/algo/mod.rs crates/core/src/algo/collective.rs crates/core/src/algo/twoface.rs crates/core/src/coalesce.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/format.rs crates/core/src/gnn.rs crates/core/src/kernels.rs crates/core/src/reference.rs crates/core/src/runner.rs crates/core/src/sampling.rs crates/core/src/sddmm.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algo/mod.rs:
+crates/core/src/algo/collective.rs:
+crates/core/src/algo/twoface.rs:
+crates/core/src/coalesce.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/format.rs:
+crates/core/src/gnn.rs:
+crates/core/src/kernels.rs:
+crates/core/src/reference.rs:
+crates/core/src/runner.rs:
+crates/core/src/sampling.rs:
+crates/core/src/sddmm.rs:

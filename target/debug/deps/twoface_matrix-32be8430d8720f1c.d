@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/twoface_matrix-32be8430d8720f1c.d: crates/matrix/src/lib.rs crates/matrix/src/coo.rs crates/matrix/src/csc.rs crates/matrix/src/csr.rs crates/matrix/src/dense.rs crates/matrix/src/error.rs crates/matrix/src/gen/mod.rs crates/matrix/src/gen/banded.rs crates/matrix/src/gen/erdos.rs crates/matrix/src/gen/hub.rs crates/matrix/src/gen/hypersparse.rs crates/matrix/src/gen/rmat.rs crates/matrix/src/gen/suite.rs crates/matrix/src/gen/webcrawl.rs crates/matrix/src/io/mod.rs crates/matrix/src/io/binary.rs crates/matrix/src/io/market.rs crates/matrix/src/stats.rs
+
+/root/repo/target/debug/deps/libtwoface_matrix-32be8430d8720f1c.rlib: crates/matrix/src/lib.rs crates/matrix/src/coo.rs crates/matrix/src/csc.rs crates/matrix/src/csr.rs crates/matrix/src/dense.rs crates/matrix/src/error.rs crates/matrix/src/gen/mod.rs crates/matrix/src/gen/banded.rs crates/matrix/src/gen/erdos.rs crates/matrix/src/gen/hub.rs crates/matrix/src/gen/hypersparse.rs crates/matrix/src/gen/rmat.rs crates/matrix/src/gen/suite.rs crates/matrix/src/gen/webcrawl.rs crates/matrix/src/io/mod.rs crates/matrix/src/io/binary.rs crates/matrix/src/io/market.rs crates/matrix/src/stats.rs
+
+/root/repo/target/debug/deps/libtwoface_matrix-32be8430d8720f1c.rmeta: crates/matrix/src/lib.rs crates/matrix/src/coo.rs crates/matrix/src/csc.rs crates/matrix/src/csr.rs crates/matrix/src/dense.rs crates/matrix/src/error.rs crates/matrix/src/gen/mod.rs crates/matrix/src/gen/banded.rs crates/matrix/src/gen/erdos.rs crates/matrix/src/gen/hub.rs crates/matrix/src/gen/hypersparse.rs crates/matrix/src/gen/rmat.rs crates/matrix/src/gen/suite.rs crates/matrix/src/gen/webcrawl.rs crates/matrix/src/io/mod.rs crates/matrix/src/io/binary.rs crates/matrix/src/io/market.rs crates/matrix/src/stats.rs
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/coo.rs:
+crates/matrix/src/csc.rs:
+crates/matrix/src/csr.rs:
+crates/matrix/src/dense.rs:
+crates/matrix/src/error.rs:
+crates/matrix/src/gen/mod.rs:
+crates/matrix/src/gen/banded.rs:
+crates/matrix/src/gen/erdos.rs:
+crates/matrix/src/gen/hub.rs:
+crates/matrix/src/gen/hypersparse.rs:
+crates/matrix/src/gen/rmat.rs:
+crates/matrix/src/gen/suite.rs:
+crates/matrix/src/gen/webcrawl.rs:
+crates/matrix/src/io/mod.rs:
+crates/matrix/src/io/binary.rs:
+crates/matrix/src/io/market.rs:
+crates/matrix/src/stats.rs:

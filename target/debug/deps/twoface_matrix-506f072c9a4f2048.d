@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/twoface_matrix-506f072c9a4f2048.d: crates/matrix/src/lib.rs crates/matrix/src/coo.rs crates/matrix/src/csc.rs crates/matrix/src/csr.rs crates/matrix/src/dense.rs crates/matrix/src/error.rs crates/matrix/src/gen/mod.rs crates/matrix/src/gen/banded.rs crates/matrix/src/gen/erdos.rs crates/matrix/src/gen/hub.rs crates/matrix/src/gen/hypersparse.rs crates/matrix/src/gen/rmat.rs crates/matrix/src/gen/suite.rs crates/matrix/src/gen/webcrawl.rs crates/matrix/src/io/mod.rs crates/matrix/src/io/binary.rs crates/matrix/src/io/market.rs crates/matrix/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwoface_matrix-506f072c9a4f2048.rmeta: crates/matrix/src/lib.rs crates/matrix/src/coo.rs crates/matrix/src/csc.rs crates/matrix/src/csr.rs crates/matrix/src/dense.rs crates/matrix/src/error.rs crates/matrix/src/gen/mod.rs crates/matrix/src/gen/banded.rs crates/matrix/src/gen/erdos.rs crates/matrix/src/gen/hub.rs crates/matrix/src/gen/hypersparse.rs crates/matrix/src/gen/rmat.rs crates/matrix/src/gen/suite.rs crates/matrix/src/gen/webcrawl.rs crates/matrix/src/io/mod.rs crates/matrix/src/io/binary.rs crates/matrix/src/io/market.rs crates/matrix/src/stats.rs Cargo.toml
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/coo.rs:
+crates/matrix/src/csc.rs:
+crates/matrix/src/csr.rs:
+crates/matrix/src/dense.rs:
+crates/matrix/src/error.rs:
+crates/matrix/src/gen/mod.rs:
+crates/matrix/src/gen/banded.rs:
+crates/matrix/src/gen/erdos.rs:
+crates/matrix/src/gen/hub.rs:
+crates/matrix/src/gen/hypersparse.rs:
+crates/matrix/src/gen/rmat.rs:
+crates/matrix/src/gen/suite.rs:
+crates/matrix/src/gen/webcrawl.rs:
+crates/matrix/src/io/mod.rs:
+crates/matrix/src/io/binary.rs:
+crates/matrix/src/io/market.rs:
+crates/matrix/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

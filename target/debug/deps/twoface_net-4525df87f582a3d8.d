@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/twoface_net-4525df87f582a3d8.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/cost.rs crates/net/src/meet.rs crates/net/src/time.rs crates/net/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwoface_net-4525df87f582a3d8.rmeta: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/cost.rs crates/net/src/meet.rs crates/net/src/time.rs crates/net/src/trace.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/cost.rs:
+crates/net/src/meet.rs:
+crates/net/src/time.rs:
+crates/net/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/twoface_net-9c90c6651004802a.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/cost.rs crates/net/src/meet.rs crates/net/src/time.rs crates/net/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwoface_net-9c90c6651004802a.rmeta: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/cost.rs crates/net/src/meet.rs crates/net/src/time.rs crates/net/src/trace.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/cost.rs:
+crates/net/src/meet.rs:
+crates/net/src/time.rs:
+crates/net/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/twoface_net-ac67ec70009a29eb.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/cost.rs crates/net/src/meet.rs crates/net/src/time.rs crates/net/src/trace.rs
+
+/root/repo/target/debug/deps/twoface_net-ac67ec70009a29eb: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/cost.rs crates/net/src/meet.rs crates/net/src/time.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/cost.rs:
+crates/net/src/meet.rs:
+crates/net/src/time.rs:
+crates/net/src/trace.rs:

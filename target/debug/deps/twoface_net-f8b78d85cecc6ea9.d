@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/twoface_net-f8b78d85cecc6ea9.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/cost.rs crates/net/src/meet.rs crates/net/src/time.rs crates/net/src/trace.rs
+
+/root/repo/target/debug/deps/libtwoface_net-f8b78d85cecc6ea9.rlib: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/cost.rs crates/net/src/meet.rs crates/net/src/time.rs crates/net/src/trace.rs
+
+/root/repo/target/debug/deps/libtwoface_net-f8b78d85cecc6ea9.rmeta: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/cost.rs crates/net/src/meet.rs crates/net/src/time.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/cost.rs:
+crates/net/src/meet.rs:
+crates/net/src/time.rs:
+crates/net/src/trace.rs:

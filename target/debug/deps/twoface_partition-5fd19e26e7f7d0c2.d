@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/twoface_partition-5fd19e26e7f7d0c2.d: crates/partition/src/lib.rs crates/partition/src/layout.rs crates/partition/src/model.rs crates/partition/src/plan.rs crates/partition/src/regress.rs crates/partition/src/stripe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwoface_partition-5fd19e26e7f7d0c2.rmeta: crates/partition/src/lib.rs crates/partition/src/layout.rs crates/partition/src/model.rs crates/partition/src/plan.rs crates/partition/src/regress.rs crates/partition/src/stripe.rs Cargo.toml
+
+crates/partition/src/lib.rs:
+crates/partition/src/layout.rs:
+crates/partition/src/model.rs:
+crates/partition/src/plan.rs:
+crates/partition/src/regress.rs:
+crates/partition/src/stripe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

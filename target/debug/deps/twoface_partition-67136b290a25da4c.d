@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/twoface_partition-67136b290a25da4c.d: crates/partition/src/lib.rs crates/partition/src/layout.rs crates/partition/src/model.rs crates/partition/src/plan.rs crates/partition/src/regress.rs crates/partition/src/stripe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwoface_partition-67136b290a25da4c.rmeta: crates/partition/src/lib.rs crates/partition/src/layout.rs crates/partition/src/model.rs crates/partition/src/plan.rs crates/partition/src/regress.rs crates/partition/src/stripe.rs Cargo.toml
+
+crates/partition/src/lib.rs:
+crates/partition/src/layout.rs:
+crates/partition/src/model.rs:
+crates/partition/src/plan.rs:
+crates/partition/src/regress.rs:
+crates/partition/src/stripe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

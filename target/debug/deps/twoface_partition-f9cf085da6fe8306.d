@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/twoface_partition-f9cf085da6fe8306.d: crates/partition/src/lib.rs crates/partition/src/layout.rs crates/partition/src/model.rs crates/partition/src/plan.rs crates/partition/src/regress.rs crates/partition/src/stripe.rs
+
+/root/repo/target/debug/deps/twoface_partition-f9cf085da6fe8306: crates/partition/src/lib.rs crates/partition/src/layout.rs crates/partition/src/model.rs crates/partition/src/plan.rs crates/partition/src/regress.rs crates/partition/src/stripe.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/layout.rs:
+crates/partition/src/model.rs:
+crates/partition/src/plan.rs:
+crates/partition/src/regress.rs:
+crates/partition/src/stripe.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/twoface_partition-fadfae8a821ab0af.d: crates/partition/src/lib.rs crates/partition/src/layout.rs crates/partition/src/model.rs crates/partition/src/plan.rs crates/partition/src/regress.rs crates/partition/src/stripe.rs
+
+/root/repo/target/debug/deps/libtwoface_partition-fadfae8a821ab0af.rlib: crates/partition/src/lib.rs crates/partition/src/layout.rs crates/partition/src/model.rs crates/partition/src/plan.rs crates/partition/src/regress.rs crates/partition/src/stripe.rs
+
+/root/repo/target/debug/deps/libtwoface_partition-fadfae8a821ab0af.rmeta: crates/partition/src/lib.rs crates/partition/src/layout.rs crates/partition/src/model.rs crates/partition/src/plan.rs crates/partition/src/regress.rs crates/partition/src/stripe.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/layout.rs:
+crates/partition/src/model.rs:
+crates/partition/src/plan.rs:
+crates/partition/src/regress.rs:
+crates/partition/src/stripe.rs:

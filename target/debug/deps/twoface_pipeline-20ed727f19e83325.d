@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twoface_pipeline-20ed727f19e83325.d: crates/core/../../tests/twoface_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwoface_pipeline-20ed727f19e83325.rmeta: crates/core/../../tests/twoface_pipeline.rs Cargo.toml
+
+crates/core/../../tests/twoface_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twoface_pipeline-b97bb597f26a1ce6.d: crates/core/../../tests/twoface_pipeline.rs
+
+/root/repo/target/debug/deps/twoface_pipeline-b97bb597f26a1ce6: crates/core/../../tests/twoface_pipeline.rs
+
+crates/core/../../tests/twoface_pipeline.rs:

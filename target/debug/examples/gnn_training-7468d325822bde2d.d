@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gnn_training-7468d325822bde2d.d: crates/core/../../examples/gnn_training.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgnn_training-7468d325822bde2d.rmeta: crates/core/../../examples/gnn_training.rs Cargo.toml
+
+crates/core/../../examples/gnn_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gnn_training-7b7e83391ed44bd7.d: crates/core/../../examples/gnn_training.rs
+
+/root/repo/target/debug/examples/gnn_training-7b7e83391ed44bd7: crates/core/../../examples/gnn_training.rs
+
+crates/core/../../examples/gnn_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matrix_explorer-a75fb7acc520f77d.d: crates/core/../../examples/matrix_explorer.rs
+
+/root/repo/target/debug/examples/matrix_explorer-a75fb7acc520f77d: crates/core/../../examples/matrix_explorer.rs
+
+crates/core/../../examples/matrix_explorer.rs:

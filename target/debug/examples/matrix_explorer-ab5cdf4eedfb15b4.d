@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/matrix_explorer-ab5cdf4eedfb15b4.d: crates/core/../../examples/matrix_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmatrix_explorer-ab5cdf4eedfb15b4.rmeta: crates/core/../../examples/matrix_explorer.rs Cargo.toml
+
+crates/core/../../examples/matrix_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

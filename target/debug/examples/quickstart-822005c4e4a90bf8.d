@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-822005c4e4a90bf8.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-822005c4e4a90bf8: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scaling_study-51c8a29dbf8bfe74.d: crates/core/../../examples/scaling_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscaling_study-51c8a29dbf8bfe74.rmeta: crates/core/../../examples/scaling_study.rs Cargo.toml
+
+crates/core/../../examples/scaling_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

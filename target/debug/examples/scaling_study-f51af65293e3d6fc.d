@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-f51af65293e3d6fc.d: crates/core/../../examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-f51af65293e3d6fc: crates/core/../../examples/scaling_study.rs
+
+crates/core/../../examples/scaling_study.rs:

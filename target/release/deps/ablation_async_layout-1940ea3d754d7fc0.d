@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_async_layout-1940ea3d754d7fc0.d: crates/bench/src/bin/ablation_async_layout.rs
+
+/root/repo/target/release/deps/ablation_async_layout-1940ea3d754d7fc0: crates/bench/src/bin/ablation_async_layout.rs
+
+crates/bench/src/bin/ablation_async_layout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_classifier-5818c7b2294018aa.d: crates/bench/src/bin/ablation_classifier.rs
+
+/root/repo/target/release/deps/ablation_classifier-5818c7b2294018aa: crates/bench/src/bin/ablation_classifier.rs
+
+crates/bench/src/bin/ablation_classifier.rs:

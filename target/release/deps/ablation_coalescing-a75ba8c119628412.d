@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_coalescing-a75ba8c119628412.d: crates/bench/src/bin/ablation_coalescing.rs
+
+/root/repo/target/release/deps/ablation_coalescing-a75ba8c119628412: crates/bench/src/bin/ablation_coalescing.rs
+
+crates/bench/src/bin/ablation_coalescing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_panel_height-0a5ce34e99752501.d: crates/bench/src/bin/ablation_panel_height.rs
+
+/root/repo/target/release/deps/ablation_panel_height-0a5ce34e99752501: crates/bench/src/bin/ablation_panel_height.rs
+
+crates/bench/src/bin/ablation_panel_height.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_stripe_width-2345c7fbc4eb6999.d: crates/bench/src/bin/ablation_stripe_width.rs
+
+/root/repo/target/release/deps/ablation_stripe_width-2345c7fbc4eb6999: crates/bench/src/bin/ablation_stripe_width.rs
+
+crates/bench/src/bin/ablation_stripe_width.rs:

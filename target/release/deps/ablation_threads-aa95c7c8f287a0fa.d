@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_threads-aa95c7c8f287a0fa.d: crates/bench/src/bin/ablation_threads.rs
+
+/root/repo/target/release/deps/ablation_threads-aa95c7c8f287a0fa: crates/bench/src/bin/ablation_threads.rs
+
+crates/bench/src/bin/ablation_threads.rs:

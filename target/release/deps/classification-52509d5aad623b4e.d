@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/classification-52509d5aad623b4e.d: crates/bench/benches/classification.rs
+
+/root/repo/target/release/deps/classification-52509d5aad623b4e: crates/bench/benches/classification.rs
+
+crates/bench/benches/classification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-1a9d373af64b4e55.d: crates/bench/benches/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-1a9d373af64b4e55: crates/bench/benches/end_to_end.rs
+
+crates/bench/benches/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extension_sddmm-0086efc0556b6308.d: crates/bench/src/bin/extension_sddmm.rs
+
+/root/repo/target/release/deps/extension_sddmm-0086efc0556b6308: crates/bench/src/bin/extension_sddmm.rs
+
+crates/bench/src/bin/extension_sddmm.rs:

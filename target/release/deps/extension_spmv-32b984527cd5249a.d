@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extension_spmv-32b984527cd5249a.d: crates/bench/src/bin/extension_spmv.rs
+
+/root/repo/target/release/deps/extension_spmv-32b984527cd5249a: crates/bench/src/bin/extension_spmv.rs
+
+crates/bench/src/bin/extension_spmv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_async_vs_collectives-4c9abba33ee12a7a.d: crates/bench/src/bin/fig02_async_vs_collectives.rs
+
+/root/repo/target/release/deps/fig02_async_vs_collectives-4c9abba33ee12a7a: crates/bench/src/bin/fig02_async_vs_collectives.rs
+
+crates/bench/src/bin/fig02_async_vs_collectives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_09_speedups-0d9d58df5c9b8d25.d: crates/bench/src/bin/fig07_09_speedups.rs
+
+/root/repo/target/release/deps/fig07_09_speedups-0d9d58df5c9b8d25: crates/bench/src/bin/fig07_09_speedups.rs
+
+crates/bench/src/bin/fig07_09_speedups.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_breakdown-e910e576e2df2b0a.d: crates/bench/src/bin/fig10_breakdown.rs
+
+/root/repo/target/release/deps/fig10_breakdown-e910e576e2df2b0a: crates/bench/src/bin/fig10_breakdown.rs
+
+crates/bench/src/bin/fig10_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_scaling-72fe2fffb8ff26cd.d: crates/bench/src/bin/fig11_scaling.rs
+
+/root/repo/target/release/deps/fig11_scaling-72fe2fffb8ff26cd: crates/bench/src/bin/fig11_scaling.rs
+
+crates/bench/src/bin/fig11_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_sensitivity-d0303aa2a2f08989.d: crates/bench/src/bin/fig12_sensitivity.rs
+
+/root/repo/target/release/deps/fig12_sensitivity-d0303aa2a2f08989: crates/bench/src/bin/fig12_sensitivity.rs
+
+crates/bench/src/bin/fig12_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-89057d5e295a664a.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-89057d5e295a664a: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-2a8c95c58b7b079f.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-2a8c95c58b7b079f.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

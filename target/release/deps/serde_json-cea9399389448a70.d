@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-cea9399389448a70.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-cea9399389448a70.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-cea9399389448a70.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_matrices-118be13261607050.d: crates/bench/src/bin/table1_matrices.rs
+
+/root/repo/target/release/deps/table1_matrices-118be13261607050: crates/bench/src/bin/table1_matrices.rs
+
+crates/bench/src/bin/table1_matrices.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_params-b6c961999a4fb13b.d: crates/bench/src/bin/table2_params.rs
+
+/root/repo/target/release/deps/table2_params-b6c961999a4fb13b: crates/bench/src/bin/table2_params.rs
+
+crates/bench/src/bin/table2_params.rs:

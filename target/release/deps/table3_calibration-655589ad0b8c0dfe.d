@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_calibration-655589ad0b8c0dfe.d: crates/bench/src/bin/table3_calibration.rs
+
+/root/repo/target/release/deps/table3_calibration-655589ad0b8c0dfe: crates/bench/src/bin/table3_calibration.rs
+
+crates/bench/src/bin/table3_calibration.rs:

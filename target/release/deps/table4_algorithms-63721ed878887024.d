@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_algorithms-63721ed878887024.d: crates/bench/src/bin/table4_algorithms.rs
+
+/root/repo/target/release/deps/table4_algorithms-63721ed878887024: crates/bench/src/bin/table4_algorithms.rs
+
+crates/bench/src/bin/table4_algorithms.rs:

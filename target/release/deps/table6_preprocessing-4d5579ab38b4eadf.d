@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_preprocessing-4d5579ab38b4eadf.d: crates/bench/src/bin/table6_preprocessing.rs
+
+/root/repo/target/release/deps/table6_preprocessing-4d5579ab38b4eadf: crates/bench/src/bin/table6_preprocessing.rs
+
+crates/bench/src/bin/table6_preprocessing.rs:

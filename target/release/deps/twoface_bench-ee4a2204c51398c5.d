@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/twoface_bench-ee4a2204c51398c5.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtwoface_bench-ee4a2204c51398c5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtwoface_bench-ee4a2204c51398c5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

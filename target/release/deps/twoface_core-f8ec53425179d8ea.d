@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/twoface_core-f8ec53425179d8ea.d: crates/core/src/lib.rs crates/core/src/algo/mod.rs crates/core/src/algo/collective.rs crates/core/src/algo/twoface.rs crates/core/src/coalesce.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/format.rs crates/core/src/gnn.rs crates/core/src/kernels.rs crates/core/src/reference.rs crates/core/src/runner.rs crates/core/src/sampling.rs crates/core/src/sddmm.rs
+
+/root/repo/target/release/deps/libtwoface_core-f8ec53425179d8ea.rlib: crates/core/src/lib.rs crates/core/src/algo/mod.rs crates/core/src/algo/collective.rs crates/core/src/algo/twoface.rs crates/core/src/coalesce.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/format.rs crates/core/src/gnn.rs crates/core/src/kernels.rs crates/core/src/reference.rs crates/core/src/runner.rs crates/core/src/sampling.rs crates/core/src/sddmm.rs
+
+/root/repo/target/release/deps/libtwoface_core-f8ec53425179d8ea.rmeta: crates/core/src/lib.rs crates/core/src/algo/mod.rs crates/core/src/algo/collective.rs crates/core/src/algo/twoface.rs crates/core/src/coalesce.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/format.rs crates/core/src/gnn.rs crates/core/src/kernels.rs crates/core/src/reference.rs crates/core/src/runner.rs crates/core/src/sampling.rs crates/core/src/sddmm.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algo/mod.rs:
+crates/core/src/algo/collective.rs:
+crates/core/src/algo/twoface.rs:
+crates/core/src/coalesce.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/format.rs:
+crates/core/src/gnn.rs:
+crates/core/src/kernels.rs:
+crates/core/src/reference.rs:
+crates/core/src/runner.rs:
+crates/core/src/sampling.rs:
+crates/core/src/sddmm.rs:

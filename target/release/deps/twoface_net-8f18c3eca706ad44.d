@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/twoface_net-8f18c3eca706ad44.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/cost.rs crates/net/src/meet.rs crates/net/src/time.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/libtwoface_net-8f18c3eca706ad44.rlib: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/cost.rs crates/net/src/meet.rs crates/net/src/time.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/libtwoface_net-8f18c3eca706ad44.rmeta: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/cost.rs crates/net/src/meet.rs crates/net/src/time.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/cost.rs:
+crates/net/src/meet.rs:
+crates/net/src/time.rs:
+crates/net/src/trace.rs:

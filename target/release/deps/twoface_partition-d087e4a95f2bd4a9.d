@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/twoface_partition-d087e4a95f2bd4a9.d: crates/partition/src/lib.rs crates/partition/src/layout.rs crates/partition/src/model.rs crates/partition/src/plan.rs crates/partition/src/regress.rs crates/partition/src/stripe.rs
+
+/root/repo/target/release/deps/libtwoface_partition-d087e4a95f2bd4a9.rlib: crates/partition/src/lib.rs crates/partition/src/layout.rs crates/partition/src/model.rs crates/partition/src/plan.rs crates/partition/src/regress.rs crates/partition/src/stripe.rs
+
+/root/repo/target/release/deps/libtwoface_partition-d087e4a95f2bd4a9.rmeta: crates/partition/src/lib.rs crates/partition/src/layout.rs crates/partition/src/model.rs crates/partition/src/plan.rs crates/partition/src/regress.rs crates/partition/src/stripe.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/layout.rs:
+crates/partition/src/model.rs:
+crates/partition/src/plan.rs:
+crates/partition/src/regress.rs:
+crates/partition/src/stripe.rs:

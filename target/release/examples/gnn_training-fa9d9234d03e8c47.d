@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gnn_training-fa9d9234d03e8c47.d: crates/core/../../examples/gnn_training.rs
+
+/root/repo/target/release/examples/gnn_training-fa9d9234d03e8c47: crates/core/../../examples/gnn_training.rs
+
+crates/core/../../examples/gnn_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-05c9f70fe2734944.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-05c9f70fe2734944: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -36,10 +36,7 @@ fn check_all(a: CooMatrix, k: usize, p: usize, stripe_width: usize) {
 
 #[test]
 fn banded_matrix() {
-    let a = banded(
-        &BandedConfig { n: 512, bandwidth: 24, per_row: 8, escape_fraction: 0.02 },
-        11,
-    );
+    let a = banded(&BandedConfig { n: 512, bandwidth: 24, per_row: 8, escape_fraction: 0.02 }, 11);
     check_all(a, 16, 8, 16);
 }
 
@@ -51,28 +48,19 @@ fn power_law_matrix() {
 
 #[test]
 fn webcrawl_matrix() {
-    let a = webcrawl(
-        &WebcrawlConfig { n: 600, hosts: 20, per_row: 6, ..Default::default() },
-        13,
-    );
+    let a = webcrawl(&WebcrawlConfig { n: 600, hosts: 20, per_row: 6, ..Default::default() }, 13);
     check_all(a, 4, 6, 25);
 }
 
 #[test]
 fn hub_matrix() {
-    let a = hub_traffic(
-        &HubConfig { n: 640, nnz: 4000, hubs: 8, ..Default::default() },
-        14,
-    );
+    let a = hub_traffic(&HubConfig { n: 640, nnz: 4000, hubs: 8, ..Default::default() }, 14);
     check_all(a, 8, 8, 20);
 }
 
 #[test]
 fn hypersparse_matrix() {
-    let a = hypersparse(
-        &HypersparseConfig { n: 2048, per_row: 2.0, ..Default::default() },
-        15,
-    );
+    let a = hypersparse(&HypersparseConfig { n: 2048, per_row: 2.0, ..Default::default() }, 15);
     check_all(a, 4, 8, 64);
 }
 
@@ -110,10 +98,7 @@ fn single_node_degenerates_to_local() {
     ] {
         let report = run_algorithm(algo, &problem, &cost, &options).expect("p=1 runs");
         // Everything is local-input: no elements should move.
-        assert_eq!(
-            report.elements_received, 0,
-            "{algo} moved data on a single node"
-        );
+        assert_eq!(report.elements_received, 0, "{algo} moved data on a single node");
     }
 }
 
@@ -126,13 +111,8 @@ fn dense_shifting_with_awkward_replication_factors() {
     let cost = CostModel::delta_scaled();
     let options = RunOptions { validate: true, ..Default::default() };
     for c in [1usize, 2, 3, 5, 7] {
-        run_algorithm(
-            Algorithm::DenseShifting { replication: c },
-            &problem,
-            &cost,
-            &options,
-        )
-        .unwrap_or_else(|e| panic!("DS{c} on 7 nodes failed: {e}"));
+        run_algorithm(Algorithm::DenseShifting { replication: c }, &problem, &cost, &options)
+            .unwrap_or_else(|e| panic!("DS{c} on 7 nodes failed: {e}"));
     }
 }
 

@@ -17,8 +17,8 @@ fn allgather_out_of_memory_is_reported() {
     let problem = small_problem(4);
     // Full replication needs 128 * 8 * 8 = 8 KiB plus operands; cap below.
     let tiny = CostModel { memory_per_node: 4 << 10, ..CostModel::delta_scaled() };
-    let err = run_algorithm(Algorithm::Allgather, &problem, &tiny, &RunOptions::default())
-        .unwrap_err();
+    let err =
+        run_algorithm(Algorithm::Allgather, &problem, &tiny, &RunOptions::default()).unwrap_err();
     match err {
         RunError::OutOfMemory { required, available, .. } => {
             assert!(required > available);
@@ -99,10 +99,7 @@ fn mismatched_operand_shapes_are_rejected() {
 #[test]
 fn more_nodes_than_rows_is_rejected() {
     let a = Arc::new(erdos_renyi(4, 4, 8, 3));
-    assert!(matches!(
-        Problem::with_generated_b(a, 4, 16, 2),
-        Err(RunError::Shape { .. })
-    ));
+    assert!(matches!(Problem::with_generated_b(a, 4, 16, 2), Err(RunError::Shape { .. })));
 }
 
 #[test]

@@ -20,9 +20,8 @@ fn gcn_layer_agrees_across_algorithms() {
     let layer = GcnLayer::new(8, 8, 5, Activation::Relu);
     let cost = CostModel::delta_scaled();
     let opts = RunOptions::default();
-    let (via_twoface, _) = layer
-        .forward(&a, &h, Algorithm::TwoFace, 4, 32, &cost, &opts)
-        .expect("two-face forward");
+    let (via_twoface, _) =
+        layer.forward(&a, &h, Algorithm::TwoFace, 4, 32, &cost, &opts).expect("two-face forward");
     let (via_ds, _) = layer
         .forward(&a, &h, Algorithm::DenseShifting { replication: 2 }, 4, 32, &cost, &opts)
         .expect("ds forward");
@@ -36,18 +35,9 @@ fn training_epochs_have_constant_simulated_cost() {
     let a = social_graph();
     let features = DenseMatrix::from_fn(a.rows(), 4, |i, j| ((i * 5 + j) % 9) as f64 / 9.0);
     let cost = CostModel::delta_scaled();
-    let summary = train_gcn(
-        &a,
-        &features,
-        16,
-        4,
-        Algorithm::TwoFace,
-        4,
-        32,
-        &cost,
-        &RunOptions::default(),
-    )
-    .expect("training runs");
+    let summary =
+        train_gcn(&a, &features, 16, 4, Algorithm::TwoFace, 4, 32, &cost, &RunOptions::default())
+            .expect("training runs");
     assert_eq!(summary.epoch_seconds.len(), 4);
     // Layer widths differ between layer 1 (4->16) and layer 2 (16->4), but
     // epochs are identical to each other.
@@ -64,19 +54,15 @@ fn preprocessing_amortizes_over_epochs() {
     let a = social_graph();
     let cost = CostModel::delta_scaled();
     let k = 8;
-    let problem = twoface_core::Problem::with_generated_b(Arc::clone(&a), k, 4, 32)
-        .expect("valid problem");
+    let problem =
+        twoface_core::Problem::with_generated_b(Arc::clone(&a), k, 4, 32).expect("valid problem");
     let plan = Arc::new(prepare_plan(&problem, &ModelCoefficients::from(&cost), &cost));
     let opts_reuse = RunOptions { plan: Some(plan), ..Default::default() };
     let reused = twoface_core::run_algorithm(Algorithm::TwoFace, &problem, &cost, &opts_reuse)
         .expect("runs");
-    let rebuilt = twoface_core::run_algorithm(
-        Algorithm::TwoFace,
-        &problem,
-        &cost,
-        &RunOptions::default(),
-    )
-    .expect("runs");
+    let rebuilt =
+        twoface_core::run_algorithm(Algorithm::TwoFace, &problem, &cost, &RunOptions::default())
+            .expect("runs");
     assert_eq!(reused.seconds, rebuilt.seconds);
 }
 
@@ -86,18 +72,8 @@ fn deeper_training_is_deterministic() {
     let features = DenseMatrix::from_fn(a.rows(), 4, |i, j| ((i + j) % 5) as f64);
     let cost = CostModel::delta_scaled();
     let run = || {
-        train_gcn(
-            &a,
-            &features,
-            8,
-            3,
-            Algorithm::AsyncFine,
-            2,
-            32,
-            &cost,
-            &RunOptions::default(),
-        )
-        .expect("training runs")
+        train_gcn(&a, &features, 8, 3, Algorithm::AsyncFine, 2, 32, &cost, &RunOptions::default())
+            .expect("training runs")
     };
     assert_eq!(run(), run());
 }

@@ -1,116 +1,156 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! Each property is exercised over many randomly generated cases from a
+//! fixed-seed [`StdRng`], so failures are reproducible: the failing case's
+//! construction is a pure function of the case index printed in the
+//! assertion message.
 
-use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::BTreeSet;
 use std::sync::Arc;
-use twoface_core::{coalesce_rows, run_algorithm, runs_to_rows, Algorithm, Problem, RunOptions};
+use twoface_core::sampling::{run_sampled_twoface, EdgeSampler};
+use twoface_core::{
+    coalesce_rows, run_algorithm, runs_to_rows, Algorithm, AsyncLayout, Problem, RunOptions,
+    TwoFaceConfig,
+};
 use twoface_matrix::{CooMatrix, DenseMatrix, Triplet};
 use twoface_net::CostModel;
 use twoface_partition::{
-    classify_node, NodeProfile, OneDimLayout, PartitionPlan, PlanOptions, StripeClass,
+    classify_node, ModelCoefficients, NodeProfile, OneDimLayout, PartitionPlan, PlanOptions,
+    StripeClass,
 };
-use twoface_partition::ModelCoefficients;
 
-/// Strategy: a sparse matrix as (rows, cols, triplets).
-fn arb_matrix() -> impl Strategy<Value = CooMatrix> {
-    (2usize..40, 2usize..40).prop_flat_map(|(rows, cols)| {
-        proptest::collection::vec(
-            (0..rows, 0..cols, -4.0f64..4.0),
-            0..120,
-        )
-        .prop_map(move |triplets| {
-            CooMatrix::from_triplets(rows, cols, triplets).expect("in bounds by construction")
-        })
-    })
+/// Number of random cases per property.
+const CASES: usize = 64;
+
+/// A random sparse matrix with 2–39 rows/cols and up to 120 draws.
+fn random_matrix(rng: &mut StdRng) -> CooMatrix {
+    let rows = rng.gen_range(2usize..40);
+    let cols = rng.gen_range(2usize..40);
+    let n = rng.gen_range(0usize..120);
+    let triplets: Vec<(usize, usize, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0..rows), rng.gen_range(0..cols), rng.gen_range(-4.0f64..4.0)))
+        .collect();
+    CooMatrix::from_triplets(rows, cols, triplets).expect("in bounds by construction")
 }
 
-/// Strategy: strictly ascending row id lists for the coalescer.
-fn arb_ascending_rows() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::btree_set(0usize..500, 0..40)
-        .prop_map(|set| set.into_iter().collect())
+/// A strictly ascending list of row ids below 500, up to 40 long.
+fn random_ascending_rows(rng: &mut StdRng) -> Vec<usize> {
+    let n = rng.gen_range(0usize..40);
+    let set: BTreeSet<usize> = (0..n).map(|_| rng.gen_range(0usize..500)).collect();
+    set.into_iter().collect()
 }
 
-proptest! {
-    #[test]
-    fn coo_csr_round_trip(m in arb_matrix()) {
-        prop_assert_eq!(m.to_csr().to_coo(), m.clone());
+#[test]
+fn coo_csr_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0xC5_01);
+    for case in 0..CASES {
+        let m = random_matrix(&mut rng);
+        assert_eq!(m.to_csr().to_coo(), m, "case {case}");
     }
+}
 
-    #[test]
-    fn coo_csc_round_trip(m in arb_matrix()) {
-        prop_assert_eq!(m.to_csc().to_coo(), m.clone());
+#[test]
+fn coo_csc_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0xC5_02);
+    for case in 0..CASES {
+        let m = random_matrix(&mut rng);
+        assert_eq!(m.to_csc().to_coo(), m, "case {case}");
     }
+}
 
-    #[test]
-    fn transpose_is_involution(m in arb_matrix()) {
-        prop_assert_eq!(m.transpose().transpose(), m.clone());
+#[test]
+fn transpose_is_involution() {
+    let mut rng = StdRng::seed_from_u64(0xC5_03);
+    for case in 0..CASES {
+        let m = random_matrix(&mut rng);
+        assert_eq!(m.transpose().transpose(), m, "case {case}");
     }
+}
 
-    #[test]
-    fn market_io_round_trip(m in arb_matrix()) {
+#[test]
+fn market_io_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0xC5_04);
+    for case in 0..CASES {
+        let m = random_matrix(&mut rng);
         let mut buf = Vec::new();
         twoface_matrix::io::write_market(&mut buf, &m).expect("writes");
         let back = twoface_matrix::io::read_market(buf.as_slice()).expect("parses");
-        prop_assert_eq!(back, m);
+        assert_eq!(back, m, "case {case}");
     }
+}
 
-    #[test]
-    fn binary_io_round_trip(m in arb_matrix()) {
+#[test]
+fn binary_io_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0xC5_05);
+    for case in 0..CASES {
+        let m = random_matrix(&mut rng);
         let mut buf = Vec::new();
         twoface_matrix::io::write_binary(&mut buf, &m).expect("writes");
         let back = twoface_matrix::io::read_binary(buf.as_slice()).expect("parses");
-        prop_assert_eq!(back, m);
+        assert_eq!(back, m, "case {case}");
     }
+}
 
-    #[test]
-    fn csr_spmm_matches_reference(m in arb_matrix(), k in 1usize..6) {
+#[test]
+fn csr_spmm_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0xC5_06);
+    for case in 0..CASES {
+        let m = random_matrix(&mut rng);
+        let k = rng.gen_range(1usize..6);
         let b = DenseMatrix::from_fn(m.cols(), k, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
         let via_csr = m.to_csr().spmm(&b);
         let reference = twoface_core::reference_spmm(&m, &b);
-        prop_assert!(via_csr.approx_eq(&reference, 1e-9));
+        assert!(via_csr.approx_eq(&reference, 1e-9), "case {case}");
     }
+}
 
-    #[test]
-    fn coalescer_covers_exactly_with_bounded_padding(
-        rows in arb_ascending_rows(),
-        distance in 1usize..20,
-    ) {
+#[test]
+fn coalescer_covers_exactly_with_bounded_padding() {
+    let mut rng = StdRng::seed_from_u64(0xC5_07);
+    for case in 0..CASES {
+        let rows = random_ascending_rows(&mut rng);
+        let distance = rng.gen_range(1usize..20);
         let (runs, padding) = coalesce_rows(&rows, distance);
         let transferred = runs_to_rows(&runs);
         // Every needed row covered, sizes consistent.
         for r in &rows {
-            prop_assert!(transferred.contains(r));
+            assert!(transferred.contains(r), "case {case}: row {r} dropped");
         }
-        prop_assert_eq!(transferred.len(), rows.len() + padding);
+        assert_eq!(transferred.len(), rows.len() + padding, "case {case}");
         // Padding per merge is at most (distance - 1); merges < rows.len().
         if !rows.is_empty() {
-            prop_assert!(padding <= (distance - 1) * (rows.len() - 1));
+            assert!(padding <= (distance - 1) * (rows.len() - 1), "case {case}");
         }
         // Runs are sorted, non-overlapping, and gaps between runs exceed the
         // distance (otherwise they would have merged).
         for w in runs.windows(2) {
             let prev_end = w[0].0 + w[0].1 - 1;
-            prop_assert!(w[1].0 > prev_end);
-            prop_assert!(w[1].0 - prev_end > distance);
+            assert!(w[1].0 > prev_end, "case {case}");
+            assert!(w[1].0 - prev_end > distance, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn larger_distance_never_increases_run_count(
-        rows in arb_ascending_rows(),
-        distance in 1usize..10,
-    ) {
+#[test]
+fn larger_distance_never_increases_run_count() {
+    let mut rng = StdRng::seed_from_u64(0xC5_08);
+    for case in 0..CASES {
+        let rows = random_ascending_rows(&mut rng);
+        let distance = rng.gen_range(1usize..10);
         let (runs_small, _) = coalesce_rows(&rows, distance);
         let (runs_large, _) = coalesce_rows(&rows, distance + 5);
-        prop_assert!(runs_large.len() <= runs_small.len());
+        assert!(runs_large.len() <= runs_small.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn partition_plan_conserves_nonzeros(
-        m in arb_matrix(),
-        p in 1usize..6,
-        w in 1usize..12,
-    ) {
-        let p = p.min(m.rows()).min(m.cols()).max(1);
+#[test]
+fn partition_plan_conserves_nonzeros() {
+    let mut rng = StdRng::seed_from_u64(0xC5_09);
+    for case in 0..CASES {
+        let m = random_matrix(&mut rng);
+        let p = rng.gen_range(1usize..6).min(m.rows()).min(m.cols()).max(1);
+        let w = rng.gen_range(1usize..12);
         let layout = OneDimLayout::new(m.rows(), m.cols(), p, w);
         let plan = PartitionPlan::build(
             &m,
@@ -120,14 +160,16 @@ proptest! {
             PlanOptions::default(),
         );
         let (l, s, a) = plan.nnz_totals();
-        prop_assert_eq!(l + s + a, m.nnz());
+        assert_eq!(l + s + a, m.nnz(), "case {case}");
     }
+}
 
-    #[test]
-    fn classifier_respects_the_budget_inequality(
-        m in arb_matrix(),
-        w in 1usize..12,
-    ) {
+#[test]
+fn classifier_respects_the_budget_inequality() {
+    let mut rng = StdRng::seed_from_u64(0xC5_0A);
+    for case in 0..CASES {
+        let m = random_matrix(&mut rng);
+        let w = rng.gen_range(1usize..12);
         let p = 3usize.min(m.rows()).min(m.cols()).max(1);
         let layout = OneDimLayout::new(m.rows(), m.cols(), p, w);
         let coeffs = ModelCoefficients::table3();
@@ -149,12 +191,19 @@ proptest! {
                         + coeffs.u_term(layout.stripe_cols(s.stripe).len(), k)
                 })
                 .sum();
-            prop_assert!(spent <= budget + 1e-12, "spent {spent} > budget {budget}");
+            assert!(
+                spent <= budget + 1e-12,
+                "case {case} rank {rank}: spent {spent} > budget {budget}"
+            );
         }
     }
+}
 
-    #[test]
-    fn twoface_validates_on_arbitrary_matrices(m in arb_matrix()) {
+#[test]
+fn twoface_validates_on_arbitrary_matrices() {
+    let mut rng = StdRng::seed_from_u64(0xC5_0B);
+    for case in 0..24 {
+        let m = random_matrix(&mut rng);
         let p = 3usize.min(m.rows()).min(m.cols()).max(1);
         let problem = Problem::with_generated_b(Arc::new(m), 4, p, 5).expect("valid");
         let cost = CostModel::delta_scaled();
@@ -164,34 +213,77 @@ proptest! {
             &cost,
             &RunOptions { validate: true, ..Default::default() },
         );
-        prop_assert!(report.is_ok(), "{:?}", report.err());
+        assert!(report.is_ok(), "case {case}: {:?}", report.err());
     }
+}
 
-    #[test]
-    fn dense_matrix_add_assign_is_commutative_on_integers(
-        rows in 1usize..8,
-        cols in 1usize..8,
-        seed in 0u64..1000,
-    ) {
-        let a = DenseMatrix::from_fn(rows, cols, |i, j| ((i * 31 + j * 7 + seed as usize) % 13) as f64);
-        let b = DenseMatrix::from_fn(rows, cols, |i, j| ((i * 17 + j * 5 + seed as usize) % 11) as f64);
+/// §5.4's sketch, as a property: for arbitrary matrices and keep
+/// probabilities, a masked Two-Face run must agree with a serial SpMM over
+/// the materialized masked matrix — under both async stripe layouts.
+#[test]
+fn masked_run_matches_serial_reference_under_both_layouts() {
+    let mut rng = StdRng::seed_from_u64(0xC5_0C);
+    for case in 0..12 {
+        let m = random_matrix(&mut rng);
+        let p = 3usize.min(m.rows()).min(m.cols()).max(1);
+        let problem = Problem::with_generated_b(Arc::new(m), 4, p, 5).expect("valid");
+        let cost = CostModel::delta_scaled();
+        let keep = rng.gen_range(0.2f64..1.0);
+        let mask = EdgeSampler::new(keep, 1 + case as u64).mask(case as u64);
+        for layout in [AsyncLayout::ColumnMajor, AsyncLayout::RowMajor] {
+            let options = RunOptions {
+                validate: true,
+                config: TwoFaceConfig { async_layout: layout, ..Default::default() },
+                ..Default::default()
+            };
+            let coeffs = ModelCoefficients::from(&cost);
+            let plan = Arc::new(twoface_core::prepare_plan(&problem, &coeffs, &cost));
+            let report = run_sampled_twoface(&problem, plan, mask, &cost, &options);
+            assert!(
+                report.is_ok(),
+                "case {case} layout {layout:?} keep {keep}: {:?}",
+                report.err()
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_matrix_add_assign_is_commutative_on_integers() {
+    let mut rng = StdRng::seed_from_u64(0xC5_0D);
+    for case in 0..CASES {
+        let rows = rng.gen_range(1usize..8);
+        let cols = rng.gen_range(1usize..8);
+        let seed = rng.gen_range(0u64..1000) as usize;
+        let a = DenseMatrix::from_fn(rows, cols, |i, j| ((i * 31 + j * 7 + seed) % 13) as f64);
+        let b = DenseMatrix::from_fn(rows, cols, |i, j| ((i * 17 + j * 5 + seed) % 11) as f64);
         let mut ab = a.clone();
         ab.add_assign(&b);
         let mut ba = b.clone();
         ba.add_assign(&a);
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba, "case {case}");
     }
+}
 
-    #[test]
-    fn triplet_ordering_matches_row_major(r1 in 0usize..50, c1 in 0usize..50, r2 in 0usize..50, c2 in 0usize..50) {
+#[test]
+fn triplet_ordering_matches_row_major() {
+    let mut rng = StdRng::seed_from_u64(0xC5_0E);
+    for case in 0..CASES {
+        let (r1, c1, r2, c2) = (
+            rng.gen_range(0usize..50),
+            rng.gen_range(0usize..50),
+            rng.gen_range(0usize..50),
+            rng.gen_range(0usize..50),
+        );
         let m = CooMatrix::from_triplets(
             50,
             50,
             vec![Triplet::new(r1, c1, 1.0), Triplet::new(r2, c2, 1.0)],
-        ).expect("in bounds");
+        )
+        .expect("in bounds");
         let t = m.triplets();
         if t.len() == 2 {
-            prop_assert!((t[0].row, t[0].col) < (t[1].row, t[1].col));
+            assert!((t[0].row, t[0].col) < (t[1].row, t[1].col), "case {case}");
         }
     }
 }

@@ -72,10 +72,7 @@ fn web_matrices_have_host_locality() {
         let a = suite(m);
         let block = a.rows().div_ceil(P);
         // Most nonzeros fall in the diagonal megatile (local-input under 1D).
-        let local = a
-            .iter()
-            .filter(|(r, c, _)| r / block == c / block)
-            .count();
+        let local = a.iter().filter(|(r, c, _)| r / block == c / block).count();
         assert!(
             local as f64 > 0.95 * a.nnz() as f64,
             "{m}: only {:.1}% local",

@@ -21,9 +21,8 @@ fn plan_partitions_every_nonzero_exactly_once() {
     let problem = fixture();
     let cost = CostModel::delta_scaled();
     let plan = prepare_plan(&problem, &ModelCoefficients::from(&cost), &cost);
-    let total: usize = (0..8)
-        .map(|rank| RankMatrices::build(&problem.a, &plan, rank, 32).nnz())
-        .sum();
+    let total: usize =
+        (0..8).map(|rank| RankMatrices::build(&problem.a, &plan, rank, 32).nnz()).sum();
     assert_eq!(total, problem.a.nnz());
 }
 
@@ -111,27 +110,23 @@ fn forced_plans_bracket_the_model_plan() {
     let cost = CostModel::delta_scaled();
     let opts = |plan| RunOptions { compute_values: false, plan, ..Default::default() };
 
-    let model = run_algorithm(Algorithm::TwoFace, &problem, &cost, &opts(None))
-        .unwrap()
-        .seconds;
+    let model = run_algorithm(Algorithm::TwoFace, &problem, &cost, &opts(None)).unwrap().seconds;
     let all_sync = Arc::new(PartitionPlan::build_uniform(
         &problem.a,
         problem.layout.clone(),
         16,
         StripeClass::Sync,
     ));
-    let sync_time = run_algorithm(Algorithm::TwoFace, &problem, &cost, &opts(Some(all_sync)))
-        .unwrap()
-        .seconds;
+    let sync_time =
+        run_algorithm(Algorithm::TwoFace, &problem, &cost, &opts(Some(all_sync))).unwrap().seconds;
     let all_async = Arc::new(PartitionPlan::build_uniform(
         &problem.a,
         problem.layout.clone(),
         16,
         StripeClass::Async,
     ));
-    let async_time = run_algorithm(Algorithm::TwoFace, &problem, &cost, &opts(Some(all_async)))
-        .unwrap()
-        .seconds;
+    let async_time =
+        run_algorithm(Algorithm::TwoFace, &problem, &cost, &opts(Some(all_async))).unwrap().seconds;
 
     assert!(
         model <= sync_time.max(async_time) * 1.001,

@@ -1,0 +1,412 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A small wall-clock micro-benchmark harness exposing the subset of the
+//! criterion API this workspace's benches use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `sample_size` and `throughput`,
+//! `bench_function` / `bench_with_input`, and `Bencher::iter` /
+//! `Bencher::iter_batched`.
+//!
+//! Each benchmark is calibrated (the routine is timed once or repeatedly
+//! until a minimum window is filled), then measured over `sample_size`
+//! samples; the harness reports min / mean / median / max per iteration and,
+//! when the `CRITERION_MINI_JSON` environment variable names a path, writes
+//! all results of the run there as JSON for downstream tooling.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Units processed per iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` inputs are sized; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// One fresh input per routine call (the only strategy implemented).
+    LargeInput,
+    /// Treated identically to [`BatchSize::LargeInput`].
+    SmallInput,
+    /// Treated identically to [`BatchSize::LargeInput`].
+    PerIteration,
+}
+
+/// A benchmark's identifier within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    group: String,
+    id: String,
+    min_ns: f64,
+    mean_ns: f64,
+    median_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+    throughput: Option<Throughput>,
+}
+
+/// The harness entry point; collects results across all groups in a run.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a harness, reading an optional substring filter from the
+    /// command line (the first argument not starting with `-`).
+    pub fn from_args() -> Criterion {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { records: Vec::new(), filter }
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20, throughput: None }
+    }
+
+    /// Prints the run's summary and, when `CRITERION_MINI_JSON` is set,
+    /// writes the results there as JSON. Called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("CRITERION_MINI_JSON") {
+            if !path.is_empty() {
+                if let Err(e) = std::fs::write(&path, self.to_json()) {
+                    eprintln!("criterion-mini: cannot write {path}: {e}");
+                }
+            }
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"results\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let (tp_key, tp_val) = match r.throughput {
+                Some(Throughput::Elements(n)) => ("elements_per_iter", n as i128),
+                Some(Throughput::Bytes(n)) => ("bytes_per_iter", n as i128),
+                None => ("elements_per_iter", -1),
+            };
+            out.push_str(&format!(
+                "    {{\"group\": \"{}\", \"id\": \"{}\", \"min_ns\": {:?}, \
+                 \"mean_ns\": {:?}, \"median_ns\": {:?}, \"max_ns\": {:?}, \
+                 \"samples\": {}, \"iters_per_sample\": {}, \"{}\": {}}}{}\n",
+                r.group,
+                r.id,
+                r.min_ns,
+                r.mean_ns,
+                r.median_ns,
+                r.max_ns,
+                r.samples,
+                r.iters_per_sample,
+                tp_key,
+                tp_val,
+                if i + 1 < self.records.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the units processed per iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        if self.skipped(&id) {
+            return self;
+        }
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        self.record(id, bencher);
+        self
+    }
+
+    /// Benchmarks a closure that receives `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        if self.skipped(&id.id) {
+            return self;
+        }
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        self.record(id.id, bencher);
+        self
+    }
+
+    /// Ends the group (provided for API compatibility; prints nothing extra).
+    pub fn finish(self) {}
+
+    fn skipped(&self, id: &str) -> bool {
+        match &self.criterion.filter {
+            Some(f) => !format!("{}/{}", self.name, id).contains(f.as_str()),
+            None => false,
+        }
+    }
+
+    fn record(&mut self, id: String, bencher: Bencher) {
+        let mut ns = bencher.samples_ns;
+        assert!(!ns.is_empty(), "benchmark `{}/{id}` measured nothing", self.name);
+        ns.sort_by(|a, b| a.total_cmp(b));
+        let min = ns[0];
+        let max = ns[ns.len() - 1];
+        let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+        let median = if ns.len() % 2 == 1 {
+            ns[ns.len() / 2]
+        } else {
+            (ns[ns.len() / 2 - 1] + ns[ns.len() / 2]) / 2.0
+        };
+        let record = BenchRecord {
+            group: self.name.clone(),
+            id,
+            min_ns: min,
+            mean_ns: mean,
+            median_ns: median,
+            max_ns: max,
+            samples: ns.len(),
+            iters_per_sample: bencher.iters_per_sample,
+            throughput: self.throughput,
+        };
+        let rate = match record.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({} Melem/s)", pretty((n as f64) / (record.median_ns / 1e9) / 1e6))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  ({} MiB/s)",
+                    pretty((n as f64) / (record.median_ns / 1e9) / (1 << 20) as f64)
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{:<48} time: [{} {} {}]{}",
+            format!("{}/{}", record.group, record.id),
+            fmt_ns(record.min_ns),
+            fmt_ns(record.median_ns),
+            fmt_ns(record.max_ns),
+            rate,
+        );
+        self.criterion.records.push(record);
+    }
+}
+
+/// Runs and times a single benchmark's routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+/// Per-benchmark measurement budget (across all samples).
+const TARGET_TOTAL: Duration = Duration::from_millis(1200);
+/// Minimum window the calibration pass must fill before trusting its rate.
+const CALIBRATION_WINDOW: Duration = Duration::from_millis(20);
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher { sample_size, samples_ns: Vec::new(), iters_per_sample: 0 }
+    }
+
+    /// Times `routine` repeatedly; the measured span contains only the
+    /// routine calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: double the batch until the timing window is filled.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= CALIBRATION_WINDOW || iters >= 1 << 22 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 2;
+        };
+        let per_sample = TARGET_TOTAL.as_secs_f64() / self.sample_size as f64;
+        let n = ((per_sample / per_iter.max(1e-9)).ceil() as u64).max(1);
+        self.iters_per_sample = n;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            self.samples_ns.push(start.elapsed().as_secs_f64() * 1e9 / n as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine calls
+    /// are inside the measured spans.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Calibrate with a single timed call.
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let per_iter = start.elapsed().as_secs_f64().max(1e-9);
+        let per_sample = TARGET_TOTAL.as_secs_f64() / self.sample_size as f64;
+        // Cap the batch: setup runs untimed but still costs wall-clock.
+        let n = ((per_sample / per_iter).ceil() as u64).clamp(1, 4096);
+        self.iters_per_sample = n;
+        for _ in 0..self.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..n {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            self.samples_ns.push(total.as_secs_f64() * 1e9 / n as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{} s", pretty(ns / 1e9))
+    } else if ns >= 1e6 {
+        format!("{} ms", pretty(ns / 1e6))
+    } else if ns >= 1e3 {
+        format!("{} µs", pretty(ns / 1e3))
+    } else {
+        format!("{} ns", pretty(ns))
+    }
+}
+
+fn pretty(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.1}")
+    } else if v >= 10.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_collects_samples() {
+        let mut b = Bencher::new(5);
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples_ns.len(), 5);
+        assert!(b.samples_ns.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn bencher_iter_batched_collects_samples() {
+        let mut b = Bencher::new(4);
+        b.iter_batched(|| vec![1.0f64; 64], |v| v.iter().sum::<f64>(), BatchSize::LargeInput);
+        assert_eq!(b.samples_ns.len(), 4);
+    }
+
+    #[test]
+    fn group_records_results_and_json_renders() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("f", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("h", 4), &4, |b, &n| b.iter(|| n * 2));
+            g.finish();
+        }
+        assert_eq!(c.records.len(), 2);
+        assert_eq!(c.records[0].id, "f");
+        assert_eq!(c.records[1].id, "h/4");
+        let json = c.to_json();
+        assert!(json.contains("\"group\": \"g\""));
+        assert!(json.contains("\"elements_per_iter\": 10"));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

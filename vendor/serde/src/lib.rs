@@ -1,0 +1,420 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of serde's contract the workspace uses: derived
+//! [`Serialize`]/[`Deserialize`] on plain named-field structs and unit-variant
+//! enums, round-tripped through JSON by the sibling `serde_json` stand-in.
+//!
+//! Instead of serde's visitor architecture, serialization goes through an
+//! explicit tree: [`Value`]. A type serializes *to* a `Value` and
+//! deserializes *from* one; `serde_json` renders and parses the tree. That
+//! is all the workspace needs, and it keeps both crates dependency-free.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped data tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// A floating-point number.
+    Number(f64),
+    /// A signed integer (kept exact, unlike `Number`).
+    Int(i64),
+    /// An unsigned integer (kept exact, unlike `Number`).
+    UInt(u64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object: ordered key/value pairs (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64`, if this is any number variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Number(v) => Some(v),
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(v) => Some(v),
+            Value::Int(v) if v >= 0 => Some(v as u64),
+            Value::Number(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `i64`, if this is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Value::Number(v)
+                if v.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&v) =>
+            {
+                Some(v as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Looks up a key, if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A deserialization error: what was expected, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> DeError {
+        DeError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Value`] tree.
+pub trait Serialize {
+    /// This value as a data tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds the value from a data tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree has the wrong shape.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Fetches and deserializes a struct field from object entries — used by the
+/// derive macro.
+///
+/// # Errors
+///
+/// Returns [`DeError`] if the key is missing or its value malformed.
+pub fn field<T: Deserialize>(
+    entries: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    let value = entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{name}` for {ty}")))?;
+    T::from_value(value).map_err(|e| DeError::custom(format!("field `{name}` of {ty}: {e}")))
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let v = value
+                    .as_u64()
+                    .ok_or_else(|| DeError::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::custom(concat!("out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let v = value
+                    .as_i64()
+                    .ok_or_else(|| DeError::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::custom(concat!("out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_f64().ok_or_else(|| DeError::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.as_f64().ok_or_else(|| DeError::custom("expected number"))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::custom("expected boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_str().map(str::to_string).ok_or_else(|| DeError::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value.as_array().ok_or_else(|| DeError::custom("expected array"))?;
+        if items.len() != N {
+            return Err(DeError::custom(format!(
+                "expected array of {N} elements, got {}",
+                items.len()
+            )));
+        }
+        let mut out: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        // Drain into a fixed array without requiring T: Default/Copy.
+        let mut iter = out.drain(..);
+        Ok(std::array::from_fn(|_| iter.next().expect("length checked")))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value.as_array() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(DeError::custom("expected 2-element array")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value.as_array() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(DeError::custom("expected 3-element array")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(f64::from_value(&3.5f64.to_value()), Ok(3.5));
+        assert_eq!(usize::from_value(&7usize.to_value()), Ok(7));
+        assert_eq!(i32::from_value(&(-4i32).to_value()), Ok(-4));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_string().to_value()), Ok("hi".to_string()));
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(Option::<f64>::None.to_value(), Value::Null);
+        assert_eq!(Option::<f64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<f64>::from_value(&Value::Number(1.0)), Ok(Some(1.0)));
+    }
+
+    #[test]
+    fn arrays_round_trip() {
+        let a = [1.0f64, 2.0, 3.0];
+        assert_eq!(<[f64; 3]>::from_value(&a.to_value()), Ok(a));
+        let v = vec![1usize, 2, 3];
+        assert_eq!(Vec::<usize>::from_value(&v.to_value()), Ok(v));
+    }
+
+    #[test]
+    fn wrong_shapes_error() {
+        assert!(f64::from_value(&Value::String("x".into())).is_err());
+        assert!(<[f64; 2]>::from_value(&vec![1.0f64].to_value()).is_err());
+        assert!(usize::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn field_lookup_reports_missing_keys() {
+        let obj = vec![("a".to_string(), Value::Number(1.0))];
+        assert_eq!(field::<f64>(&obj, "a", "T"), Ok(1.0));
+        let err = field::<f64>(&obj, "b", "T").unwrap_err();
+        assert!(err.to_string().contains("missing field `b`"));
+    }
+}

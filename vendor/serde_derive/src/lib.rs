@@ -1,0 +1,226 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields (any visibility, `#[doc]`/other attributes
+//!   ignored, no generics);
+//! * enums whose variants are all unit variants (serialized as their name).
+//!
+//! Anything else — tuple structs, generic types, data-carrying enum
+//! variants — panics at compile time with a clear message, which is the
+//! correct behaviour for a deliberately minimal stand-in.
+//!
+//! The implementation parses the item's `TokenStream` by hand (the real
+//! `syn`/`quote` crates are unavailable offline) and emits the impl as
+//! formatted source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we need to know about the derived item.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String =
+                variants.iter().map(|v| format!("{name}::{v} => \"{v}\",")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::String(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(entries, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         let entries = value.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String =
+                variants.iter().map(|v| format!("Some(\"{v}\") => Ok({name}::{v}),")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         match value.as_str() {{\n\
+                             {arms}\n\
+                             other => Err(::serde::DeError::custom(format!(\
+                                 \"unknown {name} variant: {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("generated Deserialize impl parses")
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive({name}): generic types are not supported by the vendored serde");
+    }
+    let body = match &tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("derive({name}): tuple structs are not supported by the vendored serde")
+        }
+        other => panic!("derive({name}): expected a braced body, found {other:?}"),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct { name, fields: parse_named_fields(body) },
+        "enum" => Item::Enum { name: name.clone(), variants: parse_unit_variants(body, &name) },
+        other => panic!("derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Skips leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' plus the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Collects the field names of `name: Type, ...`, skipping types (which may
+/// contain nested `,` only inside groups, so a top-level `,` ends a field).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("derive: expected `:` after field, found {other:?}"),
+        }
+        // Skip the type: consume until a top-level comma. Generic arguments
+        // use `<`/`>` punct pairs, so track angle depth as well.
+        let mut angle_depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Collects unit variant names; panics on data-carrying variants.
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let variant = id.to_string();
+        i += 1;
+        match tokens.get(i) {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(variant);
+                i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip the expression.
+                i += 1;
+                while let Some(t) = tokens.get(i) {
+                    if matches!(t, TokenTree::Punct(q) if q.as_char() == ',') {
+                        break;
+                    }
+                    i += 1;
+                }
+                variants.push(variant);
+                i += 1;
+            }
+            Some(TokenTree::Group(_)) => panic!(
+                "derive({enum_name}): variant `{variant}` carries data, which the \
+                 vendored serde does not support"
+            ),
+            other => panic!("derive({enum_name}): unexpected token {other:?}"),
+        }
+    }
+    variants
+}
