@@ -5,7 +5,7 @@ use crate::kernels::{sync_panel_kernel, BlockRows};
 use crate::runner::{ExecOpts, Problem};
 use std::sync::Arc;
 use twoface_matrix::Triplet;
-use twoface_net::{Lane, Payload, PhaseClass, RankCtx};
+use twoface_net::{Lane, NetError, Payload, PhaseClass, RankCtx};
 
 /// Shared preprocessed inputs for the baselines, indexed by rank.
 pub(crate) struct BaselineData {
@@ -72,10 +72,10 @@ pub(crate) fn allgather_rank(
     data: &BaselineData,
     problem: &Problem,
     opts: &ExecOpts,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, NetError> {
     let rank = ctx.rank();
     let layout = &problem.layout;
-    let all = ctx.allgather(Arc::clone(&data.b_blocks[rank]));
+    let all = ctx.allgather(Arc::clone(&data.b_blocks[rank]))?;
     let mut rows_src = BlockRows::new(opts.k);
     for (owner, buf) in all.into_iter().enumerate() {
         rows_src.add_block(layout.col_range(owner), buf);
@@ -87,7 +87,7 @@ pub(crate) fn allgather_rank(
     if opts.compute {
         sync_panel_kernel(entries, &rows_src, &mut c_local, opts.k);
     }
-    c_local
+    Ok(c_local)
 }
 
 /// The Async Coarse baseline: one-sided `MPI_Get` of every whole block the
@@ -97,16 +97,16 @@ pub(crate) fn async_coarse_rank(
     data: &BaselineData,
     problem: &Problem,
     opts: &ExecOpts,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, NetError> {
     let rank = ctx.rank();
     let layout = &problem.layout;
-    let win = ctx.create_window(Arc::clone(&data.b_blocks[rank]));
+    let win = ctx.create_window(Arc::clone(&data.b_blocks[rank]))?;
     let mut rows_src = BlockRows::new(opts.k);
     rows_src.add_block(layout.col_range(rank), Arc::clone(&data.b_blocks[rank]));
     for &owner in &data.needed_blocks[rank] {
         let cols = layout.col_range(owner);
         let buf =
-            ctx.win_get(win, owner, 0..cols.len() * opts.k, Lane::Sync, PhaseClass::AsyncComm);
+            ctx.win_get(win, owner, 0..cols.len() * opts.k, Lane::Sync, PhaseClass::AsyncComm)?;
         rows_src.add_block(cols, buf);
     }
     let local_rows = layout.row_range(rank).len();
@@ -116,7 +116,7 @@ pub(crate) fn async_coarse_rank(
     if opts.compute {
         sync_panel_kernel(entries, &rows_src, &mut c_local, opts.k);
     }
-    c_local
+    Ok(c_local)
 }
 
 /// The Dense Shifting baseline with replication factor `c` (Bharadwaj et
@@ -128,7 +128,7 @@ pub(crate) fn dense_shifting_rank(
     problem: &Problem,
     replication: usize,
     opts: &ExecOpts,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, NetError> {
     let rank = ctx.rank();
     let p = ctx.ranks();
     let layout = &problem.layout;
@@ -153,7 +153,7 @@ pub(crate) fn dense_shifting_rank(
     let mut resident: Vec<Payload> = vec![Payload::from(Arc::clone(&data.b_blocks[rank]))];
     let mut passing = Payload::from(Arc::clone(&data.b_blocks[rank]));
     for _ in 1..c {
-        passing = ctx.shift_ring(passing, 1);
+        passing = ctx.shift_ring(passing, 1)?;
         resident.push(passing.clone());
     }
 
@@ -182,7 +182,7 @@ pub(crate) fn dense_shifting_rank(
             // Ship the whole resident group `c` ranks ahead in one
             // Sendrecv, as the real implementation does.
             let concat: Vec<f64> = resident.iter().flat_map(|b| b.iter().copied()).collect();
-            let received = ctx.shift_ring(concat, c);
+            let received = ctx.shift_ring(concat, c)?;
             // Split by the next step's block lengths — zero-copy views into
             // the received super-block.
             let next_ids = ids_at(step + 1);
@@ -196,5 +196,5 @@ pub(crate) fn dense_shifting_rank(
             debug_assert_eq!(offset, received.len());
         }
     }
-    c_local
+    Ok(c_local)
 }

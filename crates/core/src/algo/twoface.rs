@@ -27,7 +27,7 @@ use crate::format::RankMatrices;
 use crate::kernels::{async_stripe_kernel, sync_panel_kernel, BlockRows, FetchedRows};
 use crate::runner::{ExecOpts, Problem};
 use std::sync::Arc;
-use twoface_net::{Lane, Payload, PhaseClass, RankCtx};
+use twoface_net::{Lane, NetError, Payload, PhaseClass, RankCtx};
 use twoface_partition::PartitionPlan;
 
 /// Shared preprocessed inputs for Two-Face and Async Fine, indexed by rank.
@@ -56,14 +56,15 @@ impl TwoFaceData {
     }
 }
 
-/// Executes Two-Face on one rank. Returns the rank's flat `C` block.
+/// Executes Two-Face on one rank. Returns the rank's flat `C` block, or the
+/// first unrecoverable communication fault.
 pub(crate) fn twoface_rank(
     ctx: &mut RankCtx,
     data: &TwoFaceData,
     problem: &Problem,
     config: &TwoFaceConfig,
     opts: &ExecOpts,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, NetError> {
     twoface_rank_masked(ctx, data, problem, config, opts, None)
 }
 
@@ -79,7 +80,7 @@ pub(crate) fn twoface_rank_masked(
     config: &TwoFaceConfig,
     opts: &ExecOpts,
     mask: Option<&crate::sampling::EdgeMask>,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, NetError> {
     let rank = ctx.rank();
     let layout = &problem.layout;
     let k = opts.k;
@@ -93,7 +94,7 @@ pub(crate) fn twoface_rank_masked(
     // Window exposing this rank's B block for fine-grained gets; creation is
     // the "initial setup of data structures for MPI" that Figure 10 labels
     // Other.
-    let win = ctx.create_window(Arc::clone(&data.b_blocks[rank]));
+    let win = ctx.create_window(Arc::clone(&data.b_blocks[rank]))?;
 
     // --- Sync lane: dense stripe transfers (Algorithm 1, lines 5-8). ---
     // Canonical global stripe order keeps every rank's collective sequence
@@ -116,7 +117,7 @@ pub(crate) fn twoface_rank_masked(
             let hi = (cols.end - my_cols.start) * k;
             Payload::from(Arc::clone(&data.b_blocks[rank])).subslice(lo..hi)
         });
-        let buf = ctx.multicast(stripe as u64, owner, &group, payload);
+        let buf = ctx.multicast(stripe as u64, owner, &group, payload)?;
         if owner != rank {
             stripe_buffers.add_block(layout.stripe_cols(stripe), buf);
         }
@@ -154,7 +155,7 @@ pub(crate) fn twoface_rank_masked(
             ctx.advance(Lane::Async, identify, PhaseClass::AsyncComp);
         }
         let (runs, _padding) = coalesce_rows(&owner_local, max_distance);
-        let fetched = ctx.win_rget_rows(win, owner, &runs, k);
+        let fetched = ctx.win_rget_rows(win, owner, &runs, k)?;
         let compute_cost = if row_major {
             let per_element = ctx.cost().gamma_sync
                 * (config.sync_comp_threads as f64 / config.async_comp_threads as f64);
@@ -214,5 +215,5 @@ pub(crate) fn twoface_rank_masked(
             }
         }
     }
-    c_local
+    Ok(c_local)
 }

@@ -1,4 +1,5 @@
 use std::fmt;
+use twoface_net::NetError;
 
 /// Error from setting up or running a distributed SpMM.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +34,36 @@ pub enum RunError {
         /// Largest absolute element difference observed.
         max_abs_diff: f64,
     },
+    /// A one-sided transfer exhausted its retry budget under fault
+    /// injection. The wrapped [`NetError`] is available via
+    /// [`std::error::Error::source`].
+    TransferTimeout {
+        /// The rank whose transfer gave up.
+        rank: usize,
+        /// The underlying network error
+        /// ([`NetError::TransferTimeout`]).
+        source: NetError,
+    },
+    /// An all-rank collective observed a straggler beyond the installed
+    /// fault plan's stall timeout. The wrapped [`NetError`] is available via
+    /// [`std::error::Error::source`].
+    RankStalled {
+        /// The first rank (by id) that reported the stall.
+        rank: usize,
+        /// The underlying network error ([`NetError::RankStalled`]).
+        source: NetError,
+    },
+}
+
+impl RunError {
+    /// Wraps a [`NetError`] surfaced by rank `rank` in the matching
+    /// `RunError` variant.
+    pub fn from_net(rank: usize, source: NetError) -> RunError {
+        match source {
+            NetError::TransferTimeout { .. } => RunError::TransferTimeout { rank, source },
+            NetError::RankStalled { .. } => RunError::RankStalled { rank, source },
+        }
+    }
 }
 
 impl fmt::Display for RunError {
@@ -51,11 +82,26 @@ impl fmt::Display for RunError {
             RunError::ValidationFailed { max_abs_diff } => {
                 write!(f, "output differs from serial reference by up to {max_abs_diff:e}")
             }
+            RunError::TransferTimeout { rank, source } => {
+                write!(f, "rank {rank} gave up a transfer: {source}")
+            }
+            RunError::RankStalled { rank, source } => {
+                write!(f, "rank {rank} aborted a collective: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for RunError {}
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::TransferTimeout { source, .. } | RunError::RankStalled { source, .. } => {
+                Some(source)
+            }
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

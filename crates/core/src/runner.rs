@@ -13,7 +13,7 @@ use crate::reference::reference_spmm;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use twoface_matrix::{CooMatrix, DenseMatrix, SCALAR_BYTES};
-use twoface_net::{Cluster, CostModel, PhaseClass, RankTrace};
+use twoface_net::{Cluster, CostModel, FaultPlan, PhaseClass, RankTrace};
 use twoface_partition::{
     ClassifierKind, ModelCoefficients, OneDimLayout, PartitionPlan, PlanOptions, StripeClass,
 };
@@ -119,6 +119,13 @@ pub struct RunOptions {
     /// A preprocessed plan to reuse (otherwise one is built per run for the
     /// algorithms that need it).
     pub plan: Option<Arc<PartitionPlan>>,
+    /// A seeded fault plan to install on the cluster for this run. `None`
+    /// (the default) simulates a perfect network. Under a nonzero plan the
+    /// run either recovers to a bit-identical output (retried transfers,
+    /// absorbed jitter) or fails with a typed
+    /// [`RunError::TransferTimeout`]/[`RunError::RankStalled`] — never a
+    /// silent mismatch.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RunOptions {
@@ -129,6 +136,7 @@ impl Default for RunOptions {
             config: TwoFaceConfig::default(),
             coefficients: None,
             plan: None,
+            fault_plan: None,
         }
     }
 }
@@ -154,6 +162,9 @@ pub struct Breakdown {
     pub async_comp: f64,
     /// Setup and bookkeeping.
     pub other: f64,
+    /// Fault-recovery backoff (zero on a perfect network; nonzero only under
+    /// an installed fault plan with transient failures).
+    pub recovery: f64,
 }
 
 impl Breakdown {
@@ -164,12 +175,18 @@ impl Breakdown {
             async_comm: trace.seconds(PhaseClass::AsyncComm),
             async_comp: trace.seconds(PhaseClass::AsyncComp),
             other: trace.seconds(PhaseClass::Other),
+            recovery: trace.seconds(PhaseClass::Recovery),
         }
     }
 
     /// Sum of all categories.
     pub fn total(&self) -> f64 {
-        self.sync_comm + self.sync_comp + self.async_comm + self.async_comp + self.other
+        self.sync_comm
+            + self.sync_comp
+            + self.async_comm
+            + self.async_comp
+            + self.other
+            + self.recovery
     }
 
     fn scaled(&self, factor: f64) -> Breakdown {
@@ -179,6 +196,7 @@ impl Breakdown {
             async_comm: self.async_comm * factor,
             async_comp: self.async_comp * factor,
             other: self.other * factor,
+            recovery: self.recovery * factor,
         }
     }
 
@@ -188,6 +206,7 @@ impl Breakdown {
         self.async_comm += other.async_comm;
         self.async_comp += other.async_comp;
         self.other += other.other;
+        self.recovery += other.recovery;
     }
 }
 
@@ -222,6 +241,11 @@ pub struct ExecutionReport {
     /// Mean recipients per multicast, when any multicast was issued (the
     /// §7.2 profile).
     pub mean_multicast_recipients: Option<f64>,
+    /// Full per-rank traces, indexed by rank — includes the fault-event
+    /// stream and retry counters recorded under an installed fault plan.
+    pub rank_traces: Vec<RankTrace>,
+    /// Total faults injected across all ranks (zero on a perfect network).
+    pub faults_injected: u64,
     /// Estimated peak per-node memory of the run, in bytes.
     pub memory_peak_bytes: usize,
     /// The assembled output `C`, present when `compute_values` was set.
@@ -408,6 +432,9 @@ fn memory_estimates(
 /// * [`RunError::ReplicationExceedsNodes`] for `DS(c)` with `c > p`;
 /// * [`RunError::OutOfMemory`] when the estimated peak on some node exceeds
 ///   [`CostModel::memory_per_node`];
+/// * [`RunError::TransferTimeout`] / [`RunError::RankStalled`] when
+///   `options.fault_plan` injects faults the retry budget or stall timeout
+///   cannot absorb;
 /// * [`RunError::ValidationFailed`] when `options.validate` is set and the
 ///   output disagrees with the serial reference.
 ///
@@ -489,6 +516,7 @@ pub fn run_algorithm(
 
     // Execute.
     let cluster = Cluster::new(p, effective);
+    cluster.set_fault_plan(options.fault_plan.clone());
     let outputs = cluster.run(|ctx| match algorithm {
         Algorithm::Allgather => {
             allgather_rank(ctx, baseline.as_ref().expect("built"), problem, &exec)
@@ -508,6 +536,17 @@ pub fn run_algorithm(
         ),
     });
 
+    // A degraded run must produce a typed error, never silent corruption:
+    // surface the lowest-ranked failure (deterministic regardless of which
+    // rank's thread lost the race).
+    let mut rank_results = Vec::with_capacity(p);
+    for o in &outputs {
+        match &o.result {
+            Ok(block) => rank_results.push(block),
+            Err(e) => return Err(RunError::from_net(o.rank, e.clone())),
+        }
+    }
+
     // Assemble and summarize.
     let critical_rank =
         outputs.iter().max_by_key(|o| o.finish_time()).expect("at least one rank").rank;
@@ -519,6 +558,8 @@ pub fn run_algorithm(
     let mut recipients: Vec<usize> = Vec::new();
     let mut rank_breakdowns = Vec::with_capacity(p);
     let mut rank_seconds = Vec::with_capacity(p);
+    let mut rank_traces = Vec::with_capacity(p);
+    let mut faults_injected = 0u64;
     for o in &outputs {
         let b = Breakdown::from_trace(&o.trace);
         mean_breakdown.add(&b);
@@ -527,6 +568,8 @@ pub fn run_algorithm(
         elements_received += o.trace.elements_received;
         messages += o.trace.messages;
         recipients.extend_from_slice(&o.trace.multicast_recipients);
+        faults_injected += o.trace.faults_injected();
+        rank_traces.push(o.trace.clone());
     }
     let mean_breakdown = mean_breakdown.scaled(1.0 / p as f64);
     let mean_multicast_recipients = if recipients.is_empty() {
@@ -537,8 +580,8 @@ pub fn run_algorithm(
 
     let output = if exec.compute {
         let mut flat = Vec::with_capacity(problem.a.rows() * k);
-        for o in &outputs {
-            flat.extend_from_slice(&o.result);
+        for block in &rank_results {
+            flat.extend_from_slice(block);
         }
         Some(DenseMatrix::from_vec(problem.a.rows(), k, flat).expect("rank blocks tile C exactly"))
     } else {
@@ -566,6 +609,8 @@ pub fn run_algorithm(
         elements_received,
         messages,
         mean_multicast_recipients,
+        rank_traces,
+        faults_injected,
         memory_peak_bytes: required,
         output,
     })

@@ -128,16 +128,24 @@ pub fn run_sampled_twoface(
     let data = TwoFaceData::build(problem, plan, &options.config);
     let p = problem.layout.nodes();
     let cluster = Cluster::new(p, effective);
+    cluster.set_fault_plan(options.fault_plan.clone());
     let outputs = cluster
         .run(|ctx| twoface_rank_masked(ctx, &data, problem, &options.config, &exec, Some(&mask)));
 
+    let mut rank_results = Vec::with_capacity(p);
+    for o in &outputs {
+        match &o.result {
+            Ok(block) => rank_results.push(block),
+            Err(e) => return Err(RunError::from_net(o.rank, e.clone())),
+        }
+    }
     let seconds = outputs.iter().map(|o| o.finish_time().seconds()).fold(0.0, f64::max);
     let elements_received = outputs.iter().map(|o| o.trace.elements_received).sum();
     let sampled = mask.apply(&problem.a);
     let output = if exec.compute {
         let mut flat = Vec::with_capacity(problem.a.rows() * k);
-        for o in &outputs {
-            flat.extend_from_slice(&o.result);
+        for block in &rank_results {
+            flat.extend_from_slice(block);
         }
         Some(DenseMatrix::from_vec(problem.a.rows(), k, flat).expect("blocks tile C"))
     } else {

@@ -18,7 +18,7 @@ use crate::runner::Problem;
 use crate::{prepare_plan, RunError, RunOptions};
 use std::sync::Arc;
 use twoface_matrix::{CooMatrix, DenseMatrix, Scalar, Triplet};
-use twoface_net::{Cluster, CostModel, Lane, PhaseClass};
+use twoface_net::{Cluster, CostModel, Lane, NetError, PhaseClass};
 use twoface_partition::{ModelCoefficients, PartitionPlan, StripeClass};
 
 /// Which communication schedule an SDDMM run uses.
@@ -131,15 +131,23 @@ pub fn run_sddmm(
 
     let p = problem.layout.nodes();
     let cluster = Cluster::new(p, effective);
+    cluster.set_fault_plan(options.fault_plan.clone());
     let outputs =
         cluster.run(|ctx| sddmm_rank(ctx, &data, problem, x, &options.config, compute, algorithm));
 
+    let mut rank_results = Vec::with_capacity(p);
+    for o in &outputs {
+        match &o.result {
+            Ok(triplets) => rank_results.push(triplets),
+            Err(e) => return Err(RunError::from_net(o.rank, e.clone())),
+        }
+    }
     let seconds = outputs.iter().map(|o| o.finish_time().seconds()).fold(0.0, f64::max);
     let elements_received = outputs.iter().map(|o| o.trace.elements_received).sum();
     let output = if compute {
         let mut triplets: Vec<Triplet> = Vec::with_capacity(problem.a.nnz());
-        for o in &outputs {
-            triplets.extend_from_slice(&o.result);
+        for r in &rank_results {
+            triplets.extend_from_slice(r);
         }
         Some(
             CooMatrix::from_triplets(problem.a.rows(), problem.a.cols(), triplets)
@@ -173,7 +181,7 @@ fn sddmm_rank(
     config: &TwoFaceConfig,
     compute: bool,
     _algorithm: SddmmAlgorithm,
-) -> Vec<Triplet> {
+) -> Result<Vec<Triplet>, NetError> {
     let rank = ctx.rank();
     let layout = &problem.layout;
     let k = problem.k();
@@ -182,7 +190,7 @@ fn sddmm_rank(
     let my_cols = layout.col_range(rank);
     let row_base = layout.row_range(rank).start;
 
-    let win = ctx.create_window(Arc::clone(&data.b_blocks[rank]));
+    let win = ctx.create_window(Arc::clone(&data.b_blocks[rank]))?;
 
     // Sync lane: identical dense-stripe multicasts (now carrying Y rows).
     let mut stripe_buffers = BlockRows::new(k);
@@ -202,7 +210,7 @@ fn sddmm_rank(
             let hi = (cols.end - my_cols.start) * k;
             twoface_net::Payload::from(Arc::clone(&data.b_blocks[rank])).subslice(lo..hi)
         });
-        let buf = ctx.multicast(stripe as u64, owner, &group, payload);
+        let buf = ctx.multicast(stripe as u64, owner, &group, payload)?;
         if owner != rank {
             stripe_buffers.add_block(layout.stripe_cols(stripe), buf);
         }
@@ -217,7 +225,7 @@ fn sddmm_rank(
         let col_base = layout.col_range(owner).start;
         let owner_local: Vec<usize> = stripe.unique_cols.iter().map(|c| c - col_base).collect();
         let (runs, _) = coalesce_rows(&owner_local, max_distance);
-        let fetched = ctx.win_rget_rows(win, owner, &runs, k);
+        let fetched = ctx.win_rget_rows(win, owner, &runs, k)?;
         let cost = ctx.cost().async_compute_cost(stripe.nnz(), k, 1);
         ctx.advance(Lane::Async, cost, PhaseClass::AsyncComp);
         if compute {
@@ -242,7 +250,7 @@ fn sddmm_rank(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -1,8 +1,10 @@
 //! The simulated cluster: rank threads, lanes, collectives, and one-sided
 //! windows.
 
-use crate::meet::{MeetRegistry, Payload};
-use crate::{CostModel, PhaseClass, RankTrace, SimTime};
+use crate::meet::{MeetOutcome, MeetRegistry, Payload};
+use crate::{
+    CostModel, FaultEvent, FaultKind, FaultPlan, NetError, PhaseClass, RankTrace, SimTime,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -63,6 +65,7 @@ struct Shared {
     meets: MeetRegistry,
     windows: Mutex<WindowTable>,
     run_epoch: AtomicU64,
+    fault_plan: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 /// A simulated cluster of `p` single-process ranks.
@@ -82,11 +85,16 @@ struct Shared {
 /// let outputs = cluster.run(|ctx| {
 ///     // Each rank contributes one element; everyone sees all four.
 ///     let mine = Arc::new(vec![ctx.rank() as f64]);
-///     let all = ctx.allgather(mine);
+///     let all = ctx.allgather(mine).expect("no fault plan installed");
 ///     all.iter().map(|part| part[0]).sum::<f64>()
 /// });
 /// assert!(outputs.iter().all(|o| o.result == 6.0));
 /// ```
+///
+/// Communication methods return `Result<_, `[`NetError`]`>`: on a perfect
+/// network (no [`FaultPlan`] installed) they never fail, while under an
+/// installed plan one-sided gets may exhaust their retry budget and
+/// all-rank collectives may observe a stalled straggler.
 pub struct Cluster {
     shared: Arc<Shared>,
 }
@@ -126,8 +134,22 @@ impl Cluster {
                 meets: MeetRegistry::new(),
                 windows: Mutex::new(WindowTable::default()),
                 run_epoch: AtomicU64::new(0),
+                fault_plan: Mutex::new(None),
             }),
         }
+    }
+
+    /// Installs (or, with `None`, removes) a fault plan. Each
+    /// [`Cluster::run`] snapshots the plan in force when it starts, so a
+    /// plan change never affects a run in flight, and consecutive runs on
+    /// one cluster may use different plans.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.shared.fault_plan.lock().expect("fault plan poisoned") = plan.map(Arc::new);
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.shared.fault_plan.lock().expect("fault plan poisoned").as_deref().cloned()
     }
 
     /// Number of ranks.
@@ -158,7 +180,9 @@ impl Cluster {
         // restart at zero each run, while the meet registry is shared).
         let epoch = self.shared.run_epoch.fetch_add(1, Ordering::Relaxed) & EPOCH_MASK;
         self.shared.windows.lock().expect("window table poisoned").buffers.clear();
+        let plan = self.shared.fault_plan.lock().expect("fault plan poisoned").clone();
         let shared = &self.shared;
+        let plan = &plan;
         let f = &f;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shared.p)
@@ -172,6 +196,7 @@ impl Cluster {
                             trace: RankTrace::new(),
                             next_auto_tag: 0,
                             next_window: 0,
+                            faults: plan.clone(),
                         };
                         let result = f(&mut ctx);
                         RankOutput { rank, result, trace: ctx.trace, lane_times: ctx.clocks }
@@ -202,6 +227,7 @@ pub struct RankCtx {
     trace: RankTrace,
     next_auto_tag: u64,
     next_window: usize,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl RankCtx {
@@ -266,15 +292,156 @@ impl RankCtx {
         tag
     }
 
+    /// The fault plan this run snapshot, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref()
+    }
+
+    /// Takes the next meet index and returns the injected arrival delay for
+    /// it (jitter plus straggle), recording the corresponding fault events.
+    ///
+    /// Returns exactly `0.0` with no plan installed, so adding it to an
+    /// arrival time reproduces the fault-free timeline bit-for-bit.
+    fn meet_arrival_delay(&mut self) -> (u64, f64) {
+        let meet_idx = self.trace.meets;
+        self.trace.meets += 1;
+        let Some(plan) = self.faults.clone() else {
+            return (meet_idx, 0.0);
+        };
+        let mut delay = 0.0;
+        let jitter = plan.meet_jitter(self.rank, meet_idx);
+        if jitter > 0.0 {
+            self.trace.record_fault(FaultEvent {
+                kind: FaultKind::MeetJitter,
+                op: meet_idx,
+                attempt: 0,
+                seconds: jitter,
+            });
+            delay += jitter;
+        }
+        let slow = plan.slow_extra(self.rank);
+        if slow > 0.0 {
+            self.trace.record_fault(FaultEvent {
+                kind: FaultKind::RankStall,
+                op: meet_idx,
+                attempt: 0,
+                seconds: slow,
+            });
+            delay += slow;
+        }
+        (meet_idx, delay)
+    }
+
+    /// Straggler-tolerance check after an *all-rank* meet: if the spread
+    /// between the earliest and latest arrival exceeds the plan's stall
+    /// timeout, fail with [`NetError::RankStalled`]. The spread is identical
+    /// for every participant, so either all ranks pass or all ranks fail —
+    /// the group can never desynchronise into a deadlock. Subgroup meets are
+    /// never checked: their members cannot agree with non-members on whether
+    /// to abort.
+    fn stall_check(&self, outcome: &MeetOutcome, expected: usize) -> Result<(), NetError> {
+        if expected != self.shared.p {
+            return Ok(());
+        }
+        let Some(timeout) = self.faults.as_ref().and_then(|p| p.stall_timeout_seconds) else {
+            return Ok(());
+        };
+        if outcome.spread_seconds > timeout {
+            return Err(NetError::RankStalled {
+                rank: self.rank,
+                straggler: outcome.straggler,
+                stalled_seconds: outcome.spread_seconds,
+                timeout_seconds: timeout,
+            });
+        }
+        Ok(())
+    }
+
+    /// Charges one one-sided transfer of modeled cost `base_cost` against
+    /// `target`, applying the fault plan: transiently failed attempts cost
+    /// the full transfer plus exponential backoff (backoff charged to
+    /// [`PhaseClass::Recovery`]) until the retry budget is exhausted;
+    /// successful attempts may be degraded by a latency spike.
+    fn one_sided_transfer(
+        &mut self,
+        target: usize,
+        base_cost: f64,
+        lane: Lane,
+        class: PhaseClass,
+    ) -> Result<(), NetError> {
+        let op = self.trace.one_sided_ops;
+        self.trace.one_sided_ops += 1;
+        let Some(plan) = self.faults.clone() else {
+            self.advance(lane, base_cost, class);
+            return Ok(());
+        };
+        let policy = plan.retry;
+        let mut waited = 0.0;
+        let mut attempt = 0u32;
+        loop {
+            if plan.get_attempt_fails(self.rank, op, attempt) {
+                // The failed attempt still costs its full transfer time (the
+                // data moved, the completion was lost), then the issuer backs
+                // off before re-issuing.
+                let backoff = policy.backoff_seconds(attempt);
+                let lost = self.shared.cost.failed_get_cost(base_cost, backoff);
+                self.advance(lane, base_cost, class);
+                self.advance(lane, backoff, PhaseClass::Recovery);
+                self.trace.record_fault(FaultEvent {
+                    kind: FaultKind::GetFailure,
+                    op,
+                    attempt,
+                    seconds: lost,
+                });
+                waited += lost;
+                attempt += 1;
+                if attempt >= policy.max_attempts
+                    || policy.op_timeout_seconds.is_some_and(|t| waited > t)
+                {
+                    return Err(NetError::TransferTimeout {
+                        rank: self.rank,
+                        target,
+                        attempts: attempt,
+                        waited_seconds: waited,
+                    });
+                }
+                self.trace.retries += 1;
+            } else {
+                let extra = plan.latency_spike(self.rank, op).unwrap_or(0.0);
+                if extra > 0.0 {
+                    self.trace.record_fault(FaultEvent {
+                        kind: FaultKind::LatencySpike,
+                        op,
+                        attempt,
+                        seconds: extra,
+                    });
+                }
+                self.advance(lane, base_cost + extra, class);
+                return Ok(());
+            }
+        }
+    }
+
     /// Synchronizes all ranks (an `MPI_Barrier`): every rank's lanes advance
     /// to the cluster-wide maximum of [`RankCtx::now`].
-    pub fn barrier(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::RankStalled`] if the installed fault plan's stall timeout
+    /// is exceeded by the arrival spread.
+    pub fn barrier(&mut self) -> Result<(), NetError> {
         let tag = self.auto_tag();
         let arrive = self.now();
-        let (t, _) = self.shared.meets.meet(tag, self.shared.p, self.rank, arrive, None);
-        let wait = t.since(arrive);
+        let (_, delay) = self.meet_arrival_delay();
+        let outcome = self.shared.meets.meet(tag, self.shared.p, self.rank, arrive + delay, None);
+        // Wait is charged from the pre-delay arrival, so injected delays are
+        // part of the charged wait and faulted traces dominate fault-free
+        // ones term by term.
+        let wait = outcome.time.since(arrive);
         self.trace.add_time(PhaseClass::Other, wait);
-        self.clocks = [t; 2];
+        self.clocks = [outcome.time; 2];
+        self.stall_check(&outcome, self.shared.p)?;
+        Ok(())
     }
 
     /// All-rank allgather (the `MPI_Allgather` analog): contributes `data`
@@ -282,24 +449,31 @@ impl RankCtx {
     ///
     /// Operates on the [`Lane::Sync`] clock; time is attributed to
     /// [`PhaseClass::SyncComm`].
-    pub fn allgather(&mut self, data: impl Into<Payload>) -> Vec<Payload> {
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::RankStalled`] under an installed fault plan whose stall
+    /// timeout the arrival spread exceeds.
+    pub fn allgather(&mut self, data: impl Into<Payload>) -> Result<Vec<Payload>, NetError> {
         let data = data.into();
         let tag = self.auto_tag();
         let p = self.shared.p;
         let my_len = data.len();
         let arrive = self.clocks[Lane::Sync.index()];
-        let (t, payloads) = self.shared.meets.meet(tag, p, self.rank, arrive, Some(data));
+        let (_, delay) = self.meet_arrival_delay();
+        let outcome = self.shared.meets.meet(tag, p, self.rank, arrive + delay, Some(data));
         let out: Vec<Payload> = (0..p)
-            .map(|r| payloads.get(&r).expect("every rank contributes to allgather").clone())
+            .map(|r| outcome.payloads.get(&r).expect("every rank contributes to allgather").clone())
             .collect();
         let cost = self.shared.cost.allgather_cost(my_len, p);
         let total: usize = out.iter().map(|b| b.len()).sum();
-        self.clocks[Lane::Sync.index()] = t + cost;
-        self.trace.add_time(PhaseClass::SyncComm, t.since(arrive) + cost);
+        self.clocks[Lane::Sync.index()] = outcome.time + cost;
+        self.trace.add_time(PhaseClass::SyncComm, outcome.time.since(arrive) + cost);
         self.trace.messages += 1;
         self.trace.elements_sent += (my_len * (p - 1)) as u64;
         self.trace.elements_received += (total - my_len) as u64;
-        out
+        self.stall_check(&outcome, p)?;
+        Ok(out)
     }
 
     /// Multicast (the `MPI_Bcast` / `MPI_Ibcast` analog on a subgroup):
@@ -322,7 +496,7 @@ impl RankCtx {
         root: usize,
         group: &[usize],
         data: Option<Payload>,
-    ) -> Payload {
+    ) -> Result<Payload, NetError> {
         assert!(group.contains(&self.rank), "rank {} not in multicast group", self.rank);
         assert!(group.contains(&root), "root {root} not in multicast group");
         let is_root = self.rank == root;
@@ -330,21 +504,22 @@ impl RankCtx {
             assert!(data.is_some(), "multicast root must supply data");
         }
         if group.len() == 1 {
-            return data.expect("single-member multicast is root-only");
+            return Ok(data.expect("single-member multicast is root-only"));
         }
         let arrive = self.clocks[Lane::Sync.index()];
-        let (t, payloads) = self.shared.meets.meet(
+        let (_, delay) = self.meet_arrival_delay();
+        let outcome = self.shared.meets.meet(
             self.epoch_tag(TAG_MULTICAST, tag),
             group.len(),
             self.rank,
-            arrive,
+            arrive + delay,
             if is_root { data } else { None },
         );
-        let buf = payloads.get(&root).expect("root deposited multicast data").clone();
+        let buf = outcome.payloads.get(&root).expect("root deposited multicast data").clone();
         let destinations = group.len() - 1;
         let cost = self.shared.cost.multicast_cost(buf.len(), destinations);
-        self.clocks[Lane::Sync.index()] = t + cost;
-        self.trace.add_time(PhaseClass::SyncComm, t.since(arrive) + cost);
+        self.clocks[Lane::Sync.index()] = outcome.time + cost;
+        self.trace.add_time(PhaseClass::SyncComm, outcome.time.since(arrive) + cost);
         self.trace.messages += 1;
         if is_root {
             self.trace.elements_sent += (buf.len() * destinations) as u64;
@@ -352,7 +527,8 @@ impl RankCtx {
         } else {
             self.trace.elements_received += buf.len() as u64;
         }
-        buf
+        self.stall_check(&outcome, group.len())?;
+        Ok(buf)
     }
 
     /// One step of an all-rank cyclic shift (the `MPI_Sendrecv` ring of the
@@ -366,23 +542,29 @@ impl RankCtx {
     /// # Panics
     ///
     /// Panics if `distance == 0`.
-    pub fn shift_ring(&mut self, data: impl Into<Payload>, distance: usize) -> Payload {
+    pub fn shift_ring(
+        &mut self,
+        data: impl Into<Payload>,
+        distance: usize,
+    ) -> Result<Payload, NetError> {
         assert!(distance > 0, "shift distance must be positive");
         let data = data.into();
         let tag = self.auto_tag();
         let p = self.shared.p;
         let my_len = data.len();
         let arrive = self.clocks[Lane::Sync.index()];
-        let (t, payloads) = self.shared.meets.meet(tag, p, self.rank, arrive, Some(data));
+        let (_, delay) = self.meet_arrival_delay();
+        let outcome = self.shared.meets.meet(tag, p, self.rank, arrive + delay, Some(data));
         let from = (self.rank + p - distance % p) % p;
-        let buf = payloads.get(&from).expect("every rank contributes to shift").clone();
+        let buf = outcome.payloads.get(&from).expect("every rank contributes to shift").clone();
         let cost = self.shared.cost.shift_cost(my_len.max(buf.len()));
-        self.clocks[Lane::Sync.index()] = t + cost;
-        self.trace.add_time(PhaseClass::SyncComm, t.since(arrive) + cost);
+        self.clocks[Lane::Sync.index()] = outcome.time + cost;
+        self.trace.add_time(PhaseClass::SyncComm, outcome.time.since(arrive) + cost);
         self.trace.messages += 1;
         self.trace.elements_sent += my_len as u64;
         self.trace.elements_received += buf.len() as u64;
-        buf
+        self.stall_check(&outcome, p)?;
+        Ok(buf)
     }
 
     /// Collectively creates a one-sided window exposing `data` from this
@@ -390,7 +572,12 @@ impl RankCtx {
     /// order; the returned ids agree across ranks.
     ///
     /// Setup time is charged to [`PhaseClass::Other`].
-    pub fn create_window(&mut self, data: impl Into<Payload>) -> WindowId {
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::RankStalled`] under an installed fault plan whose stall
+    /// timeout the arrival spread exceeds.
+    pub fn create_window(&mut self, data: impl Into<Payload>) -> Result<WindowId, NetError> {
         let id = self.next_window;
         self.next_window += 1;
         {
@@ -404,11 +591,13 @@ impl RankCtx {
         // before every rank has exposed its buffer.
         let tag = self.auto_tag();
         let arrive = self.now();
-        let (t, _) = self.shared.meets.meet(tag, self.shared.p, self.rank, arrive, None);
+        let (_, delay) = self.meet_arrival_delay();
+        let outcome = self.shared.meets.meet(tag, self.shared.p, self.rank, arrive + delay, None);
         let cost = self.shared.cost.alpha_sync;
-        self.clocks = [t + cost; 2];
-        self.trace.add_time(PhaseClass::Other, t.since(arrive) + cost);
-        WindowId(id)
+        self.clocks = [outcome.time + cost; 2];
+        self.trace.add_time(PhaseClass::Other, outcome.time.since(arrive) + cost);
+        self.stall_check(&outcome, self.shared.p)?;
+        Ok(WindowId(id))
     }
 
     fn window_buffer(&self, window: WindowId, target: usize) -> Payload {
@@ -438,6 +627,10 @@ impl RankCtx {
     ///
     /// Panics if the window/target is invalid or `range` exceeds the
     /// target's buffer.
+    /// # Errors
+    ///
+    /// [`NetError::TransferTimeout`] if the installed fault plan's transient
+    /// failures exhaust the retry budget.
     pub fn win_get(
         &mut self,
         window: WindowId,
@@ -445,7 +638,7 @@ impl RankCtx {
         range: std::ops::Range<usize>,
         lane: Lane,
         class: PhaseClass,
-    ) -> Payload {
+    ) -> Result<Payload, NetError> {
         let buf = self.window_buffer(window, target);
         assert!(
             range.end <= buf.len(),
@@ -454,10 +647,10 @@ impl RankCtx {
         );
         let out = buf.subslice(range);
         let cost = self.shared.cost.bulk_get_cost(out.len());
-        self.advance(lane, cost, class);
+        self.one_sided_transfer(target, cost, lane, class)?;
         self.trace.messages += 1;
         self.trace.elements_received += out.len() as u64;
-        out
+        Ok(out)
     }
 
     /// Fine-grained indexed one-sided get (the `MPI_Rget` +
@@ -466,6 +659,11 @@ impl RankCtx {
     /// in run order.
     ///
     /// Operates on the [`Lane::Async`] clock ([`PhaseClass::AsyncComm`]).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::TransferTimeout`] if the installed fault plan's transient
+    /// failures exhaust the retry budget.
     ///
     /// # Panics
     ///
@@ -476,7 +674,7 @@ impl RankCtx {
         target: usize,
         runs: &[(usize, usize)],
         row_width: usize,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, NetError> {
         assert!(row_width > 0, "row_width must be positive");
         let buf = self.window_buffer(window, target);
         let total_rows: usize = runs.iter().map(|&(_, n)| n).sum();
@@ -500,10 +698,10 @@ impl RankCtx {
             out.extend_from_slice(&buf[first * row_width..hi]);
         }
         let cost = self.shared.cost.rget_cost(out.len(), runs.len());
-        self.advance(Lane::Async, cost, PhaseClass::AsyncComm);
+        self.one_sided_transfer(target, cost, Lane::Async, PhaseClass::AsyncComm)?;
         self.trace.messages += 1;
         self.trace.elements_received += out.len() as u64;
-        out
+        Ok(out)
     }
 }
 
@@ -520,6 +718,7 @@ impl std::fmt::Debug for RankCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RetryPolicy;
 
     fn cluster(p: usize) -> Cluster {
         Cluster::new(p, CostModel::delta())
@@ -529,7 +728,7 @@ mod tests {
     fn allgather_returns_all_contributions_in_rank_order() {
         let out = cluster(4).run(|ctx| {
             let mine = Arc::new(vec![ctx.rank() as f64; 2]);
-            let all = ctx.allgather(mine);
+            let all = ctx.allgather(mine).unwrap();
             all.iter().map(|b| b[0]).collect::<Vec<f64>>()
         });
         for o in &out {
@@ -543,7 +742,7 @@ mod tests {
         let out = cluster(3).run(|ctx| {
             let work = ctx.rank() as f64; // rank 2 is slowest
             ctx.advance(Lane::Sync, work, PhaseClass::SyncComp);
-            ctx.barrier();
+            ctx.barrier().unwrap();
             ctx.now()
         });
         for o in &out {
@@ -558,7 +757,7 @@ mod tests {
             let group = [0, 1, 3];
             if group.contains(&ctx.rank()) {
                 let data = (ctx.rank() == 1).then(|| Payload::from(vec![42.0]));
-                let got = ctx.multicast(9, 1, &group, data);
+                let got = ctx.multicast(9, 1, &group, data).unwrap();
                 got[0]
             } else {
                 -1.0
@@ -578,7 +777,7 @@ mod tests {
     fn single_member_multicast_is_free() {
         let out = cluster(2).run(|ctx| {
             if ctx.rank() == 0 {
-                let got = ctx.multicast(5, 0, &[0], Some(Payload::from(vec![7.0])));
+                let got = ctx.multicast(5, 0, &[0], Some(Payload::from(vec![7.0]))).unwrap();
                 got[0]
             } else {
                 0.0
@@ -595,7 +794,7 @@ mod tests {
             // After 3 unit shifts the original buffer returns.
             let mut seen = Vec::new();
             for _ in 0..3 {
-                held = ctx.shift_ring(held, 1);
+                held = ctx.shift_ring(held, 1).unwrap();
                 seen.push(held[0] as usize);
             }
             seen
@@ -609,7 +808,7 @@ mod tests {
     fn shift_ring_with_distance_skips_ranks() {
         let out = cluster(4).run(|ctx| {
             let held = Arc::new(vec![ctx.rank() as f64]);
-            let got = ctx.shift_ring(held, 2);
+            let got = ctx.shift_ring(held, 2).unwrap();
             got[0] as usize
         });
         // Rank r receives from (r + 4 - 2) % 4.
@@ -620,7 +819,7 @@ mod tests {
     fn shift_distance_larger_than_ring_wraps() {
         let out = cluster(3).run(|ctx| {
             let held = Arc::new(vec![ctx.rank() as f64]);
-            let got = ctx.shift_ring(held, 4); // distance 4 ≡ 1 (mod 3)
+            let got = ctx.shift_ring(held, 4).unwrap(); // distance 4 ≡ 1 (mod 3)
             got[0] as usize
         });
         assert_eq!(out.iter().map(|o| o.result).collect::<Vec<_>>(), vec![2, 0, 1]);
@@ -632,12 +831,12 @@ mod tests {
             // Rank r exposes rows [r*10 .. r*10+4) of width 2.
             let base = (ctx.rank() * 10) as f64;
             let data: Vec<f64> = (0..8).map(|i| base + i as f64).collect();
-            let win = ctx.create_window(data);
+            let win = ctx.create_window(data).unwrap();
             if ctx.rank() == 0 {
                 // Bulk get of rank 1's first 4 elements.
-                let bulk = ctx.win_get(win, 1, 0..4, Lane::Sync, PhaseClass::SyncComm);
+                let bulk = ctx.win_get(win, 1, 0..4, Lane::Sync, PhaseClass::SyncComm).unwrap();
                 // Indexed get of rank 1's rows 1 and 3 (width 2).
-                let rows = ctx.win_rget_rows(win, 1, &[(1, 1), (3, 1)], 2);
+                let rows = ctx.win_rget_rows(win, 1, &[(1, 1), (3, 1)], 2).unwrap();
                 (bulk.to_vec(), rows)
             } else {
                 (vec![], vec![])
@@ -651,12 +850,12 @@ mod tests {
     #[test]
     fn one_sided_gets_do_not_synchronize_clocks() {
         let out = cluster(2).run(|ctx| {
-            let win = ctx.create_window(vec![1.0; 16]);
+            let win = ctx.create_window(vec![1.0; 16]).unwrap();
             if ctx.rank() == 0 {
                 // Rank 0 does a lot of simulated compute, then a get; rank 1
                 // stays idle. Rank 1's clock must be unaffected.
                 ctx.advance(Lane::Sync, 5.0, PhaseClass::SyncComp);
-                let _ = ctx.win_get(win, 1, 0..16, Lane::Sync, PhaseClass::SyncComm);
+                let _ = ctx.win_get(win, 1, 0..16, Lane::Sync, PhaseClass::SyncComm).unwrap();
             }
             ctx.now()
         });
@@ -684,9 +883,9 @@ mod tests {
         let run = || {
             cluster(4).run(|ctx| {
                 let mine = Arc::new(vec![ctx.rank() as f64; 100]);
-                let _ = ctx.allgather(mine);
+                let _ = ctx.allgather(mine).unwrap();
                 ctx.advance(Lane::Sync, 0.001 * ctx.rank() as f64, PhaseClass::SyncComp);
-                ctx.barrier();
+                ctx.barrier().unwrap();
                 ctx.now()
             })
         };
@@ -722,8 +921,8 @@ mod tests {
     fn bulk_get_returns_a_view_not_a_copy() {
         let out = cluster(2).run(|ctx| {
             let exposed = Payload::from(vec![1.0, 2.0, 3.0, 4.0]);
-            let win = ctx.create_window(exposed.clone());
-            let got = ctx.win_get(win, ctx.rank(), 1..3, Lane::Sync, PhaseClass::SyncComm);
+            let win = ctx.create_window(exposed.clone()).unwrap();
+            let got = ctx.win_get(win, ctx.rank(), 1..3, Lane::Sync, PhaseClass::SyncComm).unwrap();
             (got.shares_buffer(&exposed), got.to_vec())
         });
         for o in &out {
@@ -740,17 +939,19 @@ mod tests {
         let c = cluster(2);
         for round in 0..3usize {
             let out = c.run(|ctx| {
-                let win = ctx.create_window(vec![(round * 10 + ctx.rank()) as f64; 4]);
+                let win = ctx.create_window(vec![(round * 10 + ctx.rank()) as f64; 4]).unwrap();
                 let peer = 1 - ctx.rank();
-                let got = ctx.win_get(win, peer, 0..4, Lane::Sync, PhaseClass::SyncComm);
-                let all = ctx.allgather(Payload::from(vec![ctx.rank() as f64]));
-                let _ = ctx.multicast(
-                    round as u64,
-                    0,
-                    &[0, 1],
-                    (ctx.rank() == 0).then(|| Payload::from(vec![round as f64])),
-                );
-                ctx.barrier();
+                let got = ctx.win_get(win, peer, 0..4, Lane::Sync, PhaseClass::SyncComm).unwrap();
+                let all = ctx.allgather(Payload::from(vec![ctx.rank() as f64])).unwrap();
+                let _ = ctx
+                    .multicast(
+                        round as u64,
+                        0,
+                        &[0, 1],
+                        (ctx.rank() == 0).then(|| Payload::from(vec![round as f64])),
+                    )
+                    .unwrap();
+                ctx.barrier().unwrap();
                 (got[0], all.len())
             });
             for (r, o) in out.iter().enumerate() {
@@ -764,7 +965,7 @@ mod tests {
     #[should_panic(expected = "rank thread panicked")]
     fn stale_window_handles_do_not_survive_a_new_run() {
         let c = cluster(2);
-        let win = c.run(|ctx| ctx.create_window(vec![0.0; 4]))[0].result;
+        let win = c.run(|ctx| ctx.create_window(vec![0.0; 4]).unwrap())[0].result;
         let _ = c.run(move |ctx| {
             let _ = ctx.win_get(win, 0, 0..4, Lane::Sync, PhaseClass::SyncComm);
         });
@@ -775,8 +976,107 @@ mod tests {
     fn rget_run_past_window_end_panics() {
         let _ = cluster(1).run(|ctx| {
             // 4 rows of width 2; the run (3, 2) reaches row 5.
-            let win = ctx.create_window(vec![0.0; 8]);
+            let win = ctx.create_window(vec![0.0; 8]).unwrap();
             ctx.win_rget_rows(win, 0, &[(3, 2)], 2)
         });
+    }
+
+    /// One get per rank from its peer under `plan`, returning each rank's
+    /// `(result, trace)`.
+    fn faulted_get_run(plan: Option<FaultPlan>) -> Vec<RankOutput<Result<Vec<f64>, NetError>>> {
+        let c = cluster(2);
+        c.set_fault_plan(plan);
+        c.run(|ctx| {
+            let win = ctx.create_window(vec![ctx.rank() as f64; 8])?;
+            let peer = 1 - ctx.rank();
+            ctx.win_rget_rows(win, peer, &[(0, 4)], 2)
+        })
+    }
+
+    #[test]
+    fn transient_failures_recover_with_identical_data() {
+        let clean = faulted_get_run(None);
+        let faulted = faulted_get_run(Some(FaultPlan::heavy(77)));
+        for (c, f) in clean.iter().zip(&faulted) {
+            assert_eq!(c.result.as_ref().unwrap(), f.result.as_ref().unwrap());
+        }
+        // heavy(77) injects at least one fault across 2 ranks × 1 op each.
+        let plan = FaultPlan::heavy(77);
+        let expected: u32 = (0..2).map(|r| plan.injected_get_failures(r, 0)).sum();
+        let recorded: u64 =
+            faulted.iter().map(|o| o.trace.fault_count(FaultKind::GetFailure)).sum();
+        assert_eq!(recorded, expected as u64);
+        if expected > 0 {
+            let recovery: f64 = faulted.iter().map(|o| o.trace.seconds(PhaseClass::Recovery)).sum();
+            assert!(recovery > 0.0, "backoff must be charged to Recovery");
+        }
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_a_typed_timeout() {
+        let plan = FaultPlan::seeded(1)
+            .with_get_failure_rate(1.0)
+            .with_retry(RetryPolicy { max_attempts: 3, ..RetryPolicy::default() });
+        let out = faulted_get_run(Some(plan));
+        for o in out {
+            match o.result {
+                Err(NetError::TransferTimeout { rank, attempts, .. }) => {
+                    assert_eq!(rank, o.rank);
+                    assert_eq!(attempts, 3);
+                }
+                other => panic!("expected TransferTimeout, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stalled_rank_surfaces_on_every_participant() {
+        let c = cluster(3);
+        c.set_fault_plan(Some(FaultPlan::seeded(0).with_slow_rank(1, 5.0).with_stall_timeout(1.0)));
+        let out = c.run(|ctx| ctx.barrier());
+        for o in out {
+            match o.result {
+                Err(NetError::RankStalled { straggler, stalled_seconds, .. }) => {
+                    assert_eq!(straggler, 1);
+                    assert!(stalled_seconds >= 5.0);
+                }
+                other => panic!("expected RankStalled, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn quiescent_plan_reproduces_the_fault_free_timeline_bitwise() {
+        let run = |plan: Option<FaultPlan>| {
+            let c = cluster(3);
+            c.set_fault_plan(plan);
+            c.run(|ctx| {
+                let mine = Arc::new(vec![ctx.rank() as f64; 16]);
+                let all = ctx.allgather(mine)?;
+                let win = ctx.create_window(vec![1.0; 8])?;
+                let _ = ctx.win_rget_rows(win, (ctx.rank() + 1) % 3, &[(0, 2)], 2)?;
+                ctx.barrier()?;
+                Ok::<usize, NetError>(all.len())
+            })
+        };
+        let clean = run(None);
+        let quiet = run(Some(FaultPlan::quiescent(123)));
+        for (c, q) in clean.iter().zip(&quiet) {
+            assert_eq!(c.lane_times, q.lane_times, "rank {}", c.rank);
+            assert_eq!(c.trace, q.trace, "rank {}", c.rank);
+        }
+    }
+
+    #[test]
+    fn plan_changes_do_not_affect_runs_already_started() {
+        let c = cluster(2);
+        c.set_fault_plan(Some(FaultPlan::light(5)));
+        assert_eq!(c.fault_plan(), Some(FaultPlan::light(5)));
+        c.set_fault_plan(None);
+        assert_eq!(c.fault_plan(), None);
+        let out = c.run(|ctx| ctx.fault_plan().cloned());
+        for o in out {
+            assert_eq!(o.result, None, "run must snapshot the plan at start");
+        }
     }
 }

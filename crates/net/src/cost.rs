@@ -229,6 +229,17 @@ impl CostModel {
     pub fn async_compute_cost(&self, nnz: usize, k: usize, stripes: usize) -> f64 {
         self.gamma_async * (nnz * k) as f64 + self.kappa_async * stripes as f64
     }
+
+    /// Cost charged for a transiently *failed* one-sided attempt under fault
+    /// injection: the full modeled transfer (`base_cost`) plus the retry
+    /// backoff. The failed transfer still occupied the link and the issuing
+    /// lane for its whole duration (the completion was lost, not the time),
+    /// so recovery charges are LogGP-consistent: the transfer portion lands
+    /// in the operation's own phase class and only the backoff is attributed
+    /// to [`PhaseClass::Recovery`](crate::PhaseClass::Recovery).
+    pub fn failed_get_cost(&self, base_cost: f64, backoff_seconds: f64) -> f64 {
+        base_cost + backoff_seconds
+    }
 }
 
 impl Default for CostModel {
@@ -308,5 +319,13 @@ mod tests {
         let json = serde_json::to_string(&m).unwrap();
         let back: CostModel = serde_json::from_str(&json).unwrap();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn failed_attempt_costs_the_transfer_plus_backoff() {
+        let m = CostModel::delta();
+        let base = m.rget_cost(1024, 4);
+        assert_eq!(m.failed_get_cost(base, 1e-6), base + 1e-6);
+        assert!(m.failed_get_cost(base, 0.0) >= base, "a failed attempt is never free");
     }
 }

@@ -16,37 +16,43 @@
 //!   and advance only the issuer's clock;
 //! * **Two lanes per rank** — the [`Lane::Sync`] and [`Lane::Async`] clocks
 //!   model Two-Face's overlapped synchronous/asynchronous thread groups; a
-//!   rank finishes at the later of the two.
+//!   rank finishes at the later of the two;
+//! * **Deterministic fault injection** — a seeded [`FaultPlan`] degrades the
+//!   perfect network reproducibly (transient one-sided failures with
+//!   retry/backoff, latency spikes, meet jitter, stalled ranks), surfacing
+//!   typed [`NetError`]s instead of hangs or silent corruption.
 //!
 //! # Example
 //!
 //! ```
-//! use twoface_net::{Cluster, CostModel, Lane, PhaseClass};
+//! use twoface_net::{Cluster, CostModel, Lane, NetError, PhaseClass};
 //! use std::sync::Arc;
 //!
 //! let cluster = Cluster::new(2, CostModel::delta());
 //! let outputs = cluster.run(|ctx| {
 //!     // Expose 4 rows of width 2 for one-sided access...
-//!     let win = ctx.create_window(vec![ctx.rank() as f64; 8]);
+//!     let win = ctx.create_window(vec![ctx.rank() as f64; 8])?;
 //!     // ...and fetch the peer's rows 1 and 3 with a fine-grained get.
 //!     let peer = 1 - ctx.rank();
-//!     let rows = ctx.win_rget_rows(win, peer, &[(1, 1), (3, 1)], 2);
-//!     rows[0]
+//!     let rows = ctx.win_rget_rows(win, peer, &[(1, 1), (3, 1)], 2)?;
+//!     Ok::<f64, NetError>(rows[0])
 //! });
-//! assert_eq!(outputs[0].result, 1.0);
-//! assert_eq!(outputs[1].result, 0.0);
+//! assert_eq!(outputs[0].result.as_ref().unwrap(), &1.0);
+//! assert_eq!(outputs[1].result.as_ref().unwrap(), &0.0);
 //! ```
 
 #![warn(missing_docs)]
 
 mod cluster;
 mod cost;
+mod fault;
 mod meet;
 mod time;
 mod trace;
 
 pub use cluster::{Cluster, Lane, RankCtx, RankOutput, WindowId};
 pub use cost::CostModel;
+pub use fault::{FaultPlan, NetError, RetryPolicy, SlowRank};
 pub use meet::Payload;
 pub use time::SimTime;
-pub use trace::{PhaseClass, RankTrace};
+pub use trace::{FaultEvent, FaultKind, PhaseClass, RankTrace};

@@ -103,13 +103,45 @@ impl PartialEq<[f64]> for Payload {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct MeetState {
     expected: usize,
     arrived: usize,
     departed: usize,
     max_time: SimTime,
+    min_time: SimTime,
+    latest_rank: usize,
     payloads: HashMap<usize, Payload>,
+}
+
+impl Default for MeetState {
+    fn default() -> MeetState {
+        MeetState {
+            expected: 0,
+            arrived: 0,
+            departed: 0,
+            max_time: SimTime::ZERO,
+            min_time: SimTime::ZERO,
+            latest_rank: usize::MAX,
+            payloads: HashMap::new(),
+        }
+    }
+}
+
+/// What every participant observes once a meet completes.
+#[derive(Debug, Clone)]
+pub(crate) struct MeetOutcome {
+    /// The maximum arrival time — when the collective completes.
+    pub time: SimTime,
+    /// The rank that arrived with the latest clock (smallest such rank on
+    /// ties), i.e. the collective's straggler.
+    pub straggler: usize,
+    /// Seconds between the earliest and latest arrival. Identical for every
+    /// participant, so straggler-tolerance decisions based on it are
+    /// symmetric and cannot desynchronise the group.
+    pub spread_seconds: f64,
+    /// Snapshot of every deposited payload, keyed by rank.
+    pub payloads: HashMap<usize, Payload>,
 }
 
 /// Registry of in-flight meets, shared by all ranks of a cluster.
@@ -146,7 +178,7 @@ impl MeetRegistry {
         rank: usize,
         time: SimTime,
         payload: Option<Payload>,
-    ) -> (SimTime, HashMap<usize, Payload>) {
+    ) -> MeetOutcome {
         assert!(expected > 0, "meet must have at least one participant");
         let mut states = self.states.lock().expect("meet registry poisoned");
         {
@@ -162,6 +194,14 @@ impl MeetRegistry {
                 state.arrived < state.expected,
                 "meet {tag:#x}: more arrivals than expected (tag reuse before completion?)"
             );
+            if time > state.max_time || state.latest_rank == usize::MAX {
+                state.latest_rank = rank;
+            } else if time == state.max_time && rank < state.latest_rank {
+                // Deterministic tie-break: the smallest rank among the latest
+                // arrivals, independent of thread scheduling.
+                state.latest_rank = rank;
+            }
+            state.min_time = if state.arrived == 0 { time } else { state.min_time.min(time) };
             state.max_time = state.max_time.max(time);
             if let Some(p) = payload {
                 let prev = state.payloads.insert(rank, p);
@@ -194,7 +234,12 @@ impl MeetRegistry {
         }
         let (result, remove) = {
             let state = states.get_mut(&tag).expect("meet state present until all depart");
-            let result = (state.max_time, state.payloads.clone());
+            let result = MeetOutcome {
+                time: state.max_time,
+                straggler: state.latest_rank,
+                spread_seconds: state.max_time.since(state.min_time),
+                payloads: state.payloads.clone(),
+            };
             state.departed += 1;
             (result, state.departed == state.expected)
         };
@@ -209,7 +254,7 @@ impl MeetRegistry {
 mod tests {
     use super::*;
 
-    fn spawn_meet(parties: usize, times: Vec<f64>) -> Vec<(SimTime, usize)> {
+    fn spawn_meet(parties: usize, times: Vec<f64>) -> Vec<MeetOutcome> {
         let reg = Arc::new(MeetRegistry::new());
         std::thread::scope(|s| {
             let handles: Vec<_> = times
@@ -219,9 +264,7 @@ mod tests {
                     let reg = Arc::clone(&reg);
                     s.spawn(move || {
                         let payload = Payload::from(vec![rank as f64]);
-                        let (mt, payloads) =
-                            reg.meet(7, parties, rank, SimTime::from_seconds(t), Some(payload));
-                        (mt, payloads.len())
+                        reg.meet(7, parties, rank, SimTime::from_seconds(t), Some(payload))
                     })
                 })
                 .collect();
@@ -232,26 +275,39 @@ mod tests {
     #[test]
     fn all_observe_max_time_and_all_payloads() {
         let out = spawn_meet(3, vec![1.0, 5.0, 2.0]);
-        for (t, n) in out {
-            assert_eq!(t, SimTime::from_seconds(5.0));
-            assert_eq!(n, 3);
+        for o in out {
+            assert_eq!(o.time, SimTime::from_seconds(5.0));
+            assert_eq!(o.payloads.len(), 3);
+            assert_eq!(o.straggler, 1, "rank 1 arrived last");
+            assert!((o.spread_seconds - 4.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn straggler_ties_break_to_the_smallest_rank() {
+        let out = spawn_meet(3, vec![2.0, 2.0, 1.0]);
+        for o in out {
+            assert_eq!(o.straggler, 0);
+            assert!((o.spread_seconds - 1.0).abs() < 1e-15);
         }
     }
 
     #[test]
     fn single_participant_completes_immediately() {
         let reg = MeetRegistry::new();
-        let (t, payloads) = reg.meet(1, 1, 0, SimTime::from_seconds(2.0), None);
-        assert_eq!(t, SimTime::from_seconds(2.0));
-        assert!(payloads.is_empty());
+        let o = reg.meet(1, 1, 0, SimTime::from_seconds(2.0), None);
+        assert_eq!(o.time, SimTime::from_seconds(2.0));
+        assert!(o.payloads.is_empty());
+        assert_eq!(o.straggler, 0);
+        assert_eq!(o.spread_seconds, 0.0);
     }
 
     #[test]
     fn tag_is_reusable_after_completion() {
         let reg = MeetRegistry::new();
         for round in 0..3 {
-            let (t, _) = reg.meet(9, 1, 0, SimTime::from_seconds(round as f64), None);
-            assert_eq!(t, SimTime::from_seconds(round as f64));
+            let o = reg.meet(9, 1, 0, SimTime::from_seconds(round as f64), None);
+            assert_eq!(o.time, SimTime::from_seconds(round as f64));
         }
     }
 
@@ -260,9 +316,9 @@ mod tests {
         let reg = Arc::new(MeetRegistry::new());
         let out = std::thread::scope(|s| {
             let r1 = Arc::clone(&reg);
-            let a = s.spawn(move || r1.meet(100, 1, 0, SimTime::from_seconds(1.0), None).0);
+            let a = s.spawn(move || r1.meet(100, 1, 0, SimTime::from_seconds(1.0), None).time);
             let r2 = Arc::clone(&reg);
-            let b = s.spawn(move || r2.meet(200, 1, 0, SimTime::from_seconds(2.0), None).0);
+            let b = s.spawn(move || r2.meet(200, 1, 0, SimTime::from_seconds(2.0), None).time);
             (a.join().unwrap(), b.join().unwrap())
         });
         assert_eq!(out.0, SimTime::from_seconds(1.0));
@@ -273,8 +329,8 @@ mod tests {
     fn payloads_are_shared_not_copied() {
         let reg = MeetRegistry::new();
         let payload = Payload::from(vec![1.0, 2.0]);
-        let (_, payloads) = reg.meet(11, 1, 0, SimTime::ZERO, Some(payload.clone()));
-        assert!(payloads[&0].shares_buffer(&payload));
+        let o = reg.meet(11, 1, 0, SimTime::ZERO, Some(payload.clone()));
+        assert!(o.payloads[&0].shares_buffer(&payload));
     }
 
     #[test]

@@ -54,6 +54,15 @@ impl SimTime {
         }
     }
 
+    /// The earlier of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
     /// The elapsed seconds from `earlier` to `self`, saturating at zero.
     pub fn since(self, earlier: SimTime) -> f64 {
         (self.0 - earlier.0).max(0.0)
@@ -114,6 +123,8 @@ mod tests {
         assert!(a < b);
         assert_eq!(a.max(b), b);
         assert_eq!(b.max(a), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.min(a), a);
     }
 
     #[test]

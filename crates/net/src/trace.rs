@@ -22,16 +22,23 @@ pub enum PhaseClass {
     AsyncComp,
     /// Setup and bookkeeping (the paper's "Other": MPI structure init).
     Other,
+    /// Fault recovery: retry backoff after transiently failed one-sided
+    /// operations. Not a Figure-10 category — it is zero on a fault-free
+    /// network and appears as an extra bar segment only under an installed
+    /// [`FaultPlan`](crate::FaultPlan).
+    Recovery,
 }
 
 impl PhaseClass {
-    /// All categories, in Figure 10's legend order.
-    pub const ALL: [PhaseClass; 5] = [
+    /// All categories, in Figure 10's legend order, with the fault-recovery
+    /// extension last.
+    pub const ALL: [PhaseClass; 6] = [
         PhaseClass::SyncComp,
         PhaseClass::SyncComm,
         PhaseClass::AsyncComp,
         PhaseClass::AsyncComm,
         PhaseClass::Other,
+        PhaseClass::Recovery,
     ];
 
     /// The label used in Figure 10.
@@ -42,6 +49,7 @@ impl PhaseClass {
             PhaseClass::AsyncComm => "Async Comm",
             PhaseClass::AsyncComp => "Async Comp",
             PhaseClass::Other => "Other",
+            PhaseClass::Recovery => "Recovery",
         }
     }
 
@@ -52,8 +60,39 @@ impl PhaseClass {
             PhaseClass::AsyncComp => 2,
             PhaseClass::AsyncComm => 3,
             PhaseClass::Other => 4,
+            PhaseClass::Recovery => 5,
         }
     }
+}
+
+/// The kind of an injected fault (see [`FaultPlan`](crate::FaultPlan)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A one-sided get attempt transiently failed.
+    GetFailure,
+    /// A successful one-sided get was degraded by extra link latency.
+    LatencySpike,
+    /// A collective arrival was delayed by delivery jitter.
+    MeetJitter,
+    /// A slow rank straggled before a collective arrival.
+    RankStall,
+}
+
+/// One injected fault, recorded in the issuing rank's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// What was injected.
+    pub kind: FaultKind,
+    /// The rank-local index of the affected operation: the one-sided
+    /// operation counter for get faults, the meet counter for
+    /// jitter/stalls.
+    pub op: u64,
+    /// The failed attempt number for [`FaultKind::GetFailure`], zero
+    /// otherwise.
+    pub attempt: u32,
+    /// Simulated seconds the fault added to this rank's timeline (for a get
+    /// failure: the wasted attempt plus its backoff).
+    pub seconds: f64,
 }
 
 /// Accumulated per-rank counters for one simulated run.
@@ -62,7 +101,7 @@ impl PhaseClass {
 /// to the caller afterwards; it is plain data with no interior mutability.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RankTrace {
-    seconds_by_class: [f64; 5],
+    seconds_by_class: [f64; 6],
     /// Total elements sent by this rank (as transfer source).
     pub elements_sent: u64,
     /// Total elements received by this rank (as transfer destination).
@@ -72,6 +111,17 @@ pub struct RankTrace {
     /// Recipient count of every multicast this rank issued as root
     /// (the §7.2 profile).
     pub multicast_recipients: Vec<usize>,
+    /// Every fault injected into this rank's operations, in issue order.
+    pub fault_events: Vec<FaultEvent>,
+    /// Number of one-sided attempts that were retried after a transient
+    /// failure.
+    pub retries: u64,
+    /// One-sided operations issued (counted whether or not a fault plan is
+    /// installed, so fault-free and faulted traces stay comparable).
+    pub one_sided_ops: u64,
+    /// Collective meets this rank participated in (counted unconditionally,
+    /// like [`RankTrace::one_sided_ops`]).
+    pub meets: u64,
 }
 
 impl RankTrace {
@@ -96,16 +146,35 @@ impl RankTrace {
         self.seconds_by_class.iter().sum()
     }
 
+    /// Records an injected fault.
+    pub fn record_fault(&mut self, event: FaultEvent) {
+        self.fault_events.push(event);
+    }
+
+    /// Number of recorded faults of `kind`.
+    pub fn fault_count(&self, kind: FaultKind) -> u64 {
+        self.fault_events.iter().filter(|e| e.kind == kind).count() as u64
+    }
+
+    /// Total number of faults injected into this rank.
+    pub fn faults_injected(&self) -> u64 {
+        self.fault_events.len() as u64
+    }
+
     /// Merges another trace's counters into this one (used to combine lane
     /// traces or aggregate across ranks).
     pub fn merge(&mut self, other: &RankTrace) {
-        for i in 0..5 {
+        for i in 0..self.seconds_by_class.len() {
             self.seconds_by_class[i] += other.seconds_by_class[i];
         }
         self.elements_sent += other.elements_sent;
         self.elements_received += other.elements_received;
         self.messages += other.messages;
         self.multicast_recipients.extend_from_slice(&other.multicast_recipients);
+        self.fault_events.extend_from_slice(&other.fault_events);
+        self.retries += other.retries;
+        self.one_sided_ops += other.one_sided_ops;
+        self.meets += other.meets;
     }
 
     /// Mean recipients per multicast issued by this rank, if any were issued.
@@ -167,6 +236,40 @@ mod tests {
     #[test]
     fn labels_are_figure10_names() {
         assert_eq!(PhaseClass::SyncComm.label(), "Sync Comm");
-        assert_eq!(PhaseClass::ALL.len(), 5);
+        assert_eq!(PhaseClass::Recovery.label(), "Recovery");
+        assert_eq!(PhaseClass::ALL.len(), 6);
+    }
+
+    #[test]
+    fn fault_events_count_by_kind_and_merge() {
+        let mut a = RankTrace::new();
+        a.record_fault(FaultEvent {
+            kind: FaultKind::GetFailure,
+            op: 0,
+            attempt: 0,
+            seconds: 1e-6,
+        });
+        a.record_fault(FaultEvent {
+            kind: FaultKind::GetFailure,
+            op: 0,
+            attempt: 1,
+            seconds: 2e-6,
+        });
+        a.retries = 2;
+        let mut b = RankTrace::new();
+        b.record_fault(FaultEvent {
+            kind: FaultKind::MeetJitter,
+            op: 3,
+            attempt: 0,
+            seconds: 5e-7,
+        });
+        b.meets = 4;
+        a.merge(&b);
+        assert_eq!(a.fault_count(FaultKind::GetFailure), 2);
+        assert_eq!(a.fault_count(FaultKind::MeetJitter), 1);
+        assert_eq!(a.fault_count(FaultKind::RankStall), 0);
+        assert_eq!(a.faults_injected(), 3);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.meets, 4);
     }
 }

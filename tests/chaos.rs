@@ -1,0 +1,239 @@
+//! Chaos differential suite: seeded fault plans crossed with algorithms.
+//!
+//! Every recovered run must be *bit-identical* to the fault-free run of the
+//! same algorithm — fault injection may cost time but never correctness.
+//! Runs that exhaust a retry budget or trip a stall timeout must surface a
+//! typed error instead of hanging or silently corrupting `C`.
+//!
+//! The seed base is `CHAOS_SEED_BASE` (decimal) when set, so CI can fuzz new
+//! seeds nightly; failures always print the exact seed to replay.
+
+use std::sync::Arc;
+use twoface_core::{run_algorithm, Algorithm, Problem, RunError, RunOptions};
+use twoface_matrix::gen::{webcrawl, WebcrawlConfig};
+use twoface_net::{CostModel, FaultKind, FaultPlan, NetError, RetryPolicy};
+
+/// Deterministic default; override with `CHAOS_SEED_BASE=<n>` to fuzz.
+fn seed_base() -> u64 {
+    std::env::var("CHAOS_SEED_BASE").ok().and_then(|s| s.parse().ok()).unwrap_or(0xC4A05)
+}
+
+/// A webcrawl fixture with both dense stripes (multicasts) and sparse
+/// scatter (one-sided gets), so every lane of every algorithm is exercised.
+fn fixture() -> Problem {
+    let a = webcrawl(
+        &WebcrawlConfig { n: 512, hosts: 16, per_row: 6, intra_host: 0.7, ..Default::default() },
+        31,
+    );
+    Problem::with_generated_b(Arc::new(a), 8, 4, 32).expect("fixture is valid")
+}
+
+fn faulted_options(plan: FaultPlan) -> RunOptions {
+    RunOptions { fault_plan: Some(plan), ..Default::default() }
+}
+
+/// A named fault-plan severity: label plus seeded constructor.
+type Severity = (&'static str, fn(u64) -> FaultPlan);
+
+/// The heart of the suite: seeds x plan severities x algorithms. Recovered
+/// runs must match the fault-free output bitwise; aborts must be typed.
+#[test]
+fn recovered_runs_are_bit_identical_across_seeds() {
+    let base = seed_base();
+    let problem = fixture();
+    let cost = CostModel::delta_scaled();
+    let algorithms = [Algorithm::TwoFace, Algorithm::Allgather];
+    let severities: [Severity; 2] = [("light", FaultPlan::light), ("heavy", FaultPlan::heavy)];
+
+    let mut recovered = 0usize;
+    let mut cases = 0usize;
+    for algorithm in algorithms {
+        let clean = run_algorithm(algorithm, &problem, &cost, &RunOptions::default())
+            .expect("fault-free run succeeds");
+        let clean_c = clean.output.as_ref().expect("fault-free output");
+        for round in 0..15u64 {
+            let seed = base.wrapping_add(round);
+            for (name, make_plan) in severities {
+                cases += 1;
+                let report = match run_algorithm(
+                    algorithm,
+                    &problem,
+                    &cost,
+                    &faulted_options(make_plan(seed)),
+                ) {
+                    Ok(report) => report,
+                    // An exhausted retry budget is a legal outcome (the
+                    // heavy plan leaves ~6e-8 abort probability per op);
+                    // anything else is a bug.
+                    Err(RunError::TransferTimeout { .. }) => continue,
+                    Err(other) => panic!(
+                        "{algorithm} {name} seed {seed} (CHAOS_SEED_BASE={base}): \
+                             unexpected error {other}"
+                    ),
+                };
+                recovered += 1;
+                let c = report.output.as_ref().expect("recovered output");
+                assert_eq!(
+                    c, clean_c,
+                    "{algorithm} {name} seed {seed} (CHAOS_SEED_BASE={base}): \
+                     recovered output differs from fault-free output"
+                );
+                if !make_plan(seed).is_faultless() {
+                    assert!(
+                        report.seconds >= clean.seconds,
+                        "{algorithm} {name} seed {seed}: faults made the run faster \
+                         ({} < {})",
+                        report.seconds,
+                        clean.seconds
+                    );
+                }
+            }
+        }
+    }
+    assert!(cases >= 50, "suite shrank below the 50-case floor: {cases}");
+    assert!(recovered >= 50, "expected at least 50 recovered cases, got {recovered}/{cases}");
+}
+
+/// Injected-fault counts in the trace must equal what the plan predicts:
+/// the plan's pure decision functions are the test's oracle.
+#[test]
+fn trace_fault_counts_replay_the_plan() {
+    let problem = fixture();
+    let cost = CostModel::delta_scaled();
+    let plan = FaultPlan::heavy(seed_base());
+    let report = run_algorithm(Algorithm::TwoFace, &problem, &cost, &faulted_options(plan.clone()))
+        .expect("heavy plan recovers on this fixture");
+
+    assert!(report.faults_injected > 0, "heavy plan injected nothing");
+    for (rank, trace) in report.rank_traces.iter().enumerate() {
+        let expected_failures: u64 = (0..trace.one_sided_ops)
+            .map(|op| u64::from(plan.injected_get_failures(rank, op)))
+            .sum();
+        assert_eq!(
+            trace.fault_count(FaultKind::GetFailure),
+            expected_failures,
+            "rank {rank}: recorded get failures disagree with the plan"
+        );
+        assert_eq!(trace.retries, expected_failures, "rank {rank}: every failure was retried");
+        let expected_spikes: u64 = (0..trace.one_sided_ops)
+            .filter(|&op| plan.latency_spike(rank, op).is_some())
+            .count() as u64;
+        assert_eq!(
+            trace.fault_count(FaultKind::LatencySpike),
+            expected_spikes,
+            "rank {rank}: recorded spikes disagree with the plan"
+        );
+        let expected_jitters: u64 =
+            (0..trace.meets).filter(|&meet| plan.meet_jitter(rank, meet) > 0.0).count() as u64;
+        assert_eq!(
+            trace.fault_count(FaultKind::MeetJitter),
+            expected_jitters,
+            "rank {rank}: recorded jitter events disagree with the plan"
+        );
+    }
+}
+
+/// The same seed must reproduce the same faulted execution exactly — times,
+/// traces, and output.
+#[test]
+fn faulted_runs_are_deterministic() {
+    let problem = fixture();
+    let cost = CostModel::delta_scaled();
+    let plan = FaultPlan::heavy(seed_base().wrapping_add(7));
+    let a = run_algorithm(Algorithm::TwoFace, &problem, &cost, &faulted_options(plan.clone()))
+        .expect("recovers");
+    let b = run_algorithm(Algorithm::TwoFace, &problem, &cost, &faulted_options(plan))
+        .expect("recovers");
+    assert_eq!(a.seconds, b.seconds);
+    assert_eq!(a.rank_seconds, b.rank_seconds);
+    assert_eq!(a.rank_traces, b.rank_traces);
+    assert_eq!(a.faults_injected, b.faults_injected);
+    assert_eq!(a.output, b.output);
+}
+
+/// A plan whose failure rate exceeds the retry budget yields a typed
+/// `TransferTimeout` carrying the exhausted attempt count — never a hang,
+/// never a partial output.
+#[test]
+fn exhausted_retry_budget_is_a_typed_error() {
+    let problem = fixture();
+    let cost = CostModel::delta_scaled();
+    let plan = FaultPlan::seeded(seed_base())
+        .with_get_failure_rate(1.0)
+        .with_retry(RetryPolicy { max_attempts: 3, ..Default::default() });
+    let err = run_algorithm(Algorithm::AsyncFine, &problem, &cost, &faulted_options(plan))
+        .expect_err("every get fails forever");
+    match &err {
+        RunError::TransferTimeout { source, .. } => match source {
+            NetError::TransferTimeout { attempts, .. } => assert_eq!(*attempts, 3),
+            other => panic!("wrong source: {other}"),
+        },
+        other => panic!("expected TransferTimeout, got {other}"),
+    }
+    let text = err.to_string();
+    assert!(text.contains('s'), "Display should carry units: {text}");
+}
+
+/// A rank stalled past the plan's timeout aborts the collective with a
+/// typed `RankStalled` naming the straggler.
+#[test]
+fn stalled_rank_is_a_typed_error_naming_the_straggler() {
+    let problem = fixture();
+    let cost = CostModel::delta_scaled();
+    let plan = FaultPlan::seeded(seed_base()).with_slow_rank(1, 5.0).with_stall_timeout(1.0);
+    let err = run_algorithm(Algorithm::Allgather, &problem, &cost, &faulted_options(plan))
+        .expect_err("rank 1 stalls past the timeout");
+    match &err {
+        RunError::RankStalled { source, .. } => match source {
+            NetError::RankStalled { straggler, stalled_seconds, timeout_seconds, .. } => {
+                assert_eq!(*straggler, 1);
+                assert!(stalled_seconds > timeout_seconds);
+            }
+            other => panic!("wrong source: {other}"),
+        },
+        other => panic!("expected RankStalled, got {other}"),
+    }
+}
+
+/// Fault recovery must be visible in the Figure-10 breakdown: retries add a
+/// Recovery share and the faulted total exceeds the fault-free total.
+#[test]
+fn recovery_costs_shift_the_breakdown() {
+    let problem = fixture();
+    let cost = CostModel::delta_scaled();
+    let clean = run_algorithm(Algorithm::TwoFace, &problem, &cost, &RunOptions::default())
+        .expect("fault-free run succeeds");
+    // The fixture issues few one-sided ops, so a fuzzed seed base may inject
+    // zero get failures; scan forward for a seed whose heavy plan actually
+    // forces a retry (each seed misses with probability well under a half).
+    let base = seed_base();
+    let faulted = (0..32u64)
+        .filter_map(|i| {
+            let report = run_algorithm(
+                Algorithm::TwoFace,
+                &problem,
+                &cost,
+                &faulted_options(FaultPlan::heavy(base.wrapping_add(i))),
+            )
+            .ok()?;
+            let retried: u64 = report.rank_traces.iter().map(|t| t.retries).sum();
+            (retried > 0).then_some(report)
+        })
+        .next()
+        .unwrap_or_else(|| {
+            panic!("no heavy plan in seeds {base}..{base}+32 injected a retried get failure")
+        });
+
+    assert_eq!(clean.mean_breakdown.recovery, 0.0, "fault-free runs charge no recovery");
+    assert!(
+        faulted.mean_breakdown.recovery > 0.0,
+        "retry backoff must appear as Recovery in the breakdown"
+    );
+    assert!(
+        faulted.mean_breakdown.total() > clean.mean_breakdown.total(),
+        "faults must lengthen the mean breakdown: {} <= {}",
+        faulted.mean_breakdown.total(),
+        clean.mean_breakdown.total()
+    );
+    assert!(faulted.seconds > clean.seconds, "faults must lengthen the critical path");
+}

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use twoface_core::{run_algorithm, Algorithm, Problem, RunError, RunOptions};
 use twoface_matrix::gen::erdos_renyi;
 use twoface_matrix::{CooMatrix, DenseMatrix};
-use twoface_net::CostModel;
+use twoface_net::{Cluster, CostModel, FaultPlan, NetError, RankOutput};
 
 fn small_problem(p: usize) -> Problem {
     Problem::with_generated_b(Arc::new(erdos_renyi(128, 128, 800, 1)), 8, p, 16)
@@ -163,6 +163,85 @@ fn validation_catches_a_corrupted_b() {
     )
     .unwrap();
     assert!(no_compute.output.is_none());
+}
+
+/// A window-backed exchange with a trailing barrier: touches windows, meet
+/// tags, and the fault machinery all at once.
+fn windowed_exchange(cluster: &Cluster) -> Vec<RankOutput<Result<Vec<f64>, NetError>>> {
+    cluster.run(|ctx| {
+        let win = ctx.create_window(vec![ctx.rank() as f64 + 1.0; 8])?;
+        let peer = 1 - ctx.rank();
+        let rows = ctx.win_rget_rows(win, peer, &[(0, 4)], 2)?;
+        ctx.barrier()?;
+        Ok(rows)
+    })
+}
+
+/// Regression: consecutive `run()` calls on one cluster with *different*
+/// fault plans must neither alias each other's windows nor leak meet tags —
+/// the second run must be indistinguishable from the same plan on a fresh
+/// cluster.
+#[test]
+fn consecutive_runs_with_different_fault_plans_stay_isolated() {
+    let reused = Cluster::new(2, CostModel::delta_scaled());
+    reused.set_fault_plan(Some(FaultPlan::heavy(3)));
+    let first = windowed_exchange(&reused);
+    reused.set_fault_plan(Some(FaultPlan::light(9)));
+    let second = windowed_exchange(&reused);
+
+    // Both runs recovered and read the peer's window, not a stale one.
+    for outputs in [&first, &second] {
+        for o in outputs {
+            let peer_value = (2 - o.rank) as f64;
+            assert_eq!(o.result.as_ref().unwrap(), &vec![peer_value; 8]);
+        }
+    }
+
+    let fresh = Cluster::new(2, CostModel::delta_scaled());
+    fresh.set_fault_plan(Some(FaultPlan::light(9)));
+    let reference = windowed_exchange(&fresh);
+    for (s, f) in second.iter().zip(&reference) {
+        assert_eq!(s.result.as_ref().unwrap(), f.result.as_ref().unwrap());
+        assert_eq!(s.trace, f.trace, "rank {}: reused cluster leaked state", s.rank);
+        assert_eq!(s.finish_time(), f.finish_time(), "rank {}", s.rank);
+    }
+}
+
+/// Every `RunError` variant is constructible, Displays with units, and
+/// round-trips its network cause through `std::error::Error::source`.
+#[test]
+fn run_error_variants_display_and_source() {
+    use std::error::Error;
+
+    let transfer =
+        NetError::TransferTimeout { rank: 2, target: 0, attempts: 5, waited_seconds: 1.5 };
+    let stall =
+        NetError::RankStalled { rank: 0, straggler: 3, stalled_seconds: 9.0, timeout_seconds: 1.0 };
+    let variants = vec![
+        RunError::OutOfMemory { rank: 1, required: 1 << 30, available: 1 << 20 },
+        RunError::ReplicationExceedsNodes { replication: 8, nodes: 4 },
+        RunError::Shape { context: "B has 3 rows but A has 4 columns".into() },
+        RunError::ValidationFailed { max_abs_diff: 0.25 },
+        RunError::TransferTimeout { rank: 2, source: transfer.clone() },
+        RunError::RankStalled { rank: 0, source: stall.clone() },
+    ];
+
+    for e in &variants {
+        assert!(!e.to_string().is_empty(), "{e:?} has an empty Display");
+    }
+    assert!(variants[0].to_string().contains("MiB"), "{}", variants[0]);
+    assert!(variants[4].to_string().contains("s simulated"), "{}", variants[4]);
+    assert!(variants[5].to_string().contains("stall timeout"), "{}", variants[5]);
+    assert!(variants[5].to_string().contains(" s"), "{}", variants[5]);
+
+    for (e, want) in [(&variants[4], &transfer), (&variants[5], &stall)] {
+        let source = e.source().expect("net-backed variants expose their cause");
+        let net = source.downcast_ref::<NetError>().expect("source is the NetError");
+        assert_eq!(net, want);
+    }
+    for e in &variants[..4] {
+        assert!(e.source().is_none(), "{e:?} should have no source");
+    }
 }
 
 #[test]

@@ -14,7 +14,7 @@ use twoface_core::{
     TwoFaceConfig,
 };
 use twoface_matrix::{CooMatrix, DenseMatrix, Triplet};
-use twoface_net::CostModel;
+use twoface_net::{CostModel, FaultPlan, PhaseClass, RetryPolicy};
 use twoface_partition::{
     classify_node, ModelCoefficients, NodeProfile, OneDimLayout, PartitionPlan, PlanOptions,
     StripeClass,
@@ -262,6 +262,83 @@ fn dense_matrix_add_assign_is_commutative_on_integers() {
         let mut ba = b.clone();
         ba.add_assign(&a);
         assert_eq!(ab, ba, "case {case}");
+    }
+}
+
+/// Fault injection only ever adds simulated time: for arbitrary matrices
+/// and recoverable plans, the faulted run's total and every per-rank
+/// per-class total dominate the fault-free run's.
+#[test]
+fn faults_are_monotone_in_simulated_time() {
+    let mut rng = StdRng::seed_from_u64(0xC5_0F);
+    for case in 0..16 {
+        let m = random_matrix(&mut rng);
+        let p = 3usize.min(m.rows()).min(m.cols()).max(1);
+        let problem = Problem::with_generated_b(Arc::new(m), 4, p, 5).expect("valid");
+        let cost = CostModel::delta_scaled();
+        // Recoverable by construction: moderate failure rate, deep retry
+        // budget, no stall timeout.
+        let plan = FaultPlan::seeded(0x600D + case as u64)
+            .with_get_failure_rate(rng.gen_range(0.0..0.3))
+            .with_latency_spikes(rng.gen_range(0.0..0.2), rng.gen_range(0.0..1e-5))
+            .with_meet_jitter(rng.gen_range(0.0..2e-6))
+            .with_retry(RetryPolicy { max_attempts: 12, ..Default::default() });
+        let clean = run_algorithm(Algorithm::TwoFace, &problem, &cost, &RunOptions::default())
+            .expect("fault-free run succeeds");
+        let faulted = run_algorithm(
+            Algorithm::TwoFace,
+            &problem,
+            &cost,
+            &RunOptions { fault_plan: Some(plan), ..Default::default() },
+        )
+        .unwrap_or_else(|e| panic!("case {case}: recoverable plan aborted: {e}"));
+        assert!(
+            faulted.seconds >= clean.seconds,
+            "case {case}: faults shortened the run: {} < {}",
+            faulted.seconds,
+            clean.seconds
+        );
+        for (rank, (f, c)) in faulted.rank_traces.iter().zip(&clean.rank_traces).enumerate() {
+            for class in PhaseClass::ALL {
+                let tolerance = 1e-12 * c.seconds(class).abs();
+                assert!(
+                    f.seconds(class) >= c.seconds(class) - tolerance,
+                    "case {case} rank {rank} {}: faulted {} < fault-free {}",
+                    class.label(),
+                    f.seconds(class),
+                    c.seconds(class)
+                );
+            }
+        }
+    }
+}
+
+/// A fault plan with every rate at zero is indistinguishable from no plan
+/// at all: the timeline, traces, and output reproduce bit-for-bit.
+#[test]
+fn quiescent_plans_reproduce_the_fault_free_run_bitwise() {
+    let mut rng = StdRng::seed_from_u64(0xC5_10);
+    for case in 0..12 {
+        let m = random_matrix(&mut rng);
+        let p = 3usize.min(m.rows()).min(m.cols()).max(1);
+        let problem = Problem::with_generated_b(Arc::new(m), 4, p, 5).expect("valid");
+        let cost = CostModel::delta_scaled();
+        let plan = FaultPlan::quiescent(rng.gen());
+        assert!(plan.is_faultless(), "quiescent plans inject nothing");
+        let clean = run_algorithm(Algorithm::TwoFace, &problem, &cost, &RunOptions::default())
+            .expect("fault-free run succeeds");
+        let quiet = run_algorithm(
+            Algorithm::TwoFace,
+            &problem,
+            &cost,
+            &RunOptions { fault_plan: Some(plan), ..Default::default() },
+        )
+        .expect("quiescent run succeeds");
+        assert_eq!(quiet.seconds, clean.seconds, "case {case}");
+        assert_eq!(quiet.rank_seconds, clean.rank_seconds, "case {case}");
+        assert_eq!(quiet.rank_traces, clean.rank_traces, "case {case}");
+        assert_eq!(quiet.output, clean.output, "case {case}");
+        assert_eq!(quiet.faults_injected, 0, "case {case}");
     }
 }
 
