@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 use std::sync::Arc;
 use twoface_core::kernels::{
-    async_stripe_kernel, sync_panel_kernel, BlockRows, FetchedRows, RowSource,
+    async_stripe_kernel, sync_panel_kernel, BlockRows, FetchedRows, RowCursor, RowSource,
 };
 use twoface_matrix::gen::erdos_renyi;
 use twoface_matrix::Triplet;
@@ -78,12 +78,14 @@ fn bench_row_source(criterion: &mut Criterion) {
             black_box(rows.row(i));
         });
     });
-    // Ascending sweep: the access pattern of the column-major async kernel.
+    // Ascending sweep through a per-caller cursor: the access pattern of the
+    // column-major async kernel's hot loop.
     group.bench_function("block_rows_row_ascending", |bench| {
         let mut i = 0usize;
+        let mut cursor = RowCursor::default();
         bench.iter(|| {
             i = (i + 1) % (32 * 128);
-            black_box(rows.row(i));
+            black_box(rows.row_with(&mut cursor, i));
         });
     });
     // FetchedRows over 256 coalesced runs of 4 rows each (gap 4), swept in
@@ -94,9 +96,10 @@ fn bench_row_source(criterion: &mut Criterion) {
         runs.iter().flat_map(|&(first, n)| (first..first + n).map(|r| 1000 + r)).collect();
     group.bench_function("fetched_rows_row_ascending", |bench| {
         let mut i = 0usize;
+        let mut cursor = RowCursor::default();
         bench.iter(|| {
             i = (i + 1) % cols.len();
-            black_box(fetched.row(cols[i]));
+            black_box(fetched.row_with(&mut cursor, cols[i]));
         });
     });
     group.finish();

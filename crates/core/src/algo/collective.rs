@@ -1,7 +1,8 @@
 //! Per-rank bodies of the baseline algorithms: Allgather, Async Coarse, and
 //! Dense Shifting.
 
-use crate::kernels::{sync_panel_kernel, BlockRows};
+use crate::kernels::{par_sync_panels, BlockRows};
+use crate::pool::Pool;
 use crate::runner::{ExecOpts, Problem};
 use std::sync::Arc;
 use twoface_matrix::Triplet;
@@ -85,7 +86,7 @@ pub(crate) fn allgather_rank(
     let entries = &data.local_triplets[rank];
     charge_local_compute(ctx, entries.len(), opts, local_rows);
     if opts.compute {
-        sync_panel_kernel(entries, &rows_src, &mut c_local, opts.k);
+        par_sync_panels(&Pool::new(opts.workers), entries, &rows_src, &mut c_local, opts.k);
     }
     Ok(c_local)
 }
@@ -114,7 +115,7 @@ pub(crate) fn async_coarse_rank(
     let entries = &data.local_triplets[rank];
     charge_local_compute(ctx, entries.len(), opts, local_rows);
     if opts.compute {
-        sync_panel_kernel(entries, &rows_src, &mut c_local, opts.k);
+        par_sync_panels(&Pool::new(opts.workers), entries, &rows_src, &mut c_local, opts.k);
     }
     Ok(c_local)
 }
@@ -159,6 +160,7 @@ pub(crate) fn dense_shifting_rank(
 
     let local_rows = layout.row_range(rank).len();
     let mut c_local = vec![0.0; local_rows * opts.k];
+    let pool = Pool::new(opts.workers);
     let mut processed = vec![false; p];
     let steps = p.div_ceil(c);
     for step in 0..steps {
@@ -175,7 +177,7 @@ pub(crate) fn dense_shifting_rank(
             let entries = &data.triplets_by_block[rank][id];
             charge_local_compute(ctx, entries.len(), opts, local_rows);
             if opts.compute && !entries.is_empty() {
-                sync_panel_kernel(entries, &rows_src, &mut c_local, opts.k);
+                par_sync_panels(&pool, entries, &rows_src, &mut c_local, opts.k);
             }
         }
         if step + 1 < steps {

@@ -24,7 +24,11 @@
 use crate::coalesce::coalesce_rows;
 use crate::config::TwoFaceConfig;
 use crate::format::RankMatrices;
-use crate::kernels::{async_stripe_kernel, sync_panel_kernel, BlockRows, FetchedRows};
+use crate::kernels::{
+    async_stripe_kernel, par_async_stripe, par_sync_panels, sync_panel_kernel, BlockRows,
+    FetchedRows,
+};
+use crate::pool::Pool;
 use crate::runner::{ExecOpts, Problem};
 use std::sync::Arc;
 use twoface_net::{Lane, NetError, Payload, PhaseClass, RankCtx};
@@ -41,17 +45,20 @@ pub(crate) struct TwoFaceData {
 }
 
 impl TwoFaceData {
-    /// Builds all ranks' structures from a problem and plan.
+    /// Builds all ranks' structures from a problem and plan. Ranks are
+    /// independent, so the builds fan out across `pool`; results are
+    /// collected in rank order, so the data is identical for any worker
+    /// count.
     pub fn build(
         problem: &Problem,
         plan: Arc<PartitionPlan>,
         config: &TwoFaceConfig,
+        pool: &Pool,
     ) -> TwoFaceData {
         let p = problem.layout.nodes();
-        let rank_matrices = (0..p)
-            .map(|rank| RankMatrices::build(&problem.a, &plan, rank, config.row_panel_height))
-            .collect();
-        let b_blocks = (0..p).map(|rank| Arc::new(problem.b_block(rank))).collect();
+        let rank_matrices = pool
+            .map(p, |rank| RankMatrices::build(&problem.a, &plan, rank, config.row_panel_height));
+        let b_blocks = pool.map(p, |rank| Arc::new(problem.b_block(rank)));
         TwoFaceData { plan, rank_matrices, b_blocks }
     }
 }
@@ -84,6 +91,9 @@ pub(crate) fn twoface_rank_masked(
     let rank = ctx.rank();
     let layout = &problem.layout;
     let k = opts.k;
+    // Real execution workers for this rank's local kernels; orthogonal to
+    // the modeled thread counts in `config` (see `crate::pool`).
+    let pool = Pool::new(opts.workers);
     let plan = &data.plan;
     let matrices = &data.rank_matrices[rank];
     let my_cols = layout.col_range(rank);
@@ -181,11 +191,16 @@ pub(crate) fn twoface_rank_masked(
                         .collect();
                     sync_panel_kernel(&active_rm, &rows_src, &mut c_local, k);
                 } else {
-                    sync_panel_kernel(stripe.entries_row_major(), &rows_src, &mut c_local, k);
+                    par_sync_panels(&pool, stripe.entries_row_major(), &rows_src, &mut c_local, k);
                 }
+            } else if mask.is_some() {
+                async_stripe_kernel(&active, &rows_src, &mut c_local, k);
             } else {
-                let entries = if mask.is_some() { &active } else { &stripe.entries };
-                async_stripe_kernel(entries, &rows_src, &mut c_local, k);
+                // The parallel driver consumes the row-major view: per
+                // output row the contribution order (ascending column)
+                // matches the serial column-major kernel exactly, so the
+                // result is bit-identical for any worker count.
+                par_async_stripe(&pool, stripe.entries_row_major(), &rows_src, &mut c_local, k);
             }
         }
     }
@@ -204,14 +219,17 @@ pub(crate) fn twoface_rank_masked(
             ctx.advance(Lane::Sync, cost, PhaseClass::SyncComp);
         }
         if opts.compute {
-            for panel in 0..sync_local.num_panels() {
-                if mask.is_some() {
+            if mask.is_some() {
+                for panel in 0..sync_local.num_panels() {
                     let active: Vec<twoface_matrix::Triplet> =
                         sync_local.panel(panel).iter().filter(|t| is_active(t)).copied().collect();
                     sync_panel_kernel(&active, &stripe_buffers, &mut c_local, k);
-                } else {
-                    sync_panel_kernel(sync_local.panel(panel), &stripe_buffers, &mut c_local, k);
                 }
+            } else {
+                // Row panels tile the local rows, so the whole row-major
+                // entry slice fans out over row-aligned chunks — the same
+                // per-row accumulation order as the per-panel serial loop.
+                par_sync_panels(&pool, sync_local.entries(), &stripe_buffers, &mut c_local, k);
             }
         }
     }

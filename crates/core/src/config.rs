@@ -24,12 +24,17 @@ pub enum AsyncLayout {
 
 /// Two-Face's constant runtime parameters (Table 2 of the paper).
 ///
-/// Thread counts don't spawn real threads in this reproduction — per-rank
-/// execution is serial and deterministic — but they scale the cost model the
-/// same way real thread pools scale throughput: the Table-3 coefficients
+/// Thread counts here are *modeled*: they scale the analytic cost model the
+/// same way real thread pools scale throughput (the Table-3 coefficients
 /// were calibrated at the Table-2 defaults, so deviating from a default
-/// scales the corresponding coefficient proportionally
-/// (see [`TwoFaceConfig::effective_cost`]).
+/// scales the corresponding coefficient proportionally — see
+/// [`TwoFaceConfig::effective_cost`]). They never spawn host threads.
+/// *Real* execution workers — the OS threads that run the local kernels,
+/// preprocessing, and verification — are a separate, orthogonal knob
+/// ([`crate::RunOptions`]' `workers` field / the `TWOFACE_THREADS`
+/// environment variable, see [`crate::pool`]): changing the worker count
+/// changes host wall-clock time but never a simulated timing or an output
+/// bit.
 ///
 /// # Example
 ///

@@ -10,24 +10,60 @@
 //! * [`async_stripe_kernel`] — Algorithm 3's loop: column-major traversal
 //!   accumulating straight into `C` (the pattern that costs one atomic per
 //!   nonzero on real hardware).
+//!
+//! Both have work-sharing parallel drivers ([`par_sync_panels`],
+//! [`par_async_stripe`]) that split `C` into disjoint row ranges so any
+//! worker count produces output bit-identical to the serial kernels, and
+//! both specialize their inner loops for the paper's dense widths
+//! `K ∈ {8, 32, 128}` (fixed-size array arithmetic the compiler unrolls and
+//! vectorizes; other widths take a generic fallback).
+//!
+//! Row sources are `Sync`: lookup state (the block/run that satisfied the
+//! previous probe) lives in a per-caller [`RowCursor`], not in the source,
+//! so concurrent workers never thrash a shared cursor.
 
 use crate::coalesce::RowRun;
-use std::cell::Cell;
+use crate::pool::Pool;
 use twoface_matrix::{Scalar, Triplet};
 use twoface_net::Payload;
 
+/// Per-caller lookup cursor: remembers which block (or run) satisfied the
+/// last lookup. Kernels walk columns in runs, so consecutive lookups almost
+/// always hit the same block; probing it first skips the binary search on
+/// the hot path. Each worker holds its own cursor, so parallel kernels
+/// keep the fast path without sharing mutable state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RowCursor {
+    hint: usize,
+}
+
 /// A source of dense `B` rows addressed by global column id.
-pub trait RowSource {
+///
+/// Implementations are immutable after construction and `Sync`, so one
+/// source can serve many workers concurrently; per-caller lookup state goes
+/// through the [`RowCursor`] each caller owns.
+pub trait RowSource: Sync {
     /// The dense column count `K`.
     fn k(&self) -> usize;
 
-    /// Row `col` of `B` as a `K`-element slice.
+    /// Row `col` of `B` as a `K`-element slice, using `cursor` to remember
+    /// the spot that satisfied this lookup for the next one.
     ///
     /// # Panics
     ///
     /// Panics if this source does not hold row `col` — asking for a row that
     /// was never transferred is an algorithm bug, not a recoverable error.
-    fn row(&self, col: usize) -> &[Scalar];
+    fn row_with<'s>(&'s self, cursor: &mut RowCursor, col: usize) -> &'s [Scalar];
+
+    /// Cursor-less convenience lookup (a fresh [`RowCursor`] per call);
+    /// hot loops should hold a cursor and call [`RowSource::row_with`].
+    ///
+    /// # Panics
+    ///
+    /// Same condition as [`RowSource::row_with`].
+    fn row(&self, col: usize) -> &[Scalar] {
+        self.row_with(&mut RowCursor::default(), col)
+    }
 }
 
 /// A [`RowSource`] over a set of contiguous block buffers, each covering a
@@ -38,17 +74,13 @@ pub struct BlockRows {
     k: usize,
     /// `(col_start, col_end, buffer)`, sorted by `col_start`.
     blocks: Vec<(usize, usize, Payload)>,
-    /// Index of the block that satisfied the last lookup. Kernels walk
-    /// columns in runs, so consecutive lookups almost always hit the same
-    /// block; checking it first skips the binary search on the hot path.
-    last_hit: Cell<usize>,
 }
 
 impl BlockRows {
     /// Creates an empty source for `K` columns.
     pub fn new(k: usize) -> BlockRows {
         assert!(k > 0, "K must be positive");
-        BlockRows { k, blocks: Vec::new(), last_hit: Cell::new(0) }
+        BlockRows { k, blocks: Vec::new() }
     }
 
     /// Adds a block buffer covering global columns `cols`. Accepts anything
@@ -63,7 +95,6 @@ impl BlockRows {
         assert_eq!(buffer.len(), cols.len() * self.k, "block buffer for {cols:?} has wrong length");
         let pos = self.blocks.partition_point(|&(start, _, _)| start < cols.start);
         self.blocks.insert(pos, (cols.start, cols.end, buffer));
-        self.last_hit.set(0);
     }
 
     /// Removes the block starting at `col_start`, if present (used by the
@@ -72,7 +103,6 @@ impl BlockRows {
         match self.blocks.binary_search_by_key(&col_start, |&(s, _, _)| s) {
             Ok(i) => {
                 self.blocks.remove(i);
-                self.last_hit.set(0);
                 true
             }
             Err(_) => false,
@@ -81,11 +111,11 @@ impl BlockRows {
 
     /// Whether some block holds column `col`.
     pub fn contains(&self, col: usize) -> bool {
-        self.find(col).is_some()
+        self.find(&mut RowCursor::default(), col).is_some()
     }
 
-    fn find(&self, col: usize) -> Option<(usize, &Payload)> {
-        if let Some(&(start, end, ref buf)) = self.blocks.get(self.last_hit.get()) {
+    fn find(&self, cursor: &mut RowCursor, col: usize) -> Option<(usize, &Payload)> {
+        if let Some(&(start, end, ref buf)) = self.blocks.get(cursor.hint) {
             if (start..end).contains(&col) {
                 return Some((col - start, buf));
             }
@@ -98,7 +128,7 @@ impl BlockRows {
         if col >= end {
             return None;
         }
-        self.last_hit.set(i - 1);
+        cursor.hint = i - 1;
         Some((col - start, buf))
     }
 }
@@ -108,8 +138,9 @@ impl RowSource for BlockRows {
         self.k
     }
 
-    fn row(&self, col: usize) -> &[Scalar] {
-        let (offset, buf) = self.find(col).unwrap_or_else(|| panic!("no block holds B row {col}"));
+    fn row_with<'s>(&'s self, cursor: &mut RowCursor, col: usize) -> &'s [Scalar] {
+        let (offset, buf) =
+            self.find(cursor, col).unwrap_or_else(|| panic!("no block holds B row {col}"));
         &buf[offset * self.k..(offset + 1) * self.k]
     }
 }
@@ -120,16 +151,15 @@ impl RowSource for BlockRows {
 /// received buffer (which may include padding rows from gap coalescing).
 /// Each run is `(col_start, col_end, slot_base)`: global columns
 /// `col_start..col_end` occupy consecutive slots starting at `slot_base`.
-/// Lookups binary-search the table, but first probe the run that satisfied
-/// the previous lookup — the async kernel walks columns in ascending order,
-/// so nearly every lookup after the first in a run is a cache hit.
+/// Lookups binary-search the table, but first probe the caller's
+/// [`RowCursor`] — the async kernel walks columns in ascending order, so
+/// nearly every lookup after the first in a run is a cursor hit.
 #[derive(Debug, Clone)]
 pub struct FetchedRows {
     k: usize,
     data: Vec<Scalar>,
     runs: Vec<(usize, usize, usize)>,
     num_rows: usize,
-    last_run: Cell<usize>,
 }
 
 impl FetchedRows {
@@ -149,7 +179,7 @@ impl FetchedRows {
             table.push((col_base + first, col_base + first + n, slot));
             slot += n;
         }
-        FetchedRows { k, data, runs: table, num_rows: total_rows, last_run: Cell::new(0) }
+        FetchedRows { k, data, runs: table, num_rows: total_rows }
     }
 
     /// Number of rows held (needed + padding).
@@ -157,8 +187,8 @@ impl FetchedRows {
         self.num_rows
     }
 
-    fn slot_of_col(&self, col: usize) -> Option<usize> {
-        if let Some(&(start, end, base)) = self.runs.get(self.last_run.get()) {
+    fn slot_of_col(&self, cursor: &mut RowCursor, col: usize) -> Option<usize> {
+        if let Some(&(start, end, base)) = self.runs.get(cursor.hint) {
             if (start..end).contains(&col) {
                 return Some(base + (col - start));
             }
@@ -171,7 +201,7 @@ impl FetchedRows {
         if col >= end {
             return None;
         }
-        self.last_run.set(i - 1);
+        cursor.hint = i - 1;
         Some(base + (col - start))
     }
 }
@@ -181,9 +211,54 @@ impl RowSource for FetchedRows {
         self.k
     }
 
-    fn row(&self, col: usize) -> &[Scalar] {
-        let slot = self.slot_of_col(col).unwrap_or_else(|| panic!("B row {col} was not fetched"));
+    fn row_with<'s>(&'s self, cursor: &mut RowCursor, col: usize) -> &'s [Scalar] {
+        let slot =
+            self.slot_of_col(cursor, col).unwrap_or_else(|| panic!("B row {col} was not fetched"));
         &self.data[slot * self.k..(slot + 1) * self.k]
+    }
+}
+
+/// Dispatches `$body` with `$fixed` bound to a compile-time dense width for
+/// the paper's `K ∈ {8, 32, 128}`, falling back to the generic path (with
+/// `$fixed = 0`, meaning "use the runtime `k`") for anything else. The
+/// fixed-width instantiations run the inner FMA loops over `[Scalar; K]`
+/// arrays, which the compiler fully unrolls and vectorizes.
+macro_rules! dispatch_k {
+    ($k:expr, $fixed:ident, $body:expr) => {
+        match $k {
+            8 => {
+                const $fixed: usize = 8;
+                $body
+            }
+            32 => {
+                const $fixed: usize = 32;
+                $body
+            }
+            128 => {
+                const $fixed: usize = 128;
+                $body
+            }
+            _ => {
+                const $fixed: usize = 0;
+                $body
+            }
+        }
+    };
+}
+
+/// `acc += v * brow`, specialized when `F > 0` is the compile-time width.
+#[inline(always)]
+fn axpy<const F: usize>(acc: &mut [Scalar], brow: &[Scalar], v: Scalar) {
+    if F > 0 {
+        let acc: &mut [Scalar; F] = (&mut acc[..F]).try_into().expect("width checked by caller");
+        let brow: &[Scalar; F] = (&brow[..F]).try_into().expect("row sources yield K-wide rows");
+        for j in 0..F {
+            acc[j] += v * brow[j];
+        }
+    } else {
+        for (a, b) in acc.iter_mut().zip(brow) {
+            *a += v * *b;
+        }
     }
 }
 
@@ -203,27 +278,46 @@ pub fn sync_panel_kernel(
     c_local: &mut [Scalar],
     k: usize,
 ) {
+    sync_panel_kernel_at(panel, rows, c_local, k, 0);
+}
+
+/// [`sync_panel_kernel`] over a chunk of `C`: entry rows are still
+/// node-local, but `c_chunk` starts at local row `row_base`. This is the
+/// form the parallel driver hands each worker together with its disjoint
+/// panel chunk.
+///
+/// # Panics
+///
+/// Same conditions as [`sync_panel_kernel`], with rows measured relative to
+/// `row_base`.
+pub fn sync_panel_kernel_at(
+    panel: &[Triplet],
+    rows: &impl RowSource,
+    c_chunk: &mut [Scalar],
+    k: usize,
+    row_base: usize,
+) {
     let Some(first) = panel.first() else {
         return;
     };
-    let mut acc = vec![0.0; k];
-    let mut prev_row = first.row;
-    for t in panel {
-        if t.row != prev_row {
-            flush(c_local, prev_row, &mut acc, k);
-            prev_row = t.row;
+    dispatch_k!(k, FIXED, {
+        let mut cursor = RowCursor::default();
+        let mut acc = vec![0.0; k];
+        let mut prev_row = first.row;
+        for t in panel {
+            if t.row != prev_row {
+                flush(c_chunk, prev_row - row_base, &mut acc, k);
+                prev_row = t.row;
+            }
+            axpy::<FIXED>(&mut acc, rows.row_with(&mut cursor, t.col), t.val);
         }
-        let brow = rows.row(t.col);
-        for j in 0..k {
-            acc[j] += t.val * brow[j];
-        }
-    }
-    flush(c_local, prev_row, &mut acc, k);
+        flush(c_chunk, prev_row - row_base, &mut acc, k);
+    });
 }
 
 /// The single "atomic" accumulation of a finished row buffer into `C`
-/// (AtomicAdd in Algorithm 2 — per-rank execution is serial here, so plain
-/// addition is exact).
+/// (AtomicAdd in Algorithm 2 — each output row is owned by exactly one
+/// worker, so plain addition is exact).
 fn flush(c_local: &mut [Scalar], row: usize, acc: &mut [Scalar], k: usize) {
     let out = &mut c_local[row * k..(row + 1) * k];
     for j in 0..k {
@@ -246,13 +340,157 @@ pub fn async_stripe_kernel(
     c_local: &mut [Scalar],
     k: usize,
 ) {
-    for t in entries {
-        let brow = rows.row(t.col);
-        let out = &mut c_local[t.row * k..(t.row + 1) * k];
-        for j in 0..k {
-            out[j] += t.val * brow[j];
+    async_stripe_kernel_at(entries, rows, c_local, k, 0);
+}
+
+/// [`async_stripe_kernel`] over a chunk of `C` starting at local row
+/// `row_base` — the per-worker form used by [`par_async_stripe`].
+///
+/// # Panics
+///
+/// Same conditions as [`async_stripe_kernel`], with rows measured relative
+/// to `row_base`.
+pub fn async_stripe_kernel_at(
+    entries: &[Triplet],
+    rows: &impl RowSource,
+    c_chunk: &mut [Scalar],
+    k: usize,
+    row_base: usize,
+) {
+    dispatch_k!(k, FIXED, {
+        let mut cursor = RowCursor::default();
+        for t in entries {
+            let brow = rows.row_with(&mut cursor, t.col);
+            let out = &mut c_chunk[(t.row - row_base) * k..(t.row - row_base + 1) * k];
+            axpy::<FIXED>(out, brow, t.val);
         }
+    });
+}
+
+/// Minimum `nnz * K` products before a kernel fans out to the pool — below
+/// this the scoped-spawn overhead exceeds the work.
+pub(crate) const PAR_MIN_PRODUCTS: usize = 1 << 15;
+
+/// Splits `entries` (sorted by local row) into at most `chunks` spans of
+/// near-equal nonzero count whose boundaries fall on row boundaries, and
+/// returns `(entry_range, row_range)` per span. Row-aligned boundaries are
+/// what make the parallel kernels exact: every output row is touched by
+/// exactly one worker, which applies that row's contributions in the same
+/// order as a serial traversal.
+fn row_aligned_spans(
+    entries: &[Triplet],
+    local_rows: usize,
+    chunks: usize,
+) -> Vec<(std::ops::Range<usize>, std::ops::Range<usize>)> {
+    let mut spans = Vec::with_capacity(chunks);
+    let per_chunk = entries.len().div_ceil(chunks).max(1);
+    let mut entry_lo = 0usize;
+    let mut row_lo = 0usize;
+    while entry_lo < entries.len() {
+        let mut entry_hi = (entry_lo + per_chunk).min(entries.len());
+        // Round the cut up to the next row boundary.
+        if entry_hi < entries.len() {
+            let cut_row = entries[entry_hi - 1].row;
+            entry_hi += entries[entry_hi..].partition_point(|t| t.row == cut_row);
+        }
+        let row_hi = if entry_hi == entries.len() { local_rows } else { entries[entry_hi].row };
+        spans.push((entry_lo..entry_hi, row_lo..row_hi));
+        entry_lo = entry_hi;
+        row_lo = row_hi;
     }
+    if let Some(last) = spans.last_mut() {
+        last.1.end = local_rows;
+    }
+    spans
+}
+
+/// Runs `f(entry_span, c_chunk, row_base)` over row-aligned spans of
+/// `entries_by_row`, each worker owning a disjoint `&mut` slice of
+/// `c_local`. Shared driver for the parallel kernels and the parallel
+/// reference oracle.
+pub(crate) fn par_row_spans_plain<F>(
+    pool: &Pool,
+    entries_by_row: &[Triplet],
+    c_local: &mut [Scalar],
+    k: usize,
+    f: F,
+) where
+    F: Fn(&[Triplet], &mut [Scalar], usize) + Sync,
+{
+    debug_assert!(entries_by_row.windows(2).all(|w| w[0].row <= w[1].row), "not row-sorted");
+    let local_rows = c_local.len() / k;
+    // More spans than workers lets the sharing queue absorb skew.
+    let spans = row_aligned_spans(entries_by_row, local_rows, 4 * pool.workers());
+    let mut tasks = Vec::with_capacity(spans.len());
+    let mut rest = c_local;
+    let mut offset = 0usize;
+    for (entry_range, row_range) in spans {
+        let (chunk, tail) = rest.split_at_mut((row_range.end - row_range.start) * k);
+        debug_assert_eq!(offset, row_range.start * k);
+        offset = row_range.end * k;
+        rest = tail;
+        tasks.push((entry_range, chunk, row_range.start));
+    }
+    pool.run_items(tasks.into_iter(), |(entry_range, chunk, row_base)| {
+        f(&entries_by_row[entry_range], chunk, row_base);
+    });
+}
+
+/// Work-sharing parallel form of [`sync_panel_kernel`] over a whole
+/// row-major sorted entry slice: splits `c_local` into row-aligned chunks,
+/// one worker per chunk at a time. Bit-identical to running
+/// [`sync_panel_kernel`] over the same entries serially, for any worker
+/// count — each output row's contributions are applied by exactly one
+/// worker, in entry order.
+///
+/// # Panics
+///
+/// Panics if `entries` is not sorted by row, a row lies outside `c_local`,
+/// or a needed `B` row is missing.
+pub fn par_sync_panels(
+    pool: &Pool,
+    entries: &[Triplet],
+    rows: &impl RowSource,
+    c_local: &mut [Scalar],
+    k: usize,
+) {
+    if pool.workers() == 1 || entries.len() * k < PAR_MIN_PRODUCTS {
+        sync_panel_kernel(entries, rows, c_local, k);
+        return;
+    }
+    par_row_spans_plain(pool, entries, c_local, k, |span, chunk, row_base| {
+        sync_panel_kernel_at(span, rows, chunk, k, row_base);
+    });
+}
+
+/// Work-sharing parallel form of [`async_stripe_kernel`].
+///
+/// Takes the stripe's nonzeros in *row-major* order (the precomputed
+/// [`crate::AsyncStripe::entries_row_major`] view) and accumulates directly
+/// into `C`, one row-aligned chunk per worker. Within one output row,
+/// column-major and row-major traversals apply contributions in the same
+/// ascending-column order, and rows never cross workers — so the result is
+/// bit-identical to the serial column-major [`async_stripe_kernel`], for
+/// any worker count.
+///
+/// # Panics
+///
+/// Panics if `entries_row_major` is not sorted by row, a row lies outside
+/// `c_local`, or a needed `B` row is missing.
+pub fn par_async_stripe(
+    pool: &Pool,
+    entries_row_major: &[Triplet],
+    rows: &impl RowSource,
+    c_local: &mut [Scalar],
+    k: usize,
+) {
+    if pool.workers() == 1 || entries_row_major.len() * k < PAR_MIN_PRODUCTS {
+        async_stripe_kernel(entries_row_major, rows, c_local, k);
+        return;
+    }
+    par_row_spans_plain(pool, entries_row_major, c_local, k, |span, chunk, row_base| {
+        async_stripe_kernel_at(span, rows, chunk, k, row_base);
+    });
 }
 
 #[cfg(test)]
@@ -326,16 +564,17 @@ mod tests {
 
     #[test]
     fn fetched_rows_random_access_after_cached_run() {
-        // Jump between runs in both directions: the last-run cache must not
-        // return stale slots.
+        // Jump between runs in both directions through one shared cursor:
+        // the cached run must not return stale slots.
         let data: Vec<f64> = (0..6).flat_map(|i| [i as f64, -(i as f64)]).collect();
         let f = FetchedRows::new(&[(0, 2), (10, 2), (20, 2)], 0, data, 2);
-        assert_eq!(f.row(21), &[5.0, -5.0]);
-        assert_eq!(f.row(0), &[0.0, 0.0]);
-        assert_eq!(f.row(11), &[3.0, -3.0]);
-        assert_eq!(f.row(10), &[2.0, -2.0]);
-        assert_eq!(f.row(1), &[1.0, -1.0]);
-        assert_eq!(f.row(20), &[4.0, -4.0]);
+        let mut cur = RowCursor::default();
+        assert_eq!(f.row_with(&mut cur, 21), &[5.0, -5.0]);
+        assert_eq!(f.row_with(&mut cur, 0), &[0.0, 0.0]);
+        assert_eq!(f.row_with(&mut cur, 11), &[3.0, -3.0]);
+        assert_eq!(f.row_with(&mut cur, 10), &[2.0, -2.0]);
+        assert_eq!(f.row_with(&mut cur, 1), &[1.0, -1.0]);
+        assert_eq!(f.row_with(&mut cur, 20), &[4.0, -4.0]);
     }
 
     #[test]
@@ -343,15 +582,24 @@ mod tests {
         let mut b = BlockRows::new(1);
         b.add_block(0..2, Arc::new(vec![0.0, 1.0]));
         b.add_block(8..10, Arc::new(vec![8.0, 9.0]));
-        assert_eq!(b.row(9), &[9.0]);
-        assert_eq!(b.row(0), &[0.0]);
-        assert_eq!(b.row(8), &[8.0]);
+        let mut cur = RowCursor::default();
+        assert_eq!(b.row_with(&mut cur, 9), &[9.0]);
+        assert_eq!(b.row_with(&mut cur, 0), &[0.0]);
+        assert_eq!(b.row_with(&mut cur, 8), &[8.0]);
         assert!(!b.contains(5));
-        assert_eq!(b.row(1), &[1.0]);
-        // Removing a block invalidates the cached index.
+        assert_eq!(b.row_with(&mut cur, 1), &[1.0]);
+        // Removing a block invalidates the cursor's hint; lookups must
+        // still resolve correctly afterwards.
         assert!(b.remove_block(0));
-        assert_eq!(b.row(8), &[8.0]);
+        assert_eq!(b.row_with(&mut cur, 8), &[8.0]);
         assert!(!b.contains(1));
+    }
+
+    #[test]
+    fn row_sources_are_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<BlockRows>();
+        assert_sync::<FetchedRows>();
     }
 
     #[test]
@@ -379,6 +627,20 @@ mod tests {
     }
 
     #[test]
+    fn offset_kernels_rebase_rows_into_the_chunk() {
+        // Entries for local rows 4 and 5 land at chunk rows 0 and 1.
+        let entries = vec![Triplet::new(4, 0, 2.0), Triplet::new(5, 0, 3.0)];
+        let mut b = BlockRows::new(1);
+        b.add_block(0..1, Arc::new(vec![10.0]));
+        let mut chunk = vec![0.0; 2];
+        sync_panel_kernel_at(&entries, &b, &mut chunk, 1, 4);
+        assert_eq!(chunk, vec![20.0, 30.0]);
+        let mut chunk = vec![0.0; 2];
+        async_stripe_kernel_at(&entries, &b, &mut chunk, 1, 4);
+        assert_eq!(chunk, vec![20.0, 30.0]);
+    }
+
+    #[test]
     fn empty_panel_is_noop() {
         let b = BlockRows::new(2);
         let mut c = vec![1.0; 4];
@@ -402,5 +664,80 @@ mod tests {
         sync_panel_kernel(&row_major, &b, &mut c_sync, 2);
         async_stripe_kernel(&col_major, &b, &mut c_async, 2);
         assert_eq!(c_sync, c_async);
+    }
+
+    /// Pseudorandom row-major triplets over `rows x cols`.
+    fn random_entries(rows: usize, cols: usize, nnz: usize, seed: u64) -> Vec<Triplet> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut entries: Vec<Triplet> = (0..nnz)
+            .map(|_| {
+                let r = (next() as usize) % rows;
+                let c = (next() as usize) % cols;
+                Triplet::new(r, c, ((next() % 1000) as f64 - 500.0) / 250.0)
+            })
+            .collect();
+        entries.sort_by_key(|t| (t.row, t.col));
+        entries.dedup_by_key(|t| (t.row, t.col));
+        entries
+    }
+
+    #[test]
+    fn parallel_kernels_match_serial_bitwise_across_k_and_workers() {
+        for k in [2usize, 8, 32, 128] {
+            let rows = 97; // deliberately not a multiple of any chunking
+            let cols = 64;
+            let entries = random_entries(rows, cols, 900, k as u64 + 7);
+            let mut col_major = entries.clone();
+            col_major.sort_by_key(|t| (t.col, t.row));
+            let mut b = BlockRows::new(k);
+            b.add_block(
+                0..cols,
+                Arc::new((0..cols * k).map(|i| (i % 13) as f64 * 0.5).collect::<Vec<_>>()),
+            );
+
+            let mut c_serial_sync = vec![0.0; rows * k];
+            sync_panel_kernel(&entries, &b, &mut c_serial_sync, k);
+            let mut c_serial_async = vec![0.0; rows * k];
+            async_stripe_kernel(&col_major, &b, &mut c_serial_async, k);
+
+            for workers in [2usize, 3, 8] {
+                let pool = Pool::new(workers);
+                let mut c_par = vec![0.0; rows * k];
+                par_sync_panels(&pool, &entries, &b, &mut c_par, k);
+                assert_eq!(c_par, c_serial_sync, "sync K={k} workers={workers}");
+                let mut c_par = vec![0.0; rows * k];
+                par_async_stripe(&pool, &entries, &b, &mut c_par, k);
+                assert_eq!(c_par, c_serial_async, "async K={k} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_aligned_spans_partition_rows_and_entries() {
+        let entries = random_entries(40, 16, 300, 3);
+        for chunks in [1usize, 3, 8, 1000] {
+            let spans = row_aligned_spans(&entries, 40, chunks);
+            // Entry ranges tile the slice; row ranges tile 0..40.
+            let mut entry_cursor = 0;
+            let mut row_cursor = 0;
+            for (er, rr) in &spans {
+                assert_eq!(er.start, entry_cursor);
+                assert_eq!(rr.start, row_cursor);
+                entry_cursor = er.end;
+                row_cursor = rr.end;
+                // Every entry's row falls inside the span's row range.
+                for t in &entries[er.clone()] {
+                    assert!(rr.contains(&t.row), "chunks={chunks}");
+                }
+            }
+            assert_eq!(entry_cursor, entries.len());
+            assert_eq!(row_cursor, 40);
+        }
     }
 }

@@ -49,6 +49,7 @@ mod error;
 mod format;
 pub mod gnn;
 pub mod kernels;
+pub mod pool;
 mod reference;
 mod runner;
 pub mod sampling;
@@ -59,7 +60,7 @@ pub use coalesce::{coalesce_rows, runs_to_rows, RowRun};
 pub use config::{AsyncLayout, TwoFaceConfig};
 pub use error::RunError;
 pub use format::{AsyncMatrix, AsyncStripe, RankMatrices, SyncLocalMatrix};
-pub use reference::reference_spmm;
+pub use reference::{reference_spmm, reference_spmm_pooled};
 pub use runner::{
     prepare_plan, prepare_plan_with_classifier, run_algorithm, run_spmv, Breakdown,
     ExecutionReport, Problem, RunOptions,

@@ -1,0 +1,226 @@
+//! A std-only work-sharing thread pool for intra-rank parallelism.
+//!
+//! The simulated cluster already runs one OS thread per rank; this pool
+//! parallelizes the work *inside* a rank body (row panels, asynchronous
+//! stripe entries, preprocessing) plus the serial verification oracle. It is
+//! deliberately minimal: a [`Pool`] is just a worker count, and every
+//! parallel region spawns scoped workers that pull tasks from a shared
+//! atomic counter (work sharing, not work stealing). There are no persistent
+//! threads, channels, or external dependencies, and the caller's thread
+//! always participates as worker 0 — a pool of width 1 never spawns.
+//!
+//! # Determinism contract
+//!
+//! The pool schedules *which worker* runs a task dynamically, so callers
+//! must only submit tasks whose combined result is independent of
+//! assignment: tasks that write disjoint output slots (row panels, per-rank
+//! preprocessing) or whose results are collected by task index and reduced
+//! in a fixed order. Every helper in this crate built on the pool produces
+//! bit-identical output for any worker count — see the `parallel
+//! determinism` integration tests.
+//!
+//! Worker counts are *orthogonal* to the modeled thread counts in
+//! [`crate::TwoFaceConfig`]: those scale the analytic cost model (simulated
+//! seconds), while the pool scales host wall-clock time. Changing the worker
+//! count never changes a simulated timing or an output bit.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the default worker count.
+pub const WORKERS_ENV: &str = "TWOFACE_THREADS";
+
+/// Resolves a worker count: an explicit request wins, then the
+/// `TWOFACE_THREADS` environment variable, then the host's available
+/// parallelism. Always at least 1.
+pub fn resolve_workers(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| std::env::var(WORKERS_ENV).ok().and_then(|v| v.parse().ok()))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .max(1)
+}
+
+/// A work-sharing pool of `workers` threads (including the caller).
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool that runs everything on the caller's thread.
+    pub const SERIAL: Pool = Pool { workers: 1 };
+
+    /// Creates a pool of `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Pool {
+        assert!(workers > 0, "a pool needs at least one worker");
+        Pool { workers }
+    }
+
+    /// A pool sized by [`resolve_workers`] with no explicit request:
+    /// `TWOFACE_THREADS` if set, otherwise the available parallelism.
+    pub fn from_env() -> Pool {
+        Pool::new(resolve_workers(None))
+    }
+
+    /// The worker count (including the caller's thread).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f(i)` once for every `i in 0..tasks`, sharing tasks across
+    /// workers via an atomic counter. Returns after all tasks finish.
+    ///
+    /// Task-to-worker assignment is nondeterministic; see the module-level
+    /// determinism contract.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first worker panic observed (via scoped-thread join).
+    pub fn run<F>(&self, tasks: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.workers == 1 || tasks <= 1 {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let work = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= tasks {
+                break;
+            }
+            f(i);
+        };
+        std::thread::scope(|scope| {
+            for _ in 1..self.workers.min(tasks) {
+                scope.spawn(work);
+            }
+            work();
+        });
+    }
+
+    /// Parallel map: returns `[f(0), f(1), ..., f(tasks - 1)]` in task
+    /// order regardless of which worker produced each result.
+    ///
+    /// # Panics
+    ///
+    /// Propagates worker panics.
+    pub fn map<R, F>(&self, tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.workers == 1 || tasks <= 1 {
+            return (0..tasks).map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+        self.run(tasks, |i| {
+            *slots[i].lock().expect("result slot poisoned") = Some(f(i));
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("result slot poisoned").expect("every task ran"))
+            .collect()
+    }
+
+    /// Runs `f` on every item of `items`, popping items from a shared queue
+    /// so faster workers take more. Items may own mutable borrows (e.g.
+    /// disjoint `&mut` chunks of one output buffer), which is how kernels
+    /// hand each worker its exclusive slice of `C`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates worker panics.
+    pub fn run_items<T, I, F>(&self, items: I, f: F)
+    where
+        T: Send,
+        I: Iterator<Item = T> + Send,
+        F: Fn(T) + Sync,
+    {
+        if self.workers == 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        let queue = Mutex::new(items);
+        let work = || {
+            loop {
+                // Pop under the lock, run outside it.
+                let Some(item) = queue.lock().expect("work queue poisoned").next() else {
+                    break;
+                };
+                f(item);
+            }
+        };
+        std::thread::scope(|scope| {
+            for _ in 1..self.workers {
+                scope.spawn(work);
+            }
+            work();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_covers_every_task_exactly_once() {
+        for workers in [1, 2, 4, 7] {
+            let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+            Pool::new(workers).run(100, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn map_preserves_task_order() {
+        for workers in [1, 3, 8] {
+            let out = Pool::new(workers).map(50, |i| i * i);
+            assert_eq!(out, (0..50).map(|i| i * i).collect::<Vec<_>>(), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn run_items_visits_mutable_chunks_disjointly() {
+        let mut buf = vec![0usize; 64];
+        Pool::new(4).run_items(buf.chunks_mut(8).enumerate(), |(idx, chunk)| {
+            for v in chunk {
+                *v = idx + 1;
+            }
+        });
+        for (idx, chunk) in buf.chunks(8).enumerate() {
+            assert!(chunk.iter().all(|&v| v == idx + 1));
+        }
+    }
+
+    #[test]
+    fn zero_and_one_tasks_are_fine() {
+        Pool::new(4).run(0, |_| panic!("no tasks to run"));
+        let one = Pool::new(4).map(1, |i| i + 41);
+        assert_eq!(one, vec![41]);
+    }
+
+    #[test]
+    fn explicit_count_beats_environment() {
+        assert_eq!(resolve_workers(Some(3)), 3);
+        assert!(resolve_workers(None) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_worker_pool_rejected() {
+        let _ = Pool::new(0);
+    }
+}

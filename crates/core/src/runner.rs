@@ -9,7 +9,8 @@ use crate::algo::twoface::{twoface_rank, TwoFaceData};
 use crate::algo::Algorithm;
 use crate::config::TwoFaceConfig;
 use crate::error::RunError;
-use crate::reference::reference_spmm;
+use crate::pool::{resolve_workers, Pool};
+use crate::reference::reference_spmm_pooled;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use twoface_matrix::{CooMatrix, DenseMatrix, SCALAR_BYTES};
@@ -126,6 +127,12 @@ pub struct RunOptions {
     /// [`RunError::TransferTimeout`]/[`RunError::RankStalled`] — never a
     /// silent mismatch.
     pub fault_plan: Option<FaultPlan>,
+    /// Real execution workers for local kernels, preprocessing, and
+    /// verification. `None` (the default) resolves `TWOFACE_THREADS`, then
+    /// the host's available parallelism. Orthogonal to the *modeled* thread
+    /// counts in [`TwoFaceConfig`]: any worker count yields bit-identical
+    /// outputs and identical simulated seconds.
+    pub workers: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -137,6 +144,7 @@ impl Default for RunOptions {
             coefficients: None,
             plan: None,
             fault_plan: None,
+            workers: None,
         }
     }
 }
@@ -147,6 +155,8 @@ pub(crate) struct ExecOpts {
     pub k: usize,
     pub compute: bool,
     pub panel_height: usize,
+    /// Resolved real-worker count for local kernels (never zero).
+    pub workers: usize,
 }
 
 /// A Figure-10 style time breakdown, in simulated seconds.
@@ -331,6 +341,18 @@ pub fn prepare_plan_with_classifier(
     cost: &CostModel,
     classifier: ClassifierKind,
 ) -> PartitionPlan {
+    prepare_plan_inner(problem, coefficients, cost, classifier, resolve_workers(None))
+}
+
+/// The plan builder with every knob resolved; public entry points default
+/// the worker count from the environment.
+fn prepare_plan_inner(
+    problem: &Problem,
+    coefficients: &ModelCoefficients,
+    cost: &CostModel,
+    classifier: ClassifierKind,
+    workers: usize,
+) -> PartitionPlan {
     let k = problem.k();
     let base = base_bytes_all_ranks(problem).into_iter().max().unwrap_or(0);
     // Leave headroom for the asynchronous fetch buffers (bounded by twice
@@ -342,7 +364,7 @@ pub fn prepare_plan_with_classifier(
         problem.layout.clone(),
         coefficients,
         k,
-        PlanOptions { sync_buffer_budget: Some(budget), classifier },
+        PlanOptions { sync_buffer_budget: Some(budget), classifier, workers },
     )
 }
 
@@ -468,10 +490,13 @@ pub fn run_algorithm(
         }
     }
     let k = problem.k();
+    let workers = resolve_workers(options.workers);
+    let pool = Pool::new(workers);
     let exec = ExecOpts {
         k,
         compute: options.compute_values || options.validate,
         panel_height: options.config.row_panel_height,
+        workers,
     };
     // The machine the run actually experiences, with the thread split
     // folded in — also what a calibration run would have profiled.
@@ -489,7 +514,13 @@ pub fn run_algorithm(
                 k,
                 StripeClass::Async,
             )),
-            (None, _) => Arc::new(prepare_plan(problem, &coefficients, &effective)),
+            (None, _) => Arc::new(prepare_plan_inner(
+                problem,
+                &coefficients,
+                &effective,
+                ClassifierKind::Greedy,
+                workers,
+            )),
         })
     } else {
         None
@@ -512,7 +543,7 @@ pub fn run_algorithm(
         });
     }
 
-    let twoface_data = plan.map(|plan| TwoFaceData::build(problem, plan, &options.config));
+    let twoface_data = plan.map(|plan| TwoFaceData::build(problem, plan, &options.config, &pool));
 
     // Execute.
     let cluster = Cluster::new(p, effective);
@@ -590,7 +621,7 @@ pub fn run_algorithm(
 
     if options.validate {
         let got = output.as_ref().expect("validate implies compute");
-        let want = reference_spmm(&problem.a, &problem.b);
+        let want = reference_spmm_pooled(&problem.a, &problem.b, &pool);
         if !got.approx_eq(&want, 1e-9) {
             return Err(RunError::ValidationFailed { max_abs_diff: got.max_abs_diff(&want) });
         }

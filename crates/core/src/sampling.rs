@@ -119,13 +119,15 @@ pub fn run_sampled_twoface(
     options: &RunOptions,
 ) -> Result<SampledReport, RunError> {
     let k = problem.k();
+    let workers = crate::pool::resolve_workers(options.workers);
     let exec = ExecOpts {
         k,
         compute: options.compute_values || options.validate,
         panel_height: options.config.row_panel_height,
+        workers,
     };
     let effective = options.config.effective_cost(cost);
-    let data = TwoFaceData::build(problem, plan, &options.config);
+    let data = TwoFaceData::build(problem, plan, &options.config, &crate::pool::Pool::new(workers));
     let p = problem.layout.nodes();
     let cluster = Cluster::new(p, effective);
     cluster.set_fault_plan(options.fault_plan.clone());

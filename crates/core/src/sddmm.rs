@@ -126,7 +126,8 @@ pub fn run_sddmm(
             Arc::new(prepare_plan(problem, &coefficients, &effective))
         }
     };
-    let data = TwoFaceData::build(problem, plan, &options.config);
+    let pool = crate::pool::Pool::new(crate::pool::resolve_workers(options.workers));
+    let data = TwoFaceData::build(problem, plan, &options.config, &pool);
     let compute = options.compute_values || options.validate;
 
     let p = problem.layout.nodes();
