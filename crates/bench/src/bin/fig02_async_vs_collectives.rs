@@ -7,7 +7,7 @@
 //! because full replication exceeds node memory.
 
 use serde::Serialize;
-use twoface_bench::{banner, cell, default_cost, write_json, SuiteCache, DEFAULT_P};
+use twoface_bench::{banner, cell, default_cost, write_json, CommCounters, SuiteCache, DEFAULT_P};
 use twoface_core::{run_algorithm, Algorithm, RunError, RunOptions};
 use twoface_matrix::gen::SuiteMatrix;
 
@@ -18,11 +18,15 @@ struct Row {
     allgather_seconds: Option<f64>,
     async_fine_seconds: Option<f64>,
     speedup_async_over_collectives: Option<f64>,
+    /// Cross-rank communication counters — the collective path shows few
+    /// messages moving many elements, the one-sided path the reverse.
+    allgather_comm: Option<CommCounters>,
+    async_fine_comm: Option<CommCounters>,
 }
 
-fn seconds(result: Result<twoface_core::ExecutionReport, RunError>) -> Option<f64> {
+fn seconds(result: Result<twoface_core::ExecutionReport, RunError>) -> Option<(f64, CommCounters)> {
     match result {
-        Ok(report) => Some(report.seconds),
+        Ok(report) => Some((report.seconds, CommCounters::from_traces(&report.rank_traces))),
         Err(RunError::OutOfMemory { .. }) => None,
         Err(e) => panic!("unexpected run error: {e}"),
     }
@@ -52,23 +56,25 @@ fn main() {
             let allgather = seconds(run_algorithm(Algorithm::Allgather, &problem, &cost, &options));
             let async_fine =
                 seconds(run_algorithm(Algorithm::AsyncFine, &problem, &cost, &options));
-            let speedup = match (allgather, async_fine) {
-                (Some(a), Some(f)) => Some(a / f),
+            let speedup = match (&allgather, &async_fine) {
+                (Some((a, _)), Some((f, _))) => Some(a / f),
                 _ => None,
             };
             println!(
                 "{:<12} {} {} {}",
                 m.short_name(),
-                cell(allgather, 14, 5),
-                cell(async_fine, 14, 5),
+                cell(allgather.map(|(s, _)| s), 14, 5),
+                cell(async_fine.map(|(s, _)| s), 14, 5),
                 cell(speedup, 10, 2),
             );
             rows.push(Row {
                 matrix: m.short_name(),
                 k,
-                allgather_seconds: allgather,
-                async_fine_seconds: async_fine,
+                allgather_seconds: allgather.map(|(s, _)| s),
+                async_fine_seconds: async_fine.map(|(s, _)| s),
                 speedup_async_over_collectives: speedup,
+                allgather_comm: allgather.map(|(_, c)| c),
+                async_fine_comm: async_fine.map(|(_, c)| c),
             });
         }
         let winners = rows

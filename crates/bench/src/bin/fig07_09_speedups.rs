@@ -9,7 +9,9 @@
 
 use serde::Serialize;
 use std::collections::BTreeMap;
-use twoface_bench::{banner, cell, default_cost, geo_mean, write_json, SuiteCache, DEFAULT_P};
+use twoface_bench::{
+    banner, cell, default_cost, geo_mean, write_json, CommCounters, SuiteCache, DEFAULT_P,
+};
 use twoface_core::{run_algorithm, Algorithm, RunError, RunOptions};
 use twoface_matrix::gen::SuiteMatrix;
 
@@ -20,6 +22,9 @@ struct Entry {
     algorithm: String,
     seconds: Option<f64>,
     speedup_vs_ds2: Option<f64>,
+    /// Communication counters summed across ranks (`None` when the run did
+    /// not fit in memory).
+    comm: Option<CommCounters>,
 }
 
 fn main() {
@@ -47,10 +52,10 @@ fn main() {
         let mut speedups_by_algo: BTreeMap<String, Vec<f64>> = BTreeMap::new();
         for m in SuiteMatrix::ALL {
             let problem = cache.problem(m, k, DEFAULT_P).expect("suite problems are valid");
-            let mut seconds: Vec<(Algorithm, Option<f64>)> = Vec::new();
+            let mut seconds: Vec<(Algorithm, Option<(f64, CommCounters)>)> = Vec::new();
             for algo in lineup {
                 let s = match run_algorithm(algo, &problem, &cost, &options) {
-                    Ok(r) => Some(r.seconds),
+                    Ok(r) => Some((r.seconds, CommCounters::from_traces(&r.rank_traces))),
                     Err(RunError::OutOfMemory { .. }) => None,
                     Err(e) => panic!("unexpected error for {algo} on {m}: {e}"),
                 };
@@ -59,11 +64,11 @@ fn main() {
             let ds2 = seconds
                 .iter()
                 .find(|(a, _)| matches!(a, Algorithm::DenseShifting { replication: 2 }))
-                .and_then(|(_, s)| *s)
+                .and_then(|(_, s)| s.map(|(s, _)| s))
                 .expect("DS2 never runs out of memory in the evaluation");
             let mut line = format!("{:<12}", m.short_name());
             for (algo, s) in &seconds {
-                let speedup = s.map(|s| ds2 / s);
+                let speedup = s.map(|(s, _)| ds2 / s);
                 line.push_str(&cell(speedup, 12, 2));
                 if let Some(sp) = speedup {
                     speedups_by_algo.entry(algo.name()).or_default().push(sp);
@@ -72,8 +77,9 @@ fn main() {
                     matrix: m.short_name(),
                     k,
                     algorithm: algo.name(),
-                    seconds: *s,
+                    seconds: s.map(|(s, _)| s),
                     speedup_vs_ds2: speedup,
+                    comm: s.map(|(_, c)| c),
                 });
             }
             println!("{line}");

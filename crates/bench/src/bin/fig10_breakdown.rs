@@ -7,9 +7,12 @@
 //! components. Everything is normalized to DS4, as in the paper.
 
 use serde::Serialize;
-use twoface_bench::{banner, default_cost, write_json, SuiteCache, DEFAULT_K, DEFAULT_P};
+use twoface_bench::{
+    banner, default_cost, write_json, CommCounters, SuiteCache, DEFAULT_K, DEFAULT_P,
+};
 use twoface_core::{run_algorithm, Algorithm, Breakdown, RunError, RunOptions};
 use twoface_matrix::gen::SuiteMatrix;
+use twoface_net::Observability;
 
 #[derive(Serialize)]
 struct Row {
@@ -18,6 +21,14 @@ struct Row {
     two_face: BreakdownOut,
     /// Two-Face execution time normalized to DS4 (the paper's y-axis).
     two_face_normalized: Option<f64>,
+    /// Two-Face's critical-rank breakdown re-derived from the per-operation
+    /// event stream instead of the aggregate trace — cross-checked against
+    /// `two_face` before the JSON is written.
+    two_face_from_events: BreakdownOut,
+    /// Two-Face communication counters summed across ranks.
+    two_face_comm: CommCounters,
+    /// The same counters per rank, indexed by rank.
+    two_face_rank_comm: Vec<CommCounters>,
 }
 
 #[derive(Serialize)]
@@ -43,6 +54,28 @@ impl BreakdownOut {
     }
 }
 
+/// Asserts that the event-derived breakdown agrees with the aggregate-trace
+/// breakdown. The two accounting systems round independently (the aggregate
+/// adds wait + cost in one step, events in two), so exact equality is not
+/// guaranteed — but disagreement beyond float rounding means an operation
+/// was recorded in one system and not the other.
+fn assert_consistent(matrix: &str, from_trace: &Breakdown, from_events: &Breakdown) {
+    let tolerance = 1e-9 * from_trace.total().max(1e-30);
+    for (label, t, e) in [
+        ("sync_comm", from_trace.sync_comm, from_events.sync_comm),
+        ("sync_comp", from_trace.sync_comp, from_events.sync_comp),
+        ("async_comm", from_trace.async_comm, from_events.async_comm),
+        ("async_comp", from_trace.async_comp, from_events.async_comp),
+        ("other", from_trace.other, from_events.other),
+        ("recovery", from_trace.recovery, from_events.recovery),
+    ] {
+        assert!(
+            (t - e).abs() <= tolerance,
+            "{matrix}: event stream disagrees with aggregate trace on {label}: {t} vs {e}"
+        );
+    }
+}
+
 fn main() {
     banner(
         "Figure 10: execution time breakdown, DS4 vs Two-Face (K = 128)",
@@ -54,6 +87,9 @@ fn main() {
     );
     let cost = default_cost();
     let options = RunOptions { compute_values: false, ..Default::default() };
+    // Two-Face runs with full event tracing so the breakdown can be
+    // re-derived from the per-operation stream and cross-checked.
+    let traced = RunOptions { observability: Observability::full(), ..options.clone() };
     let mut cache = SuiteCache::new();
     let mut rows = Vec::new();
     println!(
@@ -81,8 +117,10 @@ fn main() {
             Err(RunError::OutOfMemory { .. }) => None,
             Err(e) => panic!("unexpected error: {e}"),
         };
-        let tf = run_algorithm(Algorithm::TwoFace, &problem, &cost, &options)
+        let tf = run_algorithm(Algorithm::TwoFace, &problem, &cost, &traced)
             .expect("Two-Face fits in memory on the whole suite");
+        let from_events = Breakdown::from_events(&tf.rank_events[tf.critical_rank]);
+        assert_consistent(m.short_name(), &tf.critical_breakdown, &from_events);
         let normalized = ds4.as_ref().map(|d| tf.seconds / d.seconds);
         let b = &tf.critical_breakdown;
         match &ds4 {
@@ -118,13 +156,18 @@ fn main() {
             ds4: ds4.as_ref().map(|d| BreakdownOut::new(d.seconds, &d.critical_breakdown)),
             two_face: BreakdownOut::new(tf.seconds, &tf.critical_breakdown),
             two_face_normalized: normalized,
+            two_face_from_events: BreakdownOut::new(tf.seconds, &from_events),
+            two_face_comm: CommCounters::from_traces(&tf.rank_traces),
+            two_face_rank_comm: tf.rank_traces.iter().map(CommCounters::from_trace).collect(),
         });
     }
     println!(
         "\nReading guide: for DS4 the communication column dominates (distributed\n\
          SpMM is communication-bound); Two-Face's win comes from shrinking sync\n\
          comm; mawi's async-comp column shows the atomics-bound pathology; on\n\
-         twitter/friendster the sync comm column exceeds DS4's."
+         twitter/friendster the sync comm column exceeds DS4's.\n\
+         Every Two-Face breakdown above was cross-checked against the\n\
+         per-operation event stream (see two_face_from_events in the JSON)."
     );
     write_json("fig10_breakdown", &rows);
 }

@@ -7,7 +7,7 @@
 //! exceeds node memory, and DS(c) cannot run with c > p.
 
 use serde::Serialize;
-use twoface_bench::{banner, cell, default_cost, write_json, SuiteCache, DEFAULT_K};
+use twoface_bench::{banner, cell, default_cost, write_json, CommCounters, SuiteCache, DEFAULT_K};
 use twoface_core::{run_algorithm, Algorithm, RunError, RunOptions};
 use twoface_matrix::gen::SuiteMatrix;
 
@@ -17,6 +17,8 @@ struct Entry {
     p: usize,
     algorithm: String,
     seconds: Option<f64>,
+    /// Communication counters summed across ranks (`None` on OOM / n/a).
+    comm: Option<CommCounters>,
 }
 
 #[derive(Serialize)]
@@ -53,16 +55,26 @@ fn main() {
             let mut line = format!("{:<6}", p);
             for algo in algorithms {
                 let result = run_algorithm(algo, &problem, &cost, &options);
-                let (text, seconds) = match result {
-                    Ok(ref r) => (cell(Some(r.seconds), 12, 5), Some(r.seconds)),
-                    Err(RunError::OutOfMemory { .. }) => (format!("{:>12}", "OOM"), None),
+                let (text, seconds, comm) = match result {
+                    Ok(ref r) => (
+                        cell(Some(r.seconds), 12, 5),
+                        Some(r.seconds),
+                        Some(CommCounters::from_traces(&r.rank_traces)),
+                    ),
+                    Err(RunError::OutOfMemory { .. }) => (format!("{:>12}", "OOM"), None, None),
                     Err(RunError::ReplicationExceedsNodes { .. }) => {
-                        (format!("{:>12}", "n/a"), None)
+                        (format!("{:>12}", "n/a"), None, None)
                     }
                     Err(e) => panic!("unexpected error: {e}"),
                 };
                 line.push_str(&text);
-                entries.push(Entry { matrix: m.short_name(), p, algorithm: algo.name(), seconds });
+                entries.push(Entry {
+                    matrix: m.short_name(),
+                    p,
+                    algorithm: algo.name(),
+                    seconds,
+                    comm,
+                });
                 // The §7.2 profile: recipients per multicast at p = 64.
                 if p == 64 && algo == Algorithm::TwoFace {
                     if let Ok(r) = &result {

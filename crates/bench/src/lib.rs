@@ -13,7 +13,7 @@ use std::sync::Arc;
 use twoface_core::{Problem, RunError};
 use twoface_matrix::gen::SuiteMatrix;
 use twoface_matrix::CooMatrix;
-use twoface_net::CostModel;
+use twoface_net::{CostModel, RankTrace};
 
 /// The default node count of the paper's experiments.
 pub const DEFAULT_P: usize = 32;
@@ -75,6 +75,54 @@ impl SuiteCache {
     pub fn problem(&mut self, m: SuiteMatrix, k: usize, p: usize) -> Result<Problem, RunError> {
         let a = self.matrix(m);
         Problem::with_generated_b(a, k, p, m.stripe_width())
+    }
+}
+
+/// Communication counters distilled from one or more [`RankTrace`]s, in the
+/// shape the figure/table JSON files carry. Until the observability PR these
+/// counters were recorded by every run but dropped by the bench binaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CommCounters {
+    /// Dense elements sent (as transfer source).
+    pub elements_sent: u64,
+    /// Dense elements received (as transfer destination).
+    pub elements_received: u64,
+    /// Communication operations initiated.
+    pub messages: u64,
+    /// One-sided attempts retried after a transient failure.
+    pub retries: u64,
+    /// One-sided operations issued.
+    pub one_sided_ops: u64,
+    /// Collective meets participated in.
+    pub meets: u64,
+}
+
+impl CommCounters {
+    /// Counters of a single rank's trace.
+    pub fn from_trace(trace: &RankTrace) -> CommCounters {
+        CommCounters {
+            elements_sent: trace.elements_sent,
+            elements_received: trace.elements_received,
+            messages: trace.messages,
+            retries: trace.retries,
+            one_sided_ops: trace.one_sided_ops,
+            meets: trace.meets,
+        }
+    }
+
+    /// Counters summed across all ranks of a run.
+    pub fn from_traces(traces: &[RankTrace]) -> CommCounters {
+        let mut total = CommCounters::default();
+        for t in traces {
+            let c = CommCounters::from_trace(t);
+            total.elements_sent += c.elements_sent;
+            total.elements_received += c.elements_received;
+            total.messages += c.messages;
+            total.retries += c.retries;
+            total.one_sided_ops += c.one_sided_ops;
+            total.meets += c.meets;
+        }
+        total
     }
 }
 
@@ -140,5 +188,30 @@ mod tests {
         let dir = results_dir();
         assert!(dir.ends_with("results"));
         assert!(dir.exists());
+    }
+
+    #[test]
+    fn comm_counters_sum_across_ranks() {
+        let mut a = RankTrace::new();
+        a.elements_sent = 10;
+        a.messages = 2;
+        a.meets = 1;
+        let mut b = RankTrace::new();
+        b.elements_received = 7;
+        b.retries = 3;
+        b.one_sided_ops = 4;
+        let total = CommCounters::from_traces(&[a.clone(), b]);
+        assert_eq!(
+            total,
+            CommCounters {
+                elements_sent: 10,
+                elements_received: 7,
+                messages: 2,
+                retries: 3,
+                one_sided_ops: 4,
+                meets: 1,
+            }
+        );
+        assert_eq!(CommCounters::from_trace(&a).elements_sent, 10);
     }
 }

@@ -58,13 +58,15 @@ impl BaselineData {
 }
 
 /// Charges the synchronous-compute cost of `nnz` nonzeros to the sync lane.
+/// At full observability the span carries `nnz * k` as its element count,
+/// so the baselines' kernel events size themselves like Two-Face's.
 fn charge_local_compute(ctx: &mut RankCtx, nnz: usize, opts: &ExecOpts, local_rows: usize) {
     if nnz == 0 {
         return;
     }
     let panels = local_rows.div_ceil(opts.panel_height).min(nnz);
     let cost = ctx.cost().sync_compute_cost(nnz, opts.k, panels);
-    ctx.advance(Lane::Sync, cost, PhaseClass::SyncComp);
+    ctx.advance_span(Lane::Sync, cost, PhaseClass::SyncComp, (nnz * opts.k) as u64, None);
 }
 
 /// The Allgather baseline: fully replicate `B`, then compute locally.

@@ -28,7 +28,7 @@ use crate::kernels::{
     async_stripe_kernel, par_async_stripe, par_sync_panels, sync_panel_kernel, BlockRows,
     FetchedRows,
 };
-use crate::pool::Pool;
+use crate::pool::{Pool, WallTimer};
 use crate::runner::{ExecOpts, Problem};
 use std::sync::Arc;
 use twoface_net::{Lane, NetError, Payload, PhaseClass, RankCtx};
@@ -165,6 +165,11 @@ pub(crate) fn twoface_rank_masked(
             ctx.advance(Lane::Async, identify, PhaseClass::AsyncComp);
         }
         let (runs, _padding) = coalesce_rows(&owner_local, max_distance);
+        if ctx.events_enabled() {
+            for &(_, len) in &runs {
+                ctx.observe("coalesced_run_rows", len as u64);
+            }
+        }
         let fetched = ctx.win_rget_rows(win, owner, &runs, k)?;
         let compute_cost = if row_major {
             let per_element = ctx.cost().gamma_sync
@@ -173,7 +178,10 @@ pub(crate) fn twoface_rank_masked(
         } else {
             ctx.cost().async_compute_cost(active_nnz, k, 1)
         };
-        ctx.advance(Lane::Async, compute_cost, PhaseClass::AsyncComp);
+        // The real kernel runs before its span is charged so its measured
+        // wall time can ride on the event; the simulated clocks advance by
+        // exactly the same amount either way.
+        let timer = WallTimer::start(ctx.wall_time_enabled() && opts.compute);
         if opts.compute {
             let rows_src = FetchedRows::new(&runs, col_base, fetched, k);
             if row_major {
@@ -200,9 +208,22 @@ pub(crate) fn twoface_rank_masked(
                 // output row the contribution order (ascending column)
                 // matches the serial column-major kernel exactly, so the
                 // result is bit-identical for any worker count.
-                par_async_stripe(&pool, stripe.entries_row_major(), &rows_src, &mut c_local, k);
+                let spans =
+                    par_async_stripe(&pool, stripe.entries_row_major(), &rows_src, &mut c_local, k);
+                // Span fan-out scales with the host pool, so it lives in the
+                // host-profiling namespace, gated with wall time.
+                if ctx.wall_time_enabled() {
+                    ctx.observe("host.kernel_spans", spans as u64);
+                }
             }
         }
+        ctx.advance_span(
+            Lane::Async,
+            compute_cost,
+            PhaseClass::AsyncComp,
+            (active_nnz * k) as u64,
+            timer.elapsed_nanos(),
+        );
     }
 
     // --- Sync lane: row-panel compute (Algorithm 1 lines 15-19). ---
@@ -213,11 +234,7 @@ pub(crate) fn twoface_rank_masked(
         } else {
             sync_local.nnz()
         };
-        if active_nnz > 0 {
-            let cost =
-                ctx.cost().sync_compute_cost(active_nnz, k, sync_local.num_nonempty_panels());
-            ctx.advance(Lane::Sync, cost, PhaseClass::SyncComp);
-        }
+        let timer = WallTimer::start(ctx.wall_time_enabled() && opts.compute);
         if opts.compute {
             if mask.is_some() {
                 for panel in 0..sync_local.num_panels() {
@@ -231,6 +248,17 @@ pub(crate) fn twoface_rank_masked(
                 // per-row accumulation order as the per-panel serial loop.
                 par_sync_panels(&pool, sync_local.entries(), &stripe_buffers, &mut c_local, k);
             }
+        }
+        if active_nnz > 0 {
+            let cost =
+                ctx.cost().sync_compute_cost(active_nnz, k, sync_local.num_nonempty_panels());
+            ctx.advance_span(
+                Lane::Sync,
+                cost,
+                PhaseClass::SyncComp,
+                (active_nnz * k) as u64,
+                timer.elapsed_nanos(),
+            );
         }
     }
     Ok(c_local)

@@ -407,20 +407,24 @@ fn row_aligned_spans(
 /// Runs `f(entry_span, c_chunk, row_base)` over row-aligned spans of
 /// `entries_by_row`, each worker owning a disjoint `&mut` slice of
 /// `c_local`. Shared driver for the parallel kernels and the parallel
-/// reference oracle.
+/// reference oracle. Returns the number of spans dispatched — a host
+/// execution detail (it scales with the pool width), reported only through
+/// wall-time profiling, never through deterministic metrics.
 pub(crate) fn par_row_spans_plain<F>(
     pool: &Pool,
     entries_by_row: &[Triplet],
     c_local: &mut [Scalar],
     k: usize,
     f: F,
-) where
+) -> usize
+where
     F: Fn(&[Triplet], &mut [Scalar], usize) + Sync,
 {
     debug_assert!(entries_by_row.windows(2).all(|w| w[0].row <= w[1].row), "not row-sorted");
     let local_rows = c_local.len() / k;
     // More spans than workers lets the sharing queue absorb skew.
     let spans = row_aligned_spans(entries_by_row, local_rows, 4 * pool.workers());
+    let span_count = spans.len();
     let mut tasks = Vec::with_capacity(spans.len());
     let mut rest = c_local;
     let mut offset = 0usize;
@@ -434,6 +438,7 @@ pub(crate) fn par_row_spans_plain<F>(
     pool.run_items(tasks.into_iter(), |(entry_range, chunk, row_base)| {
         f(&entries_by_row[entry_range], chunk, row_base);
     });
+    span_count
 }
 
 /// Work-sharing parallel form of [`sync_panel_kernel`] over a whole
@@ -442,6 +447,10 @@ pub(crate) fn par_row_spans_plain<F>(
 /// [`sync_panel_kernel`] over the same entries serially, for any worker
 /// count — each output row's contributions are applied by exactly one
 /// worker, in entry order.
+///
+/// Returns the number of row-aligned spans dispatched (1 on the serial
+/// fallback) — useful for wall-time profiling, but host-dependent, so
+/// callers must not feed it into deterministic accounting.
 ///
 /// # Panics
 ///
@@ -453,14 +462,14 @@ pub fn par_sync_panels(
     rows: &impl RowSource,
     c_local: &mut [Scalar],
     k: usize,
-) {
+) -> usize {
     if pool.workers() == 1 || entries.len() * k < PAR_MIN_PRODUCTS {
         sync_panel_kernel(entries, rows, c_local, k);
-        return;
+        return 1;
     }
     par_row_spans_plain(pool, entries, c_local, k, |span, chunk, row_base| {
         sync_panel_kernel_at(span, rows, chunk, k, row_base);
-    });
+    })
 }
 
 /// Work-sharing parallel form of [`async_stripe_kernel`].
@@ -473,6 +482,8 @@ pub fn par_sync_panels(
 /// bit-identical to the serial column-major [`async_stripe_kernel`], for
 /// any worker count.
 ///
+/// Returns the dispatched span count, like [`par_sync_panels`].
+///
 /// # Panics
 ///
 /// Panics if `entries_row_major` is not sorted by row, a row lies outside
@@ -483,14 +494,14 @@ pub fn par_async_stripe(
     rows: &impl RowSource,
     c_local: &mut [Scalar],
     k: usize,
-) {
+) -> usize {
     if pool.workers() == 1 || entries_row_major.len() * k < PAR_MIN_PRODUCTS {
         async_stripe_kernel(entries_row_major, rows, c_local, k);
-        return;
+        return 1;
     }
     par_row_spans_plain(pool, entries_row_major, c_local, k, |span, chunk, row_base| {
         async_stripe_kernel_at(span, rows, chunk, k, row_base);
-    });
+    })
 }
 
 #[cfg(test)]

@@ -63,5 +63,5 @@ pub use format::{AsyncMatrix, AsyncStripe, RankMatrices, SyncLocalMatrix};
 pub use reference::{reference_spmm, reference_spmm_pooled};
 pub use runner::{
     prepare_plan, prepare_plan_with_classifier, run_algorithm, run_spmv, Breakdown,
-    ExecutionReport, Problem, RunOptions,
+    ExecutionReport, Problem, RunOptions, TRACE_ENV,
 };

@@ -26,6 +26,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Environment variable overriding the default worker count.
 pub const WORKERS_ENV: &str = "TWOFACE_THREADS";
@@ -38,6 +39,29 @@ pub fn resolve_workers(explicit: Option<usize>) -> usize {
         .or_else(|| std::env::var(WORKERS_ENV).ok().and_then(|v| v.parse().ok()))
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
         .max(1)
+}
+
+/// An optional host wall-clock stopwatch for profiling real kernel
+/// executions behind simulated spans.
+///
+/// Wall time is the one observability field that is *not* deterministic, so
+/// it is only measured when explicitly enabled
+/// ([`Observability::wall_time`](twoface_net::Observability)); a disabled
+/// timer never reads the clock and reports `None`, which exporters render
+/// as `null` so same-seed traces stay bitwise comparable.
+#[derive(Debug, Clone, Copy)]
+pub struct WallTimer(Option<Instant>);
+
+impl WallTimer {
+    /// Starts a timer, reading the host clock only when `enabled`.
+    pub fn start(enabled: bool) -> WallTimer {
+        WallTimer(enabled.then(Instant::now))
+    }
+
+    /// Nanoseconds since [`WallTimer::start`], or `None` when disabled.
+    pub fn elapsed_nanos(&self) -> Option<u64> {
+        self.0.map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
 }
 
 /// A work-sharing pool of `workers` threads (including the caller).
@@ -222,5 +246,12 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_worker_pool_rejected() {
         let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn disabled_wall_timer_reports_nothing() {
+        assert_eq!(WallTimer::start(false).elapsed_nanos(), None);
+        let enabled = WallTimer::start(true);
+        assert!(enabled.elapsed_nanos().is_some());
     }
 }

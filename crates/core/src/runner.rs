@@ -12,15 +12,78 @@ use crate::error::RunError;
 use crate::pool::{resolve_workers, Pool};
 use crate::reference::reference_spmm_pooled;
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use twoface_matrix::{CooMatrix, DenseMatrix, SCALAR_BYTES};
-use twoface_net::{Cluster, CostModel, FaultPlan, PhaseClass, RankTrace};
+use twoface_net::{
+    export, seconds_by_class, Cluster, CostModel, FaultPlan, MetricsRegistry, Observability,
+    OpEvent, PhaseClass, RankTrace,
+};
 use twoface_partition::{
     ClassifierKind, ModelCoefficients, OneDimLayout, PartitionPlan, PlanOptions, StripeClass,
 };
 
 /// Approximate bytes to store one COO nonzero (row, col, value).
 const NNZ_BYTES: usize = 24;
+
+/// Environment variable naming a trace file to write after every
+/// [`run_algorithm`] call. A `.jsonl` extension selects the line-delimited
+/// event format ([`export::events_jsonl`]); anything else gets Chrome
+/// trace-event JSON ([`export::chrome_trace_json`]) loadable in Perfetto.
+/// Setting the variable promotes [`RunOptions::observability`] to
+/// [`Observability::full`] when it is off. Subsequent runs in the same
+/// process write to uniquely suffixed paths (`trace.1.json`, ...).
+pub const TRACE_ENV: &str = "TWOFACE_TRACE";
+
+/// Process-wide count of trace files written, used to keep one
+/// `TWOFACE_TRACE` destination from being clobbered by multi-run binaries.
+static TRACE_FILES_WRITTEN: AtomicU64 = AtomicU64::new(0);
+
+/// Resolves the observability settings and optional trace destination for
+/// one run: the `TWOFACE_TRACE` environment variable forces tracing on.
+fn resolve_observability(options: &RunOptions) -> (Observability, Option<PathBuf>) {
+    match std::env::var_os(TRACE_ENV) {
+        Some(path) if !path.is_empty() => {
+            let observability = if options.observability.enabled() {
+                options.observability.clone()
+            } else {
+                Observability::full()
+            };
+            (observability, Some(PathBuf::from(path)))
+        }
+        _ => (options.observability.clone(), None),
+    }
+}
+
+/// Writes one run's event stream to `path`, dispatching on the extension.
+/// Failures are reported on stderr rather than failing the run: tracing is
+/// diagnostics, not a correctness surface.
+fn write_trace_file(
+    path: &Path,
+    events_by_rank: &[Vec<OpEvent>],
+    traces: &[RankTrace],
+    include_wall: bool,
+) {
+    let n = TRACE_FILES_WRITTEN.fetch_add(1, Ordering::Relaxed);
+    let path = if n == 0 {
+        path.to_path_buf()
+    } else {
+        // trace.json -> trace.1.json; extensionless paths get a suffix.
+        match path.extension().and_then(|e| e.to_str()) {
+            Some(ext) => path.with_extension(format!("{n}.{ext}")),
+            None => path.with_extension(n.to_string()),
+        }
+    };
+    let body = if path.extension().and_then(|e| e.to_str()) == Some("jsonl") {
+        export::events_jsonl(events_by_rank, traces, include_wall)
+    } else {
+        export::chrome_trace_json(events_by_rank, include_wall)
+    };
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: failed to write {TRACE_ENV} file {}: {e}", path.display());
+    }
+}
 
 /// A distributed SpMM problem instance: the operands plus the layout.
 #[derive(Debug, Clone)]
@@ -133,6 +196,14 @@ pub struct RunOptions {
     /// counts in [`TwoFaceConfig`]: any worker count yields bit-identical
     /// outputs and identical simulated seconds.
     pub workers: Option<usize>,
+    /// Per-operation event recording. Off by default (one branch per
+    /// operation); at [`TraceLevel::Comm`](twoface_net::TraceLevel) every
+    /// communication operation, meet wait, retry, and injected fault becomes
+    /// an [`OpEvent`], and [`TraceLevel::Full`](twoface_net::TraceLevel)
+    /// adds local kernel spans. Setting the [`TRACE_ENV`] environment
+    /// variable promotes this to [`Observability::full`] and writes the
+    /// stream to the named file after the run.
+    pub observability: Observability,
 }
 
 impl Default for RunOptions {
@@ -145,6 +216,7 @@ impl Default for RunOptions {
             plan: None,
             fault_plan: None,
             workers: None,
+            observability: Observability::off(),
         }
     }
 }
@@ -186,6 +258,26 @@ impl Breakdown {
             async_comp: trace.seconds(PhaseClass::AsyncComp),
             other: trace.seconds(PhaseClass::Other),
             recovery: trace.seconds(PhaseClass::Recovery),
+        }
+    }
+
+    /// Derives a breakdown from one rank's event stream instead of its
+    /// aggregate trace. At [`TraceLevel::Full`](twoface_net::TraceLevel)
+    /// with no sampling, the result equals [`ExecutionReport`]'s
+    /// trace-derived breakdowns to floating-point rounding — the two
+    /// accounting systems are independent, which makes the comparison a
+    /// cross-check (`trace_summary` and the observability tests rely on
+    /// it). At lower levels or with sampling the event stream undercounts.
+    pub fn from_events(events: &[OpEvent]) -> Breakdown {
+        // seconds_by_class follows PhaseClass::ALL order.
+        let s = seconds_by_class(events);
+        Breakdown {
+            sync_comp: s[0],
+            sync_comm: s[1],
+            async_comp: s[2],
+            async_comm: s[3],
+            other: s[4],
+            recovery: s[5],
         }
     }
 
@@ -256,6 +348,13 @@ pub struct ExecutionReport {
     pub rank_traces: Vec<RankTrace>,
     /// Total faults injected across all ranks (zero on a perfect network).
     pub faults_injected: u64,
+    /// Per-rank event streams, indexed by rank — empty vectors unless
+    /// [`RunOptions::observability`] (or [`TRACE_ENV`]) enabled recording.
+    pub rank_events: Vec<Vec<OpEvent>>,
+    /// Counters and log₂ histograms merged across ranks (one-sided get
+    /// sizes, retries per op, meet arrival spread, multicast fan-out,
+    /// coalesced run lengths, ...). Empty unless recording was enabled.
+    pub metrics: MetricsRegistry,
     /// Estimated peak per-node memory of the run, in bytes.
     pub memory_peak_bytes: usize,
     /// The assembled output `C`, present when `compute_values` was set.
@@ -546,8 +645,10 @@ pub fn run_algorithm(
     let twoface_data = plan.map(|plan| TwoFaceData::build(problem, plan, &options.config, &pool));
 
     // Execute.
+    let (observability, trace_path) = resolve_observability(options);
     let cluster = Cluster::new(p, effective);
     cluster.set_fault_plan(options.fault_plan.clone());
+    cluster.set_observability(observability.clone());
     let outputs = cluster.run(|ctx| match algorithm {
         Algorithm::Allgather => {
             allgather_rank(ctx, baseline.as_ref().expect("built"), problem, &exec)
@@ -566,6 +667,18 @@ pub fn run_algorithm(
             &exec,
         ),
     });
+
+    // Export the event stream before inspecting results, so a faulted run
+    // that errors out still leaves its trace behind for forensics.
+    let rank_traces: Vec<RankTrace> = outputs.iter().map(|o| o.trace.clone()).collect();
+    let rank_events: Vec<Vec<OpEvent>> = outputs.iter().map(|o| o.events.clone()).collect();
+    if let Some(path) = &trace_path {
+        write_trace_file(path, &rank_events, &rank_traces, observability.wall_time);
+    }
+    let mut metrics = MetricsRegistry::new();
+    for o in &outputs {
+        metrics.merge(&o.metrics);
+    }
 
     // A degraded run must produce a typed error, never silent corruption:
     // surface the lowest-ranked failure (deterministic regardless of which
@@ -589,7 +702,6 @@ pub fn run_algorithm(
     let mut recipients: Vec<usize> = Vec::new();
     let mut rank_breakdowns = Vec::with_capacity(p);
     let mut rank_seconds = Vec::with_capacity(p);
-    let mut rank_traces = Vec::with_capacity(p);
     let mut faults_injected = 0u64;
     for o in &outputs {
         let b = Breakdown::from_trace(&o.trace);
@@ -600,7 +712,6 @@ pub fn run_algorithm(
         messages += o.trace.messages;
         recipients.extend_from_slice(&o.trace.multicast_recipients);
         faults_injected += o.trace.faults_injected();
-        rank_traces.push(o.trace.clone());
     }
     let mean_breakdown = mean_breakdown.scaled(1.0 / p as f64);
     let mean_multicast_recipients = if recipients.is_empty() {
@@ -642,6 +753,8 @@ pub fn run_algorithm(
         mean_multicast_recipients,
         rank_traces,
         faults_injected,
+        rank_events,
+        metrics,
         memory_peak_bytes: required,
         output,
     })

@@ -24,7 +24,7 @@ use crate::runner::{ExecOpts, Problem};
 use crate::{RunError, RunOptions};
 use std::sync::Arc;
 use twoface_matrix::{CooMatrix, DenseMatrix};
-use twoface_net::{Cluster, CostModel};
+use twoface_net::{Cluster, CostModel, MetricsRegistry};
 use twoface_partition::PartitionPlan;
 
 /// Derives deterministic per-epoch edge masks.
@@ -98,6 +98,9 @@ pub struct SampledReport {
     pub elements_received: u64,
     /// Surviving nonzeros this epoch.
     pub active_nnz: usize,
+    /// Counters and histograms merged across ranks (empty unless
+    /// [`RunOptions::observability`] enabled recording).
+    pub metrics: MetricsRegistry,
     /// The epoch's output, when values were computed.
     pub output: Option<DenseMatrix>,
 }
@@ -131,6 +134,7 @@ pub fn run_sampled_twoface(
     let p = problem.layout.nodes();
     let cluster = Cluster::new(p, effective);
     cluster.set_fault_plan(options.fault_plan.clone());
+    cluster.set_observability(options.observability.clone());
     let outputs = cluster
         .run(|ctx| twoface_rank_masked(ctx, &data, problem, &options.config, &exec, Some(&mask)));
 
@@ -143,6 +147,10 @@ pub fn run_sampled_twoface(
     }
     let seconds = outputs.iter().map(|o| o.finish_time().seconds()).fold(0.0, f64::max);
     let elements_received = outputs.iter().map(|o| o.trace.elements_received).sum();
+    let mut metrics = MetricsRegistry::new();
+    for o in &outputs {
+        metrics.merge(&o.metrics);
+    }
     let sampled = mask.apply(&problem.a);
     let output = if exec.compute {
         let mut flat = Vec::with_capacity(problem.a.rows() * k);
@@ -160,7 +168,7 @@ pub fn run_sampled_twoface(
             return Err(RunError::ValidationFailed { max_abs_diff: got.max_abs_diff(&want) });
         }
     }
-    Ok(SampledReport { seconds, elements_received, active_nnz: sampled.nnz(), output })
+    Ok(SampledReport { seconds, elements_received, active_nnz: sampled.nnz(), metrics, output })
 }
 
 #[cfg(test)]

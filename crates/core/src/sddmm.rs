@@ -18,7 +18,7 @@ use crate::runner::Problem;
 use crate::{prepare_plan, RunError, RunOptions};
 use std::sync::Arc;
 use twoface_matrix::{CooMatrix, DenseMatrix, Scalar, Triplet};
-use twoface_net::{Cluster, CostModel, Lane, NetError, PhaseClass};
+use twoface_net::{Cluster, CostModel, Lane, MetricsRegistry, NetError, PhaseClass};
 use twoface_partition::{ModelCoefficients, PartitionPlan, StripeClass};
 
 /// Which communication schedule an SDDMM run uses.
@@ -52,6 +52,9 @@ pub struct SddmmReport {
     pub seconds: f64,
     /// Total dense elements of `Y` received across ranks.
     pub elements_received: u64,
+    /// Counters and histograms merged across ranks (empty unless
+    /// [`RunOptions::observability`] enabled recording).
+    pub metrics: MetricsRegistry,
     /// The output sparse matrix (on `A`'s pattern), when values were
     /// computed.
     pub output: Option<CooMatrix>,
@@ -133,6 +136,7 @@ pub fn run_sddmm(
     let p = problem.layout.nodes();
     let cluster = Cluster::new(p, effective);
     cluster.set_fault_plan(options.fault_plan.clone());
+    cluster.set_observability(options.observability.clone());
     let outputs =
         cluster.run(|ctx| sddmm_rank(ctx, &data, problem, x, &options.config, compute, algorithm));
 
@@ -145,6 +149,10 @@ pub fn run_sddmm(
     }
     let seconds = outputs.iter().map(|o| o.finish_time().seconds()).fold(0.0, f64::max);
     let elements_received = outputs.iter().map(|o| o.trace.elements_received).sum();
+    let mut metrics = MetricsRegistry::new();
+    for o in &outputs {
+        metrics.merge(&o.metrics);
+    }
     let output = if compute {
         let mut triplets: Vec<Triplet> = Vec::with_capacity(problem.a.nnz());
         for r in &rank_results {
@@ -169,7 +177,13 @@ pub fn run_sddmm(
             return Err(RunError::ValidationFailed { max_abs_diff: max_diff });
         }
     }
-    Ok(SddmmReport { algorithm: algorithm.to_string(), seconds, elements_received, output })
+    Ok(SddmmReport {
+        algorithm: algorithm.to_string(),
+        seconds,
+        elements_received,
+        metrics,
+        output,
+    })
 }
 
 /// Per-rank SDDMM body: Two-Face's transfer schedule with dot-product
@@ -228,7 +242,7 @@ fn sddmm_rank(
         let (runs, _) = coalesce_rows(&owner_local, max_distance);
         let fetched = ctx.win_rget_rows(win, owner, &runs, k)?;
         let cost = ctx.cost().async_compute_cost(stripe.nnz(), k, 1);
-        ctx.advance(Lane::Async, cost, PhaseClass::AsyncComp);
+        ctx.advance_span(Lane::Async, cost, PhaseClass::AsyncComp, (stripe.nnz() * k) as u64, None);
         if compute {
             let rows_src = FetchedRows::new(&runs, col_base, fetched, k);
             for t in &stripe.entries {
@@ -243,7 +257,13 @@ fn sddmm_rank(
     if sync_local.nnz() > 0 {
         let cost =
             ctx.cost().sync_compute_cost(sync_local.nnz(), k, sync_local.num_nonempty_panels());
-        ctx.advance(Lane::Sync, cost, PhaseClass::SyncComp);
+        ctx.advance_span(
+            Lane::Sync,
+            cost,
+            PhaseClass::SyncComp,
+            (sync_local.nnz() * k) as u64,
+            None,
+        );
         if compute {
             for t in sync_local.entries() {
                 let value = t.val * dot(x.row(row_base + t.row), stripe_buffers.row(t.col));

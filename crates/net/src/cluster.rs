@@ -1,10 +1,13 @@
 //! The simulated cluster: rank threads, lanes, collectives, and one-sided
 //! windows.
 
+use crate::event::{EventSink, Observability, OpEvent, OpKind};
 use crate::meet::{MeetOutcome, MeetRegistry, Payload};
+use crate::metrics::MetricsRegistry;
 use crate::{
     CostModel, FaultEvent, FaultKind, FaultPlan, NetError, PhaseClass, RankTrace, SimTime,
 };
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -15,7 +18,7 @@ use std::sync::{Arc, Mutex};
 /// thread groups run in parallel). The simulator models this by giving every
 /// rank two independent virtual clocks; the rank's finishing time is the
 /// later of the two. Baseline algorithms use only the [`Lane::Sync`] lane.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Lane {
     /// The synchronous lane: collectives and row-panel computation.
     Sync,
@@ -66,6 +69,12 @@ struct Shared {
     windows: Mutex<WindowTable>,
     run_epoch: AtomicU64,
     fault_plan: Mutex<Option<Arc<FaultPlan>>>,
+    observability: Mutex<Observability>,
+}
+
+/// Meet arrival spread in integer nanoseconds, for histogram bucketing.
+fn spread_ns(spread_seconds: f64) -> u64 {
+    (spread_seconds * 1e9).round() as u64
 }
 
 /// A simulated cluster of `p` single-process ranks.
@@ -110,6 +119,12 @@ pub struct RankOutput<R> {
     pub trace: RankTrace,
     /// Final virtual time of each lane (`[sync, async]`).
     pub lane_times: [SimTime; 2],
+    /// Per-operation events, in program order (empty unless observability
+    /// is enabled; see [`Cluster::set_observability`]).
+    pub events: Vec<OpEvent>,
+    /// Counters and histograms recorded during the run (empty unless
+    /// observability is enabled).
+    pub metrics: MetricsRegistry,
 }
 
 impl<R> RankOutput<R> {
@@ -135,6 +150,7 @@ impl Cluster {
                 windows: Mutex::new(WindowTable::default()),
                 run_epoch: AtomicU64::new(0),
                 fault_plan: Mutex::new(None),
+                observability: Mutex::new(Observability::off()),
             }),
         }
     }
@@ -150,6 +166,19 @@ impl Cluster {
     /// The currently installed fault plan, if any.
     pub fn fault_plan(&self) -> Option<FaultPlan> {
         self.shared.fault_plan.lock().expect("fault plan poisoned").as_deref().cloned()
+    }
+
+    /// Installs the observability configuration. Like
+    /// [`Cluster::set_fault_plan`], each [`Cluster::run`] snapshots the
+    /// configuration in force when it starts, so a change never affects a
+    /// run in flight.
+    pub fn set_observability(&self, observability: Observability) {
+        *self.shared.observability.lock().expect("observability poisoned") = observability;
+    }
+
+    /// The currently installed observability configuration.
+    pub fn observability(&self) -> Observability {
+        self.shared.observability.lock().expect("observability poisoned").clone()
     }
 
     /// Number of ranks.
@@ -181,8 +210,11 @@ impl Cluster {
         let epoch = self.shared.run_epoch.fetch_add(1, Ordering::Relaxed) & EPOCH_MASK;
         self.shared.windows.lock().expect("window table poisoned").buffers.clear();
         let plan = self.shared.fault_plan.lock().expect("fault plan poisoned").clone();
+        let observability =
+            self.shared.observability.lock().expect("observability poisoned").clone();
         let shared = &self.shared;
         let plan = &plan;
+        let observability = &observability;
         let f = &f;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shared.p)
@@ -197,9 +229,18 @@ impl Cluster {
                             next_auto_tag: 0,
                             next_window: 0,
                             faults: plan.clone(),
+                            events: EventSink::new(observability),
+                            metrics: MetricsRegistry::new(),
                         };
                         let result = f(&mut ctx);
-                        RankOutput { rank, result, trace: ctx.trace, lane_times: ctx.clocks }
+                        RankOutput {
+                            rank,
+                            result,
+                            trace: ctx.trace,
+                            lane_times: ctx.clocks,
+                            events: ctx.events.into_events(),
+                            metrics: ctx.metrics,
+                        }
                     })
                 })
                 .collect();
@@ -228,6 +269,8 @@ pub struct RankCtx {
     next_auto_tag: u64,
     next_window: usize,
     faults: Option<Arc<FaultPlan>>,
+    events: EventSink,
+    metrics: MetricsRegistry,
 }
 
 impl RankCtx {
@@ -264,12 +307,111 @@ impl RankCtx {
     /// Advances a lane's clock by `seconds`, attributing the time to
     /// `class`.
     ///
+    /// At [`TraceLevel::Full`](crate::TraceLevel::Full) the span is also
+    /// recorded as an [`OpKind::Kernel`] event.
+    ///
     /// # Panics
     ///
     /// Panics (in debug builds) if `seconds` is negative.
     pub fn advance(&mut self, lane: Lane, seconds: f64, class: PhaseClass) {
+        self.advance_span(lane, seconds, class, 0, None);
+    }
+
+    /// [`RankCtx::advance`] with observability detail: `elements` describes
+    /// the span's work size (e.g. `nnz * k` multiply-accumulates for a
+    /// kernel) and `wall_nanos` the measured host wall-time of the real
+    /// kernel behind the span. Both are recorded only when event tracing is
+    /// at [`TraceLevel::Full`](crate::TraceLevel::Full) (and wall time only
+    /// when [`Observability::wall_time`] is set); the modeled clocks are
+    /// identical to [`RankCtx::advance`] either way.
+    pub fn advance_span(
+        &mut self,
+        lane: Lane,
+        seconds: f64,
+        class: PhaseClass,
+        elements: u64,
+        wall_nanos: Option<u64>,
+    ) {
+        let start = self.clocks[lane.index()];
+        self.advance_quiet(lane, seconds, class);
+        if self.events.full() {
+            let end = self.clocks[lane.index()];
+            let wall = if self.events.wall() { wall_nanos } else { None };
+            self.events.push(|seq| OpEvent {
+                seq,
+                kind: OpKind::Kernel,
+                lane,
+                class,
+                start_seconds: start.seconds(),
+                end_seconds: end.seconds(),
+                elements,
+                peers: Vec::new(),
+                initiator: true,
+                fault: None,
+                wall_nanos: wall,
+            });
+        }
+    }
+
+    /// Clock and aggregate-trace bookkeeping without event recording
+    /// (communication ops record their own, more specific events).
+    fn advance_quiet(&mut self, lane: Lane, seconds: f64, class: PhaseClass) {
         self.clocks[lane.index()] += seconds;
         self.trace.add_time(class, seconds);
+    }
+
+    /// Appends one communication event. Callers gate on
+    /// [`EventSink::comm`] so the disabled path allocates nothing.
+    #[allow(clippy::too_many_arguments)]
+    fn record_comm_event(
+        &mut self,
+        kind: OpKind,
+        lane: Lane,
+        class: PhaseClass,
+        start: SimTime,
+        end: SimTime,
+        elements: u64,
+        peers: Vec<usize>,
+        initiator: bool,
+    ) {
+        self.events.push(|seq| OpEvent {
+            seq,
+            kind,
+            lane,
+            class,
+            start_seconds: start.seconds(),
+            end_seconds: end.seconds(),
+            elements,
+            peers,
+            initiator,
+            fault: None,
+            wall_nanos: None,
+        });
+    }
+
+    /// Appends one zero-duration fault marker (gated internally).
+    fn record_fault_instant(
+        &mut self,
+        fault: FaultKind,
+        lane: Lane,
+        class: PhaseClass,
+        at: SimTime,
+    ) {
+        if self.events.comm() {
+            self.events.push(|seq| OpEvent {
+                seq,
+                kind: OpKind::Fault,
+                lane,
+                class,
+                start_seconds: at.seconds(),
+                end_seconds: at.seconds(),
+                elements: 0,
+                peers: Vec::new(),
+                initiator: true,
+                fault: Some(fault),
+                wall_nanos: None,
+            });
+        }
     }
 
     /// Sets both lanes to the later of the two: the rank's threads join
@@ -297,6 +439,38 @@ impl RankCtx {
         self.faults.as_deref()
     }
 
+    /// Whether per-operation event recording is enabled for this run.
+    pub fn events_enabled(&self) -> bool {
+        self.events.comm()
+    }
+
+    /// Whether host wall-time stamping of kernel spans was requested.
+    pub fn wall_time_enabled(&self) -> bool {
+        self.events.wall()
+    }
+
+    /// Read-only view of the metrics recorded so far.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Records `value` into custom histogram `name`. Like all recording, a
+    /// no-op (without allocation) when observability is off, so algorithm
+    /// bodies can call it unconditionally.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if self.events.comm() {
+            self.metrics.observe(name, value);
+        }
+    }
+
+    /// Adds `by` to custom counter `name` (no-op when observability is
+    /// off).
+    pub fn inc_counter(&mut self, name: &str, by: u64) {
+        if self.events.comm() {
+            self.metrics.inc(name, by);
+        }
+    }
+
     /// Takes the next meet index and returns the injected arrival delay for
     /// it (jitter plus straggle), recording the corresponding fault events.
     ///
@@ -317,6 +491,12 @@ impl RankCtx {
                 attempt: 0,
                 seconds: jitter,
             });
+            self.record_fault_instant(
+                FaultKind::MeetJitter,
+                Lane::Sync,
+                PhaseClass::Other,
+                self.now(),
+            );
             delay += jitter;
         }
         let slow = plan.slow_extra(self.rank);
@@ -327,6 +507,12 @@ impl RankCtx {
                 attempt: 0,
                 seconds: slow,
             });
+            self.record_fault_instant(
+                FaultKind::RankStall,
+                Lane::Sync,
+                PhaseClass::Other,
+                self.now(),
+            );
             delay += slow;
         }
         (meet_idx, delay)
@@ -368,11 +554,27 @@ impl RankCtx {
         base_cost: f64,
         lane: Lane,
         class: PhaseClass,
+        kind: OpKind,
+        elements: u64,
     ) -> Result<(), NetError> {
         let op = self.trace.one_sided_ops;
         self.trace.one_sided_ops += 1;
+        if self.events.comm() {
+            let counter = match kind {
+                OpKind::Get => "ops.get",
+                _ => "ops.rget_rows",
+            };
+            self.metrics.inc(counter, 1);
+            self.metrics.observe("one_sided_get_elements", elements);
+        }
         let Some(plan) = self.faults.clone() else {
-            self.advance(lane, base_cost, class);
+            let start = self.clocks[lane.index()];
+            self.advance_quiet(lane, base_cost, class);
+            if self.events.comm() {
+                let end = self.clocks[lane.index()];
+                self.record_comm_event(kind, lane, class, start, end, elements, vec![target], true);
+                self.metrics.observe("retries_per_op", 0);
+            }
             return Ok(());
         };
         let policy = plan.retry;
@@ -385,14 +587,45 @@ impl RankCtx {
                 // off before re-issuing.
                 let backoff = policy.backoff_seconds(attempt);
                 let lost = self.shared.cost.failed_get_cost(base_cost, backoff);
-                self.advance(lane, base_cost, class);
-                self.advance(lane, backoff, PhaseClass::Recovery);
+                let start = self.clocks[lane.index()];
+                self.advance_quiet(lane, base_cost, class);
+                let transfer_end = self.clocks[lane.index()];
+                self.advance_quiet(lane, backoff, PhaseClass::Recovery);
+                let backoff_end = self.clocks[lane.index()];
                 self.trace.record_fault(FaultEvent {
                     kind: FaultKind::GetFailure,
                     op,
                     attempt,
                     seconds: lost,
                 });
+                if self.events.comm() {
+                    self.record_comm_event(
+                        OpKind::Retry,
+                        lane,
+                        class,
+                        start,
+                        transfer_end,
+                        elements,
+                        vec![target],
+                        true,
+                    );
+                    self.record_comm_event(
+                        OpKind::Backoff,
+                        lane,
+                        PhaseClass::Recovery,
+                        transfer_end,
+                        backoff_end,
+                        0,
+                        vec![target],
+                        true,
+                    );
+                    self.record_fault_instant(
+                        FaultKind::GetFailure,
+                        lane,
+                        PhaseClass::Recovery,
+                        transfer_end,
+                    );
+                }
                 waited += lost;
                 attempt += 1;
                 if attempt >= policy.max_attempts
@@ -408,6 +641,7 @@ impl RankCtx {
                 self.trace.retries += 1;
             } else {
                 let extra = plan.latency_spike(self.rank, op).unwrap_or(0.0);
+                let start = self.clocks[lane.index()];
                 if extra > 0.0 {
                     self.trace.record_fault(FaultEvent {
                         kind: FaultKind::LatencySpike,
@@ -415,8 +649,23 @@ impl RankCtx {
                         attempt,
                         seconds: extra,
                     });
+                    self.record_fault_instant(FaultKind::LatencySpike, lane, class, start);
                 }
-                self.advance(lane, base_cost + extra, class);
+                self.advance_quiet(lane, base_cost + extra, class);
+                if self.events.comm() {
+                    let end = self.clocks[lane.index()];
+                    self.record_comm_event(
+                        kind,
+                        lane,
+                        class,
+                        start,
+                        end,
+                        elements,
+                        vec![target],
+                        true,
+                    );
+                    self.metrics.observe("retries_per_op", u64::from(attempt));
+                }
                 return Ok(());
             }
         }
@@ -440,6 +689,20 @@ impl RankCtx {
         let wait = outcome.time.since(arrive);
         self.trace.add_time(PhaseClass::Other, wait);
         self.clocks = [outcome.time; 2];
+        if self.events.comm() {
+            self.record_comm_event(
+                OpKind::Barrier,
+                Lane::Sync,
+                PhaseClass::Other,
+                arrive,
+                outcome.time,
+                0,
+                vec![outcome.straggler],
+                false,
+            );
+            self.metrics.inc("ops.barrier", 1);
+            self.metrics.observe("meet_arrival_spread_ns", spread_ns(outcome.spread_seconds));
+        }
         self.stall_check(&outcome, self.shared.p)?;
         Ok(())
     }
@@ -472,6 +735,31 @@ impl RankCtx {
         self.trace.messages += 1;
         self.trace.elements_sent += (my_len * (p - 1)) as u64;
         self.trace.elements_received += (total - my_len) as u64;
+        if self.events.comm() {
+            let moved = (my_len * (p - 1) + (total - my_len)) as u64;
+            self.record_comm_event(
+                OpKind::MeetWait,
+                Lane::Sync,
+                PhaseClass::SyncComm,
+                arrive,
+                outcome.time,
+                0,
+                vec![outcome.straggler],
+                false,
+            );
+            self.record_comm_event(
+                OpKind::Allgather,
+                Lane::Sync,
+                PhaseClass::SyncComm,
+                outcome.time,
+                outcome.time + cost,
+                moved,
+                Vec::new(),
+                true,
+            );
+            self.metrics.inc("ops.allgather", 1);
+            self.metrics.observe("meet_arrival_spread_ns", spread_ns(outcome.spread_seconds));
+        }
         self.stall_check(&outcome, p)?;
         Ok(out)
     }
@@ -527,6 +815,39 @@ impl RankCtx {
         } else {
             self.trace.elements_received += buf.len() as u64;
         }
+        if self.events.comm() {
+            let (elements, peers) = if is_root {
+                let others = group.iter().copied().filter(|&r| r != self.rank).collect();
+                ((buf.len() * destinations) as u64, others)
+            } else {
+                (buf.len() as u64, vec![root])
+            };
+            self.record_comm_event(
+                OpKind::MeetWait,
+                Lane::Sync,
+                PhaseClass::SyncComm,
+                arrive,
+                outcome.time,
+                0,
+                vec![outcome.straggler],
+                false,
+            );
+            self.record_comm_event(
+                OpKind::Multicast,
+                Lane::Sync,
+                PhaseClass::SyncComm,
+                outcome.time,
+                outcome.time + cost,
+                elements,
+                peers,
+                is_root,
+            );
+            self.metrics.inc("ops.multicast", 1);
+            self.metrics.observe("meet_arrival_spread_ns", spread_ns(outcome.spread_seconds));
+            if is_root {
+                self.metrics.observe("multicast_fanout", destinations as u64);
+            }
+        }
         self.stall_check(&outcome, group.len())?;
         Ok(buf)
     }
@@ -563,6 +884,31 @@ impl RankCtx {
         self.trace.messages += 1;
         self.trace.elements_sent += my_len as u64;
         self.trace.elements_received += buf.len() as u64;
+        if self.events.comm() {
+            let to = (self.rank + distance % p) % p;
+            self.record_comm_event(
+                OpKind::MeetWait,
+                Lane::Sync,
+                PhaseClass::SyncComm,
+                arrive,
+                outcome.time,
+                0,
+                vec![outcome.straggler],
+                false,
+            );
+            self.record_comm_event(
+                OpKind::ShiftRing,
+                Lane::Sync,
+                PhaseClass::SyncComm,
+                outcome.time,
+                outcome.time + cost,
+                (my_len + buf.len()) as u64,
+                vec![to, from],
+                true,
+            );
+            self.metrics.inc("ops.shift_ring", 1);
+            self.metrics.observe("meet_arrival_spread_ns", spread_ns(outcome.spread_seconds));
+        }
         self.stall_check(&outcome, p)?;
         Ok(buf)
     }
@@ -596,6 +942,30 @@ impl RankCtx {
         let cost = self.shared.cost.alpha_sync;
         self.clocks = [outcome.time + cost; 2];
         self.trace.add_time(PhaseClass::Other, outcome.time.since(arrive) + cost);
+        if self.events.comm() {
+            self.record_comm_event(
+                OpKind::MeetWait,
+                Lane::Sync,
+                PhaseClass::Other,
+                arrive,
+                outcome.time,
+                0,
+                vec![outcome.straggler],
+                false,
+            );
+            self.record_comm_event(
+                OpKind::WindowCreate,
+                Lane::Sync,
+                PhaseClass::Other,
+                outcome.time,
+                outcome.time + cost,
+                0,
+                Vec::new(),
+                true,
+            );
+            self.metrics.inc("ops.window_create", 1);
+            self.metrics.observe("meet_arrival_spread_ns", spread_ns(outcome.spread_seconds));
+        }
         self.stall_check(&outcome, self.shared.p)?;
         Ok(WindowId(id))
     }
@@ -647,7 +1017,7 @@ impl RankCtx {
         );
         let out = buf.subslice(range);
         let cost = self.shared.cost.bulk_get_cost(out.len());
-        self.one_sided_transfer(target, cost, lane, class)?;
+        self.one_sided_transfer(target, cost, lane, class, OpKind::Get, out.len() as u64)?;
         self.trace.messages += 1;
         self.trace.elements_received += out.len() as u64;
         Ok(out)
@@ -698,7 +1068,17 @@ impl RankCtx {
             out.extend_from_slice(&buf[first * row_width..hi]);
         }
         let cost = self.shared.cost.rget_cost(out.len(), runs.len());
-        self.one_sided_transfer(target, cost, Lane::Async, PhaseClass::AsyncComm)?;
+        if self.events.comm() {
+            self.metrics.observe("rget_runs_per_op", runs.len() as u64);
+        }
+        self.one_sided_transfer(
+            target,
+            cost,
+            Lane::Async,
+            PhaseClass::AsyncComm,
+            OpKind::RgetRows,
+            out.len() as u64,
+        )?;
         self.trace.messages += 1;
         self.trace.elements_received += out.len() as u64;
         Ok(out)
@@ -718,6 +1098,7 @@ impl std::fmt::Debug for RankCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::{seconds_by_class, TraceLevel};
     use crate::RetryPolicy;
 
     fn cluster(p: usize) -> Cluster {
@@ -1065,6 +1446,148 @@ mod tests {
             assert_eq!(c.lane_times, q.lane_times, "rank {}", c.rank);
             assert_eq!(c.trace, q.trace, "rank {}", c.rank);
         }
+    }
+
+    /// A workload exercising every op kind, tolerant of injected timeouts.
+    fn traced_workload(ctx: &mut RankCtx) -> Result<(), NetError> {
+        let p = ctx.ranks();
+        let mine = Arc::new(vec![ctx.rank() as f64; 16]);
+        let _ = ctx.allgather(mine)?;
+        let win = ctx.create_window(vec![1.0; 8])?;
+        let _ = ctx.win_rget_rows(win, (ctx.rank() + 1) % p, &[(0, 2)], 2)?;
+        ctx.advance(Lane::Sync, 1e-4, PhaseClass::SyncComp);
+        let _ = ctx.win_get(win, (ctx.rank() + 1) % p, 0..4, Lane::Sync, PhaseClass::SyncComm)?;
+        let _ = ctx.shift_ring(Payload::from(vec![0.0; 4]), 1)?;
+        let _ = ctx.multicast(
+            3,
+            0,
+            &(0..p).collect::<Vec<_>>(),
+            (ctx.rank() == 0).then(|| Payload::from(vec![5.0; 6])),
+        )?;
+        ctx.barrier()?;
+        Ok(())
+    }
+
+    #[test]
+    fn events_are_off_by_default_and_empty() {
+        let out = cluster(2).run(traced_workload);
+        for o in &out {
+            o.result.as_ref().unwrap();
+            assert!(o.events.is_empty());
+            assert!(o.metrics.is_empty());
+        }
+    }
+
+    #[test]
+    fn full_event_stream_accounts_for_every_traced_second() {
+        for plan in [None, Some(FaultPlan::light(7)), Some(FaultPlan::heavy(7))] {
+            let c = cluster(3);
+            c.set_observability(Observability::full());
+            c.set_fault_plan(plan);
+            let out = c.run(traced_workload);
+            for o in &out {
+                // Even a run that errored out mid-way must stay consistent.
+                let by_class = seconds_by_class(&o.events);
+                for (i, class) in PhaseClass::ALL.iter().enumerate() {
+                    let want = o.trace.seconds(*class);
+                    assert!(
+                        (by_class[i] - want).abs() <= 1e-12 * want.max(1.0),
+                        "rank {} class {class:?}: events {} vs trace {want}",
+                        o.rank,
+                        by_class[i],
+                    );
+                }
+                let max_end = o.events.iter().map(|e| e.end_seconds).fold(0.0, f64::max);
+                let finish = o.finish_time().seconds();
+                assert!(
+                    (max_end - finish).abs() <= 1e-12 * finish.max(1.0),
+                    "rank {}: last event ends at {max_end}, rank finishes at {finish}",
+                    o.rank,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comm_level_records_operations_but_not_kernels() {
+        let c = cluster(2);
+        c.set_observability(Observability::comm());
+        let out = c.run(traced_workload);
+        for o in &out {
+            o.result.as_ref().unwrap();
+            assert!(o.events.iter().all(|e| e.kind != OpKind::Kernel));
+            for kind in [
+                OpKind::Allgather,
+                OpKind::MeetWait,
+                OpKind::WindowCreate,
+                OpKind::RgetRows,
+                OpKind::Get,
+                OpKind::ShiftRing,
+                OpKind::Multicast,
+                OpKind::Barrier,
+            ] {
+                assert!(
+                    o.events.iter().any(|e| e.kind == kind),
+                    "rank {} missing {kind:?}",
+                    o.rank
+                );
+            }
+            assert_eq!(o.metrics.counter("ops.allgather"), 1);
+            assert_eq!(o.metrics.counter("ops.barrier"), 1);
+            assert_eq!(o.metrics.histogram("one_sided_get_elements").unwrap().count(), 2);
+            assert_eq!(o.metrics.histogram("meet_arrival_spread_ns").unwrap().count(), 5);
+        }
+        // Root's fan-out histogram records the §7.2 profile datum.
+        assert_eq!(out[0].metrics.histogram("multicast_fanout").unwrap().max(), Some(1));
+        assert!(out[1].metrics.histogram("multicast_fanout").is_none());
+    }
+
+    #[test]
+    fn quiescent_plan_reproduces_the_fault_free_event_stream_bitwise() {
+        let run = |plan: Option<FaultPlan>| {
+            let c = cluster(3);
+            c.set_observability(Observability::full());
+            c.set_fault_plan(plan);
+            c.run(traced_workload)
+        };
+        let clean = run(None);
+        let quiet = run(Some(FaultPlan::quiescent(99)));
+        for (c, q) in clean.iter().zip(&quiet) {
+            assert_eq!(c.events, q.events, "rank {}", c.rank);
+            assert_eq!(c.metrics, q.metrics, "rank {}", c.rank);
+        }
+    }
+
+    #[test]
+    fn chaos_event_streams_replay_bitwise() {
+        let run = || {
+            let c = cluster(3);
+            c.set_observability(Observability::full());
+            c.set_fault_plan(Some(FaultPlan::heavy(41)));
+            c.run(traced_workload)
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.events, y.events, "rank {}", x.rank);
+        }
+        // Injected faults must surface as instant events.
+        let faults: usize = a.iter().map(|o| o.trace.faults_injected() as usize).sum();
+        let instants: usize =
+            a.iter().map(|o| o.events.iter().filter(|e| e.fault.is_some()).count()).sum();
+        assert_eq!(faults, instants);
+    }
+
+    #[test]
+    fn observability_snapshot_is_per_run() {
+        let c = cluster(2);
+        c.set_observability(Observability::full());
+        assert_eq!(c.observability().level, TraceLevel::Full);
+        let traced = c.run(traced_workload);
+        assert!(traced.iter().all(|o| !o.events.is_empty()));
+        c.set_observability(Observability::off());
+        let silent = c.run(traced_workload);
+        assert!(silent.iter().all(|o| o.events.is_empty()));
     }
 
     #[test]

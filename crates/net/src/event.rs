@@ -1,0 +1,325 @@
+//! Per-operation event recording behind the aggregate [`RankTrace`] counters.
+//!
+//! [`RankTrace`](crate::RankTrace) answers *how much* time each Figure-10
+//! class consumed; it cannot say *which* multicast, get-flood, or retry storm
+//! made a rank critical. When observability is enabled, every communication
+//! operation, fault injection, and (at [`TraceLevel::Full`]) local kernel
+//! span is additionally recorded as an [`OpEvent`] with simulated start/end
+//! times, so the timeline can be replayed in Perfetto (see
+//! [`export`](crate::export)) or post-processed analytically.
+//!
+//! # Determinism contract
+//!
+//! Events are produced in rank-thread program order from virtual-clock
+//! arithmetic only, so for a fixed seed (including a chaos seed) the event
+//! stream is bitwise identical across replays and real-worker counts. The
+//! single exception is [`OpEvent::wall_nanos`], the optional host wall-time
+//! of real kernel spans: it is segregated into its own field that exporters
+//! can drop (`include_wall = false`), keeping chaos-replay comparisons
+//! bitwise.
+//!
+//! # Overhead
+//!
+//! At [`TraceLevel::Off`] (the default) every recording site reduces to one
+//! inline enum compare and no allocation; the fast path of the simulator is
+//! unchanged.
+
+use crate::cluster::Lane;
+use crate::trace::{FaultKind, PhaseClass};
+use serde::{Deserialize, Serialize};
+
+/// How much the cluster records about each operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceLevel {
+    /// Record nothing (the default; near-zero overhead).
+    Off,
+    /// Record communication operations, meet waits, and faults.
+    Comm,
+    /// Additionally record local kernel spans ([`OpKind::Kernel`]). At this
+    /// level (with `sample_every == 1`) the per-class sum of event durations
+    /// equals the aggregate [`RankTrace`](crate::RankTrace) seconds.
+    Full,
+}
+
+/// Observability configuration installed on a
+/// [`Cluster`](crate::Cluster) via
+/// [`Cluster::set_observability`](crate::Cluster::set_observability).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observability {
+    /// Recording level.
+    pub level: TraceLevel,
+    /// Keep every `sample_every`-th candidate event (1 = keep all). Sampled
+    /// streams preserve the original [`OpEvent::seq`] numbers, so gaps are
+    /// visible. Zero is treated as 1.
+    pub sample_every: u64,
+    /// Also stamp kernel spans with host wall-time
+    /// ([`OpEvent::wall_nanos`]). Wall time is nondeterministic; exporters
+    /// segregate or drop it.
+    pub wall_time: bool,
+}
+
+impl Observability {
+    /// Recording disabled (the default).
+    pub fn off() -> Observability {
+        Observability { level: TraceLevel::Off, sample_every: 1, wall_time: false }
+    }
+
+    /// Record communication operations and faults only.
+    pub fn comm() -> Observability {
+        Observability { level: TraceLevel::Comm, sample_every: 1, wall_time: false }
+    }
+
+    /// Record everything, unsampled, without host wall-time.
+    pub fn full() -> Observability {
+        Observability { level: TraceLevel::Full, sample_every: 1, wall_time: false }
+    }
+
+    /// Whether any recording is enabled.
+    pub fn enabled(&self) -> bool {
+        self.level != TraceLevel::Off
+    }
+}
+
+impl Default for Observability {
+    fn default() -> Observability {
+        Observability::off()
+    }
+}
+
+/// What kind of operation an [`OpEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A subgroup multicast (root or receiver side).
+    Multicast,
+    /// An all-rank allgather.
+    Allgather,
+    /// One step of the all-rank cyclic shift.
+    ShiftRing,
+    /// An all-rank barrier (the whole wait is the span).
+    Barrier,
+    /// Collective one-sided window creation.
+    WindowCreate,
+    /// Time spent waiting for the other participants of a collective to
+    /// arrive (charged before the transfer itself).
+    MeetWait,
+    /// A successful bulk one-sided get.
+    Get,
+    /// A successful fine-grained indexed one-sided get.
+    RgetRows,
+    /// A transiently failed one-sided attempt (the transfer time that was
+    /// lost; the subsequent backoff is a separate [`OpKind::Backoff`]).
+    Retry,
+    /// Retry backoff after a failed one-sided attempt (always
+    /// [`PhaseClass::Recovery`]).
+    Backoff,
+    /// An injected fault, recorded as an instant (zero-duration) event.
+    Fault,
+    /// A local compute span charged via
+    /// [`RankCtx::advance`](crate::RankCtx::advance) /
+    /// [`RankCtx::advance_span`](crate::RankCtx::advance_span). Only
+    /// recorded at [`TraceLevel::Full`].
+    Kernel,
+}
+
+impl OpKind {
+    /// Short display name (used as the Perfetto slice name).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Multicast => "multicast",
+            OpKind::Allgather => "allgather",
+            OpKind::ShiftRing => "shift_ring",
+            OpKind::Barrier => "barrier",
+            OpKind::WindowCreate => "window_create",
+            OpKind::MeetWait => "meet_wait",
+            OpKind::Get => "get",
+            OpKind::RgetRows => "rget_rows",
+            OpKind::Retry => "retry",
+            OpKind::Backoff => "backoff",
+            OpKind::Fault => "fault",
+            OpKind::Kernel => "kernel",
+        }
+    }
+}
+
+/// One recorded operation of one rank.
+///
+/// Times are the rank's *simulated* clock in seconds; `start_seconds ==
+/// end_seconds` for instant events (faults). Events are recorded in
+/// rank-thread program order; `seq` is the per-rank candidate index, stable
+/// under sampling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpEvent {
+    /// Per-rank sequence number of this candidate event (gaps appear when
+    /// `sample_every > 1`).
+    pub seq: u64,
+    /// What the operation was.
+    pub kind: OpKind,
+    /// The virtual lane whose clock the operation advanced.
+    pub lane: Lane,
+    /// The Figure-10 class its time was attributed to.
+    pub class: PhaseClass,
+    /// Simulated start time (seconds).
+    pub start_seconds: f64,
+    /// Simulated end time (seconds).
+    pub end_seconds: f64,
+    /// Dense elements moved (transfers) or multiply-accumulate products
+    /// `nnz * k` (kernel spans); zero when not applicable.
+    pub elements: u64,
+    /// Peer ranks: destinations for a multicast root, the source root for a
+    /// receiver, `[to, from]` for a shift, the target for one-sided gets,
+    /// the straggler for meet waits. Empty for all-rank symmetric ops.
+    pub peers: Vec<usize>,
+    /// Whether this rank initiated the transfer (multicast root, get
+    /// issuer) as opposed to passively receiving.
+    pub initiator: bool,
+    /// The injected fault, for [`OpKind::Fault`] instants.
+    pub fault: Option<FaultKind>,
+    /// Host wall-time of the real kernel behind this span, when
+    /// [`Observability::wall_time`] was set. Nondeterministic: excluded from
+    /// determinism comparisons and segregated by exporters.
+    pub wall_nanos: Option<u64>,
+}
+
+impl OpEvent {
+    /// Simulated duration in seconds.
+    pub fn duration_seconds(&self) -> f64 {
+        self.end_seconds - self.start_seconds
+    }
+}
+
+/// Sums simulated event durations per [`PhaseClass`], in
+/// [`PhaseClass::ALL`] order.
+///
+/// At [`TraceLevel::Full`] with `sample_every == 1` this reproduces the
+/// aggregate [`RankTrace`](crate::RankTrace) class totals to floating-point
+/// tolerance (the aggregate adds wait and transfer in one rounding step,
+/// events in two).
+pub fn seconds_by_class(events: &[OpEvent]) -> [f64; 6] {
+    let mut out = [0.0; 6];
+    for e in events {
+        out[e.class.index()] += e.duration_seconds();
+    }
+    out
+}
+
+/// The per-rank event recorder: gates, samples, and buffers [`OpEvent`]s.
+pub(crate) struct EventSink {
+    level: TraceLevel,
+    sample_every: u64,
+    wall_time: bool,
+    seq: u64,
+    events: Vec<OpEvent>,
+}
+
+impl EventSink {
+    pub(crate) fn new(obs: &Observability) -> EventSink {
+        EventSink {
+            level: obs.level,
+            sample_every: obs.sample_every.max(1),
+            wall_time: obs.wall_time,
+            seq: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Communication-level recording enabled?
+    #[inline]
+    pub(crate) fn comm(&self) -> bool {
+        self.level != TraceLevel::Off
+    }
+
+    /// Kernel-span recording enabled?
+    #[inline]
+    pub(crate) fn full(&self) -> bool {
+        self.level == TraceLevel::Full
+    }
+
+    /// Host wall-time stamping requested (implies recording enabled)?
+    #[inline]
+    pub(crate) fn wall(&self) -> bool {
+        self.wall_time && self.comm()
+    }
+
+    /// Records one candidate event. The closure only runs when the sampler
+    /// keeps the candidate; it receives the candidate's sequence number.
+    ///
+    /// Callers must check [`EventSink::comm`] / [`EventSink::full`] first —
+    /// this method assumes the level gate already passed.
+    pub(crate) fn push(&mut self, build: impl FnOnce(u64) -> OpEvent) {
+        let seq = self.seq;
+        self.seq += 1;
+        if seq.is_multiple_of(self.sample_every) {
+            self.events.push(build(seq));
+        }
+    }
+
+    pub(crate) fn into_events(self) -> Vec<OpEvent> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(seq: u64, class: PhaseClass, start: f64, end: f64) -> OpEvent {
+        OpEvent {
+            seq,
+            kind: OpKind::Kernel,
+            lane: Lane::Sync,
+            class,
+            start_seconds: start,
+            end_seconds: end,
+            elements: 0,
+            peers: Vec::new(),
+            initiator: true,
+            fault: None,
+            wall_nanos: None,
+        }
+    }
+
+    #[test]
+    fn defaults_are_off() {
+        let obs = Observability::default();
+        assert!(!obs.enabled());
+        assert_eq!(obs, Observability::off());
+        assert!(Observability::comm().enabled());
+        assert!(Observability::full().enabled());
+    }
+
+    #[test]
+    fn sink_samples_every_nth_candidate_keeping_seq() {
+        let mut sink = EventSink::new(&Observability { sample_every: 3, ..Observability::full() });
+        for i in 0..7u64 {
+            sink.push(|seq| event(seq, PhaseClass::Other, i as f64, i as f64));
+        }
+        let seqs: Vec<u64> = sink.into_events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn zero_sample_every_is_treated_as_one() {
+        let mut sink = EventSink::new(&Observability { sample_every: 0, ..Observability::comm() });
+        sink.push(|seq| event(seq, PhaseClass::Other, 0.0, 0.0));
+        assert_eq!(sink.into_events().len(), 1);
+    }
+
+    #[test]
+    fn seconds_by_class_sums_durations_in_all_order() {
+        let events = vec![
+            event(0, PhaseClass::SyncComp, 0.0, 1.0),
+            event(1, PhaseClass::SyncComp, 1.0, 1.5),
+            event(2, PhaseClass::Recovery, 2.0, 2.25),
+        ];
+        let sums = seconds_by_class(&events);
+        assert_eq!(sums[0], 1.5); // SyncComp is ALL[0]
+        assert_eq!(sums[5], 0.25); // Recovery is ALL[5]
+        assert_eq!(sums[1..5], [0.0; 4]);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(OpKind::RgetRows.label(), "rget_rows");
+        assert_eq!(OpKind::MeetWait.label(), "meet_wait");
+    }
+}

@@ -1,0 +1,370 @@
+//! Exporters for recorded [`OpEvent`] streams.
+//!
+//! Two formats:
+//!
+//! * **Chrome trace-event JSON** ([`chrome_trace_json`]) — loads directly in
+//!   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`. Each rank
+//!   becomes one "process"; inside it, each [`PhaseClass`] gets its own
+//!   named track, and injected faults appear as instant markers on a
+//!   dedicated `Faults` track.
+//! * **Line-delimited JSON** ([`events_jsonl`]) — one self-describing JSON
+//!   object per line (a `meta` header, then `event` lines, then per-rank
+//!   `summary` lines embedding the aggregate [`RankTrace`]), made for
+//!   streaming post-processing. [`parse_events_jsonl`] reads and validates
+//!   the format back.
+//!
+//! Both exporters are deterministic for a given seed: with `include_wall =
+//! false` the nondeterministic host wall-time field is nulled out, so two
+//! replays of the same seeded run (at any real-worker count) produce
+//! byte-identical output.
+
+use crate::event::OpEvent;
+use crate::trace::{PhaseClass, RankTrace};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// The Perfetto track ("thread") id a class's spans land on; track 0 is
+/// reserved for fault instants.
+fn class_track(class: PhaseClass) -> u64 {
+    class.index() as u64 + 1
+}
+
+fn meta_event(pid: u64, tid: Option<u64>, name: &str, value: &str) -> Value {
+    let mut fields = vec![
+        ("ph".to_string(), Value::String("M".to_string())),
+        ("pid".to_string(), Value::UInt(pid)),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid".to_string(), Value::UInt(tid)));
+    }
+    fields.push(("name".to_string(), Value::String(name.to_string())));
+    fields.push((
+        "args".to_string(),
+        Value::Object(vec![("name".to_string(), Value::String(value.to_string()))]),
+    ));
+    Value::Object(fields)
+}
+
+fn span_or_instant(pid: u64, e: &OpEvent, include_wall: bool) -> Value {
+    let is_instant = e.start_seconds == e.end_seconds;
+    let tid = if e.fault.is_some() && is_instant { 0 } else { class_track(e.class) };
+    let name = match e.fault {
+        Some(kind) => kind.label(),
+        None => e.kind.label(),
+    };
+    let mut fields = vec![
+        ("ph".to_string(), Value::String(if is_instant { "i" } else { "X" }.to_string())),
+        ("pid".to_string(), Value::UInt(pid)),
+        ("tid".to_string(), Value::UInt(tid)),
+        ("name".to_string(), Value::String(name.to_string())),
+        ("cat".to_string(), Value::String(e.class.label().to_string())),
+        ("ts".to_string(), Value::Number(e.start_seconds * 1e6)),
+    ];
+    if is_instant {
+        // Thread-scoped instant marker.
+        fields.push(("s".to_string(), Value::String("t".to_string())));
+    } else {
+        fields.push(("dur".to_string(), Value::Number(e.duration_seconds() * 1e6)));
+    }
+    let mut args = vec![
+        ("seq".to_string(), Value::UInt(e.seq)),
+        ("lane".to_string(), e.lane.to_value()),
+        ("elements".to_string(), Value::UInt(e.elements)),
+        ("peers".to_string(), e.peers.to_value()),
+        ("initiator".to_string(), Value::Bool(e.initiator)),
+    ];
+    if include_wall {
+        if let Some(wall) = e.wall_nanos {
+            args.push(("wall_nanos".to_string(), Value::UInt(wall)));
+        }
+    }
+    fields.push(("args".to_string(), Value::Object(args)));
+    Value::Object(fields)
+}
+
+/// Renders an event stream as Chrome trace-event JSON (the
+/// "JSON object format" with a `traceEvents` array), loadable in Perfetto.
+///
+/// `events_by_rank[r]` holds rank `r`'s events. With `include_wall = false`
+/// (the determinism-preserving default for comparisons), host wall-times are
+/// omitted from span args.
+pub fn chrome_trace_json(events_by_rank: &[Vec<OpEvent>], include_wall: bool) -> String {
+    let mut trace_events = Vec::new();
+    for (rank, events) in events_by_rank.iter().enumerate() {
+        let pid = rank as u64;
+        trace_events.push(meta_event(pid, None, "process_name", &format!("rank {rank}")));
+        trace_events.push(meta_event(pid, Some(0), "thread_name", "Faults"));
+        for class in PhaseClass::ALL {
+            trace_events.push(meta_event(
+                pid,
+                Some(class_track(class)),
+                "thread_name",
+                class.label(),
+            ));
+        }
+        for e in events {
+            trace_events.push(span_or_instant(pid, e, include_wall));
+        }
+    }
+    let root = Value::Object(vec![
+        ("traceEvents".to_string(), Value::Array(trace_events)),
+        ("displayTimeUnit".to_string(), Value::String("ns".to_string())),
+    ]);
+    serde_json::to_string(&root).expect("value trees always serialize")
+}
+
+fn jsonl_line(out: &mut String, value: &Value) {
+    out.push_str(&serde_json::to_string(value).expect("value trees always serialize"));
+    out.push('\n');
+}
+
+/// Renders an event stream plus the per-rank aggregate traces as
+/// line-delimited JSON: a `meta` header line, one `event` line per recorded
+/// event, then one `summary` line per rank.
+///
+/// With `include_wall = false` the `wall_nanos` field of every event is
+/// nulled, making same-seed replays byte-identical.
+pub fn events_jsonl(
+    events_by_rank: &[Vec<OpEvent>],
+    traces: &[RankTrace],
+    include_wall: bool,
+) -> String {
+    assert_eq!(events_by_rank.len(), traces.len(), "one trace per rank");
+    let mut out = String::new();
+    jsonl_line(
+        &mut out,
+        &Value::Object(vec![
+            ("type".to_string(), Value::String("meta".to_string())),
+            ("format".to_string(), Value::String("twoface-events".to_string())),
+            ("version".to_string(), Value::UInt(1)),
+            ("ranks".to_string(), Value::UInt(events_by_rank.len() as u64)),
+        ]),
+    );
+    for (rank, events) in events_by_rank.iter().enumerate() {
+        for e in events {
+            let mut entries = match e.to_value() {
+                Value::Object(entries) => entries,
+                _ => unreachable!("derived struct serialization is an object"),
+            };
+            if !include_wall {
+                for (key, value) in entries.iter_mut() {
+                    if key == "wall_nanos" {
+                        *value = Value::Null;
+                    }
+                }
+            }
+            entries.insert(0, ("rank".to_string(), Value::UInt(rank as u64)));
+            entries.insert(0, ("type".to_string(), Value::String("event".to_string())));
+            jsonl_line(&mut out, &Value::Object(entries));
+        }
+    }
+    for (rank, trace) in traces.iter().enumerate() {
+        jsonl_line(
+            &mut out,
+            &Value::Object(vec![
+                ("type".to_string(), Value::String("summary".to_string())),
+                ("rank".to_string(), Value::UInt(rank as u64)),
+                ("trace".to_string(), trace.to_value()),
+            ]),
+        );
+    }
+    out
+}
+
+/// An event stream read back from [`events_jsonl`] output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedEvents {
+    /// Per-rank events, in recording order.
+    pub events_by_rank: Vec<Vec<OpEvent>>,
+    /// Per-rank aggregate traces from the `summary` lines.
+    pub traces: Vec<RankTrace>,
+}
+
+/// Parses and validates [`events_jsonl`] output.
+///
+/// # Errors
+///
+/// Returns a [`DeError`] describing the first malformed line: bad JSON, an
+/// unknown `type`, a rank out of range, an event span ending before it
+/// starts, or a missing per-rank summary.
+pub fn parse_events_jsonl(text: &str) -> Result<ParsedEvents, DeError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or_else(|| DeError::custom("empty event stream"))?;
+    let header: Value = serde_json::from_str(header)?;
+    if header.get("type").and_then(Value::as_str) != Some("meta")
+        || header.get("format").and_then(Value::as_str) != Some("twoface-events")
+    {
+        return Err(DeError::custom("first line must be a twoface-events meta header"));
+    }
+    match header.get("version").and_then(Value::as_u64) {
+        Some(1) => {}
+        other => return Err(DeError::custom(format!("unsupported version {other:?}"))),
+    }
+    let ranks = header
+        .get("ranks")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| DeError::custom("meta header lacks `ranks`"))? as usize;
+
+    let mut events_by_rank = vec![Vec::new(); ranks];
+    let mut traces: Vec<Option<RankTrace>> = vec![None; ranks];
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| DeError::custom(format!("line {line_no}: {e}")))?;
+        let rank = value
+            .get("rank")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| DeError::custom(format!("line {line_no}: missing `rank`")))?
+            as usize;
+        if rank >= ranks {
+            return Err(DeError::custom(format!(
+                "line {line_no}: rank {rank} out of range for {ranks} ranks"
+            )));
+        }
+        match value.get("type").and_then(Value::as_str) {
+            Some("event") => {
+                let event = OpEvent::from_value(&value)
+                    .map_err(|e| DeError::custom(format!("line {line_no}: {e}")))?;
+                if event.end_seconds < event.start_seconds {
+                    return Err(DeError::custom(format!(
+                        "line {line_no}: event ends before it starts"
+                    )));
+                }
+                events_by_rank[rank].push(event);
+            }
+            Some("summary") => {
+                let trace = value
+                    .get("trace")
+                    .ok_or_else(|| DeError::custom(format!("line {line_no}: missing `trace`")))
+                    .and_then(RankTrace::from_value)
+                    .map_err(|e| DeError::custom(format!("line {line_no}: {e}")))?;
+                traces[rank] = Some(trace);
+            }
+            other => {
+                return Err(DeError::custom(format!(
+                    "line {line_no}: unknown record type {other:?}"
+                )))
+            }
+        }
+    }
+    let traces: Vec<RankTrace> = traces
+        .into_iter()
+        .enumerate()
+        .map(|(r, t)| t.ok_or_else(|| DeError::custom(format!("rank {r} has no summary line"))))
+        .collect::<Result<_, _>>()?;
+    Ok(ParsedEvents { events_by_rank, traces })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Lane;
+    use crate::event::OpKind;
+    use crate::trace::FaultKind;
+
+    fn sample_events() -> Vec<Vec<OpEvent>> {
+        let base = OpEvent {
+            seq: 0,
+            kind: OpKind::Allgather,
+            lane: Lane::Sync,
+            class: PhaseClass::SyncComm,
+            start_seconds: 0.0,
+            end_seconds: 1e-5,
+            elements: 64,
+            peers: vec![],
+            initiator: false,
+            fault: None,
+            wall_nanos: None,
+        };
+        vec![
+            vec![
+                base.clone(),
+                OpEvent {
+                    seq: 1,
+                    kind: OpKind::Fault,
+                    class: PhaseClass::Recovery,
+                    start_seconds: 2e-5,
+                    end_seconds: 2e-5,
+                    fault: Some(FaultKind::GetFailure),
+                    ..base.clone()
+                },
+            ],
+            vec![OpEvent {
+                kind: OpKind::Kernel,
+                class: PhaseClass::SyncComp,
+                elements: 4096,
+                wall_nanos: Some(1234),
+                initiator: true,
+                ..base.clone()
+            }],
+        ]
+    }
+
+    fn sample_traces() -> Vec<RankTrace> {
+        let mut t = RankTrace::new();
+        t.add_time(PhaseClass::SyncComm, 1e-5);
+        vec![t.clone(), t]
+    }
+
+    #[test]
+    fn chrome_trace_has_processes_tracks_and_instants() {
+        let text = chrome_trace_json(&sample_events(), false);
+        let root: Value = serde_json::from_str(&text).unwrap();
+        let events = root.get("traceEvents").and_then(Value::as_array).unwrap();
+        // 2 ranks × (1 process_name + 7 thread_name) metas + 3 events.
+        assert_eq!(events.len(), 2 * 8 + 3);
+        let phases: Vec<&str> =
+            events.iter().filter_map(|e| e.get("ph").and_then(Value::as_str)).collect();
+        assert_eq!(phases.iter().filter(|&&p| p == "M").count(), 16);
+        assert_eq!(phases.iter().filter(|&&p| p == "X").count(), 2);
+        assert_eq!(phases.iter().filter(|&&p| p == "i").count(), 1);
+        // The fault instant lands on track 0 under its fault-kind name.
+        let instant =
+            events.iter().find(|e| e.get("ph").and_then(Value::as_str) == Some("i")).unwrap();
+        assert_eq!(instant.get("tid").and_then(Value::as_u64), Some(0));
+        assert_eq!(instant.get("name").and_then(Value::as_str), Some("get failure"));
+        // Spans carry ts/dur in microseconds plus required fields.
+        let span =
+            events.iter().find(|e| e.get("ph").and_then(Value::as_str) == Some("X")).unwrap();
+        for key in ["pid", "tid", "name", "cat", "ts", "dur", "args"] {
+            assert!(span.get(key).is_some(), "span missing {key}");
+        }
+        assert_eq!(span.get("dur").and_then(Value::as_f64), Some(10.0));
+    }
+
+    #[test]
+    fn wall_time_is_segregated_behind_include_wall() {
+        let with = chrome_trace_json(&sample_events(), true);
+        let without = chrome_trace_json(&sample_events(), false);
+        assert!(with.contains("wall_nanos"));
+        assert!(!without.contains("wall_nanos"));
+    }
+
+    #[test]
+    fn jsonl_round_trips_and_nulls_wall_time() {
+        let events = sample_events();
+        let traces = sample_traces();
+        let text = events_jsonl(&events, &traces, false);
+        let parsed = parse_events_jsonl(&text).unwrap();
+        let mut expected = events.clone();
+        expected[1][0].wall_nanos = None; // include_wall = false strips it
+        assert_eq!(parsed.events_by_rank, expected);
+        assert_eq!(parsed.traces, traces);
+
+        let kept = parse_events_jsonl(&events_jsonl(&events, &traces, true)).unwrap();
+        assert_eq!(kept.events_by_rank, events);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_streams() {
+        let good = events_jsonl(&sample_events(), &sample_traces(), false);
+        assert!(parse_events_jsonl("").is_err());
+        assert!(parse_events_jsonl("{\"type\":\"meta\"}\n").is_err());
+        let bad_version = good.replacen("\"version\":1", "\"version\":9", 1);
+        assert!(parse_events_jsonl(&bad_version).is_err());
+        let truncated: String = good.lines().take(2).map(|l| format!("{l}\n")).collect();
+        let err = parse_events_jsonl(&truncated).unwrap_err();
+        assert!(err.to_string().contains("no summary"), "got: {err}");
+        let garbled = format!("{good}not json\n");
+        assert!(parse_events_jsonl(&garbled).is_err());
+    }
+}

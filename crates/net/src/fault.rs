@@ -36,6 +36,15 @@
 //! ([`FaultPlan::injected_get_failures`], [`FaultPlan::latency_spike`],
 //! [`FaultPlan::meet_jitter`]) so tests can predict exactly how many faults
 //! a run must have recorded in its trace.
+//!
+//! Because injection is deterministic, faults are first-class citizens of
+//! the observability layer: each one is recorded as a zero-duration
+//! [`OpKind::Fault`](crate::OpKind::Fault) instant (a marker on the
+//! dedicated `Faults` track of the Perfetto export), each lost attempt as
+//! an [`OpKind::Retry`](crate::OpKind::Retry) span, and each backoff as an
+//! [`OpKind::Backoff`](crate::OpKind::Backoff) span in
+//! [`PhaseClass::Recovery`](crate::PhaseClass::Recovery) — and the whole
+//! annotated timeline replays bitwise for a given seed.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

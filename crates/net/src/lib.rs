@@ -20,7 +20,13 @@
 //! * **Deterministic fault injection** — a seeded [`FaultPlan`] degrades the
 //!   perfect network reproducibly (transient one-sided failures with
 //!   retry/backoff, latency spikes, meet jitter, stalled ranks), surfacing
-//!   typed [`NetError`]s instead of hangs or silent corruption.
+//!   typed [`NetError`]s instead of hangs or silent corruption;
+//! * **Per-operation observability** — with an [`Observability`] level
+//!   installed ([`Cluster::set_observability`]), every communication
+//!   operation, fault injection, and kernel span is recorded as an
+//!   [`OpEvent`] (exportable to Perfetto via [`export`]) and distilled into
+//!   a [`MetricsRegistry`] of counters and log₂ histograms; recording off
+//!   (the default) costs one branch per operation.
 //!
 //! # Example
 //!
@@ -45,14 +51,19 @@
 
 mod cluster;
 mod cost;
+mod event;
+pub mod export;
 mod fault;
 mod meet;
+mod metrics;
 mod time;
 mod trace;
 
 pub use cluster::{Cluster, Lane, RankCtx, RankOutput, WindowId};
 pub use cost::CostModel;
+pub use event::{seconds_by_class, Observability, OpEvent, OpKind, TraceLevel};
 pub use fault::{FaultPlan, NetError, RetryPolicy, SlowRank};
 pub use meet::Payload;
+pub use metrics::{Histogram, MetricsRegistry};
 pub use time::SimTime;
 pub use trace::{FaultEvent, FaultKind, PhaseClass, RankTrace};

@@ -11,6 +11,13 @@
 //! pass identical tags and group sizes; like MPI, each rank must issue its
 //! collectives in a globally consistent order or the run deadlocks (a
 //! 60-second watchdog turns such deadlocks into panics naming the tag).
+//!
+//! The gap between a rank's arrival and the meet's resolution is what the
+//! observability layer records as an
+//! [`OpKind::MeetWait`](crate::OpKind::MeetWait) event, and the spread
+//! between the earliest and latest arrival feeds the
+//! `meet_arrival_spread_ns` histogram — the per-collective view of the
+//! straggler imbalance that Figure 10's aggregate bars can only hint at.
 
 use crate::SimTime;
 use std::collections::HashMap;

@@ -1,0 +1,368 @@
+//! Counters and log₂-bucketed histograms collected alongside the event
+//! stream.
+//!
+//! Where [`RankTrace`](crate::RankTrace) keeps the fixed aggregate counters
+//! the paper's figures need, the [`MetricsRegistry`] holds *distributions*
+//! that diagnose imbalance: one-sided get sizes, coalesced run lengths,
+//! retries per operation, meet arrival spread, multicast fan-out. Metrics
+//! are recorded only while observability is enabled (any level above
+//! [`TraceLevel::Off`](crate::TraceLevel::Off)), so the disabled fast path
+//! allocates nothing.
+//!
+//! Registries are plain deterministic data: `BTreeMap`-backed, merged across
+//! ranks in rank order, and serialized with sorted keys.
+
+use serde::{field, DeError, Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+
+/// Number of log₂ buckets: one for zero plus one per bit of a `u64`.
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram over `u64` samples.
+///
+/// Bucket 0 holds exactly the value 0; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i - 1]` — i.e. all values with bit length `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { counts: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// The bucket index `value` falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive `[low, high]` value range of bucket `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 65`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < BUCKETS, "bucket index {index} out of range");
+        if index == 0 {
+            (0, 0)
+        } else if index == BUCKETS - 1 {
+            (1 << (index - 1), u64::MAX)
+        } else {
+            (1 << (index - 1), (1 << index) - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.counts[Histogram::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample, if any were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Sample count in bucket `index` (see [`Histogram::bucket_bounds`]).
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.counts[index]
+    }
+
+    /// The non-empty buckets as `(low, high, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &n)| n > 0).map(|(i, &n)| {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            (lo, hi, n)
+        })
+    }
+
+    /// Folds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+// The vendored serde has no map or long-array support, so the histogram
+// serializes its non-empty buckets as parallel arrays.
+impl Serialize for Histogram {
+    fn to_value(&self) -> Value {
+        let nonzero: Vec<(usize, u64)> =
+            self.counts.iter().enumerate().filter(|(_, &n)| n > 0).map(|(i, &n)| (i, n)).collect();
+        Value::Object(vec![
+            ("count".to_string(), self.count.to_value()),
+            ("sum".to_string(), self.sum.to_value()),
+            ("min".to_string(), self.min().to_value()),
+            ("max".to_string(), self.max().to_value()),
+            (
+                "buckets".to_string(),
+                nonzero.iter().map(|&(i, _)| i as u64).collect::<Vec<u64>>().to_value(),
+            ),
+            (
+                "bucket_counts".to_string(),
+                nonzero.iter().map(|&(_, n)| n).collect::<Vec<u64>>().to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Histogram {
+    fn from_value(value: &Value) -> Result<Histogram, DeError> {
+        let entries = match value {
+            Value::Object(entries) => entries,
+            _ => return Err(DeError::custom("expected a Histogram object")),
+        };
+        let count: u64 = field(entries, "count", "Histogram")?;
+        let sum: u64 = field(entries, "sum", "Histogram")?;
+        let min: Option<u64> = field(entries, "min", "Histogram")?;
+        let max: Option<u64> = field(entries, "max", "Histogram")?;
+        let buckets: Vec<u64> = field(entries, "buckets", "Histogram")?;
+        let bucket_counts: Vec<u64> = field(entries, "bucket_counts", "Histogram")?;
+        if buckets.len() != bucket_counts.len() {
+            return Err(DeError::custom("buckets/bucket_counts length mismatch"));
+        }
+        let mut counts = [0u64; BUCKETS];
+        for (&i, &n) in buckets.iter().zip(bucket_counts.iter()) {
+            let slot = counts
+                .get_mut(i as usize)
+                .ok_or_else(|| DeError::custom("bucket index out of range"))?;
+            *slot = n;
+        }
+        Ok(Histogram { counts, count, sum, min: min.unwrap_or(u64::MAX), max: max.unwrap_or(0) })
+    }
+}
+
+/// A named collection of counters and [`Histogram`]s.
+///
+/// Metric names are free-form; the cluster records under the names listed in
+/// the crate docs (`one_sided_get_elements`, `retries_per_op`,
+/// `meet_arrival_spread_ns`, `multicast_fanout`, plus `ops.*` counters), and
+/// algorithm bodies add their own (e.g. `coalesced_run_rows`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to counter `name` (creating it at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Records `value` into histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// Current value of counter `name` (zero if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram named `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another registry into this one (counters add, histograms
+    /// merge).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, &value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+}
+
+// Manual impls: the vendored serde derive has no map support. Keys are
+// emitted in BTreeMap (sorted) order, keeping the JSON deterministic.
+impl Serialize for MetricsRegistry {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "counters".to_string(),
+                Value::Object(
+                    self.counters.iter().map(|(k, v)| (k.clone(), v.to_value())).collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                Value::Object(
+                    self.histograms.iter().map(|(k, v)| (k.clone(), v.to_value())).collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for MetricsRegistry {
+    fn from_value(value: &Value) -> Result<MetricsRegistry, DeError> {
+        let section = |name: &str| -> Result<&Vec<(String, Value)>, DeError> {
+            match value.get(name) {
+                Some(Value::Object(pairs)) => Ok(pairs),
+                _ => Err(DeError::custom(format!("expected object field `{name}`"))),
+            }
+        };
+        let mut out = MetricsRegistry::new();
+        for (name, v) in section("counters")? {
+            out.counters.insert(name.clone(), u64::from_value(v)?);
+        }
+        for (name, v) in section("histograms")? {
+            out.histograms.insert(name.clone(), Histogram::from_value(v)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Histogram::bucket_bounds(1), (1, 1));
+        assert_eq!(Histogram::bucket_bounds(4), (8, 15));
+        assert_eq!(Histogram::bucket_bounds(64), (1 << 63, u64::MAX));
+        for i in 0..64 {
+            let (_, hi) = Histogram::bucket_bounds(i);
+            let (lo_next, _) = Histogram::bucket_bounds(i + 1);
+            assert_eq!(hi + 1, lo_next, "bucket {i} must abut bucket {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn observe_tracks_stats_and_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+        for v in [0, 1, 5, 5, 300] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 311);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(300));
+        assert_eq!(h.mean(), Some(62.2));
+        assert_eq!(h.bucket_count(0), 1); // 0
+        assert_eq!(h.bucket_count(3), 2); // 5, 5
+        assert_eq!(h.bucket_count(9), 1); // 300
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(0, 0, 1), (1, 1, 1), (4, 7, 2), (256, 511, 1)]);
+    }
+
+    #[test]
+    fn merge_combines_histograms_and_registries() {
+        let mut a = MetricsRegistry::new();
+        a.inc("ops", 2);
+        a.observe("sizes", 10);
+        let mut b = MetricsRegistry::new();
+        b.inc("ops", 3);
+        b.inc("faults", 1);
+        b.observe("sizes", 1000);
+        b.observe("spread", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("ops"), 5);
+        assert_eq!(a.counter("faults"), 1);
+        assert_eq!(a.counter("missing"), 0);
+        let sizes = a.histogram("sizes").unwrap();
+        assert_eq!(sizes.count(), 2);
+        assert_eq!(sizes.min(), Some(10));
+        assert_eq!(sizes.max(), Some(1000));
+        assert!(a.histogram("spread").is_some());
+        assert!(!a.is_empty());
+        assert!(MetricsRegistry::new().is_empty());
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("zulu", 9);
+        reg.inc("alpha", 1);
+        reg.observe("sizes", 0);
+        reg.observe("sizes", 123456);
+        let value = reg.to_value();
+        let back = MetricsRegistry::from_value(&value).unwrap();
+        assert_eq!(back, reg);
+        // Keys serialize in sorted order for determinism.
+        let text = serde_json::to_string(&reg).unwrap();
+        assert!(text.find("\"alpha\"").unwrap() < text.find("\"zulu\"").unwrap());
+    }
+
+    #[test]
+    fn empty_histogram_round_trips() {
+        let h = Histogram::default();
+        let back = Histogram::from_value(&h.to_value()).unwrap();
+        assert_eq!(back, h);
+    }
+}

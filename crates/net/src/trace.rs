@@ -53,7 +53,9 @@ impl PhaseClass {
         }
     }
 
-    fn index(self) -> usize {
+    /// Position in [`PhaseClass::ALL`] (also the storage index of
+    /// per-class arrays and the Perfetto track order).
+    pub(crate) fn index(self) -> usize {
         match self {
             PhaseClass::SyncComp => 0,
             PhaseClass::SyncComm => 1,
@@ -76,6 +78,18 @@ pub enum FaultKind {
     MeetJitter,
     /// A slow rank straggled before a collective arrival.
     RankStall,
+}
+
+impl FaultKind {
+    /// Human-readable name (used for Perfetto instant markers).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::GetFailure => "get failure",
+            FaultKind::LatencySpike => "latency spike",
+            FaultKind::MeetJitter => "meet jitter",
+            FaultKind::RankStall => "rank stall",
+        }
+    }
 }
 
 /// One injected fault, recorded in the issuing rank's trace.
@@ -144,6 +158,13 @@ impl RankTrace {
     /// Total simulated seconds across all categories.
     pub fn total_seconds(&self) -> f64 {
         self.seconds_by_class.iter().sum()
+    }
+
+    /// Per-class simulated seconds in [`PhaseClass::ALL`] order (the shape
+    /// [`seconds_by_class`](crate::seconds_by_class) derives from an event
+    /// stream, for cross-checking the two accounting systems).
+    pub fn class_seconds(&self) -> [f64; 6] {
+        self.seconds_by_class
     }
 
     /// Records an injected fault.
