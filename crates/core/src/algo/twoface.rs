@@ -38,8 +38,9 @@ use twoface_partition::PartitionPlan;
 pub(crate) struct TwoFaceData {
     /// The (replicated) plan: classifications plus multicast metadata.
     pub plan: Arc<PartitionPlan>,
-    /// Each rank's Figure-6 structures.
-    pub rank_matrices: Vec<RankMatrices>,
+    /// Each rank's Figure-6 structures (shared with the
+    /// [`PreparedMatrix`](crate::PreparedMatrix) they may have come from).
+    pub rank_matrices: Arc<Vec<RankMatrices>>,
     /// Each rank's block of `B`.
     pub b_blocks: Vec<Arc<Vec<f64>>>,
 }
@@ -56,10 +57,29 @@ impl TwoFaceData {
         pool: &Pool,
     ) -> TwoFaceData {
         let p = problem.layout.nodes();
-        let rank_matrices = pool
-            .map(p, |rank| RankMatrices::build(&problem.a, &plan, rank, config.row_panel_height));
+        let rank_matrices =
+            Arc::new(pool.map(p, |rank| {
+                RankMatrices::build(&problem.a, &plan, rank, config.row_panel_height)
+            }));
         let b_blocks = pool.map(p, |rank| Arc::new(problem.b_block(rank)));
         TwoFaceData { plan, rank_matrices, b_blocks }
+    }
+
+    /// Stages execution data from a compatible [`PreparedMatrix`]: the plan
+    /// and rank structures are shared (no rebuild), only the `B` blocks —
+    /// the part that depends on the dense operand — are copied out.
+    pub fn from_prepared(
+        problem: &Problem,
+        prepared: &crate::prepared::PreparedMatrix,
+        pool: &Pool,
+    ) -> TwoFaceData {
+        let p = problem.layout.nodes();
+        let b_blocks = pool.map(p, |rank| Arc::new(problem.b_block(rank)));
+        TwoFaceData {
+            plan: Arc::clone(prepared.plan()),
+            rank_matrices: Arc::clone(prepared.rank_matrices()),
+            b_blocks,
+        }
     }
 }
 

@@ -68,6 +68,12 @@ impl SyncLocalMatrix {
     pub fn entries(&self) -> &[Triplet] {
         &self.entries
     }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<Triplet>()
+            + self.panel_ptrs.len() * std::mem::size_of::<usize>()
+    }
 }
 
 /// One asynchronous stripe of one node (a run of Figure 6c).
@@ -110,6 +116,20 @@ impl AsyncMatrix {
         &self.stripes
     }
 
+    /// Approximate heap footprint in bytes (both entry orders plus the
+    /// unique-column tables).
+    pub fn approx_bytes(&self) -> usize {
+        let word = std::mem::size_of::<usize>();
+        self.stripes
+            .iter()
+            .map(|s| {
+                2 * s.entries.len() * std::mem::size_of::<Triplet>()
+                    + s.unique_cols.len() * word
+                    + std::mem::size_of::<AsyncStripe>()
+            })
+            .sum()
+    }
+
     /// Total nonzeros across stripes.
     pub fn nnz(&self) -> usize {
         self.stripes.iter().map(AsyncStripe::nnz).sum()
@@ -131,6 +151,12 @@ pub struct RankMatrices {
 }
 
 impl RankMatrices {
+    /// Approximate heap footprint in bytes — the quantity the serving
+    /// layer's plan cache charges against its byte budget.
+    pub fn approx_bytes(&self) -> usize {
+        self.sync_local.approx_bytes() + self.asynchronous.approx_bytes()
+    }
+
     /// Builds the node's structures from the global matrix and the plan.
     ///
     /// Only nonzeros in `rank`'s row block are consulted. Row indices are

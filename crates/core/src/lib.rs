@@ -50,6 +50,7 @@ mod format;
 pub mod gnn;
 pub mod kernels;
 pub mod pool;
+mod prepared;
 mod reference;
 mod runner;
 pub mod sampling;
@@ -60,8 +61,9 @@ pub use coalesce::{coalesce_rows, runs_to_rows, RowRun};
 pub use config::{AsyncLayout, TwoFaceConfig};
 pub use error::RunError;
 pub use format::{AsyncMatrix, AsyncStripe, RankMatrices, SyncLocalMatrix};
+pub use prepared::PreparedMatrix;
 pub use reference::{reference_spmm, reference_spmm_pooled};
 pub use runner::{
-    prepare_plan, prepare_plan_with_classifier, run_algorithm, run_spmv, Breakdown,
-    ExecutionReport, Problem, RunOptions, TRACE_ENV,
+    prepare_plan, prepare_plan_with_classifier, run_algorithm, run_algorithm_on, run_spmv,
+    Breakdown, ExecutionReport, Problem, RunOptions, TRACE_ENV,
 };

@@ -180,9 +180,20 @@ pub struct RunOptions {
     /// calibrated regression. Pass `Some` to study miscalibration, as
     /// Figure 12 does.
     pub coefficients: Option<ModelCoefficients>,
+    /// Which stripe classifier builds the plan when none is supplied.
+    /// Defaults to the paper's §4.2 greedy model.
+    pub classifier: ClassifierKind,
     /// A preprocessed plan to reuse (otherwise one is built per run for the
     /// algorithms that need it).
     pub plan: Option<Arc<PartitionPlan>>,
+    /// Full `B`-independent preprocessing output to reuse — the plan *and*
+    /// every rank's Figure-6 structures (see
+    /// [`PreparedMatrix`](crate::PreparedMatrix)). Takes precedence over
+    /// [`RunOptions::plan`] for plan-using algorithms. The rank structures
+    /// are only reused when the artifact is compatible with this run
+    /// (same layout and `row_panel_height`); otherwise they are rebuilt from
+    /// the prepared plan.
+    pub prepared: Option<Arc<crate::prepared::PreparedMatrix>>,
     /// A seeded fault plan to install on the cluster for this run. `None`
     /// (the default) simulates a perfect network. Under a nonzero plan the
     /// run either recovers to a bit-identical output (retried transfers,
@@ -213,7 +224,9 @@ impl Default for RunOptions {
             validate: false,
             config: TwoFaceConfig::default(),
             coefficients: None,
+            classifier: ClassifierKind::Greedy,
             plan: None,
+            prepared: None,
             fault_plan: None,
             workers: None,
             observability: Observability::off(),
@@ -445,7 +458,7 @@ pub fn prepare_plan_with_classifier(
 
 /// The plan builder with every knob resolved; public entry points default
 /// the worker count from the environment.
-fn prepare_plan_inner(
+pub(crate) fn prepare_plan_inner(
     problem: &Problem,
     coefficients: &ModelCoefficients,
     cost: &CostModel,
@@ -582,6 +595,51 @@ pub fn run_algorithm(
     cost: &CostModel,
     options: &RunOptions,
 ) -> Result<ExecutionReport, RunError> {
+    run_algorithm_inner(algorithm, problem, cost, options, None)
+}
+
+/// [`run_algorithm`] on a caller-owned [`Cluster`] instead of a fresh one
+/// per run — the serving layer's warm-session entry point.
+///
+/// The cluster must have `problem`'s rank count and should be built with the
+/// *effective* cost (`options.config.effective_cost(cost)`), which is what
+/// [`run_algorithm`] itself simulates on. `options.fault_plan` and the
+/// resolved observability are installed on the cluster for this run (each
+/// run snapshots them, so concurrent configuration is not disturbed
+/// mid-flight). Window retention is left exactly as the caller configured
+/// it: with [`Cluster::set_window_retention`] enabled, windows created here
+/// survive for later runs.
+///
+/// # Errors
+///
+/// Everything [`run_algorithm`] returns, plus [`RunError::Shape`] when the
+/// cluster's rank count differs from the problem's layout.
+pub fn run_algorithm_on(
+    cluster: &Cluster,
+    algorithm: Algorithm,
+    problem: &Problem,
+    cost: &CostModel,
+    options: &RunOptions,
+) -> Result<ExecutionReport, RunError> {
+    if cluster.ranks() != problem.layout.nodes() {
+        return Err(RunError::Shape {
+            context: format!(
+                "cluster has {} ranks but the problem is laid out over {} nodes",
+                cluster.ranks(),
+                problem.layout.nodes()
+            ),
+        });
+    }
+    run_algorithm_inner(algorithm, problem, cost, options, Some(cluster))
+}
+
+fn run_algorithm_inner(
+    algorithm: Algorithm,
+    problem: &Problem,
+    cost: &CostModel,
+    options: &RunOptions,
+    external: Option<&Cluster>,
+) -> Result<ExecutionReport, RunError> {
     let p = problem.layout.nodes();
     if let Algorithm::DenseShifting { replication } = algorithm {
         if replication == 0 || replication > p {
@@ -603,21 +661,41 @@ pub fn run_algorithm(
     let coefficients = options.coefficients.unwrap_or_else(|| ModelCoefficients::from(&effective));
 
     // Preprocessing / data staging (untimed, like loading the preprocessed
-    // matrices from disk in the real system).
+    // matrices from disk in the real system). A supplied PreparedMatrix
+    // short-circuits all of it; it must at least match the layout, or the
+    // rank structures would address the wrong blocks.
+    let prepared = options.prepared.as_ref().filter(|_| algorithm.uses_plan());
+    if let Some(prep) = prepared {
+        if prep.plan().layout() != &problem.layout {
+            return Err(RunError::Shape {
+                context: format!(
+                    "prepared matrix was built for a {} × {} layout over {} nodes, but the \
+                     problem is {} × {} over {} nodes",
+                    prep.plan().layout().rows(),
+                    prep.plan().layout().cols(),
+                    prep.plan().layout().nodes(),
+                    problem.layout.rows(),
+                    problem.layout.cols(),
+                    p
+                ),
+            });
+        }
+    }
     let plan: Option<Arc<PartitionPlan>> = if algorithm.uses_plan() {
-        Some(match (&options.plan, algorithm) {
-            (Some(plan), _) => Arc::clone(plan),
-            (None, Algorithm::AsyncFine) => Arc::new(PartitionPlan::build_uniform(
+        Some(match (prepared, &options.plan, algorithm) {
+            (Some(prep), _, _) => Arc::clone(prep.plan()),
+            (None, Some(plan), _) => Arc::clone(plan),
+            (None, None, Algorithm::AsyncFine) => Arc::new(PartitionPlan::build_uniform(
                 &problem.a,
                 problem.layout.clone(),
                 k,
                 StripeClass::Async,
             )),
-            (None, _) => Arc::new(prepare_plan_inner(
+            (None, None, _) => Arc::new(prepare_plan_inner(
                 problem,
                 &coefficients,
                 &effective,
-                ClassifierKind::Greedy,
+                options.classifier,
                 workers,
             )),
         })
@@ -642,11 +720,25 @@ pub fn run_algorithm(
         });
     }
 
-    let twoface_data = plan.map(|plan| TwoFaceData::build(problem, plan, &options.config, &pool));
+    let twoface_data = plan.map(|plan| match prepared {
+        // Reuse the prepared rank structures when they fit this run; only
+        // the B blocks (which depend on the dense operand) are staged fresh.
+        Some(prep) if prep.compatible_with(problem, &options.config) => {
+            TwoFaceData::from_prepared(problem, prep, &pool)
+        }
+        _ => TwoFaceData::build(problem, plan, &options.config, &pool),
+    });
 
     // Execute.
     let (observability, trace_path) = resolve_observability(options);
-    let cluster = Cluster::new(p, effective);
+    let owned_cluster;
+    let cluster = match external {
+        Some(cluster) => cluster,
+        None => {
+            owned_cluster = Cluster::new(p, effective);
+            &owned_cluster
+        }
+    };
     cluster.set_fault_plan(options.fault_plan.clone());
     cluster.set_observability(observability.clone());
     let outputs = cluster.run(|ctx| match algorithm {

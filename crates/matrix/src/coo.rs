@@ -160,6 +160,20 @@ impl CooMatrix {
         &self.entries
     }
 
+    /// Stable 64-bit content fingerprint: dimensions, nonzero count, and
+    /// every `(row, col, bit-exact value)` triplet in canonical (sorted)
+    /// order. Two `CooMatrix` values fingerprint equal iff they are the same
+    /// matrix with the same stored-entry set, making the digest a safe cache
+    /// key for preprocessing artifacts derived from this matrix.
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = crate::Fingerprint::new();
+        f.mix_bytes(b"coo").mix_usize(self.rows).mix_usize(self.cols).mix_usize(self.nnz());
+        for t in &self.entries {
+            f.mix_usize(t.row).mix_usize(t.col).mix_f64(t.val);
+        }
+        f.finish()
+    }
+
     /// Consumes the matrix, returning its triplets.
     pub fn into_triplets(self) -> Vec<Triplet> {
         self.entries

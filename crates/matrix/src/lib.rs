@@ -38,6 +38,7 @@ mod csc;
 mod csr;
 mod dense;
 mod error;
+mod fingerprint;
 pub mod gen;
 pub mod io;
 pub mod stats;
@@ -47,6 +48,7 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::MatrixError;
+pub use fingerprint::Fingerprint;
 
 /// The scalar type used throughout the workspace.
 ///

@@ -187,6 +187,19 @@ impl FaultPlan {
         FaultPlan::seeded(seed)
     }
 
+    /// The same plan (rates, slow ranks, retry policy) under a seed derived
+    /// from `salt`.
+    ///
+    /// Fault decisions are pure functions of `(seed, rank, op index)`, so
+    /// retrying a failed run under the *identical* plan replays the identical
+    /// faults and fails the same way forever. A retry loop instead reseeds
+    /// each attempt (`plan.reseeded(attempt)`): the fault *distribution* is
+    /// preserved while the concrete transient failures land elsewhere —
+    /// which is how real networks behave across retries.
+    pub fn reseeded(&self, salt: u64) -> FaultPlan {
+        FaultPlan { seed: mix(self.seed ^ mix(salt)), ..self.clone() }
+    }
+
     /// A mildly imperfect network: occasional transient get failures,
     /// rare latency spikes, and sub-microsecond delivery jitter.
     pub fn light(seed: u64) -> FaultPlan {
@@ -516,5 +529,15 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn out_of_range_rate_rejected() {
         let _ = FaultPlan::seeded(0).with_get_failure_rate(1.5);
+    }
+
+    #[test]
+    fn reseeded_preserves_policy_but_derives_the_seed() {
+        let plan = FaultPlan::heavy(42).with_slow_rank(1, 0.5).with_stall_timeout(3.0);
+        let again = plan.reseeded(7);
+        assert_ne!(again.seed, plan.seed);
+        assert_eq!(again.reseeded(0).seed, plan.reseeded(7).reseeded(0).seed, "deterministic");
+        assert_ne!(plan.reseeded(1).seed, plan.reseeded(2).seed);
+        assert_eq!(FaultPlan { seed: plan.seed, ..again.clone() }, plan, "only the seed changes");
     }
 }

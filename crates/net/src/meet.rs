@@ -166,6 +166,12 @@ impl MeetRegistry {
         MeetRegistry::default()
     }
 
+    /// Drops every registered meet state. Only sound between runs: a rank
+    /// blocked inside [`MeetRegistry::meet`] would lose its rendezvous.
+    pub(crate) fn clear(&self) {
+        self.states.lock().expect("meet registry poisoned").clear();
+    }
+
     /// Arrives at meet `tag` with `expected` total participants.
     ///
     /// Blocks until all participants have arrived, then returns the maximum

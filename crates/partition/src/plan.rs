@@ -9,7 +9,7 @@ use crate::{
     classify_node_fanout_aware, enforce_memory_cap, profile_all_nodes, ModelCoefficients,
     NodeClassification, NodeProfile, OneDimLayout, StripeClass,
 };
-use twoface_matrix::CooMatrix;
+use twoface_matrix::{CooMatrix, Fingerprint};
 
 /// Which stripe classifier a plan is built with.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -257,6 +257,64 @@ impl PartitionPlan {
     /// nodes.
     pub fn memory_flips(&self) -> usize {
         self.memory_flips
+    }
+
+    /// Stable 64-bit fingerprint of everything about the plan that affects
+    /// execution: the layout shape, `K`, every per-node stripe
+    /// classification, and the multicast destination sets.
+    ///
+    /// Classification is deterministic and collected in rank order regardless
+    /// of [`PlanOptions::workers`], so plans built from the same inputs with
+    /// different worker counts fingerprint identically — a requirement for
+    /// worker-count-independent cache keys in the serving layer.
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = Fingerprint::new();
+        f.mix_bytes(b"plan")
+            .mix_usize(self.layout.rows())
+            .mix_usize(self.layout.cols())
+            .mix_usize(self.layout.nodes())
+            .mix_usize(self.layout.stripe_width())
+            .mix_usize(self.k)
+            .mix_usize(self.memory_flips);
+        for classification in &self.classifications {
+            f.mix_usize(classification.classes.len());
+            for &(stripe, class) in &classification.classes {
+                let tag = match class {
+                    StripeClass::LocalInput => 0u64,
+                    StripeClass::Sync => 1,
+                    StripeClass::Async => 2,
+                };
+                f.mix_usize(stripe).mix_u64(tag);
+            }
+        }
+        for dests in &self.destinations {
+            f.mix_usize(dests.len());
+            for &d in dests {
+                f.mix_usize(d);
+            }
+        }
+        f.finish()
+    }
+
+    /// Approximate heap footprint of the plan in bytes (profiles,
+    /// classifications, and destination sets). Used by the serving layer's
+    /// plan cache to enforce its byte budget; exact allocator overhead is
+    /// deliberately ignored.
+    pub fn approx_bytes(&self) -> usize {
+        let word = std::mem::size_of::<usize>();
+        let mut bytes = std::mem::size_of::<PartitionPlan>();
+        for profile in &self.profiles {
+            for stripe in &profile.stripes {
+                bytes += 3 * word + stripe.cols_needed.len() * word;
+            }
+        }
+        for classification in &self.classifications {
+            bytes += classification.classes.len() * 2 * word;
+        }
+        for dests in &self.destinations {
+            bytes += word + dests.len() * word;
+        }
+        bytes
     }
 
     /// Per-class stripe counts summed over all nodes:

@@ -1,0 +1,225 @@
+//! The LRU plan cache.
+//!
+//! Preprocessing artifacts ([`PreparedMatrix`]) are keyed by a stable
+//! content fingerprint of `(A, execution options, cluster shape)` — see
+//! [`SpmmService`](crate::SpmmService) for the key derivation — and held
+//! under a configurable byte budget. Eviction is least-recently-used by
+//! *request service order*, which under a steady request mix keeps the hot
+//! matrices resident exactly as the paper's amortization argument assumes.
+
+use serde::Serialize;
+use std::sync::Arc;
+use twoface_core::PreparedMatrix;
+
+/// One resident artifact.
+struct CacheEntry {
+    key: u64,
+    prepared: Arc<PreparedMatrix>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Monotonic counters describing cache behavior so far. Serialized into
+/// bench reports; also mirrored into the service's
+/// [`MetricsRegistry`](twoface_net::MetricsRegistry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Lookups that found a resident artifact.
+    pub hits: u64,
+    /// Lookups that missed (each is followed by a build + insert).
+    pub misses: u64,
+    /// Artifacts dropped to honor the byte budget (including inserts too
+    /// large to ever cache).
+    pub evictions: u64,
+    /// Artifacts currently resident.
+    pub entries: usize,
+    /// Bytes currently charged against the budget.
+    pub bytes: usize,
+    /// The configured byte budget.
+    pub budget_bytes: usize,
+}
+
+/// An LRU cache of [`PreparedMatrix`] artifacts with a byte budget.
+///
+/// Sizes are the artifacts' [`PreparedMatrix::approx_bytes`] estimates. An
+/// artifact larger than the entire budget is never cached (counted as an
+/// immediate eviction); everything else is admitted, evicting
+/// least-recently-used entries until the budget holds.
+pub struct PlanCache {
+    budget_bytes: usize,
+    entries: Vec<CacheEntry>,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache with the given byte budget.
+    pub fn new(budget_bytes: usize) -> PlanCache {
+        PlanCache {
+            budget_bytes,
+            entries: Vec::new(),
+            bytes: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<Arc<PreparedMatrix>> {
+        self.tick += 1;
+        match self.entries.iter_mut().find(|e| e.key == key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&entry.prepared))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an artifact under `key`, evicting least-recently-used entries
+    /// until the byte budget holds. Replaces any existing entry with the
+    /// same key. An artifact larger than the whole budget is not cached and
+    /// counts as one eviction.
+    pub fn insert(&mut self, key: u64, prepared: Arc<PreparedMatrix>) {
+        let bytes = prepared.approx_bytes();
+        if let Some(i) = self.entries.iter().position(|e| e.key == key) {
+            self.bytes -= self.entries[i].bytes;
+            self.entries.remove(i);
+        }
+        if bytes > self.budget_bytes {
+            self.evictions += 1;
+            return;
+        }
+        self.tick += 1;
+        self.entries.push(CacheEntry { key, prepared, bytes, last_used: self.tick });
+        self.bytes += bytes;
+        while self.bytes > self.budget_bytes {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("bytes > 0 implies at least one entry");
+            let evicted = self.entries.remove(victim);
+            self.bytes -= evicted.bytes;
+            self.evictions += 1;
+        }
+    }
+
+    /// Drops every entry (counters are preserved; they describe the
+    /// session, not the current contents).
+    pub fn clear(&mut self) {
+        self.evictions += self.entries.len() as u64;
+        self.entries.clear();
+        self.bytes = 0;
+    }
+
+    /// Number of resident artifacts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `key` is resident (without touching recency or counters).
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.iter().any(|e| e.key == key)
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            bytes: self.bytes,
+            budget_bytes: self.budget_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use twoface_core::{PreparedMatrix, Problem, RunOptions};
+    use twoface_matrix::gen::erdos_renyi;
+    use twoface_net::CostModel;
+
+    fn prepared(seed: u64) -> Arc<PreparedMatrix> {
+        let a = Arc::new(erdos_renyi(64, 64, 500, seed));
+        let problem = Problem::with_generated_b(a, 8, 4, 8).unwrap();
+        Arc::new(
+            PreparedMatrix::build(&problem, &CostModel::delta(), &RunOptions::default()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn lru_evicts_at_the_byte_budget() {
+        let artifacts: Vec<_> = (0..3).map(prepared).collect();
+        let each = artifacts.iter().map(|p| p.approx_bytes()).max().unwrap();
+        // Room for two artifacts, not three.
+        let mut cache = PlanCache::new(2 * each + each / 2);
+        for (i, p) in artifacts.iter().enumerate() {
+            assert!(cache.get(i as u64).is_none());
+            cache.insert(i as u64, Arc::clone(p));
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.contains(0), "0 was least recently used");
+        assert!(cache.contains(1) && cache.contains(2));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 3, 1));
+        assert!(s.bytes <= s.budget_bytes);
+
+        // Touch 1, insert a fourth: 2 is now the LRU victim.
+        assert!(cache.get(1).is_some());
+        cache.insert(3, Arc::clone(&artifacts[0]));
+        assert!(cache.contains(1) && cache.contains(3) && !cache.contains(2));
+    }
+
+    #[test]
+    fn oversized_artifacts_are_never_cached() {
+        let p = prepared(9);
+        let mut cache = PlanCache::new(p.approx_bytes() - 1);
+        cache.insert(0, p);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().bytes, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_charging() {
+        let p = prepared(4);
+        let mut cache = PlanCache::new(10 * p.approx_bytes());
+        cache.insert(0, Arc::clone(&p));
+        cache.insert(0, Arc::clone(&p));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().bytes, p.approx_bytes());
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let p = prepared(5);
+        let mut cache = PlanCache::new(10 * p.approx_bytes());
+        cache.insert(0, Arc::clone(&p));
+        let _ = cache.get(0);
+        cache.clear();
+        assert!(cache.is_empty());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.evictions, s.bytes), (1, 1, 0));
+    }
+}

@@ -1,0 +1,81 @@
+//! Typed errors of the serving layer.
+
+use twoface_core::RunError;
+
+/// Why the service rejected or failed a request.
+///
+/// Scheduling errors (`UnknownMatrix`, `Shape`) surface at
+/// [`submit`](crate::SpmmService::submit) time, before the request is
+/// queued; execution errors (`Run`) arrive in the request's
+/// [`SpmmResponse`](crate::SpmmResponse) after the retry budget — and, when
+/// enabled, the dense-allgather fallback — has been exhausted.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request named a matrix handle this service never registered.
+    UnknownMatrix {
+        /// The offending handle id.
+        handle: u64,
+    },
+    /// Operand shapes are incompatible (e.g. `B` row count vs `A` columns,
+    /// or an infeasible layout at registration).
+    Shape {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+    /// Execution failed after `attempts` runs (retries and any fallback
+    /// included).
+    Run {
+        /// The failed request.
+        request: u64,
+        /// Total execution attempts made on the request's behalf.
+        attempts: u32,
+        /// The last underlying run error.
+        source: RunError,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownMatrix { handle } => {
+                write!(f, "matrix handle {handle} is not registered with this service")
+            }
+            ServeError::Shape { context } => write!(f, "shape mismatch: {context}"),
+            ServeError::Run { request, attempts, source } => {
+                write!(f, "request {request} failed after {attempts} attempt(s): {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Run { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e = ServeError::UnknownMatrix { handle: 3 };
+        assert!(e.to_string().contains("handle 3"));
+        assert!(e.source().is_none());
+
+        let e = ServeError::Run {
+            request: 7,
+            attempts: 4,
+            source: RunError::Shape { context: "bad".into() },
+        };
+        let s = e.to_string();
+        assert!(s.contains("request 7") && s.contains("4 attempt"), "{s}");
+        assert!(e.source().is_some());
+    }
+}

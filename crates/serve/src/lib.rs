@@ -1,0 +1,60 @@
+//! Persistent SpMM serving on the Two-Face stack.
+//!
+//! One-shot execution ([`run_algorithm`](twoface_core::run_algorithm))
+//! rebuilds the world per call: a fresh cluster, fresh RMA windows, and —
+//! for the plan-using algorithms — a full preprocessing pass over `A`. The
+//! paper's amortization argument (§6: preprocessing is done once per matrix
+//! and reused across the many SpMM invocations of an application) calls for
+//! a service instead. This crate provides it:
+//!
+//! * [`SpmmService`] owns a persistent [`Cluster`](twoface_net::Cluster) in
+//!   window-retention mode: RMA windows stay warm between calls and the
+//!   session epoch advances monotonically, so repeated executions skip
+//!   per-run window setup.
+//! * [`PlanCache`] holds preprocessing artifacts
+//!   ([`PreparedMatrix`](twoface_core::PreparedMatrix)) keyed by a stable
+//!   content fingerprint of `(A, execution options, cluster shape)` under a
+//!   configurable byte budget with LRU eviction.
+//! * The scheduler in [`SpmmService::drain`] fuses compatible requests into
+//!   batched executions (splitting results back bit-identically), retries
+//!   transient faults under reseeded fault plans, and falls back to the
+//!   dense allgather baseline when one-sided transfers keep timing out.
+//! * A [`SessionEvent`] timeline tags everything the service does with the
+//!   existing [`PhaseClass`](twoface_net::PhaseClass) vocabulary.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use twoface_matrix::gen::erdos_renyi;
+//! use twoface_net::CostModel;
+//! use twoface_serve::{ServeConfig, SpmmRequest, SpmmService};
+//!
+//! # fn main() -> Result<(), twoface_serve::ServeError> {
+//! let mut service = SpmmService::new(ServeConfig::new(4, CostModel::delta_scaled()));
+//! let a = service.register_matrix(Arc::new(erdos_renyi(256, 256, 4_000, 7)), 32)?;
+//!
+//! // First call: plan-cache miss, preprocessing runs.
+//! let b = Arc::new(twoface_matrix::DenseMatrix::from_fn(256, 16, |i, j| (i + j) as f64));
+//! let first = service.run_one(SpmmRequest::new(a, Arc::clone(&b)))?;
+//! assert_eq!(first.cache_hit, Some(false));
+//!
+//! // Second call with the same matrix: hit, preprocessing skipped.
+//! let second = service.run_one(SpmmRequest::new(a, b))?;
+//! assert_eq!(second.cache_hit, Some(true));
+//! assert_eq!(second.prep_wall_nanos, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod error;
+mod service;
+mod timeline;
+
+pub use cache::{CacheStats, PlanCache};
+pub use error::ServeError;
+pub use service::{MatrixHandle, RequestId, ServeConfig, SpmmRequest, SpmmResponse, SpmmService};
+pub use timeline::{timeline_jsonl, SessionEvent, SessionPhase};

@@ -1,28 +1,50 @@
-//! Full-graph GNN training over distributed SpMM (§5.4 of the paper).
+//! Full-graph GNN training over the persistent SpMM service (§5.4).
 //!
-//! Trains a two-layer GCN on a power-law social graph, comparing the
-//! per-epoch aggregation time of Two-Face against dense shifting, and shows
-//! how the one-time preprocessing cost amortizes over epochs.
+//! Trains a two-layer GCN on a power-law social graph with every aggregation
+//! routed through [`SpmmService`]: the first epoch pays preprocessing (one
+//! plan-cache miss per layer width), every later epoch hits the cache and
+//! skips it entirely — the amortization argument of §5.4 made operational.
+//! A one-shot baseline that rebuilds preprocessing for every SpMM shows what
+//! the cache saves.
 //!
 //! ```text
-//! cargo run --release -p twoface-core --example gnn_training
+//! cargo run --release -p twoface-serve --example gnn_training
 //! ```
 
 use std::error::Error;
 use std::sync::Arc;
 use std::time::Instant;
-use twoface_core::gnn::{normalize_adjacency, train_gcn};
-use twoface_core::{prepare_plan, Algorithm, Problem, RunOptions};
+use twoface_core::gnn::{normalize_adjacency, Activation, GcnLayer};
+use twoface_core::{run_algorithm, Algorithm, Problem, RunOptions};
 use twoface_matrix::gen::{rmat, RmatConfig};
 use twoface_matrix::DenseMatrix;
 use twoface_net::CostModel;
-use twoface_partition::ModelCoefficients;
+use twoface_serve::{MatrixHandle, ServeConfig, SpmmRequest, SpmmService};
 
 const P: usize = 8;
 const STRIPE_WIDTH: usize = 64;
 const FEATURES: usize = 16;
 const HIDDEN: usize = 32;
 const EPOCHS: usize = 5;
+
+/// One GCN layer forward through the service: distributed aggregation
+/// `Â · H`, then the local dense `· W` and activation.
+fn forward_served(
+    service: &mut SpmmService,
+    adjacency: MatrixHandle,
+    h: &DenseMatrix,
+    layer: &GcnLayer,
+) -> Result<(DenseMatrix, f64, bool, u64), Box<dyn Error>> {
+    let response = service.run_one(SpmmRequest::new(adjacency, Arc::new(h.clone())))?;
+    let cache_hit = response.cache_hit == Some(true);
+    let prep_nanos = response.prep_wall_nanos;
+    let aggregated = response.output?;
+    let mut out = aggregated.matmul(&layer.weights);
+    if layer.activation == Activation::Relu {
+        out.map_inplace(|v| v.max(0.0));
+    }
+    Ok((out, response.sim_seconds, cache_hit, prep_nanos))
+}
 
 fn main() -> Result<(), Box<dyn Error>> {
     // A social graph: symmetrized power-law R-MAT, row-normalized with self
@@ -39,49 +61,89 @@ fn main() -> Result<(), Box<dyn Error>> {
     });
     let cost = CostModel::delta_scaled();
 
-    // Preprocess once; reuse the plan for every SpMM of every epoch — the
-    // amortization argument of §5.4.
-    let probe = Problem::with_generated_b(Arc::clone(&adjacency), FEATURES, P, STRIPE_WIDTH)?;
-    let wall = Instant::now();
-    let plan = Arc::new(prepare_plan(&probe, &ModelCoefficients::from(&cost), &cost));
-    let prep_wall = wall.elapsed();
-    let (local, sync, async_) = plan.class_totals();
+    let layer1 = GcnLayer::new(FEATURES, HIDDEN, 1, Activation::Relu);
+    let layer2 = GcnLayer::new(HIDDEN, FEATURES, 2, Activation::Identity);
+
+    // --- Served training: one warm session for the whole run. -------------
+    let mut service = SpmmService::new(ServeConfig::new(P, cost));
+    let graph = service.register_matrix(Arc::clone(&adjacency), STRIPE_WIDTH)?;
+
+    let mut h = features.clone();
+    let mut served_sim = 0.0;
+    println!("\nserved: {EPOCHS} epochs x 2 SpMM layers on {P} nodes");
+    for epoch in 0..EPOCHS {
+        let wall = Instant::now();
+        let (h1, t1, hit1, prep1) = forward_served(&mut service, graph, &h, &layer1)?;
+        let (h2, t2, hit2, prep2) = forward_served(&mut service, graph, &h1, &layer2)?;
+        let epoch_wall = wall.elapsed().as_secs_f64();
+        served_sim += t1 + t2;
+        println!(
+            "  epoch {epoch}: {:.3}ms simulated aggregation, {:.1}ms wall \
+             (layer cache {}/{}; preprocessing {:.1}ms)",
+            (t1 + t2) * 1e3,
+            epoch_wall * 1e3,
+            if hit1 { "hit" } else { "miss" },
+            if hit2 { "hit" } else { "miss" },
+            (prep1 + prep2) as f64 / 1e6,
+        );
+        h = h2;
+        let norm = h.frobenius_norm();
+        if norm > 0.0 {
+            h.scale(features.frobenius_norm() / norm);
+        }
+    }
+    let stats = service.cache_stats();
     println!(
-        "preprocessing: {:.1}ms wall; stripe classes: {local} local-input, {sync} sync, {async_} async",
-        prep_wall.as_secs_f64() * 1e3
+        "served totals: {:.3}ms simulated; plan cache {} hits / {} misses; \
+         embedding norm {:.4}",
+        served_sim * 1e3,
+        stats.hits,
+        stats.misses,
+        h.frobenius_norm()
     );
 
-    for algorithm in [Algorithm::TwoFace, Algorithm::DenseShifting { replication: 2 }] {
-        let options = RunOptions {
-            plan: algorithm.uses_plan().then(|| Arc::clone(&plan)),
-            ..Default::default()
-        };
-        let summary = train_gcn(
-            &adjacency,
-            &features,
-            HIDDEN,
-            EPOCHS,
-            algorithm,
-            P,
-            STRIPE_WIDTH,
-            &cost,
-            &options,
-        )?;
-        let per_epoch = summary.epoch_seconds[0];
-        let total: f64 = summary.epoch_seconds.iter().sum();
-        println!(
-            "\n{algorithm}: {EPOCHS} epochs x 2 SpMM layers on {P} nodes\n  \
-             per-epoch aggregation: {:.3}ms   total: {:.3}ms   embedding norm: {:.4}",
-            per_epoch * 1e3,
-            total * 1e3,
-            summary.final_norm
-        );
+    // --- One-shot baseline: preprocessing rebuilt for every SpMM. ---------
+    let mut h = features.clone();
+    let mut oneshot_sim = 0.0;
+    let mut oneshot_prep_wall = 0.0;
+    for _ in 0..EPOCHS {
+        for layer in [&layer1, &layer2] {
+            let problem =
+                Problem::new(Arc::clone(&adjacency), Arc::new(h.clone()), P, STRIPE_WIDTH)?;
+            let wall = Instant::now();
+            let report =
+                run_algorithm(Algorithm::TwoFace, &problem, &cost, &RunOptions::default())?;
+            oneshot_prep_wall += wall.elapsed().as_secs_f64();
+            oneshot_sim += report.seconds;
+            let mut out =
+                report.output.expect("compute_values is on by default").matmul(&layer.weights);
+            if layer.activation == Activation::Relu {
+                out.map_inplace(|v| v.max(0.0));
+            }
+            h = out;
+        }
+        let norm = h.frobenius_norm();
+        if norm > 0.0 {
+            h.scale(features.frobenius_norm() / norm);
+        }
     }
+    println!(
+        "\none-shot totals: {:.3}ms simulated ({} preprocessing passes, \
+         {:.1}ms wall per call incl. rebuild)",
+        oneshot_sim * 1e3,
+        2 * EPOCHS,
+        oneshot_prep_wall / (2 * EPOCHS) as f64 * 1e3,
+    );
 
     println!(
-        "\nEvery epoch reuses the same preprocessed plan; in GNN training with\n\
-         hundreds of epochs the one-time preprocessing disappears into noise —\n\
-         exactly the amortization the paper quantifies in Table 6."
+        "\nThe served session preprocesses each layer width once ({} misses) and\n\
+         reuses the artifact for the remaining {} aggregations; the one-shot\n\
+         baseline rebuilds it {} times. Simulated aggregation seconds are\n\
+         identical by construction — the cache changes host work, not the\n\
+         simulated schedule — which is exactly Table 6's amortization story.",
+        stats.misses,
+        2 * EPOCHS - stats.misses as usize,
+        2 * EPOCHS,
     );
     Ok(())
 }

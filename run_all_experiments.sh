@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
-# Regenerates every table and figure of the paper plus the ablations and
-# extensions. Output lands in results/*.json and on stdout.
-set -euo pipefail
+# Regenerates every table and figure of the paper plus the ablations,
+# extensions, and the serving-layer benchmark. Output lands in
+# results/*.json and on stdout.
+#
+# Every bin runs even if an earlier one fails; the script exits non-zero
+# if ANY bin failed, listing the failures at the end (so a later success
+# can never mask an earlier failure, and one failure doesn't hide the
+# results of the rest of the suite).
+set -uo pipefail
 cd "$(dirname "$0")"
 bins=(
   table1_matrices table2_params table3_calibration table4_algorithms
@@ -10,9 +16,20 @@ bins=(
   ablation_coalescing ablation_stripe_width ablation_threads
   ablation_panel_height ablation_classifier ablation_async_layout
   extension_sddmm extension_spmv
+  serve_throughput trace_summary
 )
+failed=()
 for bin in "${bins[@]}"; do
   echo
   echo "################ $bin ################"
-  cargo run --release -p twoface-bench --bin "$bin"
+  if ! cargo run --release -p twoface-bench --bin "$bin"; then
+    echo "!!! $bin exited non-zero"
+    failed+=("$bin")
+  fi
 done
+echo
+if ((${#failed[@]})); then
+  echo "FAILED bins: ${failed[*]}"
+  exit 1
+fi
+echo "all ${#bins[@]} experiment bins completed successfully"
