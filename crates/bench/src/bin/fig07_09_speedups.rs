@@ -131,9 +131,9 @@ fn main() {
             }
         }
         println!(
-            "K = {:<4}: average Two-Face speedup over best dense shifting = {:.2}x (paper: {})",
+            "K = {:<4}: average Two-Face speedup over best dense shifting = {}x (paper: {})",
             k,
-            geo_mean(&ratios).unwrap_or(f64::NAN),
+            geo_mean(&ratios).map_or_else(|| "n/a".into(), |g| format!("{g:.2}")),
             match k {
                 32 => "1.53x",
                 128 => "2.11x",

@@ -25,6 +25,10 @@ struct Row {
     /// event stream instead of the aggregate trace — cross-checked against
     /// `two_face` before the JSON is written.
     two_face_from_events: BreakdownOut,
+    /// Per-nonzero throughput of Two-Face in simulated time: `nnz /
+    /// two_face.seconds`. Host-independent (derived from the deterministic
+    /// simulation), so the fleet gate guards it hard.
+    two_face_sim_nnz_per_second: f64,
     /// Two-Face communication counters summed across ranks.
     two_face_comm: CommCounters,
     /// The same counters per rank, indexed by rank.
@@ -156,6 +160,7 @@ fn main() {
             ds4: ds4.as_ref().map(|d| BreakdownOut::new(d.seconds, &d.critical_breakdown)),
             two_face: BreakdownOut::new(tf.seconds, &tf.critical_breakdown),
             two_face_normalized: normalized,
+            two_face_sim_nnz_per_second: problem.a.nnz() as f64 / tf.seconds,
             two_face_from_events: BreakdownOut::new(tf.seconds, &from_events),
             two_face_comm: CommCounters::from_traces(&tf.rank_traces),
             two_face_rank_comm: tf.rank_traces.iter().map(CommCounters::from_trace).collect(),

@@ -21,14 +21,14 @@ use twoface_partition::ModelCoefficients;
 #[derive(Serialize)]
 struct Row {
     matrix: &'static str,
-    prep_seconds_with_io: f64,
-    prep_seconds: f64,
+    prep_wall_seconds_with_io: f64,
+    prep_wall_seconds: f64,
     spmm_seconds: f64,
-    t_norm_io: f64,
-    t_norm: f64,
+    t_norm_io_wall: f64,
+    t_norm_wall: f64,
     /// SpMM operations needed before Two-Face (including preprocessing)
     /// beats DS2 (the paper reports an average of 15 at K = 128).
-    amortization_ops: Option<f64>,
+    amortization_wall_ops: Option<f64>,
 }
 
 fn main() {
@@ -92,28 +92,28 @@ fn main() {
 
         let row = Row {
             matrix: m.short_name(),
-            prep_seconds_with_io: prep_io,
-            prep_seconds: prep,
+            prep_wall_seconds_with_io: prep_io,
+            prep_wall_seconds: prep,
             spmm_seconds: tf.seconds,
-            t_norm_io: prep_io / tf.seconds,
-            t_norm: prep / tf.seconds,
-            amortization_ops: amortization,
+            t_norm_io_wall: prep_io / tf.seconds,
+            t_norm_wall: prep / tf.seconds,
+            amortization_wall_ops: amortization,
         };
         println!(
             "{:<12} {:>12.3} {:>12.3} {:>12.5} {:>10.1} {:>8.1} {:>10}",
             row.matrix,
-            row.prep_seconds_with_io,
-            row.prep_seconds,
+            row.prep_wall_seconds_with_io,
+            row.prep_wall_seconds,
             row.spmm_seconds,
-            row.t_norm_io,
-            row.t_norm,
-            row.amortization_ops.map_or("never".to_string(), |a| format!("{a:.0} ops")),
+            row.t_norm_io_wall,
+            row.t_norm_wall,
+            row.amortization_wall_ops.map_or("never".to_string(), |a| format!("{a:.0} ops")),
         );
         rows.push(row);
         std::fs::remove_file(&mtx_path).ok();
     }
-    let avg_io: f64 = rows.iter().map(|r| r.t_norm_io).sum::<f64>() / rows.len() as f64;
-    let avg: f64 = rows.iter().map(|r| r.t_norm).sum::<f64>() / rows.len() as f64;
+    let avg_io: f64 = rows.iter().map(|r| r.t_norm_io_wall).sum::<f64>() / rows.len() as f64;
+    let avg: f64 = rows.iter().map(|r| r.t_norm_wall).sum::<f64>() / rows.len() as f64;
     println!("\nAverage t_norm_IO = {avg_io:.1} (paper: 134.35), t_norm = {avg:.1} (paper: 24.27)");
     write_json("table6_preprocessing", &rows);
 }

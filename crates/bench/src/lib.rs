@@ -44,10 +44,54 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// Writes an experiment result as pretty JSON to `results/<name>.json`.
+/// The canonical host disclosure attached to every report: wall-clock fields
+/// are measured on a single-CPU, visibly time-shared container and carry no
+/// signal; simulated seconds and communication counters are deterministic.
+/// The fleet differ (`crates/fleet`) keys off this split — fields whose path
+/// mentions `wall` are informational, the rest are baseline-gated.
+pub const HOST_NOTE: &str = "single-CPU container (nproc = 1), visibly time-shared: wall-clock \
+                             fields are noisy and informational only; simulated seconds and \
+                             communication counters are deterministic and baseline-gated";
+
+/// The version of the normalized report envelope every `results/*.json`
+/// carries. Bump when the envelope itself (not a payload) changes shape.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// Environment variable the fleet runner sets so reports carry the run date.
+/// Standalone runs without it record `"unversioned"`; the field is
+/// informational either way and never baseline-gated.
+pub const BENCH_DATE_ENV: &str = "TWOFACE_BENCH_DATE";
+
+/// The normalized envelope around every experiment payload: consistent
+/// `date` / `harness` / `host_note` metadata so the fleet differ can walk
+/// any report generically and classify metadata as informational. Built as
+/// an explicit [`serde::Value`] tree because the vendored serde derive does
+/// not support generic structs.
+fn report_envelope(name: &str, data: serde::Value) -> serde::Value {
+    use serde::Value;
+    Value::Object(vec![
+        ("schema_version".to_string(), Value::UInt(u64::from(REPORT_SCHEMA_VERSION))),
+        ("name".to_string(), Value::String(name.to_string())),
+        (
+            "date".to_string(),
+            Value::String(std::env::var(BENCH_DATE_ENV).unwrap_or_else(|_| "unversioned".into())),
+        ),
+        (
+            "harness".to_string(),
+            Value::String(format!("cargo run --release -p twoface-bench --bin {name}")),
+        ),
+        ("host_note".to_string(), Value::String(HOST_NOTE.to_string())),
+        ("data".to_string(), data),
+    ])
+}
+
+/// Writes an experiment result as pretty JSON to `results/<name>.json`,
+/// wrapped in the normalized metadata envelope (`schema_version`, `name`,
+/// `date`, `harness`, `host_note`, `data`).
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let report = report_envelope(name, value.to_value());
     let path = results_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("results serialize");
+    let json = serde_json::to_string_pretty(&report).expect("results serialize");
     std::fs::write(&path, json).expect("can write results file");
     println!("\n[results written to {}]", path.display());
 }
@@ -127,18 +171,28 @@ impl CommCounters {
 }
 
 /// Geometric mean of strictly positive values (the paper's "average
-/// speedup" aggregation). Returns `None` for an empty slice.
+/// speedup" aggregation).
+///
+/// Returns `None` for an empty slice and for any sample that is zero,
+/// negative, or non-finite (a warning names the offending sample): one bad
+/// sample would otherwise poison the whole aggregate with `-inf`/NaN, which
+/// serializes as `null` and silently corrupts the report JSON.
 pub fn geo_mean(values: &[f64]) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
-    let log_sum: f64 = values
-        .iter()
-        .map(|v| {
-            assert!(*v > 0.0, "geometric mean needs positive values, got {v}");
-            v.ln()
-        })
-        .sum();
+    let mut log_sum = 0.0;
+    for v in values {
+        if !v.is_finite() || *v <= 0.0 {
+            eprintln!(
+                "warning: geo_mean over {} samples saw non-positive or non-finite sample {v}; \
+                 reporting no mean instead of a poisoned one",
+                values.len()
+            );
+            return None;
+        }
+        log_sum += v.ln();
+    }
     Some((log_sum / values.len() as f64).exp())
 }
 
@@ -167,6 +221,18 @@ mod tests {
         assert_eq!(geo_mean(&[]), None);
         assert!((geo_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
         assert!((geo_mean(&[5.0]).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geo_mean_rejects_non_positive_and_non_finite_samples() {
+        // One bad sample must yield None, not -inf/NaN poisoning the report.
+        assert_eq!(geo_mean(&[2.0, 0.0, 8.0]), None);
+        assert_eq!(geo_mean(&[-1.0]), None);
+        assert_eq!(geo_mean(&[1.0, f64::NAN]), None);
+        assert_eq!(geo_mean(&[1.0, f64::INFINITY]), None);
+        assert_eq!(geo_mean(&[f64::NEG_INFINITY]), None);
+        // Valid samples around the bad ones still work on their own.
+        assert!(geo_mean(&[2.0, 8.0]).is_some());
     }
 
     #[test]

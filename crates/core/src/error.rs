@@ -44,6 +44,17 @@ pub enum RunError {
         /// ([`NetError::TransferTimeout`]).
         source: NetError,
     },
+    /// A one-sided transfer described an invalid range (e.g. a row run
+    /// whose element offset overflows `usize`) — a corrupt run list surfaced
+    /// as a typed error with row/element units instead of a panic or a
+    /// clamped read. The wrapped [`NetError`] is available via
+    /// [`std::error::Error::source`].
+    InvalidTransfer {
+        /// The rank that issued the malformed transfer.
+        rank: usize,
+        /// The underlying network error ([`NetError::RangeOverflow`]).
+        source: NetError,
+    },
     /// An all-rank collective observed a straggler beyond the installed
     /// fault plan's stall timeout. The wrapped [`NetError`] is available via
     /// [`std::error::Error::source`].
@@ -61,6 +72,7 @@ impl RunError {
     pub fn from_net(rank: usize, source: NetError) -> RunError {
         match source {
             NetError::TransferTimeout { .. } => RunError::TransferTimeout { rank, source },
+            NetError::RangeOverflow { .. } => RunError::InvalidTransfer { rank, source },
             NetError::RankStalled { .. } => RunError::RankStalled { rank, source },
         }
     }
@@ -85,6 +97,9 @@ impl fmt::Display for RunError {
             RunError::TransferTimeout { rank, source } => {
                 write!(f, "rank {rank} gave up a transfer: {source}")
             }
+            RunError::InvalidTransfer { rank, source } => {
+                write!(f, "rank {rank} issued an invalid transfer: {source}")
+            }
             RunError::RankStalled { rank, source } => {
                 write!(f, "rank {rank} aborted a collective: {source}")
             }
@@ -95,9 +110,9 @@ impl fmt::Display for RunError {
 impl std::error::Error for RunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            RunError::TransferTimeout { source, .. } | RunError::RankStalled { source, .. } => {
-                Some(source)
-            }
+            RunError::TransferTimeout { source, .. }
+            | RunError::InvalidTransfer { source, .. }
+            | RunError::RankStalled { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -1,0 +1,121 @@
+//! The machine-readable fleet report: per-job status plus the baseline
+//! check, written to `results/fleet_report.json`. The file is excluded from
+//! gating (it carries wall times by design).
+
+use crate::diff::CheckReport;
+use crate::run::JobOutcome;
+use serde::Serialize;
+use std::path::Path;
+
+/// Schema version of `fleet_report.json`.
+pub const FLEET_REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// Everything one fleet invocation did.
+#[derive(Debug, Serialize)]
+pub struct FleetReport {
+    /// Envelope version.
+    pub schema_version: u32,
+    /// UTC run date.
+    pub date: String,
+    /// The `--filter` in effect, if any.
+    pub filter: Option<String>,
+    /// Per-job outcomes in run order.
+    pub jobs: Vec<JobOutcome>,
+    /// Aggregate counts.
+    pub summary: Summary,
+    /// The baseline check that followed the runs (`null` when none ran).
+    pub check: Option<CheckReport>,
+}
+
+/// Aggregate job counts.
+#[derive(Debug, Default, Serialize)]
+pub struct Summary {
+    /// Jobs that passed.
+    pub passed: usize,
+    /// Jobs that failed, timed out, or could not spawn.
+    pub failed: usize,
+    /// Jobs that needed the retry to pass.
+    pub retried_to_success: usize,
+}
+
+impl FleetReport {
+    /// Builds a report over `jobs`, computing the summary.
+    pub fn new(
+        date: String,
+        filter: Option<String>,
+        jobs: Vec<JobOutcome>,
+        check: Option<CheckReport>,
+    ) -> FleetReport {
+        let mut summary = Summary::default();
+        for j in &jobs {
+            if j.passed() {
+                summary.passed += 1;
+                if j.attempts > 1 {
+                    summary.retried_to_success += 1;
+                }
+            } else {
+                summary.failed += 1;
+            }
+        }
+        FleetReport {
+            schema_version: FLEET_REPORT_SCHEMA_VERSION,
+            date,
+            filter,
+            jobs,
+            summary,
+            check,
+        }
+    }
+
+    /// Writes the report as pretty JSON to `results/fleet_report.json`.
+    pub fn write(&self, root: &Path) -> std::io::Result<std::path::PathBuf> {
+        let dir = root.join("results");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("fleet_report.json");
+        std::fs::write(&path, serde_json::to_string_pretty(self).expect("report serializes"))?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::JobStatus;
+
+    fn outcome(name: &str, status: JobStatus, attempts: u32) -> JobOutcome {
+        JobOutcome {
+            name: name.into(),
+            command: "true".into(),
+            env: vec![],
+            status,
+            attempts,
+            wall_seconds: 0.1,
+            timeout_seconds: 10,
+            log: format!("results/fleet_logs/{name}.log"),
+            outputs: vec![],
+        }
+    }
+
+    #[test]
+    fn summary_counts_retries_and_failures() {
+        let report = FleetReport::new(
+            "2026-01-01".into(),
+            Some("fast".into()),
+            vec![
+                outcome("a", JobStatus::Passed, 1),
+                outcome("b", JobStatus::Passed, 2),
+                outcome("c", JobStatus::TimedOut, 2),
+                outcome("d", JobStatus::Failed { exit_code: Some(3) }, 2),
+            ],
+            None,
+        );
+        assert_eq!(report.summary.passed, 2);
+        assert_eq!(report.summary.failed, 2);
+        assert_eq!(report.summary.retried_to_success, 1);
+        // The report round-trips through JSON with tagged statuses.
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(
+            json.contains("\"kind\": \"timed_out\"") || json.contains("\"kind\":\"timed_out\"")
+        );
+    }
+}

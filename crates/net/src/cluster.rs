@@ -1084,11 +1084,15 @@ impl RankCtx {
     /// # Errors
     ///
     /// [`NetError::TransferTimeout`] if the installed fault plan's transient
-    /// failures exhaust the retry budget.
+    /// failures exhaust the retry budget; [`NetError::RangeOverflow`] if a
+    /// run's element offset (`(first_row + num_rows) * row_width`) does not
+    /// fit in `usize` — the run list is corrupt, and clamping it would have
+    /// silently fetched the wrong rows.
     ///
     /// # Panics
     ///
-    /// Panics if any run exceeds the target's buffer or `row_width == 0`.
+    /// Panics if a run with an in-range offset still exceeds the target's
+    /// buffer, or if `row_width == 0`.
     pub fn win_rget_rows(
         &mut self,
         window: WindowId,
@@ -1099,17 +1103,23 @@ impl RankCtx {
         assert!(row_width > 0, "row_width must be positive");
         let buf = self.window_buffer(window, target);
         let total_rows: usize = runs.iter().map(|&(_, n)| n).sum();
-        let mut out = Vec::with_capacity(total_rows * row_width);
+        let mut out = Vec::with_capacity(total_rows.saturating_mul(row_width).min(buf.len()));
         let window_rows = buf.len() / row_width;
         for &(first, n) in runs {
-            let end_row = first
-                .checked_add(n)
-                .unwrap_or_else(|| panic!("run ({first}, {n}): row range overflows usize"));
-            let hi = end_row.checked_mul(row_width).unwrap_or_else(|| {
-                panic!(
-                    "run ({first}, {n}): element offset overflows usize at row width {row_width}"
-                )
-            });
+            let overflow = NetError::RangeOverflow {
+                rank: self.rank,
+                target,
+                first_row: first,
+                num_rows: n,
+                row_width,
+                window_elements: buf.len(),
+            };
+            let Some(end_row) = first.checked_add(n) else {
+                return Err(overflow);
+            };
+            let Some(hi) = end_row.checked_mul(row_width) else {
+                return Err(overflow);
+            };
             assert!(
                 hi <= buf.len(),
                 "run ({first}, {n}) ends at row {end_row} but target window holds \
@@ -1494,6 +1504,48 @@ mod tests {
             let win = ctx.create_window(vec![0.0; 8]).unwrap();
             ctx.win_rget_rows(win, 0, &[(3, 2)], 2)
         });
+    }
+
+    #[test]
+    fn rget_offset_overflow_is_a_typed_error_with_units() {
+        // Regression: a run whose element offset overflows usize must come
+        // back as NetError::RangeOverflow naming rows and elements — not a
+        // bare panic, and never a clamped (wrong-data) read.
+        let out = cluster(2).run(|ctx| {
+            let win = ctx.create_window(vec![0.0; 8]).unwrap();
+            if ctx.rank() == 0 {
+                // (first + n) * row_width overflows: end_row fits, product
+                // does not.
+                let row_mul = ctx.win_rget_rows(win, 1, &[(usize::MAX / 2, 3)], 2);
+                // first + n itself overflows.
+                let row_add = ctx.win_rget_rows(win, 1, &[(usize::MAX, 2)], 2);
+                Some((row_mul, row_add))
+            } else {
+                None
+            }
+        });
+        let (row_mul, row_add) = out[0].result.clone().expect("rank 0 ran the gets");
+        for err in [row_mul.unwrap_err(), row_add.unwrap_err()] {
+            match err {
+                NetError::RangeOverflow {
+                    rank,
+                    target,
+                    num_rows,
+                    row_width,
+                    window_elements,
+                    ..
+                } => {
+                    assert_eq!((rank, target), (0, 1));
+                    assert_eq!(row_width, 2);
+                    assert_eq!(window_elements, 8);
+                    assert!(num_rows >= 2);
+                }
+                other => panic!("expected RangeOverflow, got {other:?}"),
+            }
+            let msg = err.to_string();
+            assert!(msg.contains("elements/row"), "units missing from: {msg}");
+            assert!(msg.contains("8 elements"), "window size missing from: {msg}");
+        }
     }
 
     /// One get per rank from its peer under `plan`, returning each rank's

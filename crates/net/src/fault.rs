@@ -380,6 +380,24 @@ pub enum NetError {
         /// Simulated seconds spent on failed attempts and backoff.
         waited_seconds: f64,
     },
+    /// A one-sided indexed get described a row range whose element offset
+    /// does not fit in `usize` — a corrupt or adversarial run list, surfaced
+    /// as a typed error (in row and element units) instead of a panic or a
+    /// silently clamped range.
+    RangeOverflow {
+        /// The issuing rank.
+        rank: usize,
+        /// The target rank whose window was addressed.
+        target: usize,
+        /// First row of the offending run.
+        first_row: usize,
+        /// Row count of the offending run.
+        num_rows: usize,
+        /// Dense elements per row.
+        row_width: usize,
+        /// Total elements the target window actually holds.
+        window_elements: usize,
+    },
     /// An all-rank collective observed a straggler beyond the stall timeout.
     RankStalled {
         /// The observing rank.
@@ -401,6 +419,19 @@ impl fmt::Display for NetError {
                 f,
                 "one-sided get by rank {rank} from rank {target} timed out after \
                  {attempts} attempts ({waited_seconds:.3e} s simulated)"
+            ),
+            NetError::RangeOverflow {
+                rank,
+                target,
+                first_row,
+                num_rows,
+                row_width,
+                window_elements,
+            } => write!(
+                f,
+                "indexed get by rank {rank} from rank {target}: run of {num_rows} rows from row \
+                 {first_row} at {row_width} elements/row overflows the usize element offset \
+                 (target window holds {window_elements} elements)"
             ),
             NetError::RankStalled { rank, straggler, stalled_seconds, timeout_seconds } => write!(
                 f,

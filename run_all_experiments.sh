@@ -1,35 +1,14 @@
 #!/usr/bin/env bash
-# Regenerates every table and figure of the paper plus the ablations,
-# extensions, and the serving-layer benchmark. Output lands in
-# results/*.json and on stdout.
+# Thin wrapper kept for muscle memory: the experiment matrix is owned by
+# the twoface-fleet driver (crates/fleet), which runs every bench bin and
+# chaos sweep as a subprocess with a timeout and one retry, writes
+# results/fleet_report.json, and diffs every results/*.json and
+# BENCH_*.json report against the committed baselines under baselines/.
 #
-# Every bin runs even if an earlier one fails; the script exits non-zero
-# if ANY bin failed, listing the failures at the end (so a later success
-# can never mask an earlier failure, and one failure doesn't hide the
-# results of the rest of the suite).
-set -uo pipefail
+#   ./run_all_experiments.sh                 # full matrix + baseline check
+#   ./run_all_experiments.sh --filter fast   # the CI subset
+#   ./run_all_experiments.sh --check         # diff-only regression gate
+#   ./run_all_experiments.sh --bless         # accept current reports
+set -euo pipefail
 cd "$(dirname "$0")"
-bins=(
-  table1_matrices table2_params table3_calibration table4_algorithms
-  fig02_async_vs_collectives fig07_09_speedups fig10_breakdown
-  fig11_scaling table6_preprocessing fig12_sensitivity
-  ablation_coalescing ablation_stripe_width ablation_threads
-  ablation_panel_height ablation_classifier ablation_async_layout
-  extension_sddmm extension_spmv
-  serve_throughput trace_summary
-)
-failed=()
-for bin in "${bins[@]}"; do
-  echo
-  echo "################ $bin ################"
-  if ! cargo run --release -p twoface-bench --bin "$bin"; then
-    echo "!!! $bin exited non-zero"
-    failed+=("$bin")
-  fi
-done
-echo
-if ((${#failed[@]})); then
-  echo "FAILED bins: ${failed[*]}"
-  exit 1
-fi
-echo "all ${#bins[@]} experiment bins completed successfully"
+exec cargo run --release -p twoface-fleet -- "$@"
