@@ -19,10 +19,14 @@ fn main() {
     );
     let algorithms = [
         Algorithm::DenseShifting { replication: 2 },
+        Algorithm::OneFiveD { replication: 4 },
+        Algorithm::Summa,
+        Algorithm::Slicing,
         Algorithm::Allgather,
         Algorithm::AsyncCoarse,
         Algorithm::TwoFace,
         Algorithm::AsyncFine,
+        Algorithm::Auto,
     ];
     println!("{:<24} {:<28} {:>10}", "Algorithm", "MPI Transfer Operations", "Uses plan");
     let mut out = Vec::new();

@@ -1,11 +1,12 @@
 //! Per-rank bodies of the baseline algorithms: Allgather, Async Coarse, and
-//! Dense Shifting.
+//! Dense Shifting — plus their staged [`SpmmAlgorithm`] wrappers.
 
+use crate::algo::SpmmAlgorithm;
 use crate::kernels::{par_sync_panels, BlockRows};
 use crate::pool::Pool;
 use crate::runner::{ExecOpts, Problem};
 use std::sync::Arc;
-use twoface_matrix::Triplet;
+use twoface_matrix::{Triplet, SCALAR_BYTES};
 use twoface_net::{Lane, NetError, Payload, PhaseClass, RankCtx};
 
 /// Shared preprocessed inputs for the baselines, indexed by rank.
@@ -60,7 +61,12 @@ impl BaselineData {
 /// Charges the synchronous-compute cost of `nnz` nonzeros to the sync lane.
 /// At full observability the span carries `nnz * k` as its element count,
 /// so the baselines' kernel events size themselves like Two-Face's.
-fn charge_local_compute(ctx: &mut RankCtx, nnz: usize, opts: &ExecOpts, local_rows: usize) {
+pub(crate) fn charge_local_compute(
+    ctx: &mut RankCtx,
+    nnz: usize,
+    opts: &ExecOpts,
+    local_rows: usize,
+) {
     if nnz == 0 {
         return;
     }
@@ -201,4 +207,69 @@ pub(crate) fn dense_shifting_rank(
         }
     }
     Ok(c_local)
+}
+
+/// Staged Allgather baseline.
+pub(crate) struct AllgatherAlgo<'a> {
+    pub data: BaselineData,
+    pub problem: &'a Problem,
+    pub exec: ExecOpts,
+}
+
+impl SpmmAlgorithm for AllgatherAlgo<'_> {
+    fn memory_extra(&self, rank: usize) -> usize {
+        // Every block but the rank's own becomes resident.
+        let layout = &self.problem.layout;
+        (layout.cols() - layout.col_range(rank).len()) * self.exec.k * SCALAR_BYTES
+    }
+
+    fn execute(&self, ctx: &mut RankCtx) -> Result<Vec<f64>, NetError> {
+        allgather_rank(ctx, &self.data, self.problem, &self.exec)
+    }
+}
+
+/// Staged Async Coarse baseline.
+pub(crate) struct AsyncCoarseAlgo<'a> {
+    pub data: BaselineData,
+    pub problem: &'a Problem,
+    pub exec: ExecOpts,
+}
+
+impl SpmmAlgorithm for AsyncCoarseAlgo<'_> {
+    fn memory_extra(&self, rank: usize) -> usize {
+        let layout = &self.problem.layout;
+        let row_bytes = self.exec.k * SCALAR_BYTES;
+        self.data.needed_blocks[rank]
+            .iter()
+            .map(|&owner| layout.col_range(owner).len() * row_bytes)
+            .sum()
+    }
+
+    fn execute(&self, ctx: &mut RankCtx) -> Result<Vec<f64>, NetError> {
+        async_coarse_rank(ctx, &self.data, self.problem, &self.exec)
+    }
+}
+
+/// Staged Dense Shifting baseline (replication factor validated by the
+/// runner).
+pub(crate) struct DenseShiftingAlgo<'a> {
+    pub data: BaselineData,
+    pub problem: &'a Problem,
+    pub exec: ExecOpts,
+    pub replication: usize,
+}
+
+impl SpmmAlgorithm for DenseShiftingAlgo<'_> {
+    fn memory_extra(&self, rank: usize) -> usize {
+        // c resident blocks plus the in-flight super-block.
+        let layout = &self.problem.layout;
+        let p = layout.nodes();
+        let max_block = (0..p).map(|r| layout.col_range(r).len()).max().unwrap_or(0);
+        let _ = rank;
+        2 * self.replication * max_block * self.exec.k * SCALAR_BYTES
+    }
+
+    fn execute(&self, ctx: &mut RankCtx) -> Result<Vec<f64>, NetError> {
+        dense_shifting_rank(ctx, &self.data, self.problem, self.replication, &self.exec)
+    }
 }

@@ -21,6 +21,7 @@
 //! effect the paper's own model also neglects, so the simulator charges sync
 //! compute at the sync pool's throughput regardless.
 
+use crate::algo::SpmmAlgorithm;
 use crate::coalesce::coalesce_rows;
 use crate::config::TwoFaceConfig;
 use crate::format::RankMatrices;
@@ -31,6 +32,7 @@ use crate::kernels::{
 use crate::pool::{Pool, WallTimer};
 use crate::runner::{ExecOpts, Problem};
 use std::sync::Arc;
+use twoface_matrix::SCALAR_BYTES;
 use twoface_net::{Lane, NetError, Payload, PhaseClass, RankCtx};
 use twoface_partition::PartitionPlan;
 
@@ -80,6 +82,45 @@ impl TwoFaceData {
             rank_matrices: Arc::clone(prepared.rank_matrices()),
             b_blocks,
         }
+    }
+}
+
+/// Staged Two-Face / Async Fine execution: the plan (classified or uniform)
+/// decides which of the two it behaves as.
+pub(crate) struct PlannedAlgo<'a> {
+    pub data: TwoFaceData,
+    pub problem: &'a Problem,
+    pub config: &'a TwoFaceConfig,
+    pub exec: ExecOpts,
+}
+
+impl SpmmAlgorithm for PlannedAlgo<'_> {
+    fn memory_extra(&self, rank: usize) -> usize {
+        use twoface_partition::StripeClass;
+        let layout = &self.problem.layout;
+        let row_bytes = self.exec.k * SCALAR_BYTES;
+        let plan = &self.data.plan;
+        let mut sync_bytes = 0usize;
+        let mut max_fetch = 0usize;
+        for &(stripe, class) in &plan.classification(rank).classes {
+            match class {
+                StripeClass::Sync => {
+                    sync_bytes += layout.stripe_cols(stripe).len() * row_bytes;
+                }
+                StripeClass::Async => {
+                    let l = plan.profile(rank).stripe(stripe).map_or(0, |s| s.rows_needed());
+                    max_fetch = max_fetch.max(l * row_bytes);
+                }
+                StripeClass::LocalInput => {}
+            }
+        }
+        // Coalescing may pad fetches; double the largest fetch as a
+        // conservative bound.
+        sync_bytes + 2 * max_fetch
+    }
+
+    fn execute(&self, ctx: &mut RankCtx) -> Result<Vec<f64>, NetError> {
+        twoface_rank(ctx, &self.data, self.problem, self.config, &self.exec)
     }
 }
 

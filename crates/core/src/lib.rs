@@ -56,6 +56,7 @@ mod runner;
 pub mod sampling;
 pub mod sddmm;
 
+pub use algo::auto::{auto_candidates, predict, resolve_auto, spmm_stats, AutoChoice};
 pub use algo::Algorithm;
 pub use coalesce::{coalesce_rows, runs_to_rows, RowRun};
 pub use config::{AsyncLayout, TwoFaceConfig};

@@ -2,10 +2,7 @@
 //! executes an algorithm on a simulated cluster, and reports timing,
 //! breakdowns, and (optionally) the verified output.
 
-use crate::algo::collective::{
-    allgather_rank, async_coarse_rank, dense_shifting_rank, BaselineData,
-};
-use crate::algo::twoface::{twoface_rank, TwoFaceData};
+use crate::algo::twoface::TwoFaceData;
 use crate::algo::Algorithm;
 use crate::config::TwoFaceConfig;
 use crate::error::RunError;
@@ -25,7 +22,7 @@ use twoface_partition::{
 };
 
 /// Approximate bytes to store one COO nonzero (row, col, value).
-const NNZ_BYTES: usize = 24;
+pub(crate) const NNZ_BYTES: usize = 24;
 
 /// Environment variable naming a trace file to write after every
 /// [`run_algorithm`] call. A `.jsonl` extension selects the line-delimited
@@ -501,64 +498,6 @@ fn base_bytes_all_ranks(problem: &Problem) -> Vec<usize> {
         .collect()
 }
 
-/// Estimated peak memory per rank for an algorithm, in bytes.
-///
-/// Used both to reject infeasible runs (the paper's missing data points) and
-/// to report footprints. Two-Face family estimates require the plan.
-fn memory_estimates(
-    algorithm: Algorithm,
-    problem: &Problem,
-    baseline: Option<&BaselineData>,
-    plan: Option<&PartitionPlan>,
-) -> Vec<usize> {
-    let layout = &problem.layout;
-    let p = layout.nodes();
-    let k = problem.k();
-    let row_bytes = k * SCALAR_BYTES;
-    let max_block = (0..p).map(|r| layout.col_range(r).len()).max().unwrap_or(0);
-    let base_all = base_bytes_all_ranks(problem);
-    (0..p)
-        .map(|rank| {
-            let base = base_all[rank];
-            let extra = match algorithm {
-                Algorithm::Allgather => (layout.cols() - layout.col_range(rank).len()) * row_bytes,
-                Algorithm::AsyncCoarse => {
-                    let needed = &baseline.expect("baseline data built").needed_blocks[rank];
-                    needed.iter().map(|&owner| layout.col_range(owner).len() * row_bytes).sum()
-                }
-                Algorithm::DenseShifting { replication } => {
-                    // c resident blocks plus the in-flight super-block.
-                    2 * replication * max_block * row_bytes
-                }
-                Algorithm::TwoFace | Algorithm::AsyncFine => {
-                    let plan = plan.expect("plan built for Two-Face family");
-                    let mut sync_bytes = 0usize;
-                    let mut max_fetch = 0usize;
-                    for &(stripe, class) in &plan.classification(rank).classes {
-                        match class {
-                            StripeClass::Sync => {
-                                sync_bytes += layout.stripe_cols(stripe).len() * row_bytes;
-                            }
-                            StripeClass::Async => {
-                                let l = plan
-                                    .profile(rank)
-                                    .stripe(stripe)
-                                    .map_or(0, |s| s.rows_needed());
-                                max_fetch = max_fetch.max(l * row_bytes);
-                            }
-                            StripeClass::LocalInput => {}
-                        }
-                    }
-                    // Coalescing may pad fetches; double the largest fetch
-                    // as a conservative bound.
-                    sync_bytes + 2 * max_fetch
-                }
-            };
-            base + extra
-        })
-        .collect()
-}
-
 /// Runs one algorithm on one problem under one cost model.
 ///
 /// # Errors
@@ -641,12 +580,34 @@ fn run_algorithm_inner(
     external: Option<&Cluster>,
 ) -> Result<ExecutionReport, RunError> {
     let p = problem.layout.nodes();
-    if let Algorithm::DenseShifting { replication } = algorithm {
-        if replication == 0 || replication > p {
+    let k = problem.k();
+    // The machine the run actually experiences, with the thread split
+    // folded in — also what a calibration run would have profiled.
+    let effective = options.config.effective_cost(cost);
+    // Auto resolves to a concrete algorithm against the *effective* model
+    // before anything is staged; the report keeps the Auto provenance.
+    let requested = algorithm;
+    let algorithm = match algorithm {
+        Algorithm::Auto => {
+            crate::algo::auto::resolve_auto(
+                &problem.a,
+                &problem.layout,
+                k,
+                &options.config,
+                &effective,
+            )
+            .algorithm
+        }
+        other => other,
+    };
+    match algorithm {
+        Algorithm::DenseShifting { replication } | Algorithm::OneFiveD { replication }
+            if replication == 0 || replication > p =>
+        {
             return Err(RunError::ReplicationExceedsNodes { replication, nodes: p });
         }
+        _ => {}
     }
-    let k = problem.k();
     let workers = resolve_workers(options.workers);
     let pool = Pool::new(workers);
     let exec = ExecOpts {
@@ -655,9 +616,6 @@ fn run_algorithm_inner(
         panel_height: options.config.row_panel_height,
         workers,
     };
-    // The machine the run actually experiences, with the thread split
-    // folded in — also what a calibration run would have profiled.
-    let effective = options.config.effective_cost(cost);
     let coefficients = options.coefficients.unwrap_or_else(|| ModelCoefficients::from(&effective));
 
     // Preprocessing / data staging (untimed, like loading the preprocessed
@@ -702,24 +660,6 @@ fn run_algorithm_inner(
     } else {
         None
     };
-    let baseline: Option<BaselineData> = if algorithm.uses_plan() {
-        None
-    } else {
-        Some(BaselineData::build(problem, matches!(algorithm, Algorithm::DenseShifting { .. })))
-    };
-
-    // Memory feasibility.
-    let estimates = memory_estimates(algorithm, problem, baseline.as_ref(), plan.as_deref());
-    let (worst_rank, &required) =
-        estimates.iter().enumerate().max_by_key(|&(_, &bytes)| bytes).expect("at least one rank");
-    if required > cost.memory_per_node {
-        return Err(RunError::OutOfMemory {
-            rank: worst_rank,
-            required,
-            available: cost.memory_per_node,
-        });
-    }
-
     let twoface_data = plan.map(|plan| match prepared {
         // Reuse the prepared rank structures when they fit this run; only
         // the B blocks (which depend on the dense operand) are staged fresh.
@@ -728,6 +668,22 @@ fn run_algorithm_inner(
         }
         _ => TwoFaceData::build(problem, plan, &options.config, &pool),
     });
+
+    // Stage the algorithm, then gate on memory feasibility: per-rank base
+    // bytes plus the staged algorithm's own peak estimate.
+    let staged = crate::algo::stage(algorithm, problem, &options.config, exec, twoface_data);
+    let base_all = base_bytes_all_ranks(problem);
+    let (worst_rank, required) = (0..p)
+        .map(|rank| (rank, base_all[rank] + staged.memory_extra(rank)))
+        .max_by_key(|&(_, bytes)| bytes)
+        .expect("at least one rank");
+    if required > cost.memory_per_node {
+        return Err(RunError::OutOfMemory {
+            rank: worst_rank,
+            required,
+            available: cost.memory_per_node,
+        });
+    }
 
     // Execute.
     let (observability, trace_path) = resolve_observability(options);
@@ -741,24 +697,7 @@ fn run_algorithm_inner(
     };
     cluster.set_fault_plan(options.fault_plan.clone());
     cluster.set_observability(observability.clone());
-    let outputs = cluster.run(|ctx| match algorithm {
-        Algorithm::Allgather => {
-            allgather_rank(ctx, baseline.as_ref().expect("built"), problem, &exec)
-        }
-        Algorithm::AsyncCoarse => {
-            async_coarse_rank(ctx, baseline.as_ref().expect("built"), problem, &exec)
-        }
-        Algorithm::DenseShifting { replication } => {
-            dense_shifting_rank(ctx, baseline.as_ref().expect("built"), problem, replication, &exec)
-        }
-        Algorithm::TwoFace | Algorithm::AsyncFine => twoface_rank(
-            ctx,
-            twoface_data.as_ref().expect("built"),
-            problem,
-            &options.config,
-            &exec,
-        ),
-    });
+    let outputs = cluster.run(|ctx| staged.execute(ctx));
 
     // Export the event stream before inspecting results, so a faulted run
     // that errors out still leaves its trace behind for forensics.
@@ -831,7 +770,11 @@ fn run_algorithm_inner(
     }
 
     Ok(ExecutionReport {
-        algorithm: algorithm.name(),
+        algorithm: if requested == Algorithm::Auto {
+            format!("Auto({})", algorithm.name())
+        } else {
+            algorithm.name()
+        },
         p,
         k,
         seconds,

@@ -66,6 +66,7 @@ const BENCH_BINS: &[(&str, &[&str], u64)] = &[
     ("ablation_async_layout", &["ablation"], 1800),
     ("extension_sddmm", &["extension"], 1800),
     ("extension_spmv", &["extension"], 1800),
+    ("family_auto_selection", &["fig", "family"], 3600),
     ("serve_throughput", &["fast", "serve"], 600),
     ("trace_summary", &["fast", "observability"], 600),
 ];
@@ -74,6 +75,11 @@ const BENCH_BINS: &[(&str, &[&str], u64)] = &[
 /// built-in deterministic seeds.
 const CHAOS_SEEDS: &[Option<u64>] = &[None, Some(7)];
 const CHAOS_WORKERS: &[usize] = &[1, 4];
+
+/// Worker counts for the algorithm-family differential suite (bit-identity
+/// across kernels is part of its contract, so the fleet sweeps the real
+/// worker axis like chaos does).
+const FAMILY_WORKERS: &[usize] = &[1, 4];
 
 /// Builds the full experiment matrix.
 pub fn experiment_matrix() -> Vec<JobSpec> {
@@ -123,6 +129,29 @@ pub fn experiment_matrix() -> Vec<JobSpec> {
             });
         }
     }
+    for &workers in FAMILY_WORKERS {
+        jobs.push(JobSpec {
+            name: format!("family/workers-{workers}"),
+            command: [
+                "cargo",
+                "test",
+                "--release",
+                "-p",
+                "twoface-core",
+                "--test",
+                "algorithm_family",
+                "--",
+                "--nocapture",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            env: vec![("TWOFACE_THREADS".to_string(), workers.to_string())],
+            tags: vec!["family"],
+            outputs: Vec::new(),
+            timeout: Duration::from_secs(1800),
+        });
+    }
     jobs
 }
 
@@ -145,6 +174,10 @@ mod tests {
         assert_eq!(
             jobs.iter().filter(|j| j.tags.contains(&"chaos")).count(),
             CHAOS_SEEDS.len() * CHAOS_WORKERS.len()
+        );
+        assert_eq!(
+            jobs.iter().filter(|j| j.name.starts_with("family/")).count(),
+            FAMILY_WORKERS.len()
         );
         let mut names: Vec<_> = jobs.iter().map(|j| j.name.clone()).collect();
         names.sort();

@@ -2,7 +2,7 @@
 //! windows.
 
 use crate::event::{EventSink, Observability, OpEvent, OpKind};
-use crate::meet::{MeetOutcome, MeetRegistry, Payload};
+use crate::meet::{MeetOutcome, MeetPoison, MeetRegistry, Payload};
 use crate::metrics::MetricsRegistry;
 use crate::{
     CostModel, FaultEvent, FaultKind, FaultPlan, NetError, PhaseClass, RankTrace, SimTime,
@@ -253,6 +253,9 @@ impl Cluster {
         // window ids start after the retained table so ids still agree
         // across ranks and old handles stay valid.
         let epoch = self.shared.run_epoch.fetch_add(1, Ordering::Relaxed) & EPOCH_MASK;
+        // A stall abort poisons the meet registry for the rest of its run;
+        // the next run starts clean.
+        self.shared.meets.clear_poison();
         let window_base = {
             let mut table = self.shared.windows.lock().expect("window table poisoned");
             if !self.shared.retain_windows.load(Ordering::Relaxed) {
@@ -569,21 +572,40 @@ impl RankCtx {
         (meet_idx, delay)
     }
 
-    /// Straggler-tolerance check after an *all-rank* meet: if the spread
-    /// between the earliest and latest arrival exceeds the plan's stall
-    /// timeout, fail with [`NetError::RankStalled`]. The spread is identical
-    /// for every participant, so either all ranks pass or all ranks fail —
-    /// the group can never desynchronise into a deadlock. Subgroup meets are
-    /// never checked: their members cannot agree with non-members on whether
-    /// to abort.
-    fn stall_check(&self, outcome: &MeetOutcome, expected: usize) -> Result<(), NetError> {
-        if expected != self.shared.p {
+    /// Surfaces a poisoned (aborted) meet as the stall error every surviving
+    /// rank reports. Must run before a collective touches the outcome's
+    /// payloads: an aborted meet carries none.
+    fn abort_check(&self, outcome: &MeetOutcome) -> Result<(), NetError> {
+        let Some(poison) = outcome.poisoned else {
             return Ok(());
-        }
+        };
+        Err(NetError::RankStalled {
+            rank: self.rank,
+            straggler: poison.straggler,
+            stalled_seconds: poison.stalled_seconds,
+            timeout_seconds: poison.timeout_seconds,
+        })
+    }
+
+    /// Straggler-tolerance check after a meet: if the spread between the
+    /// earliest and latest arrival exceeds the plan's stall timeout, fail
+    /// with [`NetError::RankStalled`]. The spread is identical for every
+    /// participant, so all members of the meet decide identically and abort
+    /// together. For subgroup meets (2D grid multicasts, pairwise reduces)
+    /// the non-members cannot observe the spread, so the tripping members
+    /// additionally poison the meet registry: every rank blocked at (or
+    /// later arriving at) any other collective aborts with the same typed
+    /// error instead of deadlocking against the dead subgroup.
+    fn stall_check(&self, outcome: &MeetOutcome) -> Result<(), NetError> {
         let Some(timeout) = self.faults.as_ref().and_then(|p| p.stall_timeout_seconds) else {
             return Ok(());
         };
         if outcome.spread_seconds > timeout {
+            self.shared.meets.poison(MeetPoison {
+                straggler: outcome.straggler,
+                stalled_seconds: outcome.spread_seconds,
+                timeout_seconds: timeout,
+            });
             return Err(NetError::RankStalled {
                 rank: self.rank,
                 straggler: outcome.straggler,
@@ -734,6 +756,7 @@ impl RankCtx {
         let arrive = self.now();
         let (_, delay) = self.meet_arrival_delay();
         let outcome = self.shared.meets.meet(tag, self.shared.p, self.rank, arrive + delay, None);
+        self.abort_check(&outcome)?;
         // Wait is charged from the pre-delay arrival, so injected delays are
         // part of the charged wait and faulted traces dominate fault-free
         // ones term by term.
@@ -754,7 +777,7 @@ impl RankCtx {
             self.metrics.inc("ops.barrier", 1);
             self.metrics.observe("meet_arrival_spread_ns", spread_ns(outcome.spread_seconds));
         }
-        self.stall_check(&outcome, self.shared.p)?;
+        self.stall_check(&outcome)?;
         Ok(())
     }
 
@@ -776,6 +799,7 @@ impl RankCtx {
         let arrive = self.clocks[Lane::Sync.index()];
         let (_, delay) = self.meet_arrival_delay();
         let outcome = self.shared.meets.meet(tag, p, self.rank, arrive + delay, Some(data));
+        self.abort_check(&outcome)?;
         let out: Vec<Payload> = (0..p)
             .map(|r| outcome.payloads.get(&r).expect("every rank contributes to allgather").clone())
             .collect();
@@ -811,7 +835,7 @@ impl RankCtx {
             self.metrics.inc("ops.allgather", 1);
             self.metrics.observe("meet_arrival_spread_ns", spread_ns(outcome.spread_seconds));
         }
-        self.stall_check(&outcome, p)?;
+        self.stall_check(&outcome)?;
         Ok(out)
     }
 
@@ -854,6 +878,7 @@ impl RankCtx {
             arrive + delay,
             if is_root { data } else { None },
         );
+        self.abort_check(&outcome)?;
         let buf = outcome.payloads.get(&root).expect("root deposited multicast data").clone();
         let destinations = group.len() - 1;
         let cost = self.shared.cost.multicast_cost(buf.len(), destinations);
@@ -899,7 +924,7 @@ impl RankCtx {
                 self.metrics.observe("multicast_fanout", destinations as u64);
             }
         }
-        self.stall_check(&outcome, group.len())?;
+        self.stall_check(&outcome)?;
         Ok(buf)
     }
 
@@ -927,6 +952,7 @@ impl RankCtx {
         let arrive = self.clocks[Lane::Sync.index()];
         let (_, delay) = self.meet_arrival_delay();
         let outcome = self.shared.meets.meet(tag, p, self.rank, arrive + delay, Some(data));
+        self.abort_check(&outcome)?;
         let from = (self.rank + p - distance % p) % p;
         let buf = outcome.payloads.get(&from).expect("every rank contributes to shift").clone();
         let cost = self.shared.cost.shift_cost(my_len.max(buf.len()));
@@ -960,7 +986,7 @@ impl RankCtx {
             self.metrics.inc("ops.shift_ring", 1);
             self.metrics.observe("meet_arrival_spread_ns", spread_ns(outcome.spread_seconds));
         }
-        self.stall_check(&outcome, p)?;
+        self.stall_check(&outcome)?;
         Ok(buf)
     }
 
@@ -990,6 +1016,7 @@ impl RankCtx {
         let arrive = self.now();
         let (_, delay) = self.meet_arrival_delay();
         let outcome = self.shared.meets.meet(tag, self.shared.p, self.rank, arrive + delay, None);
+        self.abort_check(&outcome)?;
         let cost = self.shared.cost.alpha_sync;
         self.clocks = [outcome.time + cost; 2];
         self.trace.add_time(PhaseClass::Other, outcome.time.since(arrive) + cost);
@@ -1017,7 +1044,7 @@ impl RankCtx {
             self.metrics.inc("ops.window_create", 1);
             self.metrics.observe("meet_arrival_spread_ns", spread_ns(outcome.spread_seconds));
         }
-        self.stall_check(&outcome, self.shared.p)?;
+        self.stall_check(&outcome)?;
         Ok(WindowId(id))
     }
 

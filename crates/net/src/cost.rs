@@ -17,6 +17,92 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Shape statistics of one distributed SpMM problem, distilled to the plain
+/// numbers the per-algorithm cost predictions consume.
+///
+/// The caller (the core crate's auto-selector) computes these in one pass
+/// over the sparse matrix; the model itself never sees matrix data. All
+/// "remote" quantities exclude a rank's own `B` block, and all `max_*`
+/// quantities are taken over ranks — the predictions estimate the critical
+/// path, i.e. the worst rank's lane time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpmmStats {
+    /// Number of ranks.
+    pub p: usize,
+    /// Rows of `A` (and `C`).
+    pub rows: usize,
+    /// Columns of `A` (rows of `B`).
+    pub cols: usize,
+    /// Dense columns of `B` (and `C`).
+    pub k: usize,
+    /// Total nonzeros of `A`.
+    pub nnz: u64,
+    /// Nonzeros of the heaviest rank's row block.
+    pub max_rank_nnz: u64,
+    /// Rows of the tallest rank row block.
+    pub max_rank_rows: usize,
+    /// Rows of the widest `B` block.
+    pub max_block_rows: usize,
+    /// Most remote `B` blocks any one rank touches.
+    pub max_remote_blocks: usize,
+    /// Most distinct remote `B` rows any one rank needs.
+    pub max_remote_rows: u64,
+    /// The same rows after coalescing (at the configured max coalesce
+    /// distance), as contiguous runs — what an indexed rget pays `α_run`
+    /// per.
+    pub max_remote_runs: u64,
+    /// Most stripes holding at least one nonzero for any one rank (own
+    /// blocks included) — the per-stripe `α`/`κ` multiplier of the
+    /// stripe-granular asynchronous algorithms.
+    pub max_touched_stripes: u64,
+    /// Σ over ranks of distinct remote `B` rows needed (each (rank, row)
+    /// need counted once).
+    pub remote_fetches: u64,
+    /// The subset of [`SpmmStats::remote_fetches`] whose row serves ≥ 2
+    /// remote ranks — the multicast-worthy traffic Two-Face routes through
+    /// its synchronous lane.
+    pub hot_fetches: u64,
+    /// Distinct remote `B` rows serving ≥ 2 remote ranks.
+    pub hot_rows: u64,
+    /// Fraction of nonzeros whose `B` row is *not* read by exactly one
+    /// remote rank — i.e. rows that are local to their reader or
+    /// multicast-worthy. This is the share of compute Two-Face's classifier
+    /// steers to the (much cheaper per element) synchronous kernel.
+    pub sync_nnz_fraction: f64,
+    /// Σ of stripe widths (in `B` rows) of the sync-classified stripes the
+    /// worst rank receives remotely. A stripe is sync-classified when it
+    /// holds at least one multicast-worthy (≥ 2 remote readers) row: the
+    /// classifier then multicasts the *whole* stripe, so the receive volume
+    /// is stripe-granular, not row-granular.
+    pub max_sync_recv_cols: u64,
+    /// Number of remotely received sync-classified stripes for the worst
+    /// rank — the per-multicast `α` multiplier of the sync lane.
+    pub max_sync_recv_stripes: u64,
+    /// Width-weighted mean count of distinct remote reader ranks over all
+    /// sync-classified stripes — the typical multicast fan-out of the sync
+    /// lane, which sets the congestion penalty.
+    pub mean_sync_group_readers: f64,
+    /// Row-panel height of the synchronous kernel.
+    pub panel_height: usize,
+}
+
+impl SpmmStats {
+    /// Average elements of one `B` block (`⌈cols/p⌉ · k`).
+    fn block_elements(&self) -> usize {
+        self.cols.div_ceil(self.p) * self.k
+    }
+
+    /// Average elements of one rank's `C` block (`⌈rows/p⌉ · k`).
+    fn c_block_elements(&self) -> usize {
+        self.rows.div_ceil(self.p) * self.k
+    }
+
+    /// Row panels of the tallest rank block (at least one).
+    fn panels_per_rank(&self) -> usize {
+        self.max_rank_rows.div_ceil(self.panel_height.max(1)).max(1)
+    }
+}
+
 /// Cost model coefficients for the simulated machine.
 ///
 /// All `α`/`κ` values are seconds per operation; `β`/`γ` values are seconds
@@ -240,6 +326,152 @@ impl CostModel {
     pub fn failed_get_cost(&self, base_cost: f64, backoff_seconds: f64) -> f64 {
         base_cost + backoff_seconds
     }
+
+    // ---- Per-algorithm closed-form predictions -----------------------------
+    //
+    // Each `predict_*` estimates the critical-path simulated seconds of one
+    // whole-strategy run from [`SpmmStats`] alone, composing the calibrated
+    // per-operation primitives above exactly the way the corresponding
+    // algorithm issues them. They power `Algorithm::Auto` (see the core
+    // crate), which argmins over these predictions; DESIGN.md §12 derives
+    // the formulas.
+
+    /// Predicted seconds of the Allgather baseline: one bulk allgather of
+    /// the widest `B` block, then local row-panel compute over the heaviest
+    /// rank's nonzeros.
+    pub fn predict_allgather(&self, s: &SpmmStats) -> f64 {
+        self.allgather_cost(s.max_block_rows * s.k, s.p)
+            + self.sync_compute_cost(s.max_rank_nnz as usize, s.k, s.panels_per_rank())
+    }
+
+    /// Predicted seconds of dense shifting with replication factor `c`:
+    /// `c - 1` widening replication shifts, `⌈p/c⌉ - 1` super-block shifts
+    /// of `c` blocks each, and per-block row-panel compute.
+    pub fn predict_dense_shifting(&self, s: &SpmmStats, c: usize) -> f64 {
+        let c = c.max(1);
+        let block = s.block_elements();
+        let mut comm = 0.0;
+        for j in 1..c {
+            comm += self.shift_cost(j * block);
+        }
+        comm += (s.p.div_ceil(c).saturating_sub(1)) as f64 * self.shift_cost(c * block);
+        comm + self.sync_compute_cost(s.max_rank_nnz as usize, s.k, s.p * s.panels_per_rank())
+    }
+
+    /// Predicted seconds of Async Coarse: one bulk get per needed remote
+    /// block, then row-panel compute grouped by block.
+    pub fn predict_async_coarse(&self, s: &SpmmStats) -> f64 {
+        s.max_remote_blocks as f64 * self.bulk_get_cost(s.block_elements())
+            + self.sync_compute_cost(
+                s.max_rank_nnz as usize,
+                s.k,
+                (s.max_remote_blocks + 1) * s.panels_per_rank(),
+            )
+    }
+
+    /// Meet count of the destination-major pairwise reduce both the 1.5D
+    /// and SUMMA implementations run over a team of `c` members.
+    ///
+    /// The exchanges are issued destination-major ((d₀,s₁), (d₀,s₂), …,
+    /// (d₁,s₀), …) and every pairwise meet synchronizes both parties'
+    /// clocks, so the phase *serializes*: tracking the clock recurrence
+    /// with all members entering at the same time gives a completion of
+    /// exactly `(c² + 3c − 6)/2` meet-costs (2, 6, 11, 17 for
+    /// c = 2, 3, 4, 5) — quadratic, not the `2(c − 1)` a fully overlapped
+    /// schedule would cost. Verified against measured simulated seconds of
+    /// both implementations.
+    fn reduce_chain_meets(c: usize) -> f64 {
+        if c < 2 {
+            return 0.0;
+        }
+        ((c * c + 3 * c - 6) / 2) as f64
+    }
+
+    /// Predicted seconds of the 1.5D replicated algorithm with replication
+    /// factor `c`: every rank receives its `⌈p/c⌉`-block column slice via
+    /// layer multicasts (fan-out `⌈p/c⌉ - 1`), computes a column-sliced
+    /// share of its team's nonzeros (slicing by column residue smooths row
+    /// skew, hence `nnz/p` rather than the max), and exchanges partial `C`
+    /// blocks pairwise within its `c`-deep team — a destination-major
+    /// serialized chain (see [`CostModel::reduce_chain_meets`]).
+    pub fn predict_one_five_d(&self, s: &SpmmStats, c: usize) -> f64 {
+        let c = c.max(1);
+        let layer = s.p.div_ceil(c);
+        let stage = layer as f64 * self.multicast_cost(s.block_elements(), layer - 1);
+        let compute =
+            self.sync_compute_cost((s.nnz / s.p as u64) as usize, s.k, c * s.panels_per_rank());
+        let reduce = Self::reduce_chain_meets(c) * self.multicast_cost(s.c_block_elements(), 1);
+        stage + compute + reduce
+    }
+
+    /// Predicted seconds of 2D SUMMA on a `p_r × p_c` grid: every block is
+    /// multicast to its column team at fan-out `p_r`, and since each
+    /// multicast group contains the block's *owner* (which lives in some
+    /// other column team), the ascending stage order chains globally — all
+    /// `p` block multicasts serialize, not just the own band's. Compute is
+    /// a band-sliced share of the row team's nonzeros, and the row-team
+    /// reduce is the same destination-major serialized chain as 1.5D's
+    /// (see [`CostModel::reduce_chain_meets`]).
+    pub fn predict_summa(&self, s: &SpmmStats, p_r: usize, p_c: usize) -> f64 {
+        let p_c = p_c.max(1);
+        let stage = s.p as f64 * self.multicast_cost(s.block_elements(), p_r.max(1));
+        let compute =
+            self.sync_compute_cost((s.nnz / s.p as u64) as usize, s.k, p_c * s.panels_per_rank());
+        let reduce = Self::reduce_chain_meets(p_c) * self.multicast_cost(s.c_block_elements(), 1);
+        stage + compute + reduce
+    }
+
+    /// Predicted seconds of one-sided slicing: one indexed rget per remote
+    /// block fetching exactly the needed rows (coalesced into runs), plus
+    /// fully asynchronous per-block compute.
+    pub fn predict_slicing(&self, s: &SpmmStats) -> f64 {
+        self.alpha_async * s.max_remote_blocks as f64
+            + self.alpha_run * s.max_remote_runs as f64
+            + self.beta_async * (s.max_remote_rows as usize * s.k) as f64
+            + self.async_compute_cost(s.max_rank_nnz as usize, s.k, s.max_remote_blocks + 1)
+    }
+
+    /// Predicted seconds of Async Fine (the all-async ablation): stripe
+    /// granularity turns the per-operation `α`/`κ` multipliers into the
+    /// touched-stripe count.
+    pub fn predict_async_fine(&self, s: &SpmmStats) -> f64 {
+        self.alpha_async * s.max_touched_stripes as f64
+            + self.alpha_run * s.max_remote_runs as f64
+            + self.beta_async * (s.max_remote_rows as usize * s.k) as f64
+            + self.async_compute_cost(s.max_rank_nnz as usize, s.k, s.max_touched_stripes as usize)
+    }
+
+    /// Predicted seconds of Two-Face: the classifier steers multicast-worthy
+    /// (hot) rows and their nonzeros to the synchronous lane and
+    /// single-reader rows to the asynchronous lane; the run finishes at the
+    /// later lane, so the prediction is the max of the two lane estimates.
+    pub fn predict_two_face(&self, s: &SpmmStats) -> f64 {
+        let hot_share = s.hot_fetches as f64 / (s.remote_fetches.max(1)) as f64;
+        // Sync lane: stripe-granular multicasts. One multicast-worthy row
+        // syncs its *whole* stripe (the classifier's fan-out blindness), so
+        // the worst rank's receive volume is the stripe widths it receives
+        // (`max_sync_recv_cols`), not its hot rows, and the congestion
+        // penalty follows the typical stripe group's remote fan-out.
+        let scaled = self.multicast_fanout * s.mean_sync_group_readers;
+        let penalty = 1.0 + (scaled * scaled).min(Self::FANOUT_PENALTY_CAP);
+        let recv_cols = s.max_sync_recv_cols as f64 * s.k as f64;
+        let sync_nnz_k = s.sync_nnz_fraction * s.max_rank_nnz as f64 * s.k as f64;
+        let sync_lane = self.beta_sync * penalty * recv_cols
+            + self.alpha_sync * s.max_sync_recv_stripes as f64
+            + self.gamma_sync * sync_nnz_k
+            + self.kappa_sync * s.panels_per_rank() as f64;
+        // Async lane: the cold remainder of the one-sided traffic and its
+        // column-major compute.
+        let cold = 1.0 - hot_share;
+        let cold_stripes = s.max_touched_stripes as f64 * cold;
+        let async_nnz_k = (1.0 - s.sync_nnz_fraction) * s.max_rank_nnz as f64 * s.k as f64;
+        let async_lane = self.alpha_async * cold_stripes
+            + self.alpha_run * s.max_remote_runs as f64 * cold
+            + self.beta_async * s.max_remote_rows as f64 * s.k as f64 * cold
+            + self.gamma_async * async_nnz_k
+            + self.kappa_async * cold_stripes;
+        sync_lane.max(async_lane)
+    }
 }
 
 impl Default for CostModel {
@@ -327,5 +559,105 @@ mod tests {
         let base = m.rget_cost(1024, 4);
         assert_eq!(m.failed_get_cost(base, 1e-6), base + 1e-6);
         assert!(m.failed_get_cost(base, 0.0) >= base, "a failed attempt is never free");
+    }
+
+    fn example_stats() -> SpmmStats {
+        SpmmStats {
+            p: 8,
+            rows: 4096,
+            cols: 4096,
+            k: 32,
+            nnz: 200_000,
+            max_rank_nnz: 40_000,
+            max_rank_rows: 512,
+            max_block_rows: 512,
+            max_remote_blocks: 7,
+            max_remote_rows: 3_000,
+            max_remote_runs: 900,
+            max_touched_stripes: 120,
+            remote_fetches: 20_000,
+            hot_fetches: 14_000,
+            hot_rows: 2_500,
+            sync_nnz_fraction: 0.8,
+            max_sync_recv_cols: 3_000,
+            max_sync_recv_stripes: 90,
+            mean_sync_group_readers: 4.5,
+            panel_height: 32,
+        }
+    }
+
+    fn all_predictions(m: &CostModel, s: &SpmmStats) -> Vec<f64> {
+        vec![
+            m.predict_allgather(s),
+            m.predict_dense_shifting(s, 1),
+            m.predict_dense_shifting(s, 2),
+            m.predict_async_coarse(s),
+            m.predict_one_five_d(s, 2),
+            m.predict_summa(s, 2, 4),
+            m.predict_slicing(s),
+            m.predict_async_fine(s),
+            m.predict_two_face(s),
+        ]
+    }
+
+    #[test]
+    fn predictions_are_finite_and_positive() {
+        let m = CostModel::delta_scaled();
+        for (i, v) in all_predictions(&m, &example_stats()).iter().enumerate() {
+            assert!(v.is_finite() && *v > 0.0, "prediction {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn predictions_survive_degenerate_problems() {
+        // p = 1, K = 1, empty matrix: every remote/hot statistic is zero.
+        // Predictions must stay finite (no 0/0) so Auto never sees NaN.
+        let s = SpmmStats {
+            p: 1,
+            rows: 0,
+            cols: 0,
+            k: 1,
+            nnz: 0,
+            max_rank_nnz: 0,
+            max_rank_rows: 0,
+            max_block_rows: 0,
+            max_remote_blocks: 0,
+            max_remote_rows: 0,
+            max_remote_runs: 0,
+            max_touched_stripes: 0,
+            remote_fetches: 0,
+            hot_fetches: 0,
+            hot_rows: 0,
+            sync_nnz_fraction: 0.0,
+            max_sync_recv_cols: 0,
+            max_sync_recv_stripes: 0,
+            mean_sync_group_readers: 0.0,
+            panel_height: 32,
+        };
+        let m = CostModel::delta_scaled();
+        for (i, v) in all_predictions(&m, &s).iter().enumerate() {
+            assert!(v.is_finite() && *v >= 0.0, "degenerate prediction {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn replication_trades_shift_steps_for_replication_shifts() {
+        // At c = p the main loop degenerates to a single step; the
+        // prediction must reflect the replication phase instead of charging
+        // p shift steps.
+        let m = CostModel::delta_scaled();
+        let s = example_stats();
+        let ds1 = m.predict_dense_shifting(&s, 1);
+        let ds8 = m.predict_dense_shifting(&s, 8);
+        assert!(ds1.is_finite() && ds8.is_finite());
+        assert_ne!(ds1, ds8);
+    }
+
+    #[test]
+    fn spmm_stats_serde_round_trip() {
+        let s = example_stats();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SpmmStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
     }
 }

@@ -1,0 +1,150 @@
+//! 2D logical rank grids for algorithms with row/column sub-communicators.
+//!
+//! The cluster itself stays a flat set of `p` ranks; a [`Grid2d`] is a pure
+//! naming layer on top — the 2D analog of MPI's `MPI_Cart_create` +
+//! `MPI_Comm_split`. SUMMA-style algorithms use it to derive the row and
+//! column teams their subgroup multicasts run over; the teams are plain
+//! ascending rank lists, directly usable as [`RankCtx::multicast`] groups.
+//!
+//! [`RankCtx::multicast`]: crate::RankCtx::multicast
+
+/// A `rows × cols` logical view of ranks `0..rows*cols`, row-major: rank `r`
+/// sits at coordinates `(r / cols, r % cols)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Grid2d {
+    rows: usize,
+    cols: usize,
+}
+
+impl Grid2d {
+    /// A grid with explicit dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Grid2d {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        Grid2d { rows, cols }
+    }
+
+    /// The most-square exact factorization of `p`: `rows` is the largest
+    /// divisor of `p` with `rows <= cols`. Primes degenerate to `1 × p`
+    /// (a flat grid), which every grid algorithm must still handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn square_ish(p: usize) -> Grid2d {
+        assert!(p > 0, "grid must have at least one rank");
+        let mut rows = 1;
+        let mut d = 1;
+        while d * d <= p {
+            if p.is_multiple_of(d) {
+                rows = d;
+            }
+            d += 1;
+        }
+        Grid2d { rows, cols: p / rows }
+    }
+
+    /// Number of grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total ranks covered by the grid.
+    pub fn ranks(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The `(row, col)` coordinates of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is outside the grid.
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        assert!(rank < self.ranks(), "rank {rank} outside {}x{} grid", self.rows, self.cols);
+        (rank / self.cols, rank % self.cols)
+    }
+
+    /// The rank at coordinates `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is outside the grid.
+    pub fn rank_at(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.rows && col < self.cols, "({row}, {col}) outside grid");
+        row * self.cols + col
+    }
+
+    /// The ranks of grid row `row`, ascending — a ready-made multicast
+    /// group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is outside the grid.
+    pub fn row_team(&self, row: usize) -> Vec<usize> {
+        assert!(row < self.rows, "row {row} outside grid of {} rows", self.rows);
+        (0..self.cols).map(|j| self.rank_at(row, j)).collect()
+    }
+
+    /// The ranks of grid column `col`, ascending — a ready-made multicast
+    /// group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is outside the grid.
+    pub fn col_team(&self, col: usize) -> Vec<usize> {
+        assert!(col < self.cols, "column {col} outside grid of {} columns", self.cols);
+        (0..self.rows).map(|i| self.rank_at(i, col)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_ish_picks_the_largest_small_divisor() {
+        for (p, rows, cols) in
+            [(1, 1, 1), (4, 2, 2), (6, 2, 3), (7, 1, 7), (8, 2, 4), (12, 3, 4), (32, 4, 8)]
+        {
+            let g = Grid2d::square_ish(p);
+            assert_eq!((g.rows(), g.cols()), (rows, cols), "p = {p}");
+            assert_eq!(g.ranks(), p);
+        }
+    }
+
+    #[test]
+    fn coords_round_trip_and_teams_partition_the_ranks() {
+        let g = Grid2d::new(3, 4);
+        for r in 0..g.ranks() {
+            let (i, j) = g.coords(r);
+            assert_eq!(g.rank_at(i, j), r);
+            assert!(g.row_team(i).contains(&r));
+            assert!(g.col_team(j).contains(&r));
+        }
+        // Row teams are ascending, disjoint, and cover every rank.
+        let mut seen: Vec<usize> = (0..g.rows()).flat_map(|i| g.row_team(i)).collect();
+        assert!(seen.windows(2).all(|w| w[0] < w[1]));
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), g.ranks());
+        // Column teams likewise.
+        let mut seen: Vec<usize> = (0..g.cols()).flat_map(|j| g.col_team(j)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), g.ranks());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_grid_rank_panics() {
+        Grid2d::new(2, 2).coords(4);
+    }
+}

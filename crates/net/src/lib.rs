@@ -54,15 +54,17 @@ mod cost;
 mod event;
 pub mod export;
 mod fault;
+mod grid;
 mod meet;
 mod metrics;
 mod time;
 mod trace;
 
 pub use cluster::{Cluster, Lane, RankCtx, RankOutput, WindowId};
-pub use cost::CostModel;
+pub use cost::{CostModel, SpmmStats};
 pub use event::{seconds_by_class, Observability, OpEvent, OpKind, TraceLevel};
 pub use fault::{FaultPlan, NetError, RetryPolicy, SlowRank};
+pub use grid::Grid2d;
 pub use meet::Payload;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use time::SimTime;

@@ -135,6 +135,25 @@ impl Default for MeetState {
     }
 }
 
+/// Why a registry was poisoned: the stall that tripped the first abort.
+///
+/// Once any participant of any meet declares a stall, every rank that is
+/// waiting at (or later arrives at) *any* meet observes this record instead
+/// of blocking forever on peers that have already aborted. That is what
+/// keeps subgroup stall failures symmetric: the members of the tripped
+/// subgroup all see the same spread and abort together, and ranks outside
+/// the subgroup are woken out of their own collectives with the same typed
+/// information rather than deadlocking against the dead subgroup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct MeetPoison {
+    /// The straggler of the meet that tripped the stall check.
+    pub straggler: usize,
+    /// The arrival spread that exceeded the configured timeout.
+    pub stalled_seconds: f64,
+    /// The configured stall timeout.
+    pub timeout_seconds: f64,
+}
+
 /// What every participant observes once a meet completes.
 #[derive(Debug, Clone)]
 pub(crate) struct MeetOutcome {
@@ -149,12 +168,22 @@ pub(crate) struct MeetOutcome {
     pub spread_seconds: f64,
     /// Snapshot of every deposited payload, keyed by rank.
     pub payloads: HashMap<usize, Payload>,
+    /// Present when the registry was poisoned before this meet completed:
+    /// the collective was aborted, `payloads` is empty, and the caller must
+    /// surface the stall instead of using the outcome.
+    pub poisoned: Option<MeetPoison>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    states: HashMap<u64, MeetState>,
+    poison: Option<MeetPoison>,
 }
 
 /// Registry of in-flight meets, shared by all ranks of a cluster.
 #[derive(Debug, Default)]
 pub(crate) struct MeetRegistry {
-    states: Mutex<HashMap<u64, MeetState>>,
+    inner: Mutex<RegistryInner>,
     cond: Condvar,
 }
 
@@ -166,10 +195,30 @@ impl MeetRegistry {
         MeetRegistry::default()
     }
 
-    /// Drops every registered meet state. Only sound between runs: a rank
-    /// blocked inside [`MeetRegistry::meet`] would lose its rendezvous.
+    /// Drops every registered meet state and any poison. Only sound between
+    /// runs: a rank blocked inside [`MeetRegistry::meet`] would lose its
+    /// rendezvous.
     pub(crate) fn clear(&self) {
-        self.states.lock().expect("meet registry poisoned").clear();
+        let mut inner = self.inner.lock().expect("meet registry lock poisoned");
+        inner.states.clear();
+        inner.poison = None;
+    }
+
+    /// Poisons the registry: every meet in flight (and every future arrival)
+    /// aborts with `poison` instead of waiting. The first poison wins; later
+    /// calls are no-ops so all ranks report the stall that tripped first.
+    pub(crate) fn poison(&self, poison: MeetPoison) {
+        let mut inner = self.inner.lock().expect("meet registry lock poisoned");
+        if inner.poison.is_none() {
+            inner.poison = Some(poison);
+        }
+        self.cond.notify_all();
+    }
+
+    /// Clears any poison left by a previous run. Called at run start so an
+    /// aborted run cannot leak its stall into the next one.
+    pub(crate) fn clear_poison(&self) {
+        self.inner.lock().expect("meet registry lock poisoned").poison = None;
     }
 
     /// Arrives at meet `tag` with `expected` total participants.
@@ -177,6 +226,12 @@ impl MeetRegistry {
     /// Blocks until all participants have arrived, then returns the maximum
     /// arrival [`SimTime`] and a snapshot of every deposited payload keyed by
     /// rank.
+    ///
+    /// If the registry is poisoned (a stall tripped somewhere in the
+    /// cluster), the meet aborts instead of waiting: the returned outcome
+    /// carries the poison and an empty payload map. A rank arriving at an
+    /// already-poisoned registry aborts without registering, so it cannot
+    /// corrupt the state of a meet its peers have abandoned.
     ///
     /// # Panics
     ///
@@ -193,9 +248,18 @@ impl MeetRegistry {
         payload: Option<Payload>,
     ) -> MeetOutcome {
         assert!(expected > 0, "meet must have at least one participant");
-        let mut states = self.states.lock().expect("meet registry poisoned");
+        let mut inner = self.inner.lock().expect("meet registry lock poisoned");
+        if let Some(poison) = inner.poison {
+            return MeetOutcome {
+                time,
+                straggler: poison.straggler,
+                spread_seconds: poison.stalled_seconds,
+                payloads: HashMap::new(),
+                poisoned: Some(poison),
+            };
+        }
         {
-            let state = states.entry(tag).or_default();
+            let state = inner.states.entry(tag).or_default();
             if state.expected == 0 {
                 state.expected = expected;
             }
@@ -222,20 +286,36 @@ impl MeetRegistry {
             }
             state.arrived += 1;
         }
-        if states.get(&tag).expect("just inserted").arrived == expected {
+        if inner.states.get(&tag).expect("just inserted").arrived == expected {
             self.cond.notify_all();
         } else {
             loop {
-                let done = states.get(&tag).is_some_and(|s| s.arrived == s.expected);
+                let done = inner.states.get(&tag).is_some_and(|s| s.arrived == s.expected);
                 if done {
                     break;
                 }
-                let (guard, wait) =
-                    self.cond.wait_timeout(states, MEET_TIMEOUT).expect("meet registry poisoned");
-                states = guard;
-                let done = states.get(&tag).is_some_and(|s| s.arrived == s.expected);
-                if wait.timed_out() && !done {
-                    let s = states.get(&tag);
+                if let Some(poison) = inner.poison {
+                    // Abandon the incomplete meet: its remaining participants
+                    // will observe the same poison (waiters are woken by
+                    // `poison`, later arrivals abort on entry), so nobody is
+                    // left waiting for this rank. The leaked state is
+                    // harmless — tags are epoch-namespaced per run.
+                    return MeetOutcome {
+                        time,
+                        straggler: poison.straggler,
+                        spread_seconds: poison.stalled_seconds,
+                        payloads: HashMap::new(),
+                        poisoned: Some(poison),
+                    };
+                }
+                let (guard, wait) = self
+                    .cond
+                    .wait_timeout(inner, MEET_TIMEOUT)
+                    .expect("meet registry lock poisoned");
+                inner = guard;
+                let done = inner.states.get(&tag).is_some_and(|s| s.arrived == s.expected);
+                if wait.timed_out() && !done && inner.poison.is_none() {
+                    let s = inner.states.get(&tag);
                     panic!(
                         "meet {tag:#x} deadlocked: rank {rank} waited {MEET_TIMEOUT:?} \
                          ({} of {} arrived) — collective order mismatch across ranks?",
@@ -246,18 +326,19 @@ impl MeetRegistry {
             }
         }
         let (result, remove) = {
-            let state = states.get_mut(&tag).expect("meet state present until all depart");
+            let state = inner.states.get_mut(&tag).expect("meet state present until all depart");
             let result = MeetOutcome {
                 time: state.max_time,
                 straggler: state.latest_rank,
                 spread_seconds: state.max_time.since(state.min_time),
                 payloads: state.payloads.clone(),
+                poisoned: None,
             };
             state.departed += 1;
             (result, state.departed == state.expected)
         };
         if remove {
-            states.remove(&tag);
+            inner.states.remove(&tag);
         }
         result
     }
@@ -362,5 +443,60 @@ mod tests {
     fn subslice_past_view_end_panics() {
         let payload = Payload::from(vec![0.0; 4]);
         let _ = payload.subslice(2..4).subslice(0..3);
+    }
+
+    const POISON: MeetPoison =
+        MeetPoison { straggler: 3, stalled_seconds: 9.0, timeout_seconds: 1.0 };
+
+    #[test]
+    fn poison_wakes_waiters_and_aborts_late_arrivals() {
+        let reg = Arc::new(MeetRegistry::new());
+        // Two of three participants arrive, then the registry is poisoned:
+        // both waiters must wake with the poison instead of deadlocking.
+        let outcomes = std::thread::scope(|s| {
+            let waiters: Vec<_> = (0..2)
+                .map(|rank| {
+                    let reg = Arc::clone(&reg);
+                    s.spawn(move || reg.meet(5, 3, rank, SimTime::from_seconds(1.0), None))
+                })
+                .collect();
+            std::thread::sleep(Duration::from_millis(50));
+            reg.poison(POISON);
+            waiters.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+        for o in outcomes {
+            assert_eq!(o.poisoned, Some(POISON));
+            assert!(o.payloads.is_empty());
+            assert_eq!(o.straggler, POISON.straggler);
+        }
+        // The third participant arrives after the fact and aborts on entry.
+        let late = reg.meet(5, 3, 2, SimTime::from_seconds(2.0), None);
+        assert_eq!(late.poisoned, Some(POISON));
+    }
+
+    #[test]
+    fn first_poison_wins_and_clear_resets_it() {
+        let reg = MeetRegistry::new();
+        reg.poison(POISON);
+        reg.poison(MeetPoison { straggler: 9, stalled_seconds: 1.0, timeout_seconds: 0.5 });
+        let o = reg.meet(1, 2, 0, SimTime::ZERO, None);
+        assert_eq!(o.poisoned, Some(POISON), "the first poison is the one reported");
+        reg.clear_poison();
+        let o = reg.meet(2, 1, 0, SimTime::ZERO, None);
+        assert_eq!(o.poisoned, None);
+        reg.poison(POISON);
+        reg.clear();
+        let o = reg.meet(3, 1, 0, SimTime::ZERO, None);
+        assert_eq!(o.poisoned, None, "clear() drops poison along with states");
+    }
+
+    #[test]
+    fn completed_meets_resolve_normally_even_if_poison_lands_later() {
+        let reg = MeetRegistry::new();
+        let o = reg.meet(4, 1, 0, SimTime::from_seconds(1.0), None);
+        assert_eq!(o.poisoned, None);
+        reg.poison(POISON);
+        // A fresh meet on the poisoned registry aborts.
+        assert!(reg.meet(6, 1, 0, SimTime::ZERO, None).poisoned.is_some());
     }
 }

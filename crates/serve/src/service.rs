@@ -6,8 +6,8 @@ use crate::timeline::{dominant_class, SessionEvent, SessionPhase};
 use std::sync::Arc;
 use std::time::Instant;
 use twoface_core::{
-    run_algorithm_on, Algorithm, AsyncLayout, ExecutionReport, PreparedMatrix, Problem, RunError,
-    RunOptions, TwoFaceConfig,
+    resolve_auto, run_algorithm_on, Algorithm, AsyncLayout, ExecutionReport, PreparedMatrix,
+    Problem, RunError, RunOptions, TwoFaceConfig,
 };
 use twoface_matrix::{CooMatrix, DenseMatrix, Fingerprint};
 use twoface_net::{Cluster, CostModel, FaultPlan, MetricsRegistry, Observability, PhaseClass};
@@ -393,20 +393,45 @@ impl SpmmService {
         Ok(self.cache_key(registered, algorithm, k))
     }
 
+    /// Resolves [`Algorithm::Auto`] against this matrix and the service's
+    /// effective machine model — exactly the resolution the runner would
+    /// perform, so the cache key and the plan flavor always describe the
+    /// algorithm that actually executes. Concrete algorithms pass through.
+    fn resolve_algorithm(
+        &self,
+        registered: &Registered,
+        algorithm: Algorithm,
+        k: usize,
+    ) -> Algorithm {
+        match algorithm {
+            Algorithm::Auto => {
+                let layout = OneDimLayout::new(
+                    registered.a.rows(),
+                    registered.a.cols(),
+                    self.config.p,
+                    registered.stripe_width,
+                );
+                let effective = self.config.exec.effective_cost(&self.config.cost);
+                resolve_auto(&registered.a, &layout, k, &self.config.exec, &effective).algorithm
+            }
+            other => other,
+        }
+    }
+
     /// The content fingerprint of `(A, ExecOpts, cluster shape)` backing
     /// [`SpmmService::plan_cache_key`].
     fn cache_key(&self, registered: &Registered, algorithm: Algorithm, k: usize) -> u64 {
+        let resolved = self.resolve_algorithm(registered, algorithm, k);
         let mut f = Fingerprint::new();
         f.mix_bytes(b"serve-key")
             .mix_u64(registered.fingerprint)
             .mix_usize(registered.stripe_width)
             .mix_usize(self.config.p)
             .mix_usize(k);
-        // The plan flavor: Two-Face classifies; Async Fine forces uniform.
-        f.mix_u64(match algorithm {
-            Algorithm::AsyncFine => 1,
-            _ => 0,
-        });
+        // The resolved plan flavor — `Auto` requests key on whatever they
+        // resolve to, so an Auto request and an explicit request for the
+        // same winner share one artifact.
+        f.mix_bytes(resolved.name().as_bytes());
         let e = &self.config.exec;
         f.mix_usize(e.async_comm_threads)
             .mix_usize(e.async_comp_threads)
@@ -452,10 +477,11 @@ impl SpmmService {
     fn prepared_for(
         &mut self,
         batch: &Batch,
+        algorithm: Algorithm,
         ids: &[u64],
     ) -> Result<(Arc<PreparedMatrix>, bool, u64), ServeError> {
         let registered = &self.matrices[batch.matrix];
-        let key = self.cache_key(registered, batch.algorithm, batch.k_each);
+        let key = self.cache_key(registered, algorithm, batch.k_each);
         if let Some(prepared) = self.cache.get(key) {
             self.metrics.inc("serve.cache.hits", 1);
             let sim = self.sim_now;
@@ -482,7 +508,7 @@ impl SpmmService {
         )
         .map_err(|e| self.run_error(ids[0], 0, e))?;
         let mut options = self.base_options();
-        if batch.algorithm == Algorithm::AsyncFine {
+        if algorithm == Algorithm::AsyncFine {
             // Async Fine's "plan" is the uniform all-async classification.
             options.plan = Some(Arc::new(PartitionPlan::build_uniform(
                 &registered.a,
@@ -546,10 +572,16 @@ impl SpmmService {
     /// fallback), split, respond.
     fn execute_batch(&mut self, batch: Batch, out: &mut Vec<SpmmResponse>) {
         let ids: Vec<u64> = batch.requests.iter().map(|r| r.id).collect();
-        let uses_plan = batch.algorithm.uses_plan();
+        // Auto resolves once, up front: the resolved algorithm decides the
+        // plan flavor and the cache key. The runner re-resolves to the same
+        // choice (resolution is deterministic), keeping Auto provenance in
+        // the report.
+        let resolved =
+            self.resolve_algorithm(&self.matrices[batch.matrix], batch.algorithm, batch.k_each);
+        let uses_plan = resolved.uses_plan();
 
         let (prepared, cache_hit, prep_wall_nanos) = if uses_plan {
-            match self.prepared_for(&batch, &ids) {
+            match self.prepared_for(&batch, resolved, &ids) {
                 Ok((prepared, hit, wall)) => (Some(prepared), Some(hit), wall),
                 Err(e) => {
                     self.fail_batch(&batch, e, out);

@@ -11,7 +11,7 @@ use twoface_matrix::gen::{
 use twoface_matrix::CooMatrix;
 use twoface_net::CostModel;
 
-const ALGORITHMS: [Algorithm; 7] = Algorithm::FIGURE7_LINEUP;
+const ALGORITHMS: [Algorithm; 10] = Algorithm::FIGURE7_LINEUP;
 
 /// Runs every algorithm on the problem with validation enabled, so a wrong
 /// output fails inside the runner with a max-difference diagnostic.
@@ -22,7 +22,8 @@ fn check_all(a: CooMatrix, k: usize, p: usize, stripe_width: usize) {
     let cost = CostModel { memory_per_node: usize::MAX, ..CostModel::delta_scaled() };
     let options = RunOptions { validate: true, ..Default::default() };
     for algo in ALGORITHMS {
-        if let Algorithm::DenseShifting { replication } = algo {
+        if let Algorithm::DenseShifting { replication } | Algorithm::OneFiveD { replication } = algo
+        {
             if replication > p {
                 continue;
             }

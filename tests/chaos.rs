@@ -21,11 +21,17 @@ fn seed_base() -> u64 {
 /// A webcrawl fixture with both dense stripes (multicasts) and sparse
 /// scatter (one-sided gets), so every lane of every algorithm is exercised.
 fn fixture() -> Problem {
+    fixture_p(4)
+}
+
+/// The same fixture over `p` ranks — non-power-of-two counts give SUMMA and
+/// 1.5D non-trivial (non-square, short-team) geometries.
+fn fixture_p(p: usize) -> Problem {
     let a = webcrawl(
         &WebcrawlConfig { n: 512, hosts: 16, per_row: 6, intra_host: 0.7, ..Default::default() },
         31,
     );
-    Problem::with_generated_b(Arc::new(a), 8, 4, 32).expect("fixture is valid")
+    Problem::with_generated_b(Arc::new(a), 8, p, 32).expect("fixture is valid")
 }
 
 fn faulted_options(plan: FaultPlan) -> RunOptions {
@@ -42,7 +48,13 @@ fn recovered_runs_are_bit_identical_across_seeds() {
     let base = seed_base();
     let problem = fixture();
     let cost = CostModel::delta_scaled();
-    let algorithms = [Algorithm::TwoFace, Algorithm::Allgather];
+    let algorithms = [
+        Algorithm::TwoFace,
+        Algorithm::Allgather,
+        Algorithm::OneFiveD { replication: 2 },
+        Algorithm::Summa,
+        Algorithm::Slicing,
+    ];
     let severities: [Severity; 2] = [("light", FaultPlan::light), ("heavy", FaultPlan::heavy)];
 
     let mut recovered = 0usize;
@@ -236,4 +248,72 @@ fn recovery_costs_shift_the_breakdown() {
         clean.mean_breakdown.total()
     );
     assert!(faulted.seconds > clean.seconds, "faults must lengthen the critical path");
+}
+
+/// Slicing's one-sided path under fault injection: every injected get
+/// failure is retried (trace replays the plan exactly), retry backoff is
+/// charged as Recovery, and the recovered output stays bit-identical — the
+/// LogGP-consistent recovery contract of `win_rget_rows`.
+#[test]
+fn slicing_retries_are_loggp_consistent() {
+    let problem = fixture();
+    let cost = CostModel::delta_scaled();
+    let clean = run_algorithm(Algorithm::Slicing, &problem, &cost, &RunOptions::default())
+        .expect("fault-free slicing succeeds");
+    // Scan for a seed whose heavy plan actually hits one of slicing's gets.
+    let base = seed_base();
+    let faulted = (0..32u64)
+        .filter_map(|i| {
+            let plan = FaultPlan::heavy(base.wrapping_add(i));
+            let report =
+                run_algorithm(Algorithm::Slicing, &problem, &cost, &faulted_options(plan.clone()))
+                    .ok()?;
+            let retried: u64 = report.rank_traces.iter().map(|t| t.retries).sum();
+            (retried > 0).then_some((plan, report))
+        })
+        .next();
+    let Some((plan, report)) = faulted else {
+        panic!("no heavy plan in seeds {base}..{base}+32 hit a slicing get");
+    };
+    for (rank, trace) in report.rank_traces.iter().enumerate() {
+        let expected: u64 = (0..trace.one_sided_ops)
+            .map(|op| u64::from(plan.injected_get_failures(rank, op)))
+            .sum();
+        assert_eq!(
+            trace.fault_count(FaultKind::GetFailure),
+            expected,
+            "rank {rank}: slicing's recorded get failures disagree with the plan"
+        );
+        assert_eq!(trace.retries, expected, "rank {rank}: every failure retried exactly once");
+    }
+    assert!(report.mean_breakdown.recovery > 0.0, "retry backoff must be charged as Recovery");
+    assert!(report.seconds > clean.seconds, "failed transfers still occupied the async lane");
+    assert_eq!(report.output, clean.output, "recovery must never change a bit of C");
+}
+
+/// A rank stalled past the timeout inside SUMMA's subgroup multicasts
+/// aborts the whole run with a typed `RankStalled` naming the straggler —
+/// including on ranks in *other* grid columns that never share a multicast
+/// group with it. Completion of this test is itself the no-hang check.
+#[test]
+fn summa_subgroup_stall_fails_symmetrically() {
+    let cost = CostModel::delta_scaled();
+    // p = 6 → a 2 × 3 grid: rank 1 sits in one grid column; ranks in the
+    // other columns only ever meet it through the row-team reduce.
+    let problem = fixture_p(6);
+    for algorithm in [Algorithm::Summa, Algorithm::OneFiveD { replication: 2 }] {
+        let plan = FaultPlan::seeded(seed_base()).with_slow_rank(1, 5.0).with_stall_timeout(1.0);
+        let err = run_algorithm(algorithm, &problem, &cost, &faulted_options(plan))
+            .expect_err("rank 1 stalls past the timeout");
+        match &err {
+            RunError::RankStalled { source, .. } => match source {
+                NetError::RankStalled { straggler, stalled_seconds, timeout_seconds, .. } => {
+                    assert_eq!(*straggler, 1, "{algorithm}: wrong straggler named");
+                    assert!(stalled_seconds > timeout_seconds);
+                }
+                other => panic!("{algorithm}: wrong source: {other}"),
+            },
+            other => panic!("{algorithm}: expected RankStalled, got {other}"),
+        }
+    }
 }

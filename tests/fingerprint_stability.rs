@@ -31,9 +31,11 @@ fn fixed_problem() -> Problem {
     Problem::with_generated_b(a, K, P, STRIPE_WIDTH).expect("fixture problem is valid")
 }
 
-/// The two fingerprints under contract: the service's plan-cache key and
-/// the prepared artifact's content fingerprint, on a fixed problem.
-fn compute_keys(workers: Option<usize>) -> (u64, u64) {
+/// The fingerprints under contract: the service's plan-cache key (for an
+/// explicit algorithm and for `Auto`, which must resolve to the same
+/// concrete choice in every environment) and the prepared artifact's
+/// content fingerprint, on a fixed problem.
+fn compute_keys(workers: Option<usize>) -> (u64, u64, u64) {
     let cost = CostModel::delta_scaled();
     let problem = fixed_problem();
     let mut service = SpmmService::new(ServeConfig::new(P, cost));
@@ -41,25 +43,30 @@ fn compute_keys(workers: Option<usize>) -> (u64, u64) {
         .register_matrix(Arc::clone(&problem.a), STRIPE_WIDTH)
         .expect("fixture matrix registers");
     let cache_key = service.plan_cache_key(handle, Algorithm::TwoFace, K).expect("handle is known");
+    let auto_key = service.plan_cache_key(handle, Algorithm::Auto, K).expect("handle is known");
     let options = RunOptions { workers, ..RunOptions::default() };
     let prepared = PreparedMatrix::build(&problem, &cost, &options).expect("fixture preprocesses");
-    (cache_key, prepared.fingerprint())
+    (cache_key, auto_key, prepared.fingerprint())
 }
 
 #[test]
 fn fingerprints_are_stable_across_workers_and_subprocess_env() {
-    let (cache_key, prep_fp) = compute_keys(None);
+    let (cache_key, auto_key, prep_fp) = compute_keys(None);
 
     if std::env::var(CHILD_ENV).is_ok() {
         // Child mode: report what this environment computes and stop.
-        println!("FP_CACHE_KEY={cache_key} FP_PREP={prep_fp}");
+        println!("FP_CACHE_KEY={cache_key} FP_AUTO={auto_key} FP_PREP={prep_fp}");
         return;
     }
 
     // Explicit worker counts in-process: same keys.
     for workers in [1, 2, 7] {
-        let (k, p) = compute_keys(Some(workers));
-        assert_eq!((k, p), (cache_key, prep_fp), "keys drifted at workers = {workers}");
+        let (k, a, p) = compute_keys(Some(workers));
+        assert_eq!(
+            (k, a, p),
+            (cache_key, auto_key, prep_fp),
+            "keys drifted at workers = {workers}"
+        );
     }
 
     // Fleet-style subprocess re-invocation under env-inherited knobs: the
@@ -96,7 +103,7 @@ fn fingerprints_are_stable_across_workers_and_subprocess_env() {
         let line = stdout[start..].lines().next().expect("key line terminates");
         assert_eq!(
             line.trim(),
-            format!("FP_CACHE_KEY={cache_key} FP_PREP={prep_fp}"),
+            format!("FP_CACHE_KEY={cache_key} FP_AUTO={auto_key} FP_PREP={prep_fp}"),
             "env-inherited TWOFACE_THREADS={threads} leaked into a cache key"
         );
     }
