@@ -1,7 +1,7 @@
 //! Algorithm-family auto-selection quality: for every suite matrix, run
 //! every concrete candidate, resolve [`Algorithm::Auto`], and score how
 //! often the model's pick lands within 10% of the best measured simulated
-//! time (the acceptance bar is ≥ 80% of the suite).
+//! time (the acceptance bar is ≥ 87% of the suite, enforced here).
 
 use serde::Serialize;
 use twoface_bench::{banner, cell, default_cost, write_json, SuiteCache, DEFAULT_P};
@@ -91,9 +91,14 @@ fn main() {
     let hits = entries.iter().filter(|e| e.within_10pct).count();
     let rate = hits as f64 / entries.len() as f64;
     println!(
-        "\nAuto within 10% of the measured best on {hits}/{} points ({:.0}%; bar: 80%)",
+        "\nAuto within 10% of the measured best on {hits}/{} points ({:.0}%; bar: 87%)",
         entries.len(),
         rate * 100.0
+    );
+    assert!(
+        rate >= 0.87,
+        "auto-selection quality regressed below the 87% bar: {hits}/{} points",
+        entries.len()
     );
     write_json("family_auto_selection", &Report { p: DEFAULT_P, within_10pct_rate: rate, entries });
 }

@@ -133,11 +133,20 @@ fn write_structures(
         // Rebase local rows back to global for a single container file.
         let offset = offsets[rank];
         sync_triplets.extend(
-            m.sync_local.entries().iter().map(|t| Triplet::new(t.row + offset, t.col, t.val)),
+            m.sync_local
+                .entries()
+                .iter()
+                .map(|t| t.widen())
+                .map(|t| Triplet::new(t.row + offset, t.col, t.val)),
         );
         for stripe in m.asynchronous.stripes() {
-            async_triplets
-                .extend(stripe.entries.iter().map(|t| Triplet::new(t.row + offset, t.col, t.val)));
+            async_triplets.extend(
+                stripe
+                    .entries
+                    .iter()
+                    .map(|t| t.widen())
+                    .map(|t| Triplet::new(t.row + offset, t.col, t.val)),
+            );
         }
     }
     for (suffix, triplets) in [("sync", sync_triplets), ("async", async_triplets)] {

@@ -207,13 +207,19 @@ pub fn spmm_stats(
 
     // Stripe pass: a stripe is sync-classified when it holds at least one
     // multicast-worthy (degree ≥ 2) column — the classifier then multicasts
-    // the whole stripe to every remote reader, so the sync lane's receive
-    // volume is stripe-granular. Per sync stripe: its remote reader set
-    // (union of the column reader bitsets minus the owner) sizes the
-    // multicast group; per rank: the stripe widths it receives.
-    let mut recv_cols = vec![0u64; p];
-    let mut recv_stripes = vec![0u64; p];
-    let mut sync_stripe_cols = 0u64;
+    // the whole stripe to every remote reader, so the sync lane's volume is
+    // stripe-granular. Per sync stripe: its remote reader set (union of the
+    // column reader bitsets minus the owner) sizes the multicast group. The
+    // volume term is the *chain total* over all sync stripes, not the worst
+    // rank's personal share: every multicast is a meet of its whole group,
+    // overlapping groups chain transitively, and all ranks walk the stripes
+    // in the same canonical order, so the critical rank's sync clock pays
+    // the full serialized chain. (Charging only per-rank participation
+    // undercounted the host-clustered arabic/webcrawl class — where reader
+    // groups overlap heavily but each rank personally receives few stripes
+    // — by ~2x against the executor's measured sync lane.)
+    let mut sync_chain_cols = 0u64;
+    let mut sync_chain_stripes = 0u64;
     let mut weighted_readers = 0.0f64;
     let mut stripe_readers = vec![0u64; words];
     for s in 0..layout.num_stripes() {
@@ -233,22 +239,12 @@ pub fn spmm_stats(
             continue;
         }
         let width = range.len() as u64;
-        sync_stripe_cols += width;
+        sync_chain_cols += width;
+        sync_chain_stripes += 1;
         weighted_readers += width as f64 * remote as f64;
-        for (w, word) in stripe_readers.iter().enumerate() {
-            let mut bits = *word;
-            while bits != 0 {
-                let rank = w * 64 + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                recv_cols[rank] += width;
-                recv_stripes[rank] += 1;
-            }
-        }
     }
-    let max_sync_recv_cols = recv_cols.iter().copied().max().unwrap_or(0);
-    let max_sync_recv_stripes = recv_stripes.iter().copied().max().unwrap_or(0);
     let mean_sync_group_readers =
-        if sync_stripe_cols == 0 { 0.0 } else { weighted_readers / sync_stripe_cols as f64 };
+        if sync_chain_cols == 0 { 0.0 } else { weighted_readers / sync_chain_cols as f64 };
 
     // Pass 2: a nonzero is "sync" when its B row is local to its reader or
     // multicast-worthy (≥ 2 remote readers) — the traffic Two-Face's
@@ -279,8 +275,8 @@ pub fn spmm_stats(
         hot_fetches,
         hot_rows,
         sync_nnz_fraction,
-        max_sync_recv_cols,
-        max_sync_recv_stripes,
+        sync_chain_cols,
+        sync_chain_stripes,
         mean_sync_group_readers,
         panel_height: config.row_panel_height,
     }
@@ -379,8 +375,8 @@ mod tests {
         // Stripe pass: rank 2's block is one stripe (cols 4-5, width 2),
         // sync-classified via hot col 4, remote readers {0, 3}; no other
         // stripe has a hot column.
-        assert_eq!(s.max_sync_recv_cols, 2);
-        assert_eq!(s.max_sync_recv_stripes, 1);
+        assert_eq!(s.sync_chain_cols, 2);
+        assert_eq!(s.sync_chain_stripes, 1);
         assert!((s.mean_sync_group_readers - 2.0).abs() < 1e-12);
     }
 

@@ -32,7 +32,7 @@ use crate::kernels::{
 use crate::pool::{Pool, WallTimer};
 use crate::runner::{ExecOpts, Problem};
 use std::sync::Arc;
-use twoface_matrix::SCALAR_BYTES;
+use twoface_matrix::{Entry, SmallTriplet, SCALAR_BYTES};
 use twoface_net::{Lane, NetError, Payload, PhaseClass, RankCtx};
 use twoface_partition::PartitionPlan;
 
@@ -94,29 +94,35 @@ pub(crate) struct PlannedAlgo<'a> {
     pub exec: ExecOpts,
 }
 
+/// The per-rank memory estimate of a planned (Two-Face / Async Fine) run
+/// beyond the rank's own operands: buffered sync stripes plus a conservative
+/// double of the largest async fetch (coalescing may pad fetches). Shared by
+/// the resident staging gate and the streamed pipeline, so both reject the
+/// same infeasible runs.
+pub(crate) fn planned_memory_extra(plan: &PartitionPlan, k: usize, rank: usize) -> usize {
+    use twoface_partition::StripeClass;
+    let layout = plan.layout();
+    let row_bytes = k * SCALAR_BYTES;
+    let mut sync_bytes = 0usize;
+    let mut max_fetch = 0usize;
+    for &(stripe, class) in &plan.classification(rank).classes {
+        match class {
+            StripeClass::Sync => {
+                sync_bytes += layout.stripe_cols(stripe).len() * row_bytes;
+            }
+            StripeClass::Async => {
+                let l = plan.profile(rank).stripe(stripe).map_or(0, |s| s.rows_needed());
+                max_fetch = max_fetch.max(l * row_bytes);
+            }
+            StripeClass::LocalInput => {}
+        }
+    }
+    sync_bytes + 2 * max_fetch
+}
+
 impl SpmmAlgorithm for PlannedAlgo<'_> {
     fn memory_extra(&self, rank: usize) -> usize {
-        use twoface_partition::StripeClass;
-        let layout = &self.problem.layout;
-        let row_bytes = self.exec.k * SCALAR_BYTES;
-        let plan = &self.data.plan;
-        let mut sync_bytes = 0usize;
-        let mut max_fetch = 0usize;
-        for &(stripe, class) in &plan.classification(rank).classes {
-            match class {
-                StripeClass::Sync => {
-                    sync_bytes += layout.stripe_cols(stripe).len() * row_bytes;
-                }
-                StripeClass::Async => {
-                    let l = plan.profile(rank).stripe(stripe).map_or(0, |s| s.rows_needed());
-                    max_fetch = max_fetch.max(l * row_bytes);
-                }
-                StripeClass::LocalInput => {}
-            }
-        }
-        // Coalescing may pad fetches; double the largest fetch as a
-        // conservative bound.
-        sync_bytes + 2 * max_fetch
+        planned_memory_extra(&self.data.plan, self.exec.k, rank)
     }
 
     fn execute(&self, ctx: &mut RankCtx) -> Result<Vec<f64>, NetError> {
@@ -160,7 +166,7 @@ pub(crate) fn twoface_rank_masked(
     let my_cols = layout.col_range(rank);
     let row_base = layout.row_range(rank).start;
     let is_active =
-        |t: &twoface_matrix::Triplet| mask.is_none_or(|m| m.is_active(row_base + t.row, t.col));
+        |t: &SmallTriplet| mask.is_none_or(|m| m.is_active(row_base + t.row(), t.col()));
 
     // Window exposing this rank's B block for fine-grained gets; creation is
     // the "initial setup of data structures for MPI" that Figure 10 labels
@@ -198,19 +204,26 @@ pub(crate) fn twoface_rank_masked(
     let local_rows = layout.row_range(rank).len();
     let mut c_local = vec![0.0; local_rows * k];
     let max_distance = config.max_coalesce_distance(k);
+    // Arena scratch shared across stripes: the fetch buffer cycles through
+    // `FetchedRows` and back, and the owner-local column list is rebuilt in
+    // place — no per-stripe allocations on the async lane's steady state.
+    let mut fetch_scratch: Vec<f64> = Vec::new();
+    let mut owner_local: Vec<usize> = Vec::new();
     for stripe in matrices.asynchronous.stripes() {
         let owner = layout.stripe_owner(stripe.stripe);
         debug_assert_ne!(owner, rank, "async stripes are remote-input by construction");
         let col_base = layout.col_range(owner).start;
         // Under a mask, only the surviving nonzeros' rows are fetched —
         // column-major order makes the filtered UniqueColIDs a single scan.
-        let (active, owner_local): (Vec<twoface_matrix::Triplet>, Vec<usize>) = if mask.is_some() {
+        owner_local.clear();
+        let active: Vec<SmallTriplet> = if mask.is_some() {
             let active: Vec<_> = stripe.entries.iter().filter(|t| is_active(t)).copied().collect();
-            let mut cols: Vec<usize> = active.iter().map(|t| t.col - col_base).collect();
-            cols.dedup(); // column-major: already sorted by col
-            (active, cols)
+            owner_local.extend(active.iter().map(|t| t.col() - col_base));
+            owner_local.dedup(); // column-major: already sorted by col
+            active
         } else {
-            (Vec::new(), stripe.unique_cols.iter().map(|c| c - col_base).collect())
+            owner_local.extend(stripe.unique_cols.iter().map(|&c| c as usize - col_base));
+            Vec::new()
         };
         if owner_local.is_empty() && mask.is_some() {
             continue; // fully masked out: no transfer at all
@@ -231,7 +244,7 @@ pub(crate) fn twoface_rank_masked(
                 ctx.observe("coalesced_run_rows", len as u64);
             }
         }
-        let fetched = ctx.win_rget_rows(win, owner, &runs, k)?;
+        ctx.win_rget_rows_into(win, owner, &runs, k, &mut fetch_scratch)?;
         let compute_cost = if row_major {
             let per_element = ctx.cost().gamma_sync
                 * (config.sync_comp_threads as f64 / config.async_comp_threads as f64);
@@ -244,7 +257,7 @@ pub(crate) fn twoface_rank_masked(
         // exactly the same amount either way.
         let timer = WallTimer::start(ctx.wall_time_enabled() && opts.compute);
         if opts.compute {
-            let rows_src = FetchedRows::new(&runs, col_base, fetched, k);
+            let rows_src = FetchedRows::new(&runs, col_base, std::mem::take(&mut fetch_scratch), k);
             if row_major {
                 // Execute in row-major order with the buffered kernel; the
                 // numeric result is identical, only the summation order and
@@ -252,7 +265,7 @@ pub(crate) fn twoface_rank_masked(
                 // precomputed at preprocessing time; a mask only needs a
                 // runtime filter, never a sort.
                 if mask.is_some() {
-                    let active_rm: Vec<twoface_matrix::Triplet> = stripe
+                    let active_rm: Vec<SmallTriplet> = stripe
                         .entries_row_major()
                         .iter()
                         .filter(|t| is_active(t))
@@ -277,6 +290,8 @@ pub(crate) fn twoface_rank_masked(
                     ctx.observe("host.kernel_spans", spans as u64);
                 }
             }
+            // Recycle the fetch allocation for the next stripe.
+            fetch_scratch = rows_src.into_data();
         }
         ctx.advance_span(
             Lane::Async,
@@ -299,7 +314,7 @@ pub(crate) fn twoface_rank_masked(
         if opts.compute {
             if mask.is_some() {
                 for panel in 0..sync_local.num_panels() {
-                    let active: Vec<twoface_matrix::Triplet> =
+                    let active: Vec<SmallTriplet> =
                         sync_local.panel(panel).iter().filter(|t| is_active(t)).copied().collect();
                     sync_panel_kernel(&active, &stripe_buffers, &mut c_local, k);
                 }

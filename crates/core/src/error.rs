@@ -16,6 +16,20 @@ pub enum RunError {
         /// Simulated per-node capacity in bytes.
         available: usize,
     },
+    /// The *host-side* staging footprint of a resident run (operands plus
+    /// every rank's preprocessed structures, which all coexist in this
+    /// process) exceeds the declared
+    /// [`RunOptions::memory_budget`](crate::RunOptions::memory_budget).
+    /// Unlike [`RunError::OutOfMemory`] — the simulated per-node capacity of
+    /// the modeled machine — this is about the machine the simulation runs
+    /// on; the streamed pipeline ([`run_twoface_streamed`](crate::stream))
+    /// executes the same problem out of core under the budget.
+    HostBudgetExceeded {
+        /// Estimated resident staging bytes for the whole run.
+        required: usize,
+        /// The declared host memory budget in bytes.
+        budget: usize,
+    },
     /// Dense shifting with replication factor `c > p` is undefined (the
     /// paper never runs DS8 below 8 nodes).
     ReplicationExceedsNodes {
@@ -23,6 +37,13 @@ pub enum RunError {
         replication: usize,
         /// Available nodes.
         nodes: usize,
+    },
+    /// A spill or store file operation of the streamed (out-of-core)
+    /// pipeline failed — disk full, permissions, or a vanished spill
+    /// directory.
+    Io {
+        /// Human-readable description of the failed operation.
+        context: String,
     },
     /// Operand shapes are inconsistent.
     Shape {
@@ -87,9 +108,17 @@ impl fmt::Display for RunError {
                 *required as f64 / (1 << 20) as f64,
                 *available as f64 / (1 << 20) as f64,
             ),
+            RunError::HostBudgetExceeded { required, budget } => write!(
+                f,
+                "resident staging needs {:.1} MiB but the host memory budget is {:.1} MiB \
+                 (use the streamed pipeline for out-of-core execution)",
+                *required as f64 / (1 << 20) as f64,
+                *budget as f64 / (1 << 20) as f64,
+            ),
             RunError::ReplicationExceedsNodes { replication, nodes } => {
                 write!(f, "replication factor {replication} exceeds node count {nodes}")
             }
+            RunError::Io { context } => write!(f, "streamed spill I/O failed: {context}"),
             RunError::Shape { context } => write!(f, "shape mismatch: {context}"),
             RunError::ValidationFailed { max_abs_diff } => {
                 write!(f, "output differs from serial reference by up to {max_abs_diff:e}")

@@ -12,9 +12,13 @@
 //!   scan (Figure 6c).
 //!
 //! Row indices in both structures are node-local (0-based within the node's
-//! row block); column indices stay global.
+//! row block); column indices stay global. Entries are stored as 16-byte
+//! [`SmallTriplet`]s (`u32` indices, `f64` value) — the compact layout the
+//! kernels stream — which is why construction requires the matrix dimensions
+//! to fit the small-index limit (checked, never truncated; every runnable
+//! problem fits, since `B` alone at `2^32` rows would exceed host memory).
 
-use twoface_matrix::{CooMatrix, Triplet};
+use twoface_matrix::{fits_small_index, CooMatrix, SmallTriplet, Triplet};
 use twoface_partition::{PartitionPlan, StripeClass};
 
 /// The synchronous/local-input sparse matrix of one node (Figure 6b).
@@ -22,7 +26,7 @@ use twoface_partition::{PartitionPlan, StripeClass};
 pub struct SyncLocalMatrix {
     local_rows: usize,
     panel_height: usize,
-    entries: Vec<Triplet>,
+    entries: Vec<SmallTriplet>,
     /// `panel_ptrs[i]..panel_ptrs[i+1]` indexes the entries of panel `i`
     /// (local rows `[i*h, (i+1)*h)`).
     panel_ptrs: Vec<usize>,
@@ -60,18 +64,18 @@ impl SyncLocalMatrix {
     /// # Panics
     ///
     /// Panics if `i >= num_panels()`.
-    pub fn panel(&self, i: usize) -> &[Triplet] {
+    pub fn panel(&self, i: usize) -> &[SmallTriplet] {
         &self.entries[self.panel_ptrs[i]..self.panel_ptrs[i + 1]]
     }
 
     /// All entries, row-major.
-    pub fn entries(&self) -> &[Triplet] {
+    pub fn entries(&self) -> &[SmallTriplet] {
         &self.entries
     }
 
     /// Approximate heap footprint in bytes.
     pub fn approx_bytes(&self) -> usize {
-        self.entries.len() * std::mem::size_of::<Triplet>()
+        self.entries.len() * std::mem::size_of::<SmallTriplet>()
             + self.panel_ptrs.len() * std::mem::size_of::<usize>()
     }
 }
@@ -82,13 +86,13 @@ pub struct AsyncStripe {
     /// Global stripe index.
     pub stripe: usize,
     /// Nonzeros in column-major order (sorted by column, then local row).
-    pub entries: Vec<Triplet>,
+    pub entries: Vec<SmallTriplet>,
     /// The distinct global column ids of the entries, ascending — the
     /// `UniqueColIDs` of Algorithm 3, identifying the `B` rows to fetch.
-    pub unique_cols: Vec<usize>,
+    pub unique_cols: Vec<u32>,
     /// The same nonzeros in row-major order, precomputed so the §7.1
     /// row-major ablation does not re-sort the stripe on every run.
-    entries_row_major: Vec<Triplet>,
+    entries_row_major: Vec<SmallTriplet>,
 }
 
 impl AsyncStripe {
@@ -99,7 +103,7 @@ impl AsyncStripe {
 
     /// The stripe's nonzeros in row-major order (sorted by local row, then
     /// column) — the traversal order of the §7.1 row-major ablation.
-    pub fn entries_row_major(&self) -> &[Triplet] {
+    pub fn entries_row_major(&self) -> &[SmallTriplet] {
         &self.entries_row_major
     }
 }
@@ -119,12 +123,11 @@ impl AsyncMatrix {
     /// Approximate heap footprint in bytes (both entry orders plus the
     /// unique-column tables).
     pub fn approx_bytes(&self) -> usize {
-        let word = std::mem::size_of::<usize>();
         self.stripes
             .iter()
             .map(|s| {
-                2 * s.entries.len() * std::mem::size_of::<Triplet>()
-                    + s.unique_cols.len() * word
+                2 * s.entries.len() * std::mem::size_of::<SmallTriplet>()
+                    + s.unique_cols.len() * std::mem::size_of::<u32>()
                     + std::mem::size_of::<AsyncStripe>()
             })
             .sum()
@@ -159,36 +162,67 @@ impl RankMatrices {
 
     /// Builds the node's structures from the global matrix and the plan.
     ///
-    /// Only nonzeros in `rank`'s row block are consulted. Row indices are
-    /// rebased to the block; columns stay global.
+    /// Only nonzeros in `rank`'s row block are consulted — located by a
+    /// binary search on the row-sorted triplet array, so the per-rank cost is
+    /// `O(nnz_rank)`, not a full-matrix scan (building all `p` ranks is
+    /// `O(nnz)` total, not `O(p * nnz)`). Row indices are rebased to the
+    /// block; columns stay global.
     ///
     /// # Panics
     ///
-    /// Panics if `panel_height == 0`.
+    /// Panics if `panel_height == 0`, or if the matrix dimensions exceed the
+    /// small-index (`u32`) limit of the compact entry layout.
     pub fn build(
         a: &CooMatrix,
         plan: &PartitionPlan,
         rank: usize,
         panel_height: usize,
     ) -> RankMatrices {
+        let rows = plan.layout().row_range(rank);
+        let all = a.triplets();
+        let lo = all.partition_point(|t| t.row < rows.start);
+        let hi = lo + all[lo..].partition_point(|t| t.row < rows.end);
+        RankMatrices::build_from_rows(&all[lo..hi], plan, rank, panel_height)
+    }
+
+    /// Builds the node's structures from a row-sorted slice holding exactly
+    /// the rank's nonzeros in *global* coordinates — the entry point the
+    /// streamed (out-of-core) pipeline uses with per-rank shards, and which
+    /// [`RankMatrices::build`] feeds with a subslice of the resident matrix.
+    /// Both paths walk entries in the same order, so they construct
+    /// identical structures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `panel_height == 0`, or if the plan's layout dimensions
+    /// exceed the small-index (`u32`) limit of the compact entry layout.
+    pub fn build_from_rows(
+        rank_triplets: &[Triplet],
+        plan: &PartitionPlan,
+        rank: usize,
+        panel_height: usize,
+    ) -> RankMatrices {
         assert!(panel_height > 0, "panel height must be positive");
         let layout = plan.layout();
+        assert!(
+            fits_small_index(layout.rows(), layout.cols()),
+            "matrix dimensions exceed the u32 small-index limit of the compact rank structures"
+        );
         let rows = layout.row_range(rank);
-        let mut sync_entries: Vec<Triplet> = Vec::new();
-        let mut async_buckets: std::collections::BTreeMap<usize, Vec<Triplet>> =
+        let mut sync_entries: Vec<SmallTriplet> = Vec::new();
+        let mut async_buckets: std::collections::BTreeMap<usize, Vec<SmallTriplet>> =
             std::collections::BTreeMap::new();
-        for (r, c, v) in a.iter() {
-            if !rows.contains(&r) {
-                continue;
-            }
-            let stripe = layout.stripe_of_col(c);
-            let local = Triplet::new(r - rows.start, c, v);
+        for t in rank_triplets {
+            debug_assert!(rows.contains(&t.row), "entry outside the rank's row block");
+            let stripe = layout.stripe_of_col(t.col);
+            let local = SmallTriplet::new(t.row - rows.start, t.col, t.val);
             match plan.class_of(rank, stripe).expect("every nonzero's stripe is classified") {
                 StripeClass::Sync | StripeClass::LocalInput => sync_entries.push(local),
                 StripeClass::Async => async_buckets.entry(stripe).or_default().push(local),
             }
         }
-        // a.iter() is row-major, so sync_entries already are; build panels.
+        // The input slice is row-major, so sync_entries already are; build
+        // panels.
         let local_rows = rows.len();
         let num_panels = local_rows.div_ceil(panel_height).max(1);
         let mut panel_ptrs = Vec::with_capacity(num_panels + 1);
@@ -196,7 +230,7 @@ impl RankMatrices {
         let mut cursor = 0usize;
         for p in 0..num_panels {
             let row_end = (p + 1) * panel_height;
-            while cursor < sync_entries.len() && sync_entries[cursor].row < row_end {
+            while cursor < sync_entries.len() && (sync_entries[cursor].row as usize) < row_end {
                 cursor += 1;
             }
             panel_ptrs.push(cursor);
@@ -210,7 +244,7 @@ impl RankMatrices {
                 // before the column-major sort instead of re-sorting later.
                 let entries_row_major = entries.clone();
                 entries.sort_by_key(|t| (t.col, t.row));
-                let mut unique_cols: Vec<usize> = entries.iter().map(|t| t.col).collect();
+                let mut unique_cols: Vec<u32> = entries.iter().map(|t| t.col).collect();
                 unique_cols.dedup(); // sorted by col already
                 AsyncStripe { stripe, entries, unique_cols, entries_row_major }
             })
@@ -277,12 +311,11 @@ mod tests {
         assert_eq!(s2.stripe, 2);
         assert_eq!(s2.unique_cols, vec![4, 5]);
         // Column-major: col 4 first, then col 5 rows ascending.
-        let order: Vec<(usize, usize)> = s2.entries.iter().map(|t| (t.col, t.row)).collect();
+        let order: Vec<(u32, u32)> = s2.entries.iter().map(|t| (t.col, t.row)).collect();
         assert_eq!(order, vec![(4, 2), (5, 0), (5, 2)]);
         // The precomputed row-major view holds the same nonzeros sorted by
         // (row, col).
-        let rm: Vec<(usize, usize)> =
-            s2.entries_row_major().iter().map(|t| (t.row, t.col)).collect();
+        let rm: Vec<(u32, u32)> = s2.entries_row_major().iter().map(|t| (t.row, t.col)).collect();
         assert_eq!(rm, vec![(0, 5), (2, 4), (2, 5)]);
     }
 

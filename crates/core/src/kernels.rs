@@ -24,7 +24,7 @@
 
 use crate::coalesce::RowRun;
 use crate::pool::Pool;
-use twoface_matrix::{Scalar, Triplet};
+use twoface_matrix::{Entry, Scalar};
 use twoface_net::Payload;
 
 /// Per-caller lookup cursor: remembers which block (or run) satisfied the
@@ -187,6 +187,15 @@ impl FetchedRows {
         self.num_rows
     }
 
+    /// Consumes the source and returns its row buffer, allocation intact.
+    ///
+    /// Per-stripe fetch loops recycle this buffer through
+    /// [`RankCtx::win_rget_rows_into`](twoface_net::RankCtx::win_rget_rows_into)
+    /// instead of allocating a fresh vector per stripe (arena reuse).
+    pub fn into_data(self) -> Vec<Scalar> {
+        self.data
+    }
+
     fn slot_of_col(&self, cursor: &mut RowCursor, col: usize) -> Option<usize> {
         if let Some(&(start, end, base)) = self.runs.get(cursor.hint) {
             if (start..end).contains(&col) {
@@ -272,8 +281,8 @@ fn axpy<const F: usize>(acc: &mut [Scalar], brow: &[Scalar], v: Scalar) {
 ///
 /// Panics if an entry's row lies outside `c_local` or a needed `B` row is
 /// missing from `rows`.
-pub fn sync_panel_kernel(
-    panel: &[Triplet],
+pub fn sync_panel_kernel<E: Entry>(
+    panel: &[E],
     rows: &impl RowSource,
     c_local: &mut [Scalar],
     k: usize,
@@ -290,8 +299,8 @@ pub fn sync_panel_kernel(
 ///
 /// Same conditions as [`sync_panel_kernel`], with rows measured relative to
 /// `row_base`.
-pub fn sync_panel_kernel_at(
-    panel: &[Triplet],
+pub fn sync_panel_kernel_at<E: Entry>(
+    panel: &[E],
     rows: &impl RowSource,
     c_chunk: &mut [Scalar],
     k: usize,
@@ -303,13 +312,13 @@ pub fn sync_panel_kernel_at(
     dispatch_k!(k, FIXED, {
         let mut cursor = RowCursor::default();
         let mut acc = vec![0.0; k];
-        let mut prev_row = first.row;
+        let mut prev_row = first.row();
         for t in panel {
-            if t.row != prev_row {
+            if t.row() != prev_row {
                 flush(c_chunk, prev_row - row_base, &mut acc, k);
-                prev_row = t.row;
+                prev_row = t.row();
             }
-            axpy::<FIXED>(&mut acc, rows.row_with(&mut cursor, t.col), t.val);
+            axpy::<FIXED>(&mut acc, rows.row_with(&mut cursor, t.col()), t.val());
         }
         flush(c_chunk, prev_row - row_base, &mut acc, k);
     });
@@ -334,8 +343,8 @@ fn flush(c_local: &mut [Scalar], row: usize, acc: &mut [Scalar], k: usize) {
 ///
 /// Panics if an entry's row lies outside `c_local` or a needed `B` row is
 /// missing from `rows`.
-pub fn async_stripe_kernel(
-    entries: &[Triplet],
+pub fn async_stripe_kernel<E: Entry>(
+    entries: &[E],
     rows: &impl RowSource,
     c_local: &mut [Scalar],
     k: usize,
@@ -350,8 +359,8 @@ pub fn async_stripe_kernel(
 ///
 /// Same conditions as [`async_stripe_kernel`], with rows measured relative
 /// to `row_base`.
-pub fn async_stripe_kernel_at(
-    entries: &[Triplet],
+pub fn async_stripe_kernel_at<E: Entry>(
+    entries: &[E],
     rows: &impl RowSource,
     c_chunk: &mut [Scalar],
     k: usize,
@@ -360,9 +369,9 @@ pub fn async_stripe_kernel_at(
     dispatch_k!(k, FIXED, {
         let mut cursor = RowCursor::default();
         for t in entries {
-            let brow = rows.row_with(&mut cursor, t.col);
-            let out = &mut c_chunk[(t.row - row_base) * k..(t.row - row_base + 1) * k];
-            axpy::<FIXED>(out, brow, t.val);
+            let brow = rows.row_with(&mut cursor, t.col());
+            let out = &mut c_chunk[(t.row() - row_base) * k..(t.row() - row_base + 1) * k];
+            axpy::<FIXED>(out, brow, t.val());
         }
     });
 }
@@ -377,8 +386,8 @@ pub(crate) const PAR_MIN_PRODUCTS: usize = 1 << 15;
 /// what make the parallel kernels exact: every output row is touched by
 /// exactly one worker, which applies that row's contributions in the same
 /// order as a serial traversal.
-fn row_aligned_spans(
-    entries: &[Triplet],
+fn row_aligned_spans<E: Entry>(
+    entries: &[E],
     local_rows: usize,
     chunks: usize,
 ) -> Vec<(std::ops::Range<usize>, std::ops::Range<usize>)> {
@@ -390,10 +399,10 @@ fn row_aligned_spans(
         let mut entry_hi = (entry_lo + per_chunk).min(entries.len());
         // Round the cut up to the next row boundary.
         if entry_hi < entries.len() {
-            let cut_row = entries[entry_hi - 1].row;
-            entry_hi += entries[entry_hi..].partition_point(|t| t.row == cut_row);
+            let cut_row = entries[entry_hi - 1].row();
+            entry_hi += entries[entry_hi..].partition_point(|t| t.row() == cut_row);
         }
-        let row_hi = if entry_hi == entries.len() { local_rows } else { entries[entry_hi].row };
+        let row_hi = if entry_hi == entries.len() { local_rows } else { entries[entry_hi].row() };
         spans.push((entry_lo..entry_hi, row_lo..row_hi));
         entry_lo = entry_hi;
         row_lo = row_hi;
@@ -410,17 +419,17 @@ fn row_aligned_spans(
 /// reference oracle. Returns the number of spans dispatched — a host
 /// execution detail (it scales with the pool width), reported only through
 /// wall-time profiling, never through deterministic metrics.
-pub(crate) fn par_row_spans_plain<F>(
+pub(crate) fn par_row_spans_plain<E: Entry, F>(
     pool: &Pool,
-    entries_by_row: &[Triplet],
+    entries_by_row: &[E],
     c_local: &mut [Scalar],
     k: usize,
     f: F,
 ) -> usize
 where
-    F: Fn(&[Triplet], &mut [Scalar], usize) + Sync,
+    F: Fn(&[E], &mut [Scalar], usize) + Sync,
 {
-    debug_assert!(entries_by_row.windows(2).all(|w| w[0].row <= w[1].row), "not row-sorted");
+    debug_assert!(entries_by_row.windows(2).all(|w| w[0].row() <= w[1].row()), "not row-sorted");
     let local_rows = c_local.len() / k;
     // More spans than workers lets the sharing queue absorb skew.
     let spans = row_aligned_spans(entries_by_row, local_rows, 4 * pool.workers());
@@ -456,9 +465,9 @@ where
 ///
 /// Panics if `entries` is not sorted by row, a row lies outside `c_local`,
 /// or a needed `B` row is missing.
-pub fn par_sync_panels(
+pub fn par_sync_panels<E: Entry>(
     pool: &Pool,
-    entries: &[Triplet],
+    entries: &[E],
     rows: &impl RowSource,
     c_local: &mut [Scalar],
     k: usize,
@@ -488,9 +497,9 @@ pub fn par_sync_panels(
 ///
 /// Panics if `entries_row_major` is not sorted by row, a row lies outside
 /// `c_local`, or a needed `B` row is missing.
-pub fn par_async_stripe(
+pub fn par_async_stripe<E: Entry>(
     pool: &Pool,
-    entries_row_major: &[Triplet],
+    entries_row_major: &[E],
     rows: &impl RowSource,
     c_local: &mut [Scalar],
     k: usize,
@@ -508,6 +517,7 @@ pub fn par_async_stripe(
 mod tests {
     use super::*;
     use std::sync::Arc;
+    use twoface_matrix::Triplet;
 
     fn arc_rows(rows: &[[Scalar; 2]]) -> Arc<Vec<Scalar>> {
         Arc::new(rows.iter().flatten().copied().collect())
@@ -655,7 +665,7 @@ mod tests {
     fn empty_panel_is_noop() {
         let b = BlockRows::new(2);
         let mut c = vec![1.0; 4];
-        sync_panel_kernel(&[], &b, &mut c, 2);
+        sync_panel_kernel(&[] as &[Triplet], &b, &mut c, 2);
         assert_eq!(c, vec![1.0; 4]);
     }
 

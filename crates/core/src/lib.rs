@@ -55,6 +55,7 @@ mod reference;
 mod runner;
 pub mod sampling;
 pub mod sddmm;
+pub mod stream;
 
 pub use algo::auto::{auto_candidates, predict, resolve_auto, spmm_stats, AutoChoice};
 pub use algo::Algorithm;
@@ -65,6 +66,7 @@ pub use format::{AsyncMatrix, AsyncStripe, RankMatrices, SyncLocalMatrix};
 pub use prepared::PreparedMatrix;
 pub use reference::{reference_spmm, reference_spmm_pooled};
 pub use runner::{
-    prepare_plan, prepare_plan_with_classifier, run_algorithm, run_algorithm_on, run_spmv,
-    Breakdown, ExecutionReport, Problem, RunOptions, TRACE_ENV,
+    generated_b_block, prepare_plan, prepare_plan_with_classifier, run_algorithm, run_algorithm_on,
+    run_spmv, Breakdown, ExecutionReport, Problem, RunOptions, TRACE_ENV,
 };
+pub use stream::{peak_rss_bytes, run_twoface_streamed, StreamOptions, StreamedRun};

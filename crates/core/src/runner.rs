@@ -138,13 +138,7 @@ impl Problem {
         stripe_width: usize,
     ) -> Result<Problem, RunError> {
         let rows = a.cols();
-        let b = DenseMatrix::from_fn(rows, k, |i, j| {
-            let h = (i as u64)
-                .wrapping_mul(0x9E3779B97F4A7C15)
-                .wrapping_add((j as u64).wrapping_mul(0xC2B2AE3D27D4EB4F));
-            let h = (h ^ (h >> 31)).wrapping_mul(0xD6E8FEB86659FD93);
-            (h >> 11) as f64 / (1u64 << 53) as f64
-        });
+        let b = DenseMatrix::from_fn(rows, k, generated_b_value);
         Problem::new(a, Arc::new(b), p, stripe_width)
     }
 
@@ -157,6 +151,31 @@ impl Problem {
     pub fn b_block(&self, rank: usize) -> Vec<f64> {
         self.b.row_range(self.layout.col_range(rank)).to_vec()
     }
+}
+
+/// The deterministic element hash behind [`Problem::with_generated_b`]:
+/// `B[i][j]` in `[0, 1)` from a mix of the coordinates.
+pub(crate) fn generated_b_value(i: usize, j: usize) -> f64 {
+    let h = (i as u64)
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add((j as u64).wrapping_mul(0xC2B2AE3D27D4EB4F));
+    let h = (h ^ (h >> 31)).wrapping_mul(0xD6E8FEB86659FD93);
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One rank's block of the deterministically generated `B`
+/// ([`Problem::with_generated_b`]) as a flat row-major buffer — computed
+/// directly from the row range, never materializing the full operand. The
+/// streamed pipeline stages per-rank blocks with this; at any overlap scale
+/// they are bit-identical to [`Problem::b_block`] on a generated problem.
+pub fn generated_b_block(rows: std::ops::Range<usize>, k: usize) -> Vec<f64> {
+    let mut block = Vec::with_capacity(rows.len() * k);
+    for i in rows {
+        for j in 0..k {
+            block.push(generated_b_value(i, j));
+        }
+    }
+    block
 }
 
 /// Options controlling one [`run_algorithm`] call.
@@ -212,6 +231,15 @@ pub struct RunOptions {
     /// variable promotes this to [`Observability::full`] and writes the
     /// stream to the named file after the run.
     pub observability: Observability,
+    /// Host-side memory budget in bytes for the *staging* of a resident run:
+    /// the operands plus every simulated rank's preprocessed structures,
+    /// which all coexist in this process. `None` (the default) disables the
+    /// check. When the estimated resident footprint exceeds the budget the
+    /// run fails up front with [`RunError::HostBudgetExceeded`] instead of
+    /// thrashing the host — the signal to switch to the streamed
+    /// (out-of-core) pipeline in [`crate::stream`], which shares this knob
+    /// via [`StreamOptions`](crate::StreamOptions).
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -227,6 +255,7 @@ impl Default for RunOptions {
             fault_plan: None,
             workers: None,
             observability: Observability::off(),
+            memory_budget: None,
         }
     }
 }
@@ -260,7 +289,7 @@ pub struct Breakdown {
 }
 
 impl Breakdown {
-    fn from_trace(trace: &RankTrace) -> Breakdown {
+    pub(crate) fn from_trace(trace: &RankTrace) -> Breakdown {
         Breakdown {
             sync_comm: trace.seconds(PhaseClass::SyncComm),
             sync_comp: trace.seconds(PhaseClass::SyncComp),
@@ -301,7 +330,7 @@ impl Breakdown {
             + self.recovery
     }
 
-    fn scaled(&self, factor: f64) -> Breakdown {
+    pub(crate) fn scaled(&self, factor: f64) -> Breakdown {
         Breakdown {
             sync_comm: self.sync_comm * factor,
             sync_comp: self.sync_comp * factor,
@@ -312,7 +341,7 @@ impl Breakdown {
         }
     }
 
-    fn add(&mut self, other: &Breakdown) {
+    pub(crate) fn add(&mut self, other: &Breakdown) {
         self.sync_comm += other.sync_comm;
         self.sync_comp += other.sync_comp;
         self.async_comm += other.async_comm;
@@ -673,6 +702,16 @@ fn run_algorithm_inner(
     // bytes plus the staged algorithm's own peak estimate.
     let staged = crate::algo::stage(algorithm, problem, &options.config, exec, twoface_data);
     let base_all = base_bytes_all_ranks(problem);
+    // Host-side budget: on the simulating machine, the global operands and
+    // *every* rank's staged structures coexist, so the resident footprint is
+    // the sum over ranks, not the max.
+    if let Some(budget) = options.memory_budget {
+        let required: usize =
+            base_all.iter().enumerate().map(|(rank, base)| base + staged.memory_extra(rank)).sum();
+        if required > budget {
+            return Err(RunError::HostBudgetExceeded { required, budget });
+        }
+    }
     let (worst_rank, required) = (0..p)
         .map(|rank| (rank, base_all[rank] + staged.memory_extra(rank)))
         .max_by_key(|&(_, bytes)| bytes)

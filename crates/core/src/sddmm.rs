@@ -17,7 +17,7 @@ use crate::kernels::{BlockRows, FetchedRows, RowSource};
 use crate::runner::Problem;
 use crate::{prepare_plan, RunError, RunOptions};
 use std::sync::Arc;
-use twoface_matrix::{CooMatrix, DenseMatrix, Scalar, Triplet};
+use twoface_matrix::{CooMatrix, DenseMatrix, Entry, Scalar, Triplet};
 use twoface_net::{Cluster, CostModel, Lane, MetricsRegistry, NetError, PhaseClass};
 use twoface_partition::{ModelCoefficients, PartitionPlan, StripeClass};
 
@@ -238,7 +238,8 @@ fn sddmm_rank(
     for stripe in matrices.asynchronous.stripes() {
         let owner = layout.stripe_owner(stripe.stripe);
         let col_base = layout.col_range(owner).start;
-        let owner_local: Vec<usize> = stripe.unique_cols.iter().map(|c| c - col_base).collect();
+        let owner_local: Vec<usize> =
+            stripe.unique_cols.iter().map(|&c| c as usize - col_base).collect();
         let (runs, _) = coalesce_rows(&owner_local, max_distance);
         let fetched = ctx.win_rget_rows(win, owner, &runs, k)?;
         let cost = ctx.cost().async_compute_cost(stripe.nnz(), k, 1);
@@ -246,8 +247,8 @@ fn sddmm_rank(
         if compute {
             let rows_src = FetchedRows::new(&runs, col_base, fetched, k);
             for t in &stripe.entries {
-                let value = t.val * dot(x.row(row_base + t.row), rows_src.row(t.col));
-                out.push(Triplet::new(row_base + t.row, t.col, value));
+                let value = t.val * dot(x.row(row_base + t.row()), rows_src.row(t.col()));
+                out.push(Triplet::new(row_base + t.row(), t.col(), value));
             }
         }
     }
@@ -266,8 +267,8 @@ fn sddmm_rank(
         );
         if compute {
             for t in sync_local.entries() {
-                let value = t.val * dot(x.row(row_base + t.row), stripe_buffers.row(t.col));
-                out.push(Triplet::new(row_base + t.row, t.col, value));
+                let value = t.val * dot(x.row(row_base + t.row()), stripe_buffers.row(t.col()));
+                out.push(Triplet::new(row_base + t.row(), t.col(), value));
             }
         }
     }

@@ -1,0 +1,819 @@
+//! Out-of-core (streamed) Two-Face execution for paper-scale matrices.
+//!
+//! The paper's evaluation matrices hold 143M–3.6B nonzeros; the resident
+//! pipeline materializes the full COO operand (24 B per nonzero) *and* every
+//! rank's Figure-6 structures at once, which caps the synthetic suite far
+//! below paper scale on one host. This module executes the same simulation
+//! without ever holding the full matrix:
+//!
+//! 1. **Spill** — drain a chunked [`TripletSource`] and route each raw draw
+//!    to a per-rank shard file (row blocks partition the stream), holding
+//!    only one chunk plus write buffers.
+//! 2. **Normalize + profile** — per rank, load the raw shard, apply
+//!    [`normalize_triplets`] (the one normalization path in the workspace,
+//!    so per-shard normalization concatenates to exactly the resident
+//!    matrix), profile its stripes, and spill the normalized shard back.
+//! 3. **Plan** — classify from the per-rank profiles
+//!    ([`PartitionPlan::build_from_profiles`]) with the same coefficients
+//!    and sync-buffer budget the resident
+//!    [`prepare_plan`](crate::prepare_plan) derives.
+//! 4. **Build + store** — per rank, build the compact
+//!    [`RankMatrices`](crate::RankMatrices) from the normalized shard
+//!    ([`RankMatrices::build_from_rows`]) and serialize them to a per-rank
+//!    store file: async stripes first (ascending), sync entries last — the
+//!    order execution consumes them, so reads are purely sequential.
+//! 5. **Execute** — run the Two-Face executor with per-stripe
+//!    materialize→compute→drop on the async lane and row-aligned chunking
+//!    on the sync lane, so peak memory is the dense operands plus a few
+//!    panels of sparse entries per rank.
+//!
+//! The correctness contract is *bit-identity*: at any scale where the
+//! resident path also fits, the streamed run's output `C`, simulated
+//! seconds, per-lane breakdowns, and communication volumes equal the
+//! resident [`run_algorithm`](crate::run_algorithm)'s exactly (the
+//! differential suite in `tests/streamed_pipeline.rs` enforces this).
+
+use crate::algo::twoface::planned_memory_extra;
+use crate::coalesce::coalesce_rows;
+use crate::config::TwoFaceConfig;
+use crate::error::RunError;
+use crate::format::RankMatrices;
+use crate::kernels::{
+    par_async_stripe, par_sync_panels, sync_panel_kernel, BlockRows, FetchedRows,
+};
+use crate::pool::{resolve_workers, Pool, WallTimer};
+use crate::runner::{generated_b_block, Breakdown, ExecOpts, ExecutionReport, NNZ_BYTES};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use twoface_matrix::gen::TripletSource;
+use twoface_matrix::{normalize_triplets, SmallTriplet, Triplet, SCALAR_BYTES};
+use twoface_net::{
+    Cluster, CostModel, Lane, MetricsRegistry, NetError, OpEvent, Payload, PhaseClass, RankCtx,
+    RankTrace,
+};
+use twoface_partition::{
+    ClassifierKind, ModelCoefficients, NodeProfile, OneDimLayout, PartitionPlan, PlanOptions,
+    StripeClass,
+};
+
+/// Raw spill chunk cap in entries when no budget narrows it further.
+pub const DEFAULT_STREAM_CHUNK_NNZ: usize = twoface_matrix::gen::DEFAULT_CHUNK_NNZ;
+
+/// Sync-lane compute chunk in entries (16 B each): the "few panels" of
+/// row-major nonzeros materialized at a time per rank during the final
+/// compute phase.
+const SYNC_CHUNK_ENTRIES: usize = 1 << 18;
+
+/// Bytes of one serialized compact entry (`u32` row, `u32` col, `f64` val).
+const SMALL_ENTRY_BYTES: usize = 16;
+
+/// Options controlling one [`run_twoface_streamed`] call. Mirrors the
+/// subset of [`RunOptions`](crate::RunOptions) the streamed pipeline
+/// supports; plan construction uses exactly the resident defaulting rules,
+/// which is what makes the two paths produce identical plans.
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Whether to perform the floating-point work (structural operations
+    /// and cost accounting always run).
+    pub compute_values: bool,
+    /// Table-2 runtime knobs.
+    pub config: TwoFaceConfig,
+    /// Plan coefficients; `None` derives them from the effective cost model,
+    /// as the resident runner does.
+    pub coefficients: Option<ModelCoefficients>,
+    /// Stripe classifier for plan construction.
+    pub classifier: ClassifierKind,
+    /// Real execution workers (`None` resolves `TWOFACE_THREADS`, then the
+    /// host parallelism).
+    pub workers: Option<usize>,
+    /// Host memory budget in bytes for the whole streamed run (dense
+    /// operands, per-rank transients, spill buffers). `None` disables the
+    /// gate; `Some` fails up front with [`RunError::HostBudgetExceeded`]
+    /// when even the out-of-core working set cannot fit, and narrows the
+    /// spill chunk size to stay inside the budget.
+    pub memory_budget: Option<usize>,
+    /// Directory for the spill and store files; defaults to
+    /// [`std::env::temp_dir`]. The run creates (and removes on completion)
+    /// a uniquely named subdirectory.
+    pub spill_dir: Option<PathBuf>,
+    /// Raw generation chunk cap in entries.
+    pub chunk_nnz: usize,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            compute_values: true,
+            config: TwoFaceConfig::default(),
+            coefficients: None,
+            classifier: ClassifierKind::Greedy,
+            workers: None,
+            memory_budget: None,
+            spill_dir: None,
+            chunk_nnz: DEFAULT_STREAM_CHUNK_NNZ,
+        }
+    }
+}
+
+/// The result of one streamed run: the standard report plus the streaming
+/// pipeline's own accounting.
+#[derive(Debug)]
+pub struct StreamedRun {
+    /// The execution report; bit-identical (output, simulated seconds,
+    /// breakdowns, volumes) to the resident path at overlap scales.
+    pub report: ExecutionReport,
+    /// Nonzeros after duplicate summing (the resident matrix's `nnz()`).
+    pub realized_nnz: usize,
+    /// Total bytes written to spill and store files.
+    pub spilled_bytes: usize,
+    /// Largest per-rank shard materialized during normalization, in bytes —
+    /// the dominant transient of the preprocessing passes.
+    pub peak_shard_bytes: usize,
+    /// The estimated host working set the budget gate checked, in bytes.
+    pub estimated_host_bytes: usize,
+}
+
+/// Monotonically increasing suffix so concurrent runs in one process never
+/// collide on a spill directory.
+static SPILL_DIRS: AtomicU64 = AtomicU64::new(0);
+
+/// Owns the run's spill directory; removal is best-effort on drop so early
+/// error returns clean up too.
+struct SpillDir(PathBuf);
+
+impl SpillDir {
+    fn create(base: Option<&PathBuf>) -> Result<SpillDir, RunError> {
+        let n = SPILL_DIRS.fetch_add(1, Ordering::Relaxed);
+        let dir = base
+            .cloned()
+            .unwrap_or_else(std::env::temp_dir)
+            .join(format!("twoface-stream-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).map_err(|e| RunError::Io {
+            context: format!("creating spill directory {}: {e}", dir.display()),
+        })?;
+        Ok(SpillDir(dir))
+    }
+
+    fn path(&self, name: String) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn io_err(context: &str, e: std::io::Error) -> RunError {
+    RunError::Io { context: format!("{context}: {e}") }
+}
+
+fn write_wide(out: &mut impl std::io::Write, t: &Triplet) -> std::io::Result<()> {
+    out.write_all(&(t.row as u64).to_le_bytes())?;
+    out.write_all(&(t.col as u64).to_le_bytes())?;
+    out.write_all(&t.val.to_le_bytes())
+}
+
+fn read_wide(input: &mut impl Read) -> std::io::Result<Triplet> {
+    let mut buf = [0u8; 24];
+    input.read_exact(&mut buf)?;
+    let row = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")) as usize;
+    let col = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")) as usize;
+    let val = f64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
+    Ok(Triplet::new(row, col, val))
+}
+
+fn write_small(out: &mut impl std::io::Write, t: &SmallTriplet) -> std::io::Result<()> {
+    out.write_all(&t.row.to_le_bytes())?;
+    out.write_all(&t.col.to_le_bytes())?;
+    out.write_all(&t.val.to_le_bytes())
+}
+
+fn read_small(input: &mut impl Read) -> std::io::Result<SmallTriplet> {
+    let mut buf = [0u8; SMALL_ENTRY_BYTES];
+    input.read_exact(&mut buf)?;
+    let row = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    let col = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let val = f64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+    Ok(SmallTriplet { row, col, val })
+}
+
+/// Per-stripe store metadata kept in memory while entries live on disk.
+struct StripeMeta {
+    stripe: usize,
+    nnz: usize,
+    unique: usize,
+}
+
+/// One rank's serialized compact structures plus the metadata the executor
+/// and the cost charges need without touching the file.
+struct RankStore {
+    path: PathBuf,
+    stripes: Vec<StripeMeta>,
+    sync_nnz: usize,
+    nonempty_panels: usize,
+}
+
+/// Serializes one rank's built structures in execution order: per async
+/// stripe (ascending) its row-major entries then its unique columns, then
+/// the sync/local entries (row-major). Returns the store handle and the
+/// bytes written.
+fn write_store(path: PathBuf, matrices: &RankMatrices) -> Result<(RankStore, usize), RunError> {
+    let file = File::create(&path)
+        .map_err(|e| io_err(&format!("creating store {}", path.display()), e))?;
+    let mut out = BufWriter::new(file);
+    let mut stripes = Vec::with_capacity(matrices.asynchronous.num_stripes());
+    let mut bytes = 0usize;
+    let ctx = "writing rank store";
+    for stripe in matrices.asynchronous.stripes() {
+        for t in stripe.entries_row_major() {
+            write_small(&mut out, t).map_err(|e| io_err(ctx, e))?;
+        }
+        for c in &stripe.unique_cols {
+            out.write_all(&c.to_le_bytes()).map_err(|e| io_err(ctx, e))?;
+        }
+        bytes += stripe.nnz() * SMALL_ENTRY_BYTES + stripe.unique_cols.len() * 4;
+        stripes.push(StripeMeta {
+            stripe: stripe.stripe,
+            nnz: stripe.nnz(),
+            unique: stripe.unique_cols.len(),
+        });
+    }
+    for t in matrices.sync_local.entries() {
+        write_small(&mut out, t).map_err(|e| io_err(ctx, e))?;
+    }
+    bytes += matrices.sync_local.nnz() * SMALL_ENTRY_BYTES;
+    out.flush().map_err(|e| io_err(ctx, e))?;
+    let store = RankStore {
+        path,
+        stripes,
+        sync_nnz: matrices.sync_local.nnz(),
+        nonempty_panels: matrices.sync_local.num_nonempty_panels(),
+    };
+    Ok((store, bytes))
+}
+
+/// Executes Two-Face out of core on a chunked triplet source.
+///
+/// The dense operand is the deterministically generated `B` of
+/// [`Problem::with_generated_b`](crate::Problem::with_generated_b), staged
+/// per rank without materializing the full matrix — which is also what
+/// makes the differential contract checkable: at overlap scales, build the
+/// resident problem from the same source with the same seed and the outputs
+/// are bit-identical.
+///
+/// # Errors
+///
+/// * [`RunError::Shape`] for infeasible layouts or out-of-bounds draws;
+/// * [`RunError::HostBudgetExceeded`] when even the out-of-core working set
+///   exceeds [`StreamOptions::memory_budget`];
+/// * [`RunError::OutOfMemory`] under the same *simulated* per-node gate as
+///   the resident path;
+/// * [`RunError::Io`] when spill or store files cannot be written.
+pub fn run_twoface_streamed(
+    source: &mut dyn TripletSource,
+    k: usize,
+    p: usize,
+    stripe_width: usize,
+    cost: &CostModel,
+    options: &StreamOptions,
+) -> Result<StreamedRun, RunError> {
+    let rows = source.rows();
+    let cols = source.cols();
+    if p == 0 || stripe_width == 0 || p > rows.max(1) || p > cols.max(1) {
+        return Err(RunError::Shape {
+            context: format!(
+                "cannot lay out a {rows}x{cols} matrix over {p} nodes with stripe width \
+                 {stripe_width}"
+            ),
+        });
+    }
+    let layout = OneDimLayout::new(rows, cols, p, stripe_width);
+    let effective = options.config.effective_cost(cost);
+    let coefficients = options.coefficients.unwrap_or_else(|| ModelCoefficients::from(&effective));
+    let workers = resolve_workers(options.workers);
+    let spill = SpillDir::create(options.spill_dir.as_ref())?;
+    let mut spilled_bytes = 0usize;
+
+    // --- Pass 1: route raw draws to per-rank shard files. ---
+    // One chunk plus the write buffers is all that's resident.
+    let chunk_nnz = match options.memory_budget {
+        Some(budget) => options.chunk_nnz.min((budget / 8 / NNZ_BYTES).max(1 << 14)),
+        None => options.chunk_nnz,
+    };
+    let raw_paths: Vec<PathBuf> = (0..p).map(|r| spill.path(format!("raw.{r}"))).collect();
+    {
+        let mut writers: Vec<BufWriter<File>> = raw_paths
+            .iter()
+            .map(|path| {
+                File::create(path)
+                    .map(BufWriter::new)
+                    .map_err(|e| io_err(&format!("creating shard {}", path.display()), e))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut chunk: Vec<Triplet> = Vec::new();
+        loop {
+            chunk.clear();
+            if source.next_chunk(chunk_nnz, &mut chunk) == 0 {
+                break;
+            }
+            for t in &chunk {
+                if t.row >= rows || t.col >= cols {
+                    return Err(RunError::Shape {
+                        context: format!(
+                            "source drew ({}, {}) outside {rows}x{cols}",
+                            t.row, t.col
+                        ),
+                    });
+                }
+                write_wide(&mut writers[layout.owner_of_row(t.row)], t)
+                    .map_err(|e| io_err("spilling raw shard", e))?;
+                spilled_bytes += NNZ_BYTES;
+            }
+        }
+        for w in &mut writers {
+            w.flush().map_err(|e| io_err("flushing raw shard", e))?;
+        }
+    }
+
+    debug_rss("pass1 route");
+    // --- Pass 2: normalize + profile per rank, one shard at a time. ---
+    // Shards partition the draw stream by row and `normalize_triplets` sorts
+    // by (row, col) with in-order duplicate summing, so the concatenation of
+    // normalized shards is exactly the resident matrix.
+    let mut profiles: Vec<NodeProfile> = Vec::with_capacity(p);
+    let mut nnz_by_rank: Vec<usize> = Vec::with_capacity(p);
+    let mut peak_shard_bytes = 0usize;
+    let norm_paths: Vec<PathBuf> = (0..p).map(|r| spill.path(format!("norm.{r}"))).collect();
+    for rank in 0..p {
+        let mut shard: Vec<Triplet> = Vec::new();
+        {
+            let file = File::open(&raw_paths[rank]).map_err(|e| io_err("opening raw shard", e))?;
+            let raw_len =
+                file.metadata().map_err(|e| io_err("sizing raw shard", e))?.len() as usize;
+            let count = raw_len / NNZ_BYTES;
+            shard.reserve_exact(count);
+            let mut reader = BufReader::new(file);
+            for _ in 0..count {
+                shard.push(read_wide(&mut reader).map_err(|e| io_err("reading raw shard", e))?);
+            }
+        }
+        peak_shard_bytes = peak_shard_bytes.max(shard.len() * NNZ_BYTES);
+        normalize_triplets(&mut shard);
+        profiles.push(NodeProfile::build_from_rows(&shard, &layout, rank));
+        nnz_by_rank.push(shard.len());
+        let mut out = BufWriter::new(
+            File::create(&norm_paths[rank]).map_err(|e| io_err("creating normalized shard", e))?,
+        );
+        for t in &shard {
+            write_wide(&mut out, t).map_err(|e| io_err("spilling normalized shard", e))?;
+        }
+        out.flush().map_err(|e| io_err("flushing normalized shard", e))?;
+        spilled_bytes += shard.len() * NNZ_BYTES;
+        let _ = std::fs::remove_file(&raw_paths[rank]);
+    }
+    debug_rss("pass2 normalize+profile");
+    let realized_nnz: usize = nnz_by_rank.iter().sum();
+
+    // --- Pass 3: classify from profiles, with the resident budget rule. ---
+    let base_all: Vec<usize> = (0..p)
+        .map(|rank| {
+            nnz_by_rank[rank] * NNZ_BYTES
+                + layout.col_range(rank).len() * k * SCALAR_BYTES
+                + layout.row_range(rank).len() * k * SCALAR_BYTES
+        })
+        .collect();
+    let base_max = base_all.iter().copied().max().unwrap_or(0);
+    let fetch_allowance = 2 * stripe_width * k * SCALAR_BYTES;
+    let sync_budget = effective.memory_per_node.saturating_sub(base_max + fetch_allowance);
+    let plan = Arc::new(PartitionPlan::build_from_profiles(
+        profiles,
+        layout.clone(),
+        &coefficients,
+        k,
+        PlanOptions {
+            sync_buffer_budget: Some(sync_budget),
+            classifier: options.classifier,
+            workers,
+        },
+    ));
+
+    // Simulated per-node gate, identical to the resident staging gate.
+    let (worst_rank, required_sim) = (0..p)
+        .map(|rank| (rank, base_all[rank] + planned_memory_extra(&plan, k, rank)))
+        .max_by_key(|&(_, bytes)| bytes)
+        .expect("at least one rank");
+    if required_sim > effective.memory_per_node {
+        return Err(RunError::OutOfMemory {
+            rank: worst_rank,
+            required: required_sim,
+            available: effective.memory_per_node,
+        });
+    }
+
+    // Host working-set estimate: the worst of the build pass (one shard plus
+    // its structures) and the execute pass (dense operands plus every rank's
+    // bounded transients).
+    let build_peak = (0..p)
+        .map(|rank| nnz_by_rank[rank] * (NNZ_BYTES + 2 * SMALL_ENTRY_BYTES + 4))
+        .max()
+        .unwrap_or(0);
+    let dense_bytes = (rows + cols) * k * SCALAR_BYTES;
+    let exec_transients: usize = (0..p)
+        .map(|rank| {
+            let mut max_seg = 0usize;
+            let mut max_fetch = 0usize;
+            for &(stripe, class) in &plan.classification(rank).classes {
+                if class == StripeClass::Async {
+                    if let Some(s) = plan.profile(rank).stripe(stripe) {
+                        max_seg = max_seg.max(s.nnz * SMALL_ENTRY_BYTES + s.rows_needed() * 4);
+                        max_fetch = max_fetch.max(s.rows_needed() * k * SCALAR_BYTES);
+                    }
+                }
+            }
+            max_seg + 2 * max_fetch + SYNC_CHUNK_ENTRIES * SMALL_ENTRY_BYTES
+        })
+        .sum();
+    let estimated_host_bytes =
+        build_peak.max(dense_bytes + exec_transients) + chunk_nnz * NNZ_BYTES;
+    if let Some(budget) = options.memory_budget {
+        if estimated_host_bytes > budget {
+            return Err(RunError::HostBudgetExceeded { required: estimated_host_bytes, budget });
+        }
+    }
+
+    debug_rss("pass3 classify");
+    // --- Pass 4: build compact structures per rank, serialize, drop. ---
+    let mut stores: Vec<RankStore> = Vec::with_capacity(p);
+    for rank in 0..p {
+        let mut shard: Vec<Triplet> = Vec::with_capacity(nnz_by_rank[rank]);
+        {
+            let mut reader = BufReader::new(
+                File::open(&norm_paths[rank]).map_err(|e| io_err("opening normalized shard", e))?,
+            );
+            for _ in 0..nnz_by_rank[rank] {
+                shard.push(
+                    read_wide(&mut reader).map_err(|e| io_err("reading normalized shard", e))?,
+                );
+            }
+        }
+        let matrices =
+            RankMatrices::build_from_rows(&shard, &plan, rank, options.config.row_panel_height);
+        drop(shard);
+        debug_rss(&format!("pass4 built rank {rank} ({} nnz)", nnz_by_rank[rank]));
+        let (store, bytes) = write_store(spill.path(format!("store.{rank}")), &matrices)?;
+        spilled_bytes += bytes;
+        stores.push(store);
+        let _ = std::fs::remove_file(&norm_paths[rank]);
+    }
+
+    debug_rss("pass4 build+store");
+    // --- Pass 5: execute with per-stripe materialize → compute → drop. ---
+    let b_blocks: Vec<Arc<Vec<f64>>> =
+        (0..p).map(|rank| Arc::new(generated_b_block(layout.col_range(rank), k))).collect();
+    let exec = ExecOpts {
+        k,
+        compute: options.compute_values,
+        panel_height: options.config.row_panel_height,
+        workers,
+    };
+    let cluster = Cluster::new(p, effective);
+    let outputs = cluster.run(|ctx| {
+        twoface_rank_streamed(ctx, &plan, &stores[ctx.rank()], &b_blocks, options, &exec)
+    });
+
+    debug_rss("pass5 execute");
+    let rank_traces: Vec<RankTrace> = outputs.iter().map(|o| o.trace.clone()).collect();
+    let rank_events: Vec<Vec<OpEvent>> = outputs.iter().map(|o| o.events.clone()).collect();
+    let mut metrics = MetricsRegistry::new();
+    for o in &outputs {
+        metrics.merge(&o.metrics);
+    }
+    let mut rank_results = Vec::with_capacity(p);
+    for o in &outputs {
+        match &o.result {
+            Ok(block) => rank_results.push(block),
+            Err(e) => return Err(RunError::from_net(o.rank, e.clone())),
+        }
+    }
+    let critical_rank =
+        outputs.iter().max_by_key(|o| o.finish_time()).expect("at least one rank").rank;
+    let seconds = outputs[critical_rank].finish_time().seconds();
+    let critical_breakdown = Breakdown::from_trace(&outputs[critical_rank].trace);
+    let mut mean_breakdown = Breakdown::default();
+    let mut elements_received = 0u64;
+    let mut messages = 0u64;
+    let mut recipients: Vec<usize> = Vec::new();
+    let mut rank_breakdowns = Vec::with_capacity(p);
+    let mut rank_seconds = Vec::with_capacity(p);
+    let mut faults_injected = 0u64;
+    for o in &outputs {
+        let b = Breakdown::from_trace(&o.trace);
+        mean_breakdown.add(&b);
+        rank_breakdowns.push(b);
+        rank_seconds.push(o.finish_time().seconds());
+        elements_received += o.trace.elements_received;
+        messages += o.trace.messages;
+        recipients.extend_from_slice(&o.trace.multicast_recipients);
+        faults_injected += o.trace.faults_injected();
+    }
+    let mean_breakdown = mean_breakdown.scaled(1.0 / p as f64);
+    let mean_multicast_recipients = if recipients.is_empty() {
+        None
+    } else {
+        Some(recipients.iter().sum::<usize>() as f64 / recipients.len() as f64)
+    };
+    let output = if exec.compute {
+        let mut flat = Vec::with_capacity(rows * k);
+        for block in &rank_results {
+            flat.extend_from_slice(block);
+        }
+        Some(
+            twoface_matrix::DenseMatrix::from_vec(rows, k, flat)
+                .expect("rank blocks tile C exactly"),
+        )
+    } else {
+        None
+    };
+
+    let report = ExecutionReport {
+        algorithm: "TwoFace (streamed)".to_string(),
+        p,
+        k,
+        seconds,
+        critical_rank,
+        critical_breakdown,
+        mean_breakdown,
+        rank_breakdowns,
+        rank_seconds,
+        elements_received,
+        messages,
+        mean_multicast_recipients,
+        rank_traces,
+        faults_injected,
+        rank_events,
+        metrics,
+        memory_peak_bytes: required_sim,
+        output,
+    };
+    drop(spill);
+    Ok(StreamedRun { report, realized_nnz, spilled_bytes, peak_shard_bytes, estimated_host_bytes })
+}
+
+/// The streamed per-rank executor: the op sequence of
+/// [`twoface_rank`](crate::algo::twoface::twoface_rank) with the rank's
+/// sparse structures read from its store file in consumption order instead
+/// of held resident. Every simulated charge (multicast participation,
+/// coalesced rgets, per-stripe and sync compute costs) is issued in the same
+/// order with the same arguments, so the two executors' clocks agree
+/// exactly.
+///
+/// # Panics
+///
+/// Panics if the store file cannot be read back — spill files are
+/// session-local, so a read failure is an environment fault, not an input
+/// condition.
+fn twoface_rank_streamed(
+    ctx: &mut RankCtx,
+    plan: &PartitionPlan,
+    store: &RankStore,
+    b_blocks: &[Arc<Vec<f64>>],
+    options: &StreamOptions,
+    opts: &ExecOpts,
+) -> Result<Vec<f64>, NetError> {
+    let rank = ctx.rank();
+    let layout = plan.layout();
+    let config = &options.config;
+    let k = opts.k;
+    let pool = Pool::new(opts.workers);
+    let my_cols = layout.col_range(rank);
+
+    let win = ctx.create_window(Arc::clone(&b_blocks[rank]))?;
+
+    // --- Sync lane: dense stripe transfers, canonical global order. ---
+    let mut stripe_buffers = BlockRows::new(k);
+    stripe_buffers.add_block(my_cols.clone(), Arc::clone(&b_blocks[rank]));
+    for stripe in 0..layout.num_stripes() {
+        let Some(group) = plan.multicast_group(stripe) else {
+            continue;
+        };
+        if !group.contains(&rank) {
+            continue;
+        }
+        let owner = layout.stripe_owner(stripe);
+        let payload = (owner == rank).then(|| {
+            let cols = layout.stripe_cols(stripe);
+            let lo = (cols.start - my_cols.start) * k;
+            let hi = (cols.end - my_cols.start) * k;
+            Payload::from(Arc::clone(&b_blocks[rank])).subslice(lo..hi)
+        });
+        let buf = ctx.multicast(stripe as u64, owner, &group, payload)?;
+        if owner != rank {
+            stripe_buffers.add_block(layout.stripe_cols(stripe), buf);
+        }
+    }
+
+    // --- Async lane: materialize one stripe at a time from the store. ---
+    let file = File::open(&store.path).expect("rank store vanished mid-run");
+    let mut reader = BufReader::new(file);
+    let local_rows = layout.row_range(rank).len();
+    let mut c_local = vec![0.0; local_rows * k];
+    let max_distance = config.max_coalesce_distance(k);
+    let mut fetch_scratch: Vec<f64> = Vec::new();
+    let mut owner_local: Vec<usize> = Vec::new();
+    let row_major = config.async_layout == crate::config::AsyncLayout::RowMajor;
+    for meta in &store.stripes {
+        let mut entries_rm: Vec<SmallTriplet> = Vec::with_capacity(meta.nnz);
+        for _ in 0..meta.nnz {
+            entries_rm.push(read_small(&mut reader).expect("rank store truncated"));
+        }
+        let mut unique_cols: Vec<u32> = Vec::with_capacity(meta.unique);
+        for _ in 0..meta.unique {
+            let mut buf = [0u8; 4];
+            reader.read_exact(&mut buf).expect("rank store truncated");
+            unique_cols.push(u32::from_le_bytes(buf));
+        }
+        let owner = layout.stripe_owner(meta.stripe);
+        debug_assert_ne!(owner, rank, "async stripes are remote-input by construction");
+        let col_base = layout.col_range(owner).start;
+        owner_local.clear();
+        owner_local.extend(unique_cols.iter().map(|&c| c as usize - col_base));
+        let active_nnz = meta.nnz;
+        if row_major {
+            let identify = ctx.cost().identify_cost(active_nnz);
+            ctx.advance(Lane::Async, identify, PhaseClass::AsyncComp);
+        }
+        let (runs, _padding) = coalesce_rows(&owner_local, max_distance);
+        if ctx.events_enabled() {
+            for &(_, len) in &runs {
+                ctx.observe("coalesced_run_rows", len as u64);
+            }
+        }
+        ctx.win_rget_rows_into(win, owner, &runs, k, &mut fetch_scratch)?;
+        let compute_cost = if row_major {
+            let per_element = ctx.cost().gamma_sync
+                * (config.sync_comp_threads as f64 / config.async_comp_threads as f64);
+            per_element * (active_nnz * k) as f64 + ctx.cost().kappa_async
+        } else {
+            ctx.cost().async_compute_cost(active_nnz, k, 1)
+        };
+        let timer = WallTimer::start(ctx.wall_time_enabled() && opts.compute);
+        if opts.compute {
+            let rows_src = FetchedRows::new(&runs, col_base, std::mem::take(&mut fetch_scratch), k);
+            if row_major {
+                par_sync_panels(&pool, &entries_rm, &rows_src, &mut c_local, k);
+            } else {
+                let spans = par_async_stripe(&pool, &entries_rm, &rows_src, &mut c_local, k);
+                if ctx.wall_time_enabled() {
+                    ctx.observe("host.kernel_spans", spans as u64);
+                }
+            }
+            fetch_scratch = rows_src.into_data();
+        }
+        ctx.advance_span(
+            Lane::Async,
+            compute_cost,
+            PhaseClass::AsyncComp,
+            (active_nnz * k) as u64,
+            timer.elapsed_nanos(),
+        );
+        // entries drop here: the stripe's footprint is gone before the next
+        // one is materialized.
+    }
+
+    // --- Sync lane: row-panel compute in row-aligned chunks. ---
+    // The serial panel kernel over row-aligned spans accumulates each output
+    // row in the same order as the resident parallel driver, so chunking is
+    // invisible in the result; the cost is charged once from the stored
+    // panel statistics, exactly as the resident path charges it.
+    if store.sync_nnz > 0 {
+        let timer = WallTimer::start(ctx.wall_time_enabled() && opts.compute);
+        if opts.compute {
+            let mut remaining = store.sync_nnz;
+            let mut pending: Option<SmallTriplet> = None;
+            let mut chunk: Vec<SmallTriplet> = Vec::new();
+            while remaining > 0 || pending.is_some() {
+                chunk.clear();
+                if let Some(t) = pending.take() {
+                    chunk.push(t);
+                }
+                while chunk.len() < SYNC_CHUNK_ENTRIES && remaining > 0 {
+                    chunk.push(read_small(&mut reader).expect("rank store truncated"));
+                    remaining -= 1;
+                }
+                // Never split a row across chunks: extend to the boundary.
+                while remaining > 0 {
+                    let t = read_small(&mut reader).expect("rank store truncated");
+                    remaining -= 1;
+                    let same_row = chunk.last().is_some_and(|last| last.row == t.row);
+                    if same_row {
+                        chunk.push(t);
+                    } else {
+                        pending = Some(t);
+                        break;
+                    }
+                }
+                sync_panel_kernel(&chunk, &stripe_buffers, &mut c_local, k);
+            }
+        } else {
+            // Structural runs skip the reads too; the clocks only need the
+            // stored statistics below.
+        }
+        let cost = ctx.cost().sync_compute_cost(store.sync_nnz, k, store.nonempty_panels);
+        ctx.advance_span(
+            Lane::Sync,
+            cost,
+            PhaseClass::SyncComp,
+            (store.sync_nnz * k) as u64,
+            timer.elapsed_nanos(),
+        );
+    }
+    Ok(c_local)
+}
+
+/// Prints the current and peak RSS after a pipeline phase when
+/// `TWOFACE_STREAM_DEBUG` is set — the attribution tool for out-of-core
+/// memory work (VmHWM alone can't say *which* pass set the high-water mark).
+fn debug_rss(label: &str) {
+    if std::env::var_os("TWOFACE_STREAM_DEBUG").is_none() {
+        return;
+    }
+    let read = |key: &str| -> Option<usize> {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with(key))?;
+        Some(line.split_whitespace().nth(1)?.parse::<usize>().ok()? * 1024)
+    };
+    let cur = read("VmRSS:").map_or(-1.0, |b| b as f64 / (1 << 20) as f64);
+    let peak = read("VmHWM:").map_or(-1.0, |b| b as f64 / (1 << 20) as f64);
+    eprintln!("[stream-rss] {label}: rss {cur:.0} MiB, peak {peak:.0} MiB");
+}
+
+/// The process's peak resident set size (`VmHWM`) in bytes, read from
+/// `/proc/self/status`. Returns `None` on platforms or kernels that don't
+/// expose it. Note the counter is a process-lifetime high-water mark: to
+/// attribute a peak to one phase, measure the cheap phase first.
+pub fn peak_rss_bytes() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: usize = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twoface_matrix::gen::ErdosChunks;
+
+    #[test]
+    fn wide_and_small_roundtrip() {
+        let mut buf = Vec::new();
+        let wide = Triplet::new(123_456_789_012, 7, -1.5);
+        write_wide(&mut buf, &wide).unwrap();
+        let small = SmallTriplet::new(42, 99, 0.25);
+        write_small(&mut buf, &small).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_wide(&mut cursor).unwrap(), wide);
+        assert_eq!(read_small(&mut cursor).unwrap(), small);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if let Some(bytes) = peak_rss_bytes() {
+            assert!(bytes > 0);
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_is_rejected_up_front() {
+        let mut source = ErdosChunks::new(512, 512, 4000, 9);
+        let err = run_twoface_streamed(
+            &mut source,
+            8,
+            4,
+            32,
+            &CostModel::delta(),
+            &StreamOptions { memory_budget: Some(1), ..Default::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::HostBudgetExceeded { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn degenerate_layout_is_a_shape_error() {
+        let mut source = ErdosChunks::new(4, 4, 10, 1);
+        let err = run_twoface_streamed(
+            &mut source,
+            8,
+            16,
+            2,
+            &CostModel::delta(),
+            &StreamOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::Shape { .. }));
+    }
+}

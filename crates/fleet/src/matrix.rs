@@ -68,6 +68,7 @@ const BENCH_BINS: &[(&str, &[&str], u64)] = &[
     ("extension_spmv", &["extension"], 1800),
     ("family_auto_selection", &["fig", "family"], 3600),
     ("serve_throughput", &["fast", "serve"], 600),
+    ("layout", &["fast", "layout", "streaming"], 900),
     ("trace_summary", &["fast", "observability"], 600),
 ];
 

@@ -73,9 +73,27 @@ impl CooMatrix {
         I: IntoIterator<Item = T>,
         T: Into<Triplet>,
     {
-        let mut entries: Vec<Triplet> = Vec::new();
-        for t in triplets {
-            let t = t.into();
+        let entries: Vec<Triplet> = triplets.into_iter().map(Into::into).collect();
+        CooMatrix::from_triplet_vec(rows, cols, entries)
+    }
+
+    /// [`CooMatrix::from_triplets`] without the intermediate copy: validates,
+    /// sorts, and sums duplicates *in place* in the supplied vector.
+    ///
+    /// This is the assembly path the chunked generators and the streaming
+    /// executor share: one allocation (the caller's), no transient second
+    /// vector, and the exact summation order of [`normalize_triplets`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::CoordinateOutOfBounds`] for the first (in input
+    /// order) triplet outside `rows x cols`.
+    pub fn from_triplet_vec(
+        rows: usize,
+        cols: usize,
+        mut entries: Vec<Triplet>,
+    ) -> Result<Self, MatrixError> {
+        for t in &entries {
             if t.row >= rows || t.col >= cols {
                 return Err(MatrixError::CoordinateOutOfBounds {
                     row: t.row,
@@ -84,18 +102,9 @@ impl CooMatrix {
                     cols,
                 });
             }
-            entries.push(t);
         }
-        entries.sort_by_key(|t| (t.row, t.col));
-        // Sum duplicates in place.
-        let mut out: Vec<Triplet> = Vec::with_capacity(entries.len());
-        for t in entries {
-            match out.last_mut() {
-                Some(last) if last.row == t.row && last.col == t.col => last.val += t.val,
-                _ => out.push(t),
-            }
-        }
-        Ok(CooMatrix { rows, cols, entries: out })
+        normalize_triplets(&mut entries);
+        Ok(CooMatrix { rows, cols, entries })
     }
 
     /// Builds a matrix from triplets that are already sorted row-major and
@@ -263,6 +272,33 @@ impl CooMatrix {
         }
         counts
     }
+}
+
+/// Canonicalizes a raw triplet list in place: stable row-major sort (by row,
+/// then column) followed by duplicate summing in encounter order.
+///
+/// This is *the* assembly semantics of [`CooMatrix::from_triplets`], exposed
+/// so out-of-core shard assembly can reproduce it exactly: because the sort
+/// is stable and rows partition disjointly, normalizing each row-range shard
+/// of a raw stream independently yields bit-identical entries (values summed
+/// in the same left-to-right draw order) to normalizing the whole stream and
+/// slicing afterwards.
+pub fn normalize_triplets(entries: &mut Vec<Triplet>) {
+    entries.sort_by_key(|t| (t.row, t.col));
+    // Sum duplicates in place (two-pointer compaction, no second buffer).
+    let mut len = 0usize;
+    for i in 0..entries.len() {
+        if len > 0
+            && entries[len - 1].row == entries[i].row
+            && entries[len - 1].col == entries[i].col
+        {
+            entries[len - 1].val += entries[i].val;
+        } else {
+            entries[len] = entries[i];
+            len += 1;
+        }
+    }
+    entries.truncate(len);
 }
 
 impl FromIterator<Triplet> for CooMatrix {

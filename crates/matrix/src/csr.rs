@@ -1,4 +1,21 @@
-use crate::{CooMatrix, DenseMatrix, Scalar, Triplet};
+use crate::{fits_small_index, CooMatrix, DenseMatrix, Scalar, Triplet, SCALAR_BYTES};
+
+/// Cache-blocking target for the SpMM row panels: the active `C` panel plus
+/// the streamed `B` rows should sit inside a per-core L2 of this size.
+const L2_TARGET_BYTES: usize = 1 << 20;
+
+/// Index arrays of a CSR matrix, at the width chosen at construction.
+///
+/// The small (`u32`) variant halves index traffic in the row-major kernels;
+/// it is selected whenever every column id and row pointer fits (checked,
+/// never truncated — see DESIGN.md §13).
+#[derive(Debug, Clone, PartialEq)]
+enum IndexStorage {
+    /// `usize` indices: always representable.
+    Wide { row_ptrs: Vec<usize>, col_ids: Vec<usize> },
+    /// `u32` indices: requires `cols <= 2^32` and `nnz <= u32::MAX`.
+    Small { row_ptrs: Vec<u32>, col_ids: Vec<u32> },
+}
 
 /// A sparse matrix in compressed sparse row (CSR) format.
 ///
@@ -6,6 +23,12 @@ use crate::{CooMatrix, DenseMatrix, Scalar, Triplet};
 /// the collective baselines (Allgather, Dense Shifting, Async Coarse): the
 /// paper's baselines call Intel MKL on CSR-like local partitions; here the
 /// kernel is [`CsrMatrix::spmm`].
+///
+/// Construction picks the index width: matrices whose column ids and row
+/// pointers fit in `u32` store them compactly (half the index bytes per
+/// nonzero), chosen once in [`CsrMatrix::from_coo`] and observable via
+/// [`CsrMatrix::small_indices`]. The kernels traverse nonzeros in the same
+/// order at either width, so results are bit-identical across widths.
 ///
 /// # Example
 ///
@@ -15,6 +38,7 @@ use crate::{CooMatrix, DenseMatrix, Scalar, Triplet};
 /// # fn main() -> Result<(), twoface_matrix::MatrixError> {
 /// let a = CooMatrix::from_triplets(2, 3, vec![(0, 2, 1.0), (1, 0, 2.0)])?;
 /// let csr = a.to_csr();
+/// assert!(csr.small_indices());
 /// assert_eq!(csr.row_entries(1).collect::<Vec<_>>(), vec![(0, 2.0)]);
 /// # Ok(())
 /// # }
@@ -23,31 +47,43 @@ use crate::{CooMatrix, DenseMatrix, Scalar, Triplet};
 pub struct CsrMatrix {
     rows: usize,
     cols: usize,
-    row_ptrs: Vec<usize>,
-    col_ids: Vec<usize>,
+    index: IndexStorage,
     vals: Vec<Scalar>,
 }
 
 impl CsrMatrix {
-    /// Builds a CSR matrix from a COO matrix.
+    /// Builds a CSR matrix from a COO matrix, choosing the index width.
     pub fn from_coo(coo: &CooMatrix) -> Self {
         let rows = coo.rows();
         let cols = coo.cols();
-        let mut row_ptrs = vec![0usize; rows + 1];
+        let nnz = coo.nnz();
+        let mut wide_ptrs = vec![0usize; rows + 1];
         for (r, _, _) in coo.iter() {
-            row_ptrs[r + 1] += 1;
+            wide_ptrs[r + 1] += 1;
         }
         for i in 0..rows {
-            row_ptrs[i + 1] += row_ptrs[i];
+            wide_ptrs[i + 1] += wide_ptrs[i];
         }
-        let mut col_ids = Vec::with_capacity(coo.nnz());
-        let mut vals = Vec::with_capacity(coo.nnz());
-        // COO is row-major sorted, so a single pass suffices.
-        for (_, c, v) in coo.iter() {
-            col_ids.push(c);
-            vals.push(v);
-        }
-        CsrMatrix { rows, cols, row_ptrs, col_ids, vals }
+        let mut vals = Vec::with_capacity(nnz);
+        // The small-index variant needs every col id to fit u32 (guaranteed
+        // by the dimension check) and every row pointer (<= nnz) likewise.
+        let index = if fits_small_index(rows, cols) && nnz <= u32::MAX as usize {
+            let mut col_ids: Vec<u32> = Vec::with_capacity(nnz);
+            // COO is row-major sorted, so a single pass suffices.
+            for (_, c, v) in coo.iter() {
+                col_ids.push(c as u32);
+                vals.push(v);
+            }
+            IndexStorage::Small { row_ptrs: wide_ptrs.iter().map(|&p| p as u32).collect(), col_ids }
+        } else {
+            let mut col_ids: Vec<usize> = Vec::with_capacity(nnz);
+            for (_, c, v) in coo.iter() {
+                col_ids.push(c);
+                vals.push(v);
+            }
+            IndexStorage::Wide { row_ptrs: wide_ptrs, col_ids }
+        };
+        CsrMatrix { rows, cols, index, vals }
     }
 
     /// Number of rows.
@@ -62,17 +98,50 @@ impl CsrMatrix {
 
     /// Number of stored nonzeros.
     pub fn nnz(&self) -> usize {
-        self.col_ids.len()
+        self.vals.len()
     }
 
-    /// The row pointer array (`rows + 1` entries).
-    pub fn row_ptrs(&self) -> &[usize] {
-        &self.row_ptrs
+    /// Whether this matrix stores compact (`u32`) index arrays.
+    pub fn small_indices(&self) -> bool {
+        matches!(self.index, IndexStorage::Small { .. })
     }
 
-    /// The column indices of all nonzeros, row-major.
-    pub fn col_ids(&self) -> &[usize] {
-        &self.col_ids
+    /// Bytes spent on the index arrays (row pointers + column ids).
+    pub fn index_bytes(&self) -> usize {
+        match &self.index {
+            IndexStorage::Wide { row_ptrs, col_ids } => {
+                std::mem::size_of_val(row_ptrs.as_slice())
+                    + std::mem::size_of_val(col_ids.as_slice())
+            }
+            IndexStorage::Small { row_ptrs, col_ids } => {
+                std::mem::size_of_val(row_ptrs.as_slice())
+                    + std::mem::size_of_val(col_ids.as_slice())
+            }
+        }
+    }
+
+    /// The row pointer for `row` (`0..=rows`), widened to `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row > self.rows()`.
+    pub fn row_ptr(&self, row: usize) -> usize {
+        match &self.index {
+            IndexStorage::Wide { row_ptrs, .. } => row_ptrs[row],
+            IndexStorage::Small { row_ptrs, .. } => row_ptrs[row] as usize,
+        }
+    }
+
+    /// The column id of the `idx`-th stored nonzero, widened to `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.nnz()`.
+    pub fn col_id(&self, idx: usize) -> usize {
+        match &self.index {
+            IndexStorage::Wide { col_ids, .. } => col_ids[idx],
+            IndexStorage::Small { col_ids, .. } => col_ids[idx] as usize,
+        }
     }
 
     /// The values of all nonzeros, row-major.
@@ -86,9 +155,9 @@ impl CsrMatrix {
     ///
     /// Panics if `row >= self.rows()`.
     pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (usize, Scalar)> + '_ {
-        let lo = self.row_ptrs[row];
-        let hi = self.row_ptrs[row + 1];
-        self.col_ids[lo..hi].iter().copied().zip(self.vals[lo..hi].iter().copied())
+        let lo = self.row_ptr(row);
+        let hi = self.row_ptr(row + 1);
+        (lo..hi).map(|idx| (self.col_id(idx), self.vals[idx]))
     }
 
     /// Number of nonzeros in one row.
@@ -97,13 +166,17 @@ impl CsrMatrix {
     ///
     /// Panics if `row >= self.rows()`.
     pub fn row_nnz(&self, row: usize) -> usize {
-        self.row_ptrs[row + 1] - self.row_ptrs[row]
+        self.row_ptr(row + 1) - self.row_ptr(row)
     }
 
     /// Local SpMM: computes `C = A × B` where `A` is `self`.
     ///
     /// This is the reference row-major kernel: for each nonzero `a` at
-    /// `(r, c)`, `C[r, :] += a * B[c, :]` (Figure 1a of the paper).
+    /// `(r, c)`, `C[r, :] += a * B[c, :]` (Figure 1a of the paper), executed
+    /// over cache-blocked row panels sized so the active `C` window stays in
+    /// L2, with `K ∈ {8, 32, 128}` specialized inner loops. Blocking splits
+    /// only the outer row loop, so per-row summation order — and therefore
+    /// the floating-point result — is identical to the unblocked kernel.
     ///
     /// # Panics
     ///
@@ -117,46 +190,42 @@ impl CsrMatrix {
             self.cols,
             b.rows()
         );
-        let k = b.cols();
-        let mut c = DenseMatrix::zeros(self.rows, k);
-        for r in 0..self.rows {
-            let out = c.row_mut(r);
-            for idx in self.row_ptrs[r]..self.row_ptrs[r + 1] {
-                let col = self.col_ids[idx];
-                let v = self.vals[idx];
-                let brow = b.row(col);
-                for j in 0..k {
-                    out[j] += v * brow[j];
-                }
-            }
-        }
+        let mut c = DenseMatrix::zeros(self.rows, b.cols());
+        self.spmm_blocked(b, &mut c);
         c
     }
 
-    /// Accumulating SpMM over a row range: `C[r, :] += A[r, :] × B` for rows
-    /// in `row_range`, writing into the caller's `C`.
+    /// Accumulating SpMM: `C[r, :] += A[r, :] × B`, writing into the
+    /// caller's `C`.
     ///
     /// Used by the shifting baseline, which processes one block of columns of
     /// `A` per step and accumulates into the same output.
     ///
     /// # Panics
     ///
-    /// Panics if `self.cols() != b.rows()`, `c` has the wrong shape, or the
-    /// range is out of bounds.
+    /// Panics if `self.cols() != b.rows()` or `c` has the wrong shape.
     pub fn spmm_accumulate(&self, b: &DenseMatrix, c: &mut DenseMatrix) {
         assert_eq!(self.cols, b.rows(), "spmm dimension mismatch");
         assert_eq!(c.rows(), self.rows, "output row mismatch");
         assert_eq!(c.cols(), b.cols(), "output col mismatch");
+        self.spmm_blocked(b, c);
+    }
+
+    /// Rows per cache panel for dense-operand width `k`: the panel's `C`
+    /// window plus a same-sized share of streamed `B` rows fit
+    /// [`L2_TARGET_BYTES`].
+    fn panel_rows(k: usize) -> usize {
+        (L2_TARGET_BYTES / (2 * k.max(1) * SCALAR_BYTES)).clamp(16, 8192)
+    }
+
+    fn spmm_blocked(&self, b: &DenseMatrix, c: &mut DenseMatrix) {
         let k = b.cols();
-        for r in 0..self.rows {
-            let out = c.row_mut(r);
-            for idx in self.row_ptrs[r]..self.row_ptrs[r + 1] {
-                let col = self.col_ids[idx];
-                let v = self.vals[idx];
-                let brow = b.row(col);
-                for j in 0..k {
-                    out[j] += v * brow[j];
-                }
+        match &self.index {
+            IndexStorage::Wide { row_ptrs, col_ids } => {
+                panels_dispatch(row_ptrs, col_ids, &self.vals, b, c, k)
+            }
+            IndexStorage::Small { row_ptrs, col_ids } => {
+                panels_dispatch(row_ptrs, col_ids, &self.vals, b, c, k)
             }
         }
     }
@@ -180,10 +249,84 @@ impl CsrMatrix {
     /// needs — the quantity the sparsity-aware transfer path communicates.
     pub fn referenced_cols(&self) -> Vec<usize> {
         let mut seen = vec![false; self.cols];
-        for &c in &self.col_ids {
-            seen[c] = true;
+        for idx in 0..self.nnz() {
+            seen[self.col_id(idx)] = true;
         }
         seen.iter().enumerate().filter_map(|(i, &s)| s.then_some(i)).collect()
+    }
+}
+
+/// An index type a CSR array can store: `usize` or `u32`.
+trait CsrIndex: Copy {
+    fn widen(self) -> usize;
+}
+
+impl CsrIndex for usize {
+    #[inline(always)]
+    fn widen(self) -> usize {
+        self
+    }
+}
+
+impl CsrIndex for u32 {
+    #[inline(always)]
+    fn widen(self) -> usize {
+        self as usize
+    }
+}
+
+/// Cache-blocked row-panel driver, dispatching to a `K`-specialized inner
+/// loop (the same `K ∈ {8, 32, 128}` set the distributed kernels
+/// specialize).
+fn panels_dispatch<I: CsrIndex>(
+    row_ptrs: &[I],
+    col_ids: &[I],
+    vals: &[Scalar],
+    b: &DenseMatrix,
+    c: &mut DenseMatrix,
+    k: usize,
+) {
+    match k {
+        8 => panels::<I, 8>(row_ptrs, col_ids, vals, b, c, k),
+        32 => panels::<I, 32>(row_ptrs, col_ids, vals, b, c, k),
+        128 => panels::<I, 128>(row_ptrs, col_ids, vals, b, c, k),
+        _ => panels::<I, 0>(row_ptrs, col_ids, vals, b, c, k),
+    }
+}
+
+/// `F` is the compile-time dense width (0 selects the dynamic-`k` loop).
+fn panels<I: CsrIndex, const F: usize>(
+    row_ptrs: &[I],
+    col_ids: &[I],
+    vals: &[Scalar],
+    b: &DenseMatrix,
+    c: &mut DenseMatrix,
+    k: usize,
+) {
+    debug_assert!(F == 0 || F == k);
+    let rows = row_ptrs.len() - 1;
+    let panel = CsrMatrix::panel_rows(k);
+    let mut r0 = 0usize;
+    while r0 < rows {
+        let r1 = (r0 + panel).min(rows);
+        for r in r0..r1 {
+            let out = c.row_mut(r);
+            for idx in row_ptrs[r].widen()..row_ptrs[r + 1].widen() {
+                let col = col_ids[idx].widen();
+                let v = vals[idx];
+                let brow = b.row(col);
+                if F == 0 {
+                    for j in 0..k {
+                        out[j] += v * brow[j];
+                    }
+                } else {
+                    for j in 0..F {
+                        out[j] += v * brow[j];
+                    }
+                }
+            }
+        }
+        r0 = r1;
     }
 }
 
@@ -201,11 +344,30 @@ mod tests {
     #[test]
     fn structure_is_correct() {
         let m = sample();
-        assert_eq!(m.row_ptrs(), &[0, 2, 2, 4]);
-        assert_eq!(m.col_ids(), &[0, 3, 1, 2]);
+        assert_eq!((0..=3).map(|r| m.row_ptr(r)).collect::<Vec<_>>(), vec![0, 2, 2, 4]);
+        assert_eq!((0..4).map(|i| m.col_id(i)).collect::<Vec<_>>(), vec![0, 3, 1, 2]);
         assert_eq!(m.row_nnz(0), 2);
         assert_eq!(m.row_nnz(1), 0);
         assert_eq!(m.row_nnz(2), 2);
+    }
+
+    #[test]
+    fn small_indices_chosen_when_they_fit() {
+        let m = sample();
+        assert!(m.small_indices());
+        assert_eq!(m.index_bytes(), 4 * 4 + 4 * 4); // 4 row ptrs + 4 col ids at u32
+    }
+
+    #[test]
+    fn wide_indices_preserve_huge_column_ids() {
+        // A column space beyond the u32 limit forces wide storage; the huge
+        // id survives construction and round-trip exactly (never truncated).
+        let huge = (1usize << 33) + 5;
+        let coo = CooMatrix::from_triplets(3, 1 << 34, vec![(0, huge, 1.5), (2, 0, 2.5)]).unwrap();
+        let m = coo.to_csr();
+        assert!(!m.small_indices());
+        assert_eq!(m.col_id(0), huge);
+        assert_eq!(m.to_coo(), coo);
     }
 
     #[test]
@@ -230,6 +392,47 @@ mod tests {
         assert_eq!(c.row(0), &[9.0, 90.0]);
         assert_eq!(c.row(1), &[0.0, 0.0]);
         assert_eq!(c.row(2), &[18.0, 180.0]);
+    }
+
+    #[test]
+    fn specialized_widths_match_dynamic_loop() {
+        // K in {8, 32, 128} takes the const-specialized path; compare each
+        // against a per-row scalar oracle with the same traversal order.
+        let a = crate::gen::erdos_renyi(200, 160, 2000, 9).to_csr();
+        for k in [8usize, 32, 128] {
+            let b = DenseMatrix::from_fn(160, k, |i, j| ((i * 31 + j * 7) % 13) as f64 * 0.25);
+            let c = a.spmm(&b);
+            let mut oracle = DenseMatrix::zeros(200, k);
+            for r in 0..200 {
+                let out = oracle.row_mut(r);
+                for (col, v) in a.row_entries(r) {
+                    let brow = b.row(col);
+                    for j in 0..k {
+                        out[j] += v * brow[j];
+                    }
+                }
+            }
+            assert_eq!(c, oracle, "K = {k}");
+        }
+    }
+
+    #[test]
+    fn blocking_does_not_change_results_across_panel_boundaries() {
+        // More rows than one L2 panel at K=128 so the blocked driver takes
+        // several panels; a triplet-order oracle must match bit-for-bit.
+        let rows = 3 * CsrMatrix::panel_rows(128) + 17;
+        let a = crate::gen::erdos_renyi(rows, 64, rows * 3, 4);
+        let b = DenseMatrix::from_fn(64, 128, |i, j| (i + j) as f64 * 0.5);
+        let via_csr = a.to_csr().spmm(&b);
+        let mut oracle = DenseMatrix::zeros(rows, 128);
+        for t in a.triplets() {
+            let brow = b.row(t.col);
+            let out = oracle.row_mut(t.row);
+            for j in 0..128 {
+                out[j] += t.val * brow[j];
+            }
+        }
+        assert_eq!(via_csr, oracle);
     }
 
     #[test]

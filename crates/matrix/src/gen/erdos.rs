@@ -1,4 +1,5 @@
 use super::draw_value;
+use super::stream::{assemble, ErdosChunks};
 use crate::CooMatrix;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -19,16 +20,10 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 /// assert!(m.nnz() > 400 && m.nnz() <= 500);
 /// ```
 pub fn erdos_renyi(rows: usize, cols: usize, nnz: usize, seed: u64) -> CooMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let triplets: Vec<(usize, usize, f64)> = (0..nnz)
-        .map(|_| {
-            (rng.gen_range(0..rows.max(1)), rng.gen_range(0..cols.max(1)), draw_value(&mut rng))
-        })
-        .collect();
-    if rows == 0 || cols == 0 {
-        return CooMatrix::new(rows, cols);
-    }
-    CooMatrix::from_triplets(rows, cols, triplets).expect("coordinates drawn in bounds")
+    // Routed through the chunked emitter so callers that re-shard never pay
+    // for a second full-size vector (the source draws the identical RNG
+    // sequence the historical one-shot loop did).
+    assemble(&mut ErdosChunks::new(rows, cols, nnz, seed))
 }
 
 /// Generates a uniform random matrix with exactly `per_row` nonzeros in every

@@ -1,6 +1,5 @@
-use super::draw_value;
+use super::stream::{assemble, HubChunks};
 use crate::CooMatrix;
-use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Configuration for the hub-traffic generator.
 ///
@@ -63,32 +62,10 @@ impl Default for HubConfig {
 /// assert_eq!(m.rows(), 1024);
 /// ```
 pub fn hub_traffic(config: &HubConfig, seed: u64) -> CooMatrix {
-    assert!(config.hubs > 0 && config.hubs <= config.n, "hub count must be in 1..=n");
-    assert!((0.0..=1.0).contains(&config.hub_probability), "hub_probability must be a probability");
-    assert!((0.0..=1.0).contains(&config.tail_locality), "tail_locality must be a probability");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let stride = config.n / config.hubs;
-    let hub_ids: Vec<usize> = (0..config.hubs).map(|h| h * stride).collect();
-    let window = ((config.n as f64 * config.tail_window_fraction) as usize).max(1);
-    let mut triplets = Vec::with_capacity(config.nnz);
-    for _ in 0..config.nnz {
-        let r = if rng.gen::<f64>() < config.hub_probability {
-            hub_ids[rng.gen_range(0..hub_ids.len())]
-        } else {
-            rng.gen_range(0..config.n)
-        };
-        let c = if rng.gen::<f64>() < config.hub_probability {
-            hub_ids[rng.gen_range(0..hub_ids.len())]
-        } else if rng.gen::<f64>() < config.tail_locality {
-            let lo = r.saturating_sub(window);
-            let hi = (r + window).min(config.n - 1);
-            rng.gen_range(lo..=hi)
-        } else {
-            rng.gen_range(0..config.n)
-        };
-        triplets.push((r, c, draw_value(&mut rng)));
-    }
-    CooMatrix::from_triplets(config.n, config.n, triplets).expect("coordinates drawn in bounds")
+    // Routed through the chunked emitter (no full-size pre-allocation
+    // beyond the single assembly vector); draws match the historical
+    // one-shot loop exactly.
+    assemble(&mut HubChunks::new(config, seed))
 }
 
 #[cfg(test)]

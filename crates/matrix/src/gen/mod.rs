@@ -31,6 +31,7 @@ mod erdos;
 mod hub;
 mod hypersparse;
 mod rmat;
+pub mod stream;
 pub mod suite;
 mod webcrawl;
 
@@ -39,6 +40,7 @@ pub use erdos::{erdos_renyi, uniform_random};
 pub use hub::{hub_traffic, HubConfig};
 pub use hypersparse::{hypersparse, HypersparseConfig};
 pub use rmat::{rmat, RmatConfig};
+pub use stream::{assemble, ErdosChunks, HubChunks, RmatChunks, TripletSource, DEFAULT_CHUNK_NNZ};
 pub use suite::{suite_matrix, SuiteMatrix};
 pub use webcrawl::{webcrawl, WebcrawlConfig};
 

@@ -1,6 +1,5 @@
-use super::draw_value;
+use super::stream::{assemble, RmatChunks};
 use crate::CooMatrix;
-use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Configuration for the R-MAT (recursive matrix) generator.
 ///
@@ -59,47 +58,10 @@ impl RmatConfig {
 /// assert!(m.nnz() > 500);
 /// ```
 pub fn rmat(config: &RmatConfig, seed: u64) -> CooMatrix {
-    assert!(
-        config.a >= 0.0 && config.b >= 0.0 && config.c >= 0.0 && config.d() >= 0.0,
-        "R-MAT quadrant probabilities must form a distribution"
-    );
-    let n = 1usize << config.scale;
-    let edges = n * config.edge_factor;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut triplets = Vec::with_capacity(edges);
-    for _ in 0..edges {
-        let (mut row, mut col) = (0usize, 0usize);
-        let (mut a, mut b, mut c) = (config.a, config.b, config.c);
-        for level in 0..config.scale {
-            let half = n >> (level + 1);
-            let r: f64 = rng.gen();
-            if r < a {
-                // top-left: nothing to add
-            } else if r < a + b {
-                col += half;
-            } else if r < a + b + c {
-                row += half;
-            } else {
-                row += half;
-                col += half;
-            }
-            if config.noise > 0.0 {
-                // Jitter each quadrant probability multiplicatively and
-                // renormalize, per the standard Graph500 noise scheme.
-                let jitter = |p: f64, rng: &mut StdRng| {
-                    p * (1.0 - config.noise / 2.0 + config.noise * rng.gen::<f64>())
-                };
-                let (ja, jb, jc) = (jitter(a, &mut rng), jitter(b, &mut rng), jitter(c, &mut rng));
-                let jd = jitter(1.0 - a - b - c, &mut rng);
-                let total = ja + jb + jc + jd;
-                a = ja / total;
-                b = jb / total;
-                c = jc / total;
-            }
-        }
-        triplets.push((row, col, draw_value(&mut rng)));
-    }
-    CooMatrix::from_triplets(n, n, triplets).expect("R-MAT coordinates are in bounds")
+    // One-shot = chunked source drained resident; the per-edge draw loop
+    // lives in RmatChunks so the streamed and resident paths share one RNG
+    // sequence by construction.
+    assemble(&mut RmatChunks::new(config, seed))
 }
 
 #[cfg(test)]

@@ -1,0 +1,336 @@
+//! Chunked (out-of-core friendly) triplet generation.
+//!
+//! The paper's evaluation matrices have 143M–3.6B nonzeros; materializing a
+//! full raw triplet vector before assembly costs 24 bytes per draw *and*
+//! transient sort headroom, which is what capped the synthetic suite near
+//! 10^7 (ROADMAP item 4). A [`TripletSource`] instead emits the same
+//! deterministic draw sequence in bounded chunks, so consumers choose their
+//! memory shape:
+//!
+//! * resident assembly ([`assemble`]) — identical output to the historical
+//!   one-shot generators (same RNG sequence, same
+//!   [`normalize_triplets`](crate::normalize_triplets) semantics);
+//! * out-of-core spill — `twoface-core`'s streaming runner routes chunks to
+//!   per-rank shards and never holds the full stream (see DESIGN.md §13).
+//!
+//! Every generator in this module is a thin stateful form of its one-shot
+//! counterpart in [`gen`](crate::gen); the one-shot functions are now
+//! wrappers over these sources, which is what guarantees bit-identity
+//! between the resident and streamed paths.
+
+use super::{draw_value, HubConfig, RmatConfig};
+use crate::{CooMatrix, Triplet};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Default chunk size (raw draws per [`TripletSource::next_chunk`] call):
+/// 2^20 triplets = 24 MiB of wide entries.
+pub const DEFAULT_CHUNK_NNZ: usize = 1 << 20;
+
+/// A deterministic stream of raw (unsorted, duplicate-bearing) triplets,
+/// delivered in bounded chunks.
+///
+/// The concatenation of all chunks is the generator's full draw sequence in
+/// draw order; chunk boundaries carry no meaning. Sources are exhausted when
+/// `next_chunk` returns 0.
+pub trait TripletSource {
+    /// Number of rows of the generated matrix.
+    fn rows(&self) -> usize;
+    /// Number of columns of the generated matrix.
+    fn cols(&self) -> usize;
+    /// Total raw draws this source will emit (before duplicate summing),
+    /// if known up front.
+    fn nnz_hint(&self) -> Option<usize> {
+        None
+    }
+    /// Appends up to `budget` raw triplets to `out` (which is *not*
+    /// cleared), returning how many were appended; 0 means exhausted.
+    fn next_chunk(&mut self, budget: usize, out: &mut Vec<Triplet>) -> usize;
+}
+
+/// Drains a source into a resident [`CooMatrix`].
+///
+/// Chunk boundaries do not affect the result: this collects the full draw
+/// sequence and assembles it exactly like the one-shot generators
+/// (in-place [`CooMatrix::from_triplet_vec`]).
+pub fn assemble<S: TripletSource + ?Sized>(source: &mut S) -> CooMatrix {
+    let mut entries = Vec::with_capacity(source.nnz_hint().unwrap_or(0));
+    while source.next_chunk(DEFAULT_CHUNK_NNZ, &mut entries) > 0 {}
+    CooMatrix::from_triplet_vec(source.rows(), source.cols(), entries)
+        .expect("generators draw coordinates in bounds")
+}
+
+/// Chunked R-MAT source: the per-edge quadrant descent of
+/// [`rmat`](super::rmat), one edge at a time.
+pub struct RmatChunks {
+    config: RmatConfig,
+    rng: StdRng,
+    n: usize,
+    remaining: usize,
+    total: usize,
+}
+
+impl RmatChunks {
+    /// Creates the source; draws begin at the first `next_chunk` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quadrant probabilities are not a sub-distribution.
+    pub fn new(config: &RmatConfig, seed: u64) -> Self {
+        assert!(
+            config.a >= 0.0 && config.b >= 0.0 && config.c >= 0.0 && config.d() >= 0.0,
+            "R-MAT quadrant probabilities must form a distribution"
+        );
+        let n = 1usize << config.scale;
+        let edges = n * config.edge_factor;
+        RmatChunks {
+            config: *config,
+            rng: StdRng::seed_from_u64(seed),
+            n,
+            remaining: edges,
+            total: edges,
+        }
+    }
+
+    fn draw_edge(&mut self) -> Triplet {
+        let config = &self.config;
+        let (mut row, mut col) = (0usize, 0usize);
+        let (mut a, mut b, mut c) = (config.a, config.b, config.c);
+        for level in 0..config.scale {
+            let half = self.n >> (level + 1);
+            let r: f64 = self.rng.gen();
+            if r < a {
+                // top-left: nothing to add
+            } else if r < a + b {
+                col += half;
+            } else if r < a + b + c {
+                row += half;
+            } else {
+                row += half;
+                col += half;
+            }
+            if config.noise > 0.0 {
+                // Jitter each quadrant probability multiplicatively and
+                // renormalize, per the standard Graph500 noise scheme.
+                let jitter = |p: f64, rng: &mut StdRng| {
+                    p * (1.0 - config.noise / 2.0 + config.noise * rng.gen::<f64>())
+                };
+                let (ja, jb, jc) =
+                    (jitter(a, &mut self.rng), jitter(b, &mut self.rng), jitter(c, &mut self.rng));
+                let jd = jitter(1.0 - a - b - c, &mut self.rng);
+                let total = ja + jb + jc + jd;
+                a = ja / total;
+                b = jb / total;
+                c = jc / total;
+            }
+        }
+        Triplet::new(row, col, draw_value(&mut self.rng))
+    }
+}
+
+impl TripletSource for RmatChunks {
+    fn rows(&self) -> usize {
+        self.n
+    }
+
+    fn cols(&self) -> usize {
+        self.n
+    }
+
+    fn nnz_hint(&self) -> Option<usize> {
+        Some(self.total)
+    }
+
+    fn next_chunk(&mut self, budget: usize, out: &mut Vec<Triplet>) -> usize {
+        let take = budget.min(self.remaining);
+        out.reserve(take);
+        for _ in 0..take {
+            let t = self.draw_edge();
+            out.push(t);
+        }
+        self.remaining -= take;
+        take
+    }
+}
+
+/// Chunked Erdős–Rényi source: the per-entry draws of
+/// [`erdos_renyi`](super::erdos_renyi).
+pub struct ErdosChunks {
+    rows: usize,
+    cols: usize,
+    rng: StdRng,
+    remaining: usize,
+    total: usize,
+}
+
+impl ErdosChunks {
+    /// Creates the source for an `rows x cols` matrix with `nnz` raw draws.
+    pub fn new(rows: usize, cols: usize, nnz: usize, seed: u64) -> Self {
+        ErdosChunks {
+            rows,
+            cols,
+            rng: StdRng::seed_from_u64(seed),
+            remaining: if rows == 0 || cols == 0 { 0 } else { nnz },
+            total: nnz,
+        }
+    }
+}
+
+impl TripletSource for ErdosChunks {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn nnz_hint(&self) -> Option<usize> {
+        Some(self.total)
+    }
+
+    fn next_chunk(&mut self, budget: usize, out: &mut Vec<Triplet>) -> usize {
+        let take = budget.min(self.remaining);
+        out.reserve(take);
+        for _ in 0..take {
+            let row = self.rng.gen_range(0..self.rows.max(1));
+            let col = self.rng.gen_range(0..self.cols.max(1));
+            let val = draw_value(&mut self.rng);
+            out.push(Triplet::new(row, col, val));
+        }
+        self.remaining -= take;
+        take
+    }
+}
+
+/// Chunked hub-traffic source: the per-entry draws of
+/// [`hub_traffic`](super::hub_traffic).
+pub struct HubChunks {
+    config: HubConfig,
+    rng: StdRng,
+    hub_ids: Vec<usize>,
+    window: usize,
+    remaining: usize,
+}
+
+impl HubChunks {
+    /// Creates the source; panics on the same invalid configurations as
+    /// [`hub_traffic`](super::hub_traffic).
+    pub fn new(config: &HubConfig, seed: u64) -> Self {
+        assert!(config.hubs > 0 && config.hubs <= config.n, "hub count must be in 1..=n");
+        assert!(
+            (0.0..=1.0).contains(&config.hub_probability),
+            "hub_probability must be a probability"
+        );
+        assert!((0.0..=1.0).contains(&config.tail_locality), "tail_locality must be a probability");
+        let stride = config.n / config.hubs;
+        let hub_ids: Vec<usize> = (0..config.hubs).map(|h| h * stride).collect();
+        let window = ((config.n as f64 * config.tail_window_fraction) as usize).max(1);
+        HubChunks {
+            config: *config,
+            rng: StdRng::seed_from_u64(seed),
+            hub_ids,
+            window,
+            remaining: config.nnz,
+        }
+    }
+}
+
+impl TripletSource for HubChunks {
+    fn rows(&self) -> usize {
+        self.config.n
+    }
+
+    fn cols(&self) -> usize {
+        self.config.n
+    }
+
+    fn nnz_hint(&self) -> Option<usize> {
+        Some(self.config.nnz)
+    }
+
+    fn next_chunk(&mut self, budget: usize, out: &mut Vec<Triplet>) -> usize {
+        let take = budget.min(self.remaining);
+        out.reserve(take);
+        let config = &self.config;
+        for _ in 0..take {
+            let r = if self.rng.gen::<f64>() < config.hub_probability {
+                self.hub_ids[self.rng.gen_range(0..self.hub_ids.len())]
+            } else {
+                self.rng.gen_range(0..config.n)
+            };
+            let c = if self.rng.gen::<f64>() < config.hub_probability {
+                self.hub_ids[self.rng.gen_range(0..self.hub_ids.len())]
+            } else if self.rng.gen::<f64>() < config.tail_locality {
+                let lo = r.saturating_sub(self.window);
+                let hi = (r + self.window).min(config.n - 1);
+                self.rng.gen_range(lo..=hi)
+            } else {
+                self.rng.gen_range(0..config.n)
+            };
+            let val = draw_value(&mut self.rng);
+            out.push(Triplet::new(r, c, val));
+        }
+        self.remaining -= take;
+        take
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{erdos_renyi, hub_traffic, rmat};
+
+    #[test]
+    fn rmat_chunked_equals_one_shot_for_any_chunk_size() {
+        let config = RmatConfig { scale: 9, edge_factor: 6, ..Default::default() };
+        let resident = rmat(&config, 17);
+        for chunk in [1usize, 7, 64, 1 << 20] {
+            let mut source = RmatChunks::new(&config, 17);
+            let mut raw = Vec::new();
+            while source.next_chunk(chunk, &mut raw) > 0 {}
+            let assembled = CooMatrix::from_triplet_vec(source.rows(), source.cols(), raw).unwrap();
+            assert_eq!(assembled, resident, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn erdos_chunked_equals_one_shot() {
+        let resident = erdos_renyi(300, 200, 4000, 5);
+        let mut source = ErdosChunks::new(300, 200, 4000, 5);
+        assert_eq!(assemble(&mut source), resident);
+    }
+
+    #[test]
+    fn hub_chunked_equals_one_shot() {
+        let config = HubConfig { n: 2048, nnz: 1 << 13, ..Default::default() };
+        let resident = hub_traffic(&config, 11);
+        let mut source = HubChunks::new(&config, 11);
+        assert_eq!(assemble(&mut source), resident);
+    }
+
+    #[test]
+    fn sources_report_hints_and_exhaust() {
+        let mut source = ErdosChunks::new(10, 10, 100, 1);
+        assert_eq!(source.nnz_hint(), Some(100));
+        let mut out = Vec::new();
+        let mut total = 0;
+        loop {
+            let got = source.next_chunk(33, &mut out);
+            if got == 0 {
+                break;
+            }
+            total += got;
+        }
+        assert_eq!(total, 100);
+        assert_eq!(out.len(), 100);
+        assert_eq!(source.next_chunk(33, &mut out), 0, "stays exhausted");
+    }
+
+    #[test]
+    fn degenerate_dims_emit_nothing() {
+        let mut source = ErdosChunks::new(0, 10, 50, 1);
+        let mut out = Vec::new();
+        assert_eq!(source.next_chunk(10, &mut out), 0);
+        assert!(assemble(&mut ErdosChunks::new(0, 10, 50, 1)).is_empty());
+    }
+}

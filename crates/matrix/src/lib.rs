@@ -37,16 +37,18 @@ mod coo;
 mod csc;
 mod csr;
 mod dense;
+mod entry;
 mod error;
 mod fingerprint;
 pub mod gen;
 pub mod io;
 pub mod stats;
 
-pub use coo::{CooMatrix, Triplet};
+pub use coo::{normalize_triplets, CooMatrix, Triplet};
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
+pub use entry::{fits_small_index, Entry, SmallTriplet, SMALL_INDEX_LIMIT};
 pub use error::MatrixError;
 pub use fingerprint::Fingerprint;
 

@@ -1127,10 +1127,40 @@ impl RankCtx {
         runs: &[(usize, usize)],
         row_width: usize,
     ) -> Result<Vec<f64>, NetError> {
+        let mut out = Vec::new();
+        self.win_rget_rows_into(window, target, runs, row_width, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`RankCtx::win_rget_rows`] into a caller-owned buffer: `out` is
+    /// cleared and filled with the fetched rows, reusing its allocation.
+    ///
+    /// This is the arena-friendly entry point — per-stripe fetch loops (the
+    /// Two-Face async lane) call it with one long-lived scratch vector
+    /// instead of allocating a fresh `Vec` per stripe. Costs, tracing, and
+    /// errors are identical to [`RankCtx::win_rget_rows`].
+    ///
+    /// # Errors
+    ///
+    /// As [`RankCtx::win_rget_rows`]; on error `out`'s contents are
+    /// unspecified (it may hold partially fetched rows).
+    ///
+    /// # Panics
+    ///
+    /// As [`RankCtx::win_rget_rows`].
+    pub fn win_rget_rows_into(
+        &mut self,
+        window: WindowId,
+        target: usize,
+        runs: &[(usize, usize)],
+        row_width: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), NetError> {
         assert!(row_width > 0, "row_width must be positive");
         let buf = self.window_buffer(window, target);
         let total_rows: usize = runs.iter().map(|&(_, n)| n).sum();
-        let mut out = Vec::with_capacity(total_rows.saturating_mul(row_width).min(buf.len()));
+        out.clear();
+        out.reserve(total_rows.saturating_mul(row_width).min(buf.len()));
         let window_rows = buf.len() / row_width;
         for &(first, n) in runs {
             let overflow = NetError::RangeOverflow {
@@ -1169,7 +1199,7 @@ impl RankCtx {
         )?;
         self.trace.messages += 1;
         self.trace.elements_received += out.len() as u64;
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -69,15 +69,21 @@ pub struct SpmmStats {
     /// multicast-worthy. This is the share of compute Two-Face's classifier
     /// steers to the (much cheaper per element) synchronous kernel.
     pub sync_nnz_fraction: f64,
-    /// Σ of stripe widths (in `B` rows) of the sync-classified stripes the
-    /// worst rank receives remotely. A stripe is sync-classified when it
-    /// holds at least one multicast-worthy (≥ 2 remote readers) row: the
-    /// classifier then multicasts the *whole* stripe, so the receive volume
-    /// is stripe-granular, not row-granular.
-    pub max_sync_recv_cols: u64,
-    /// Number of remotely received sync-classified stripes for the worst
-    /// rank — the per-multicast `α` multiplier of the sync lane.
-    pub max_sync_recv_stripes: u64,
+    /// Σ of stripe widths (in `B` rows) over *all* sync-classified stripes
+    /// — the serialized multicast-chain volume. A stripe is sync-classified
+    /// when it holds at least one multicast-worthy (≥ 2 remote readers)
+    /// row: the classifier then multicasts the *whole* stripe, so the
+    /// volume is stripe-granular, not row-granular. The chain is global,
+    /// not per-rank: each multicast is a meet of its whole group, groups
+    /// overlap through shared readers, and every rank walks the stripes in
+    /// the same canonical order, so the critical rank's sync lane pays the
+    /// full chain — charging only the stripes it personally receives
+    /// undercounts host-clustered matrices (the arabic/webcrawl class) by
+    /// ~2x.
+    pub sync_chain_cols: u64,
+    /// Number of sync-classified stripes in the serialized multicast chain
+    /// — the per-multicast `α` multiplier of the sync lane.
+    pub sync_chain_stripes: u64,
     /// Width-weighted mean count of distinct remote reader ranks over all
     /// sync-classified stripes — the typical multicast fan-out of the sync
     /// lane, which sets the congestion penalty.
@@ -447,17 +453,18 @@ impl CostModel {
     /// later lane, so the prediction is the max of the two lane estimates.
     pub fn predict_two_face(&self, s: &SpmmStats) -> f64 {
         let hot_share = s.hot_fetches as f64 / (s.remote_fetches.max(1)) as f64;
-        // Sync lane: stripe-granular multicasts. One multicast-worthy row
-        // syncs its *whole* stripe (the classifier's fan-out blindness), so
-        // the worst rank's receive volume is the stripe widths it receives
-        // (`max_sync_recv_cols`), not its hot rows, and the congestion
-        // penalty follows the typical stripe group's remote fan-out.
+        // Sync lane: stripe-granular multicasts that serialize into one
+        // global chain (each multicast is a meet of its whole group, and
+        // overlapping groups chain transitively), so the critical rank's
+        // volume is the chain total (`sync_chain_cols`), not the stripes it
+        // personally receives; the congestion penalty follows the typical
+        // stripe group's remote fan-out.
         let scaled = self.multicast_fanout * s.mean_sync_group_readers;
         let penalty = 1.0 + (scaled * scaled).min(Self::FANOUT_PENALTY_CAP);
-        let recv_cols = s.max_sync_recv_cols as f64 * s.k as f64;
+        let recv_cols = s.sync_chain_cols as f64 * s.k as f64;
         let sync_nnz_k = s.sync_nnz_fraction * s.max_rank_nnz as f64 * s.k as f64;
         let sync_lane = self.beta_sync * penalty * recv_cols
-            + self.alpha_sync * s.max_sync_recv_stripes as f64
+            + self.alpha_sync * s.sync_chain_stripes as f64
             + self.gamma_sync * sync_nnz_k
             + self.kappa_sync * s.panels_per_rank() as f64;
         // Async lane: the cold remainder of the one-sided traffic and its
@@ -579,8 +586,8 @@ mod tests {
             hot_fetches: 14_000,
             hot_rows: 2_500,
             sync_nnz_fraction: 0.8,
-            max_sync_recv_cols: 3_000,
-            max_sync_recv_stripes: 90,
+            sync_chain_cols: 3_000,
+            sync_chain_stripes: 90,
             mean_sync_group_readers: 4.5,
             panel_height: 32,
         }
@@ -629,8 +636,8 @@ mod tests {
             hot_fetches: 0,
             hot_rows: 0,
             sync_nnz_fraction: 0.0,
-            max_sync_recv_cols: 0,
-            max_sync_recv_stripes: 0,
+            sync_chain_cols: 0,
+            sync_chain_stripes: 0,
             mean_sync_group_readers: 0.0,
             panel_height: 32,
         };

@@ -108,6 +108,31 @@ impl PartitionPlan {
         options: PlanOptions,
     ) -> PartitionPlan {
         let profiles = profile_all_nodes(a, &layout);
+        Self::build_from_profiles(profiles, layout, coeffs, k, options)
+    }
+
+    /// Builds a plan from already-computed per-node profiles (one per rank,
+    /// in rank order). This is the out-of-core entry point: the streamed
+    /// runner profiles each rank from its spilled shard
+    /// ([`NodeProfile::build_from_rows`](crate::NodeProfile::build_from_rows))
+    /// without ever holding the global matrix, then classifies here exactly
+    /// as [`PartitionPlan::build`] would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles.len() != layout.nodes()` or a profile's rank does
+    /// not match its position.
+    pub fn build_from_profiles(
+        profiles: Vec<NodeProfile>,
+        layout: OneDimLayout,
+        coeffs: &ModelCoefficients,
+        k: usize,
+        options: PlanOptions,
+    ) -> PartitionPlan {
+        assert_eq!(profiles.len(), layout.nodes(), "one profile per rank");
+        for (i, p) in profiles.iter().enumerate() {
+            assert_eq!(p.rank, i, "profiles must be in rank order");
+        }
         // Candidate destination counts per stripe: nodes other than the
         // owner that hold at least one nonzero in it. Only computed when the
         // fan-out-aware classifier asks for it.
@@ -304,9 +329,7 @@ impl PartitionPlan {
         let word = std::mem::size_of::<usize>();
         let mut bytes = std::mem::size_of::<PartitionPlan>();
         for profile in &self.profiles {
-            for stripe in &profile.stripes {
-                bytes += 3 * word + stripe.cols_needed.len() * word;
-            }
+            bytes += profile.stripes.len() * 3 * word;
         }
         for classification in &self.classifications {
             bytes += classification.classes.len() * 2 * word;
@@ -446,6 +469,35 @@ mod tests {
         let (a, plan) = small_plan(&ModelCoefficients::table3());
         let (l, s, y) = plan.nnz_totals();
         assert_eq!(l + s + y, a.nnz());
+    }
+
+    #[test]
+    fn build_from_profiles_matches_build() {
+        use crate::{profile_all_nodes, NodeProfile};
+        let a =
+            webcrawl(&WebcrawlConfig { n: 256, hosts: 16, per_row: 6, ..Default::default() }, 42);
+        let layout = OneDimLayout::new(256, 256, 4, 16);
+        let coeffs = ModelCoefficients::table3();
+        let resident = PartitionPlan::build(&a, layout.clone(), &coeffs, 8, PlanOptions::default());
+        // Profiles built per-rank from row shards, as the streamed path does.
+        let profiles: Vec<NodeProfile> = (0..layout.nodes())
+            .map(|rank| {
+                let rows = layout.row_range(rank);
+                let shard: Vec<_> =
+                    a.triplets().iter().filter(|t| rows.contains(&t.row)).copied().collect();
+                NodeProfile::build_from_rows(&shard, &layout, rank)
+            })
+            .collect();
+        assert_eq!(profiles, profile_all_nodes(&a, &layout));
+        let streamed = PartitionPlan::build_from_profiles(
+            profiles,
+            layout,
+            &coeffs,
+            8,
+            PlanOptions::default(),
+        );
+        assert_eq!(streamed, resident);
+        assert_eq!(streamed.fingerprint(), resident.fingerprint());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! id lists that later drive the asynchronous transfers.
 
 use crate::OneDimLayout;
-use twoface_matrix::CooMatrix;
+use twoface_matrix::{CooMatrix, Entry};
 
 /// Profile of one sparse stripe of one node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,15 +15,20 @@ pub struct StripeProfile {
     pub stripe: usize,
     /// `n_i`: nonzeros of this node falling in the stripe.
     pub nnz: usize,
-    /// The distinct column ids of those nonzeros, ascending. Its length is
-    /// `l_i`, the number of `B` rows an asynchronous transfer would fetch.
-    pub cols_needed: Vec<usize>,
+    /// `l_i`: the number of distinct `B` rows an asynchronous transfer
+    /// would fetch. Only the *count* survives profiling — the column ids
+    /// themselves are a transient of construction (at paper scale the
+    /// per-stripe id lists cost ~8 bytes per nonzero held across the whole
+    /// streamed pipeline, and nothing downstream of classification reads
+    /// them: the executor fetches from the rank structures' own
+    /// `unique_cols`).
+    pub rows_needed: usize,
 }
 
 impl StripeProfile {
     /// `l_i`: the number of distinct `B` rows the stripe requires.
     pub fn rows_needed(&self) -> usize {
-        self.cols_needed.len()
+        self.rows_needed
     }
 }
 
@@ -54,6 +59,38 @@ impl NodeProfile {
                 nnz_by_stripe[s] += 1;
             }
         }
+        Self::finish(rank, cols_by_stripe, nnz_by_stripe)
+    }
+
+    /// Builds the profile of `rank` directly from its row shard — the
+    /// normalized entries whose rows all fall in `rank`'s row block. This is
+    /// the out-of-core entry point: the streamed runner profiles each rank
+    /// from its spilled shard and never holds the global matrix. Feeding the
+    /// resident matrix's row slice here produces exactly what
+    /// [`NodeProfile::build`] produces.
+    pub fn build_from_rows<E: Entry>(
+        rank_entries: &[E],
+        layout: &OneDimLayout,
+        rank: usize,
+    ) -> NodeProfile {
+        let rows = layout.row_range(rank);
+        let mut cols_by_stripe: Vec<Vec<usize>> = vec![Vec::new(); layout.num_stripes()];
+        let mut nnz_by_stripe = vec![0usize; layout.num_stripes()];
+        for t in rank_entries {
+            debug_assert!(rows.contains(&t.row()), "entry outside rank's row block");
+            let s = layout.stripe_of_col(t.col());
+            cols_by_stripe[s].push(t.col());
+            nnz_by_stripe[s] += 1;
+        }
+        let _ = rows;
+        Self::finish(rank, cols_by_stripe, nnz_by_stripe)
+    }
+
+    fn finish(
+        rank: usize,
+        cols_by_stripe: Vec<Vec<usize>>,
+        nnz_by_stripe: Vec<usize>,
+    ) -> NodeProfile {
         let stripes = cols_by_stripe
             .into_iter()
             .enumerate()
@@ -61,7 +98,7 @@ impl NodeProfile {
             .map(|(stripe, mut cols)| {
                 cols.sort_unstable();
                 cols.dedup();
-                StripeProfile { stripe, nnz: nnz_by_stripe[stripe], cols_needed: cols }
+                StripeProfile { stripe, nnz: nnz_by_stripe[stripe], rows_needed: cols.len() }
             })
             .collect();
         NodeProfile { rank, stripes }
@@ -131,10 +168,10 @@ mod tests {
         assert_eq!(p0.stripes.len(), 2);
         let s0 = p0.stripe(0).unwrap();
         assert_eq!(s0.nnz, 2);
-        assert_eq!(s0.cols_needed, vec![0, 1]);
+        assert_eq!(s0.rows_needed(), 2);
         let s2 = p0.stripe(2).unwrap();
         assert_eq!(s2.nnz, 2);
-        assert_eq!(s2.cols_needed, vec![5], "duplicate columns deduplicated");
+        assert_eq!(s2.rows_needed, 1, "duplicate columns deduplicated");
         assert_eq!(s2.rows_needed(), 1);
     }
 
@@ -162,6 +199,18 @@ mod tests {
         let profiles = profile_all_nodes(&a, &layout);
         let total: usize = profiles.iter().map(NodeProfile::total_nnz).sum();
         assert_eq!(total, a.nnz());
+    }
+
+    #[test]
+    fn build_from_rows_matches_full_matrix_build() {
+        let (a, layout) = fixture();
+        for rank in 0..layout.nodes() {
+            let rows = layout.row_range(rank);
+            let shard: Vec<_> =
+                a.triplets().iter().filter(|t| rows.contains(&t.row)).copied().collect();
+            let from_shard = NodeProfile::build_from_rows(&shard, &layout, rank);
+            assert_eq!(from_shard, NodeProfile::build(&a, &layout, rank), "rank {rank}");
+        }
     }
 
     #[test]

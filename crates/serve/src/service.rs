@@ -561,6 +561,7 @@ impl SpmmService {
             fault_plan: self.config.fault_plan.clone(),
             workers: self.config.workers,
             observability: self.config.observability.clone(),
+            memory_budget: None,
         }
     }
 

@@ -92,7 +92,7 @@ fn panel_edge_cases_are_exact() {
 
     // Empty panel: a no-op for every worker count.
     let mut c = vec![1.5; 4 * k];
-    par_sync_panels(&pool, &[], &src, &mut c, k);
+    par_sync_panels(&pool, &[] as &[Triplet], &src, &mut c, k);
     assert_eq!(c, vec![1.5; 4 * k]);
 
     // Single-row panels: every row occupied, chunk boundaries between all.

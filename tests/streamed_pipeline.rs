@@ -1,0 +1,193 @@
+//! Differential tests: the streamed (out-of-core) pipeline versus the
+//! resident runner.
+//!
+//! The streamed pipeline's correctness contract is *bit-identity* at every
+//! scale where the resident path also fits: same output `C` (exact `f64`
+//! equality, not a tolerance), same simulated seconds, same per-lane
+//! breakdowns, same communication volumes, same memory verdicts. These
+//! tests enforce the contract across generator families, chunk sizes,
+//! `K` widths, and the row-major ablation.
+
+use std::sync::Arc;
+use twoface_core::{
+    run_algorithm, run_twoface_streamed, Algorithm, Problem, RunError, RunOptions, StreamOptions,
+    TwoFaceConfig,
+};
+use twoface_matrix::gen::{assemble, ErdosChunks, HubChunks, RmatChunks, TripletSource};
+use twoface_matrix::gen::{HubConfig, RmatConfig};
+use twoface_net::CostModel;
+
+/// Runs the resident Two-Face path on the assembled source and the streamed
+/// path on a fresh source, then checks the full bit-identity contract.
+fn assert_streamed_matches_resident(
+    make_source: impl Fn() -> Box<dyn TripletSource>,
+    k: usize,
+    p: usize,
+    stripe_width: usize,
+    stream_options: &StreamOptions,
+) {
+    let cost = CostModel::delta_scaled();
+    let a = Arc::new(assemble(&mut *make_source()));
+    let problem = Problem::with_generated_b(Arc::clone(&a), k, p, stripe_width)
+        .expect("test layouts are feasible");
+    let resident_options = RunOptions {
+        validate: true,
+        config: stream_options.config,
+        coefficients: stream_options.coefficients,
+        classifier: stream_options.classifier,
+        workers: stream_options.workers,
+        ..Default::default()
+    };
+    let resident = run_algorithm(Algorithm::TwoFace, &problem, &cost, &resident_options)
+        .expect("resident run fits");
+
+    let streamed =
+        run_twoface_streamed(&mut *make_source(), k, p, stripe_width, &cost, stream_options)
+            .expect("streamed run fits");
+
+    assert_eq!(streamed.realized_nnz, a.nnz(), "normalization must agree");
+    let sr = &streamed.report;
+    assert_eq!(sr.output, resident.output, "output C must be bit-identical");
+    assert_eq!(sr.seconds, resident.seconds, "simulated seconds must be identical");
+    assert_eq!(sr.critical_rank, resident.critical_rank);
+    assert_eq!(sr.critical_breakdown, resident.critical_breakdown);
+    assert_eq!(sr.rank_breakdowns, resident.rank_breakdowns);
+    assert_eq!(sr.rank_seconds, resident.rank_seconds);
+    assert_eq!(sr.elements_received, resident.elements_received);
+    assert_eq!(sr.messages, resident.messages);
+    assert_eq!(sr.mean_multicast_recipients, resident.mean_multicast_recipients);
+    assert_eq!(sr.memory_peak_bytes, resident.memory_peak_bytes);
+}
+
+#[test]
+fn rmat_streamed_is_bit_identical() {
+    let config = RmatConfig { scale: 10, edge_factor: 8, ..Default::default() };
+    assert_streamed_matches_resident(
+        || Box::new(RmatChunks::new(&config, 17)),
+        8,
+        4,
+        64,
+        &StreamOptions::default(),
+    );
+}
+
+#[test]
+fn rmat_streamed_is_bit_identical_at_k32() {
+    let config = RmatConfig { scale: 9, edge_factor: 8, ..Default::default() };
+    assert_streamed_matches_resident(
+        || Box::new(RmatChunks::new(&config, 3)),
+        32,
+        4,
+        32,
+        &StreamOptions::default(),
+    );
+}
+
+#[test]
+fn hub_streamed_is_bit_identical() {
+    let config = HubConfig { n: 2048, nnz: 1 << 13, ..Default::default() };
+    assert_streamed_matches_resident(
+        || Box::new(HubChunks::new(&config, 11)),
+        8,
+        4,
+        64,
+        &StreamOptions::default(),
+    );
+}
+
+#[test]
+fn erdos_streamed_is_chunk_size_invariant() {
+    // A deliberately tiny spill chunk forces many pass-1 iterations; the
+    // result must not change.
+    for chunk_nnz in [64usize, 1 << 20] {
+        assert_streamed_matches_resident(
+            || Box::new(ErdosChunks::new(1024, 1024, 20_000, 5)),
+            8,
+            8,
+            32,
+            &StreamOptions { chunk_nnz, ..Default::default() },
+        );
+    }
+}
+
+#[test]
+fn row_major_ablation_streams_identically() {
+    let config =
+        TwoFaceConfig { async_layout: twoface_core::AsyncLayout::RowMajor, ..Default::default() };
+    let rmat = RmatConfig { scale: 9, edge_factor: 8, ..Default::default() };
+    assert_streamed_matches_resident(
+        || Box::new(RmatChunks::new(&rmat, 29)),
+        8,
+        4,
+        32,
+        &StreamOptions { config, ..Default::default() },
+    );
+}
+
+#[test]
+fn streamed_run_respects_a_generous_budget() {
+    let mut source = ErdosChunks::new(1024, 1024, 20_000, 5);
+    let run = run_twoface_streamed(
+        &mut source,
+        8,
+        4,
+        32,
+        &CostModel::delta_scaled(),
+        &StreamOptions { memory_budget: Some(1 << 30), ..Default::default() },
+    )
+    .expect("1 GiB is ample for 20k nonzeros");
+    assert!(run.estimated_host_bytes <= 1 << 30);
+    assert!(run.spilled_bytes > 0, "the pipeline actually spilled");
+    assert!(run.peak_shard_bytes > 0);
+    assert!(run.report.output.is_some());
+}
+
+#[test]
+fn resident_runner_enforces_the_host_budget() {
+    let a = Arc::new(assemble(&mut ErdosChunks::new(512, 512, 8_000, 2)));
+    let problem = Problem::with_generated_b(a, 8, 4, 32).expect("feasible");
+    let options = RunOptions { memory_budget: Some(1024), ..Default::default() };
+    let err = run_algorithm(Algorithm::TwoFace, &problem, &CostModel::delta_scaled(), &options)
+        .expect_err("1 KiB cannot stage a resident run");
+    match err {
+        RunError::HostBudgetExceeded { required, budget } => {
+            assert_eq!(budget, 1024);
+            assert!(required > budget);
+        }
+        other => panic!("expected HostBudgetExceeded, got {other:?}"),
+    }
+    // An ample budget must not change the run at all.
+    let ample = RunOptions { memory_budget: Some(1 << 34), ..Default::default() };
+    let gated = run_algorithm(Algorithm::TwoFace, &problem, &CostModel::delta_scaled(), &ample)
+        .expect("ample budget passes");
+    let ungated = run_algorithm(
+        Algorithm::TwoFace,
+        &problem,
+        &CostModel::delta_scaled(),
+        &RunOptions::default(),
+    )
+    .expect("no budget");
+    assert_eq!(gated.output, ungated.output);
+    assert_eq!(gated.seconds, ungated.seconds);
+}
+
+#[test]
+fn structural_streamed_run_skips_values_but_keeps_clocks() {
+    let cost = CostModel::delta_scaled();
+    let make = || ErdosChunks::new(1024, 1024, 20_000, 5);
+    let full = run_twoface_streamed(&mut make(), 8, 4, 32, &cost, &StreamOptions::default())
+        .expect("fits");
+    let structural = run_twoface_streamed(
+        &mut make(),
+        8,
+        4,
+        32,
+        &cost,
+        &StreamOptions { compute_values: false, ..Default::default() },
+    )
+    .expect("fits");
+    assert!(structural.report.output.is_none());
+    assert_eq!(structural.report.seconds, full.report.seconds);
+    assert_eq!(structural.report.rank_breakdowns, full.report.rank_breakdowns);
+    assert_eq!(structural.report.elements_received, full.report.elements_received);
+}

@@ -41,7 +41,7 @@ fn async_stripes_in_structures_match_plan_classes() {
                 stripe.stripe
             );
             // Column-major order within the stripe, and unique_cols matches.
-            let mut cols: Vec<usize> = stripe.entries.iter().map(|t| t.col).collect();
+            let mut cols: Vec<u32> = stripe.entries.iter().map(|t| t.col).collect();
             assert!(cols.windows(2).all(|w| w[0] <= w[1]), "not column-major");
             cols.dedup();
             assert_eq!(cols, stripe.unique_cols);
@@ -57,12 +57,12 @@ fn sync_local_structures_are_row_major_and_paneled() {
     for rank in 0..8 {
         let m = RankMatrices::build(&problem.a, &plan, rank, 32);
         let sl = &m.sync_local;
-        let rows: Vec<usize> = sl.entries().iter().map(|t| t.row).collect();
+        let rows: Vec<u32> = sl.entries().iter().map(|t| t.row).collect();
         assert!(rows.windows(2).all(|w| w[0] <= w[1]), "not row-major");
         for p in 0..sl.num_panels() {
             for t in sl.panel(p) {
                 assert!(
-                    t.row / sl.panel_height() == p,
+                    t.row as usize / sl.panel_height() == p,
                     "entry row {} leaked into panel {p}",
                     t.row
                 );
