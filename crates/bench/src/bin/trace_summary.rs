@@ -22,7 +22,8 @@ use twoface_bench::{banner, results_dir};
 use twoface_core::{run_algorithm, Algorithm, Breakdown, Problem, RunOptions};
 use twoface_matrix::gen::{webcrawl, WebcrawlConfig};
 use twoface_net::{
-    export, seconds_by_class, FaultPlan, Observability, OpEvent, OpKind, PhaseClass, RankTrace,
+    export, seconds_by_class, FaultPlan, Histogram, Observability, OpEvent, OpKind, PhaseClass,
+    RankTrace,
 };
 
 /// Operations printed from the slowest rank's timeline.
@@ -167,6 +168,37 @@ fn check_events_against_traces(
     Ok(())
 }
 
+/// Per-op-kind simulated-duration quantiles from the mergeable log₂-bucket
+/// sketch — the same [`Histogram::quantile`] read the profile artifacts use.
+fn print_duration_quantiles(events_by_rank: &[Vec<OpEvent>]) {
+    let mut sketches: Vec<(OpKind, Histogram)> = Vec::new();
+    for e in events_by_rank.iter().flatten() {
+        let ns = (e.duration_seconds() * 1e9).round() as u64;
+        match sketches.iter_mut().find(|(k, _)| *k == e.kind) {
+            Some((_, h)) => h.observe(ns),
+            None => {
+                let mut h = Histogram::default();
+                h.observe(ns);
+                sketches.push((e.kind, h));
+            }
+        }
+    }
+    sketches.sort_by_key(|(k, _)| k.index());
+    println!("\n===== Simulated duration quantiles per op kind (ns) =====");
+    println!("{:<14}{:>10}{:>14}{:>14}{:>14}", "op", "events", "p50", "p95", "p99");
+    for (kind, h) in &sketches {
+        let q = |at: f64| h.quantile(at).unwrap_or(0.0);
+        println!(
+            "{:<14}{:>10}{:>14.0}{:>14.0}{:>14.0}",
+            kind.label(),
+            h.count(),
+            q(0.50),
+            q(0.95),
+            q(0.99)
+        );
+    }
+}
+
 /// Mean recipients across every root-side multicast event, if any.
 fn multicast_recipients(events_by_rank: &[Vec<OpEvent>]) -> Option<f64> {
     let counts: Vec<usize> = events_by_rank
@@ -200,6 +232,8 @@ fn print_summaries(events_by_rank: &[Vec<OpEvent>]) {
         let cells: String = by_class.iter().map(|s| format!("{s:>12.6}")).collect();
         println!("{rank:<6}{cells}{finish:>12.6}");
     }
+
+    print_duration_quantiles(events_by_rank);
 
     println!("\n===== Top {TOP_N} operations on the slowest rank ({slowest}) =====");
     println!(

@@ -1,5 +1,5 @@
 use std::fmt;
-use twoface_net::NetError;
+use twoface_net::{FlightEntry, NetError};
 
 /// Error from setting up or running a distributed SpMM.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +64,12 @@ pub enum RunError {
         /// The underlying network error
         /// ([`NetError::TransferTimeout`]).
         source: NetError,
+        /// The failing rank's flight-recorder tail (its last operations in
+        /// chronological order), captured automatically so the failure is
+        /// post-mortem-debuggable without a traced re-run. Deterministic
+        /// for a given seed. Empty when constructed without a rank context
+        /// (see [`RunError::from_net`]).
+        flight: Vec<FlightEntry>,
     },
     /// A one-sided transfer described an invalid range (e.g. a row run
     /// whose element offset overflows `usize`) — a corrupt run list surfaced
@@ -84,19 +90,64 @@ pub enum RunError {
         rank: usize,
         /// The underlying network error ([`NetError::RankStalled`]).
         source: NetError,
+        /// The reporting rank's flight-recorder tail (see
+        /// [`RunError::TransferTimeout::flight`]).
+        flight: Vec<FlightEntry>,
     },
 }
 
 impl RunError {
     /// Wraps a [`NetError`] surfaced by rank `rank` in the matching
-    /// `RunError` variant.
+    /// `RunError` variant, without flight-recorder context.
     pub fn from_net(rank: usize, source: NetError) -> RunError {
+        RunError::from_net_with_flight(rank, source, Vec::new())
+    }
+
+    /// Wraps a [`NetError`] surfaced by rank `rank`, attaching that rank's
+    /// flight-recorder tail to the variants where a post-mortem of the last
+    /// operations is meaningful (timeouts and stalls).
+    pub fn from_net_with_flight(
+        rank: usize,
+        source: NetError,
+        flight: Vec<FlightEntry>,
+    ) -> RunError {
         match source {
-            NetError::TransferTimeout { .. } => RunError::TransferTimeout { rank, source },
+            NetError::TransferTimeout { .. } => RunError::TransferTimeout { rank, source, flight },
             NetError::RangeOverflow { .. } => RunError::InvalidTransfer { rank, source },
-            NetError::RankStalled { .. } => RunError::RankStalled { rank, source },
+            NetError::RankStalled { .. } => RunError::RankStalled { rank, source, flight },
         }
     }
+
+    /// The attached flight-recorder tail, for the variants that carry one.
+    pub fn flight(&self) -> &[FlightEntry] {
+        match self {
+            RunError::TransferTimeout { flight, .. } | RunError::RankStalled { flight, .. } => {
+                flight
+            }
+            _ => &[],
+        }
+    }
+}
+
+/// Appends a compact flight-recorder tail to an error message.
+fn write_flight_tail(f: &mut fmt::Formatter<'_>, flight: &[FlightEntry]) -> fmt::Result {
+    if flight.is_empty() {
+        return Ok(());
+    }
+    const TAIL: usize = 6;
+    let skipped = flight.len().saturating_sub(TAIL);
+    write!(f, " [flight recorder")?;
+    if skipped > 0 {
+        write!(f, " (+{skipped} earlier)")?;
+    }
+    f.write_str(": ")?;
+    for (i, entry) in flight[skipped..].iter().enumerate() {
+        if i > 0 {
+            f.write_str(" | ")?;
+        }
+        f.write_str(&entry.render())?;
+    }
+    f.write_str("]")
 }
 
 impl fmt::Display for RunError {
@@ -123,14 +174,16 @@ impl fmt::Display for RunError {
             RunError::ValidationFailed { max_abs_diff } => {
                 write!(f, "output differs from serial reference by up to {max_abs_diff:e}")
             }
-            RunError::TransferTimeout { rank, source } => {
-                write!(f, "rank {rank} gave up a transfer: {source}")
+            RunError::TransferTimeout { rank, source, flight } => {
+                write!(f, "rank {rank} gave up a transfer: {source}")?;
+                write_flight_tail(f, flight)
             }
             RunError::InvalidTransfer { rank, source } => {
                 write!(f, "rank {rank} issued an invalid transfer: {source}")
             }
-            RunError::RankStalled { rank, source } => {
-                write!(f, "rank {rank} aborted a collective: {source}")
+            RunError::RankStalled { rank, source, flight } => {
+                write!(f, "rank {rank} aborted a collective: {source}")?;
+                write_flight_tail(f, flight)
             }
         }
     }

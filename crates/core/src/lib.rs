@@ -67,6 +67,6 @@ pub use prepared::PreparedMatrix;
 pub use reference::{reference_spmm, reference_spmm_pooled};
 pub use runner::{
     generated_b_block, prepare_plan, prepare_plan_with_classifier, run_algorithm, run_algorithm_on,
-    run_spmv, Breakdown, ExecutionReport, Problem, RunOptions, TRACE_ENV,
+    run_spmv, Breakdown, ExecutionReport, Problem, RunOptions, PROFILE_ENV, TRACE_ENV,
 };
 pub use stream::{peak_rss_bytes, run_twoface_streamed, StreamOptions, StreamedRun};

@@ -9,13 +9,14 @@ use crate::error::RunError;
 use crate::pool::{resolve_workers, Pool};
 use crate::reference::reference_spmm_pooled;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use twoface_matrix::{CooMatrix, DenseMatrix, SCALAR_BYTES};
 use twoface_net::{
     export, seconds_by_class, Cluster, CostModel, FaultPlan, MetricsRegistry, Observability,
-    OpEvent, PhaseClass, RankTrace,
+    OpEvent, PhaseClass, ProfileSummary, RankTrace,
 };
 use twoface_partition::{
     ClassifierKind, ModelCoefficients, OneDimLayout, PartitionPlan, PlanOptions, StripeClass,
@@ -37,26 +38,70 @@ pub const TRACE_ENV: &str = "TWOFACE_TRACE";
 /// `TWOFACE_TRACE` destination from being clobbered by multi-run binaries.
 static TRACE_FILES_WRITTEN: AtomicU64 = AtomicU64::new(0);
 
-/// Resolves the observability settings and optional trace destination for
-/// one run: the `TWOFACE_TRACE` environment variable forces tracing on.
-fn resolve_observability(options: &RunOptions) -> (Observability, Option<PathBuf>) {
-    match std::env::var_os(TRACE_ENV) {
-        Some(path) if !path.is_empty() => {
-            let observability = if options.observability.enabled() {
-                options.observability.clone()
-            } else {
-                Observability::full()
-            };
-            (observability, Some(PathBuf::from(path)))
-        }
-        _ => (options.observability.clone(), None),
+/// Environment variable naming a [`ProfileSummary`] artifact to maintain
+/// across every run in this process. Setting it promotes
+/// [`RunOptions::observability`] to at least
+/// [`Observability::comm`] when it is off, distills each run's event stream
+/// into a per-(phase, op-kind) summary, and folds it into a process-global
+/// accumulator keyed by the destination path — multi-run binaries (the
+/// benches) produce one merged artifact, rewritten after every run so a
+/// crashed sweep still leaves the completed runs' profile behind. The
+/// artifact is deterministic: it derives from simulated clocks only, so the
+/// fleet gate can compare it bit-exactly and diff it for attribution.
+pub const PROFILE_ENV: &str = "TWOFACE_PROFILE";
+
+/// Per-destination merged profile summaries (see [`PROFILE_ENV`]).
+static PROFILE_SUMMARIES: Mutex<BTreeMap<PathBuf, ProfileSummary>> = Mutex::new(BTreeMap::new());
+
+/// Resolved diagnostics for one run: the effective observability plus the
+/// optional trace and profile destinations forced by [`TRACE_ENV`] /
+/// [`PROFILE_ENV`]. Shared by the resident runner and the streamed
+/// pipeline, so both honor the same environment knobs.
+pub(crate) struct ResolvedObservability {
+    pub(crate) observability: Observability,
+    pub(crate) trace_path: Option<PathBuf>,
+    pub(crate) profile_path: Option<PathBuf>,
+}
+
+/// Resolves the observability settings and optional trace/profile
+/// destinations for one run: `TWOFACE_TRACE` forces full tracing on,
+/// `TWOFACE_PROFILE` forces at least communication-level recording.
+pub(crate) fn resolve_observability(requested: &Observability) -> ResolvedObservability {
+    let env_path = |name: &str| match std::env::var_os(name) {
+        Some(path) if !path.is_empty() => Some(PathBuf::from(path)),
+        _ => None,
+    };
+    let trace_path = env_path(TRACE_ENV);
+    let profile_path = env_path(PROFILE_ENV);
+    let mut observability = requested.clone();
+    if trace_path.is_some() && !observability.enabled() {
+        observability = Observability::full();
+    }
+    if profile_path.is_some() && !observability.enabled() {
+        observability = Observability::comm();
+    }
+    ResolvedObservability { observability, trace_path, profile_path }
+}
+
+/// Folds one run's event stream into the process-global accumulator for
+/// `path` and rewrites the artifact. Like tracing, failures warn on stderr
+/// rather than failing the run.
+pub(crate) fn write_profile_file(path: &Path, events_by_rank: &[Vec<OpEvent>]) {
+    let run = ProfileSummary::from_events(events_by_rank);
+    let mut all = PROFILE_SUMMARIES.lock().expect("profile accumulator poisoned");
+    let total = all.entry(path.to_path_buf()).or_insert_with(ProfileSummary::empty);
+    total.merge(&run);
+    let mut body = total.to_json_pretty();
+    body.push('\n');
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("warning: failed to write {PROFILE_ENV} file {}: {e}", path.display());
     }
 }
 
 /// Writes one run's event stream to `path`, dispatching on the extension.
 /// Failures are reported on stderr rather than failing the run: tracing is
 /// diagnostics, not a correctness surface.
-fn write_trace_file(
+pub(crate) fn write_trace_file(
     path: &Path,
     events_by_rank: &[Vec<OpEvent>],
     traces: &[RankTrace],
@@ -725,7 +770,8 @@ fn run_algorithm_inner(
     }
 
     // Execute.
-    let (observability, trace_path) = resolve_observability(options);
+    let ResolvedObservability { observability, trace_path, profile_path } =
+        resolve_observability(&options.observability);
     let owned_cluster;
     let cluster = match external {
         Some(cluster) => cluster,
@@ -745,6 +791,9 @@ fn run_algorithm_inner(
     if let Some(path) = &trace_path {
         write_trace_file(path, &rank_events, &rank_traces, observability.wall_time);
     }
+    if let Some(path) = &profile_path {
+        write_profile_file(path, &rank_events);
+    }
     let mut metrics = MetricsRegistry::new();
     for o in &outputs {
         metrics.merge(&o.metrics);
@@ -757,7 +806,9 @@ fn run_algorithm_inner(
     for o in &outputs {
         match &o.result {
             Ok(block) => rank_results.push(block),
-            Err(e) => return Err(RunError::from_net(o.rank, e.clone())),
+            Err(e) => {
+                return Err(RunError::from_net_with_flight(o.rank, e.clone(), o.flight.clone()))
+            }
         }
     }
 

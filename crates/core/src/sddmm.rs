@@ -134,17 +134,37 @@ pub fn run_sddmm(
     let compute = options.compute_values || options.validate;
 
     let p = problem.layout.nodes();
+    // Honor the same env knobs as the SpMM runners: `TWOFACE_TRACE` forces
+    // full tracing, `TWOFACE_PROFILE` folds this run into the merged
+    // per-(phase, op-kind) profile artifact next to the report.
+    let resolved = crate::runner::resolve_observability(&options.observability);
     let cluster = Cluster::new(p, effective);
     cluster.set_fault_plan(options.fault_plan.clone());
-    cluster.set_observability(options.observability.clone());
+    cluster.set_observability(resolved.observability.clone());
     let outputs =
         cluster.run(|ctx| sddmm_rank(ctx, &data, problem, x, &options.config, compute, algorithm));
+
+    let rank_traces: Vec<_> = outputs.iter().map(|o| o.trace.clone()).collect();
+    let rank_events: Vec<_> = outputs.iter().map(|o| o.events.clone()).collect();
+    if let Some(path) = &resolved.trace_path {
+        crate::runner::write_trace_file(
+            path,
+            &rank_events,
+            &rank_traces,
+            resolved.observability.wall_time,
+        );
+    }
+    if let Some(path) = &resolved.profile_path {
+        crate::runner::write_profile_file(path, &rank_events);
+    }
 
     let mut rank_results = Vec::with_capacity(p);
     for o in &outputs {
         match &o.result {
             Ok(triplets) => rank_results.push(triplets),
-            Err(e) => return Err(RunError::from_net(o.rank, e.clone())),
+            Err(e) => {
+                return Err(RunError::from_net_with_flight(o.rank, e.clone(), o.flight.clone()))
+            }
         }
     }
     let seconds = outputs.iter().map(|o| o.finish_time().seconds()).fold(0.0, f64::max);

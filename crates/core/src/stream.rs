@@ -42,17 +42,21 @@ use crate::kernels::{
     par_async_stripe, par_sync_panels, sync_panel_kernel, BlockRows, FetchedRows,
 };
 use crate::pool::{resolve_workers, Pool, WallTimer};
-use crate::runner::{generated_b_block, Breakdown, ExecOpts, ExecutionReport, NNZ_BYTES};
+use crate::runner::{
+    generated_b_block, resolve_observability, write_profile_file, write_trace_file, Breakdown,
+    ExecOpts, ExecutionReport, ResolvedObservability, NNZ_BYTES,
+};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write as _};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use twoface_matrix::gen::TripletSource;
 use twoface_matrix::{normalize_triplets, SmallTriplet, Triplet, SCALAR_BYTES};
 use twoface_net::{
-    Cluster, CostModel, Lane, MetricsRegistry, NetError, OpEvent, Payload, PhaseClass, RankCtx,
-    RankTrace,
+    Cluster, CostModel, Lane, MetricsRegistry, NetError, Observability, OpEvent, OpKind, Payload,
+    PhaseClass, RankCtx, RankTrace,
 };
 use twoface_partition::{
     ClassifierKind, ModelCoefficients, NodeProfile, OneDimLayout, PartitionPlan, PlanOptions,
@@ -101,6 +105,19 @@ pub struct StreamOptions {
     pub spill_dir: Option<PathBuf>,
     /// Raw generation chunk cap in entries.
     pub chunk_nnz: usize,
+    /// Per-operation event recording, exactly as
+    /// [`RunOptions::observability`](crate::RunOptions::observability) — and
+    /// additionally the streamed pipeline's own telemetry: one
+    /// [`OpKind::HostPass`] span per pass, [`OpKind::Spill`] events for every
+    /// shard and store file written or read (with byte counts), and
+    /// [`OpKind::Gauge`] samples of the host-memory high-water estimate and
+    /// remaining budget headroom. Pipeline events ride on rank 0's stream
+    /// (the driver lives on the simulating host) as instants at simulated
+    /// time zero, so they never perturb the simulated clocks: the run stays
+    /// bit-identical with telemetry on or off. The `TWOFACE_TRACE` /
+    /// `TWOFACE_PROFILE` environment knobs promote and export this exactly
+    /// as they do for the resident runner.
+    pub observability: Observability,
 }
 
 impl Default for StreamOptions {
@@ -114,6 +131,7 @@ impl Default for StreamOptions {
             memory_budget: None,
             spill_dir: None,
             chunk_nnz: DEFAULT_STREAM_CHUNK_NNZ,
+            observability: Observability::off(),
         }
     }
 }
@@ -170,6 +188,128 @@ impl Drop for SpillDir {
 
 fn io_err(context: &str, e: std::io::Error) -> RunError {
     RunError::Io { context: format!("{context}: {e}") }
+}
+
+/// Driver-side telemetry for the streamed passes, which run before (and
+/// around) the simulated cluster. Everything here is host bookkeeping:
+/// events are instants at simulated time zero (real pass durations ride in
+/// [`OpEvent::wall_nanos`] when wall stamping is on), so the simulated
+/// clocks — and therefore every gated result field — are untouched whether
+/// telemetry is on or off.
+///
+/// Event encoding, since [`OpEvent`] carries no label string:
+/// * [`OpKind::HostPass`]: one per pass, `peers = [pass_number]` (1-based,
+///   matching the module docs), `elements` = the pass's dominant count.
+/// * [`OpKind::Spill`]: one per shard/store file, `peers = [rank]`,
+///   `elements` = bytes on disk; `initiator` distinguishes writes (`true`)
+///   from reads (`false`).
+/// * [`OpKind::Gauge`]: host high-water estimate (`initiator = true`) and
+///   budget headroom (`initiator = false`), `elements` = bytes.
+struct PipelineTelemetry {
+    enabled: bool,
+    wall: bool,
+    events: Vec<OpEvent>,
+    metrics: MetricsRegistry,
+}
+
+impl PipelineTelemetry {
+    fn new(observability: &Observability) -> PipelineTelemetry {
+        PipelineTelemetry {
+            enabled: observability.enabled(),
+            wall: observability.wall_time,
+            events: Vec::new(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    fn push(
+        &mut self,
+        kind: OpKind,
+        elements: u64,
+        peers: Vec<usize>,
+        initiator: bool,
+        wall_nanos: Option<u64>,
+    ) {
+        self.events.push(OpEvent {
+            seq: self.events.len() as u64,
+            kind,
+            lane: Lane::Sync,
+            class: PhaseClass::Other,
+            start_seconds: 0.0,
+            end_seconds: 0.0,
+            elements,
+            peers,
+            initiator,
+            fault: None,
+            wall_nanos,
+        });
+    }
+
+    /// Closes pass `number` (1-based): a [`OpKind::HostPass`] span with the
+    /// real duration since `started` when wall stamping is on.
+    fn pass(&mut self, number: usize, elements: u64, started: Instant) {
+        if !self.enabled {
+            return;
+        }
+        let wall = self.wall.then(|| started.elapsed().as_nanos() as u64);
+        self.push(OpKind::HostPass, elements, vec![number], true, wall);
+        self.metrics.inc("stream.passes", 1);
+    }
+
+    /// Records `bytes` written to rank `rank`'s shard or store file.
+    fn spill_write(&mut self, rank: usize, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.push(OpKind::Spill, bytes, vec![rank], true, None);
+        self.metrics.inc("stream.spill_bytes_written", bytes);
+        self.metrics.inc("stream.shards_written", 1);
+    }
+
+    /// Records `bytes` read back from rank `rank`'s shard or store file.
+    fn spill_read(&mut self, rank: usize, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.push(OpKind::Spill, bytes, vec![rank], false, None);
+        self.metrics.inc("stream.spill_bytes_read", bytes);
+        self.metrics.inc("stream.shards_read", 1);
+    }
+
+    /// Samples the host-memory high-water estimate and, under a declared
+    /// budget, the remaining headroom.
+    fn gauge(&mut self, estimated_host_bytes: u64, budget: Option<u64>) {
+        if !self.enabled {
+            return;
+        }
+        self.push(OpKind::Gauge, estimated_host_bytes, Vec::new(), true, None);
+        self.metrics.inc("stream.host_bytes_high_water", estimated_host_bytes);
+        if let Some(budget) = budget {
+            let headroom = budget.saturating_sub(estimated_host_bytes);
+            self.push(OpKind::Gauge, headroom, Vec::new(), false, None);
+            self.metrics.observe("stream.budget_headroom_bytes", headroom);
+        }
+    }
+
+    /// Appends the driver events to rank 0's stream (renumbered to continue
+    /// its sequence) and returns the pipeline metrics for merging.
+    fn attach(self, rank_events: &mut [Vec<OpEvent>]) -> MetricsRegistry {
+        if self.enabled && !rank_events.is_empty() {
+            let stream = &mut rank_events[0];
+            let base = stream.last().map_or(0, |e| e.seq + 1);
+            for (i, mut event) in self.events.into_iter().enumerate() {
+                event.seq = base + i as u64;
+                stream.push(event);
+            }
+        }
+        self.metrics
+    }
+}
+
+/// Size on disk of a just-written spill file; falls back to `accounted`
+/// when the platform cannot stat it.
+fn disk_bytes(path: &Path, accounted: usize) -> u64 {
+    std::fs::metadata(path).map_or(accounted as u64, |m| m.len())
 }
 
 fn write_wide(out: &mut impl std::io::Write, t: &Triplet) -> std::io::Result<()> {
@@ -298,6 +438,9 @@ pub fn run_twoface_streamed(
     let workers = resolve_workers(options.workers);
     let spill = SpillDir::create(options.spill_dir.as_ref())?;
     let mut spilled_bytes = 0usize;
+    let resolved: ResolvedObservability = resolve_observability(&options.observability);
+    let mut telemetry = PipelineTelemetry::new(&resolved.observability);
+    let mut pass_started = Instant::now();
 
     // --- Pass 1: route raw draws to per-rank shard files. ---
     // One chunk plus the write buffers is all that's resident.
@@ -339,6 +482,12 @@ pub fn run_twoface_streamed(
             w.flush().map_err(|e| io_err("flushing raw shard", e))?;
         }
     }
+    if telemetry.enabled {
+        for (rank, path) in raw_paths.iter().enumerate() {
+            telemetry.spill_write(rank, disk_bytes(path, 0));
+        }
+    }
+    telemetry.pass(1, (spilled_bytes / NNZ_BYTES) as u64, pass_started);
 
     debug_rss("pass1 route");
     // --- Pass 2: normalize + profile per rank, one shard at a time. ---
@@ -349,12 +498,14 @@ pub fn run_twoface_streamed(
     let mut nnz_by_rank: Vec<usize> = Vec::with_capacity(p);
     let mut peak_shard_bytes = 0usize;
     let norm_paths: Vec<PathBuf> = (0..p).map(|r| spill.path(format!("norm.{r}"))).collect();
+    pass_started = Instant::now();
     for rank in 0..p {
         let mut shard: Vec<Triplet> = Vec::new();
         {
             let file = File::open(&raw_paths[rank]).map_err(|e| io_err("opening raw shard", e))?;
             let raw_len =
                 file.metadata().map_err(|e| io_err("sizing raw shard", e))?.len() as usize;
+            telemetry.spill_read(rank, raw_len as u64);
             let count = raw_len / NNZ_BYTES;
             shard.reserve_exact(count);
             let mut reader = BufReader::new(file);
@@ -374,12 +525,18 @@ pub fn run_twoface_streamed(
         }
         out.flush().map_err(|e| io_err("flushing normalized shard", e))?;
         spilled_bytes += shard.len() * NNZ_BYTES;
+        if telemetry.enabled {
+            let written = disk_bytes(&norm_paths[rank], shard.len() * NNZ_BYTES);
+            telemetry.spill_write(rank, written);
+        }
         let _ = std::fs::remove_file(&raw_paths[rank]);
     }
     debug_rss("pass2 normalize+profile");
     let realized_nnz: usize = nnz_by_rank.iter().sum();
+    telemetry.pass(2, realized_nnz as u64, pass_started);
 
     // --- Pass 3: classify from profiles, with the resident budget rule. ---
+    pass_started = Instant::now();
     let base_all: Vec<usize> = (0..p)
         .map(|rank| {
             nnz_by_rank[rank] * NNZ_BYTES
@@ -445,13 +602,18 @@ pub fn run_twoface_streamed(
             return Err(RunError::HostBudgetExceeded { required: estimated_host_bytes, budget });
         }
     }
+    telemetry.gauge(estimated_host_bytes as u64, options.memory_budget.map(|b| b as u64));
+    telemetry.pass(3, layout.num_stripes() as u64, pass_started);
 
     debug_rss("pass3 classify");
     // --- Pass 4: build compact structures per rank, serialize, drop. ---
+    pass_started = Instant::now();
     let mut stores: Vec<RankStore> = Vec::with_capacity(p);
+    let mut store_bytes = 0u64;
     for rank in 0..p {
         let mut shard: Vec<Triplet> = Vec::with_capacity(nnz_by_rank[rank]);
         {
+            telemetry.spill_read(rank, (nnz_by_rank[rank] * NNZ_BYTES) as u64);
             let mut reader = BufReader::new(
                 File::open(&norm_paths[rank]).map_err(|e| io_err("opening normalized shard", e))?,
             );
@@ -467,12 +629,19 @@ pub fn run_twoface_streamed(
         debug_rss(&format!("pass4 built rank {rank} ({} nnz)", nnz_by_rank[rank]));
         let (store, bytes) = write_store(spill.path(format!("store.{rank}")), &matrices)?;
         spilled_bytes += bytes;
+        if telemetry.enabled {
+            let written = disk_bytes(&store.path, bytes);
+            store_bytes += written;
+            telemetry.spill_write(rank, written);
+        }
         stores.push(store);
         let _ = std::fs::remove_file(&norm_paths[rank]);
     }
+    telemetry.pass(4, store_bytes, pass_started);
 
     debug_rss("pass4 build+store");
     // --- Pass 5: execute with per-stripe materialize → compute → drop. ---
+    pass_started = Instant::now();
     let b_blocks: Vec<Arc<Vec<f64>>> =
         (0..p).map(|rank| Arc::new(generated_b_block(layout.col_range(rank), k))).collect();
     let exec = ExecOpts {
@@ -481,23 +650,47 @@ pub fn run_twoface_streamed(
         panel_height: options.config.row_panel_height,
         workers,
     };
+    // The executors read the stores back inside the rank threads; charge
+    // those reads up front at the driver (structural runs skip the sync
+    // entries, so only the async portion is charged without compute).
+    if telemetry.enabled {
+        for (rank, store) in stores.iter().enumerate() {
+            let async_bytes: usize =
+                store.stripes.iter().map(|m| m.nnz * SMALL_ENTRY_BYTES + m.unique * 4).sum();
+            let sync_bytes = if exec.compute { store.sync_nnz * SMALL_ENTRY_BYTES } else { 0 };
+            telemetry.spill_read(rank, (async_bytes + sync_bytes) as u64);
+        }
+    }
     let cluster = Cluster::new(p, effective);
+    cluster.set_observability(resolved.observability.clone());
     let outputs = cluster.run(|ctx| {
         twoface_rank_streamed(ctx, &plan, &stores[ctx.rank()], &b_blocks, options, &exec)
     });
+    telemetry.pass(5, realized_nnz as u64, pass_started);
 
     debug_rss("pass5 execute");
     let rank_traces: Vec<RankTrace> = outputs.iter().map(|o| o.trace.clone()).collect();
-    let rank_events: Vec<Vec<OpEvent>> = outputs.iter().map(|o| o.events.clone()).collect();
+    let mut rank_events: Vec<Vec<OpEvent>> = outputs.iter().map(|o| o.events.clone()).collect();
     let mut metrics = MetricsRegistry::new();
     for o in &outputs {
         metrics.merge(&o.metrics);
+    }
+    metrics.merge(&telemetry.attach(&mut rank_events));
+    // Export before inspecting results, as the resident runner does: a
+    // faulted run still leaves its trace and profile behind for forensics.
+    if let Some(path) = &resolved.trace_path {
+        write_trace_file(path, &rank_events, &rank_traces, resolved.observability.wall_time);
+    }
+    if let Some(path) = &resolved.profile_path {
+        write_profile_file(path, &rank_events);
     }
     let mut rank_results = Vec::with_capacity(p);
     for o in &outputs {
         match &o.result {
             Ok(block) => rank_results.push(block),
-            Err(e) => return Err(RunError::from_net(o.rank, e.clone())),
+            Err(e) => {
+                return Err(RunError::from_net_with_flight(o.rank, e.clone(), o.flight.clone()))
+            }
         }
     }
     let critical_rank =

@@ -20,9 +20,17 @@
 //! naming every out-of-band field, `--bless` rewrites the baselines,
 //! `--filter` selects a job subset, and the default mode runs the matrix
 //! then checks.
+//!
+//! A failed check does not stop at *which* field drifted: every bench job
+//! runs with `TWOFACE_PROFILE` pointed at a `results/<name>.profile.json`
+//! sidecar, and [`attribution`] diffs that deterministic profile against
+//! the blessed copy to print a ranked explanation of *why* — which phase
+//! class and op kind moved, on which ranks, and what stayed put
+//! (`--explain FILE` asks for the same breakdown on demand).
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod diff;
 pub mod matrix;
 pub mod report;

@@ -3,6 +3,7 @@
 //! ```text
 //! twoface-fleet [--filter SUBSTR] [--no-build] [--timeout-secs N]   run + check
 //! twoface-fleet --check                                             diff-only gate
+//! twoface-fleet --explain FILE                                      profile attribution
 //! twoface-fleet --bless [--filter SUBSTR]                           rewrite baselines
 //! twoface-fleet --list [--filter SUBSTR]                            show the matrix
 //! ```
@@ -12,9 +13,10 @@
 //! `results/fleet_report.json`, then diffs every gated report against
 //! `baselines/` and exits non-zero on any job failure or out-of-band field.
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
-use twoface_fleet::{diff, matrix, report, run, today_utc, workspace_root};
+use twoface_fleet::{attribution, diff, matrix, report, run, today_utc, workspace_root};
 
 struct Args {
     check: bool,
@@ -23,6 +25,7 @@ struct Args {
     no_build: bool,
     filter: Option<String>,
     timeout_override: Option<u64>,
+    explain: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -31,6 +34,8 @@ twoface-fleet: run the experiment matrix and gate results against baselines
 USAGE:
     twoface-fleet [OPTIONS]             run the (filtered) matrix, then check
     twoface-fleet --check               diff results/BENCH reports vs baselines/
+    twoface-fleet --explain FILE        attribute one report's drift from its
+                                        profile sidecar, without a full check
     twoface-fleet --bless [--filter F]  accept current reports as the baseline
     twoface-fleet --list                print the experiment matrix
 
@@ -43,7 +48,9 @@ OPTIONS:
 
 Tolerance policy: simulated seconds, per-nonzero throughput, counters, and
 schema identity are gated (bit-exact or a declared band); wall-clock fields
-and report metadata (date/harness/host_note/...) are informational only.";
+and report metadata (date/harness/host_note/...) are informational only.
+When a gated field fails, the check prints a ranked attribution derived
+from the report's results/<name>.profile.json sidecar vs the blessed copy.";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -53,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         no_build: false,
         filter: None,
         timeout_override: None,
+        explain: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -68,6 +76,12 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--timeout-secs needs a value")?;
                 args.timeout_override =
                     Some(v.parse().map_err(|_| format!("bad --timeout-secs value: {v}"))?);
+            }
+            "--explain" => {
+                args.explain = Some(it.next().ok_or(
+                    "--explain needs a report path, e.g. \
+                                          results/fig10_breakdown.json",
+                )?);
             }
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -124,8 +138,27 @@ fn main() -> ExitCode {
         };
     }
 
+    if let Some(file) = &args.explain {
+        return match attribution::explain_file(&root, file) {
+            Ok(e) => {
+                println!(
+                    "attribution for {} (profile {} vs baselines/{}):",
+                    e.report, e.profile, e.profile
+                );
+                for line in &e.lines {
+                    println!("  {line}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(reason) => {
+                eprintln!("error: no attribution for {file}: {reason}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     if args.check {
-        return print_check(diff::check_tree(&root));
+        return print_check(&root, diff::check_tree(&root));
     }
 
     // Default mode: build, run the matrix, write the report, then check.
@@ -193,7 +226,7 @@ fn main() -> ExitCode {
             eprintln!("FAILED job {}: {:?} (see {})", j.name, j.status, j.log);
         }
     }
-    let check_code = print_check(fleet.check.expect("check ran"));
+    let check_code = print_check(&root, fleet.check.expect("check ran"));
     if !all_jobs_passed {
         return ExitCode::FAILURE;
     }
@@ -204,7 +237,7 @@ fn filter_note(args: &Args) -> String {
     args.filter.as_deref().map_or(String::new(), |f| format!(" (--filter {f})"))
 }
 
-fn print_check(check: diff::CheckReport) -> ExitCode {
+fn print_check(root: &Path, check: diff::CheckReport) -> ExitCode {
     let failures: Vec<_> = check.failures().collect();
     let info = check.diffs.iter().filter(|d| !d.gated).count();
     println!(
@@ -222,6 +255,19 @@ fn print_check(check: diff::CheckReport) -> ExitCode {
     } else {
         for d in &failures {
             eprintln!("  {d}");
+        }
+        // Attribution: for each failing report, explain the drift from its
+        // profile sidecar (which phase class / op kind moved, and where).
+        for (file, explained) in attribution::explain_failures(root, &check) {
+            match explained {
+                Ok(e) => {
+                    eprintln!("why {file} drifted (from {}):", e.profile);
+                    for line in &e.lines {
+                        eprintln!("    {line}");
+                    }
+                }
+                Err(reason) => eprintln!("why {file} drifted: no attribution ({reason})"),
+            }
         }
         eprintln!(
             "baseline check FAILED: {} out-of-band field(s); if the change is intended, \

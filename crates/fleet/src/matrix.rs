@@ -4,9 +4,11 @@
 //!
 //! * **bench bins** — one job per figure/table/ablation binary of
 //!   `crates/bench`; each internally sweeps its matrices and K values and
-//!   writes the gated `results/<name>.json` report. Env-inherited execution
-//!   knobs (`TWOFACE_THREADS`, `TWOFACE_TRACE`) are scrubbed so a report
-//!   never depends on the invoking shell.
+//!   writes the gated `results/<name>.json` report plus (via the injected
+//!   `TWOFACE_PROFILE` env) a gated `results/<name>.profile.json` sidecar
+//!   used for regression attribution. Env-inherited execution knobs
+//!   (`TWOFACE_THREADS`, `TWOFACE_TRACE`, `TWOFACE_PROFILE`) are scrubbed
+//!   so a report never depends on the invoking shell.
 //! * **chaos differential sweeps** — the `twoface-core` chaos suite run
 //!   across the fleet's explicit axes: seed base × real-execution worker
 //!   count (the per-host cluster-shape knob). Fault severities are swept
@@ -42,7 +44,7 @@ impl JobSpec {
 /// Environment variables scrubbed from every job so shell state cannot leak
 /// into reports (results are worker-count independent by contract, but the
 /// gate should not rely on it) — see the fingerprint stability tests.
-pub const SCRUBBED_ENV: &[&str] = &["TWOFACE_THREADS", "TWOFACE_TRACE"];
+pub const SCRUBBED_ENV: &[&str] = &["TWOFACE_THREADS", "TWOFACE_TRACE", "TWOFACE_PROFILE"];
 
 /// The bench binaries: `(bin, tags, timeout seconds)`. Tags reflect
 /// measured single-CPU runtimes: `fast` jobs form the CI `--filter fast`
@@ -70,6 +72,7 @@ const BENCH_BINS: &[(&str, &[&str], u64)] = &[
     ("serve_throughput", &["fast", "serve"], 600),
     ("layout", &["fast", "layout", "streaming"], 900),
     ("trace_summary", &["fast", "observability"], 600),
+    ("observability", &["fast", "observability", "flight"], 900),
 ];
 
 /// The chaos axes: seed bases × worker counts. `None` keeps the suite's
@@ -86,15 +89,25 @@ const FAMILY_WORKERS: &[usize] = &[1, 4];
 pub fn experiment_matrix() -> Vec<JobSpec> {
     let mut jobs = Vec::new();
     for (bin, tags, timeout) in BENCH_BINS {
-        let outputs = match *bin {
+        // Every gated bin also runs under `TWOFACE_PROFILE`, so a blessed
+        // per-(phase class × op kind) profile sidecar sits next to each
+        // report for `--check` regression attribution. The sidecar is
+        // derived from simulated clocks only, so it is itself gated.
+        let (env, outputs) = match *bin {
             // trace_summary emits event streams, which are not gated.
-            "trace_summary" => Vec::new(),
-            name => vec![format!("results/{name}.json")],
+            "trace_summary" => (Vec::new(), Vec::new()),
+            name => {
+                let profile = format!("results/{name}.profile.json");
+                (
+                    vec![("TWOFACE_PROFILE".to_string(), profile.clone())],
+                    vec![format!("results/{name}.json"), profile],
+                )
+            }
         };
         jobs.push(JobSpec {
             name: format!("bench/{bin}"),
             command: vec![format!("target/release/{bin}")],
-            env: Vec::new(),
+            env,
             tags: [&["bench"][..], tags].concat(),
             outputs,
             timeout: Duration::from_secs(*timeout),
@@ -202,6 +215,24 @@ mod tests {
         assert_eq!(select(&jobs, Some("fig07")).len(), 1);
         assert_eq!(select(&jobs, Some("chaos")).len(), 4);
         assert!(select(&jobs, Some("no-such-job")).is_empty());
+    }
+
+    #[test]
+    fn gated_bench_jobs_carry_a_profile_sidecar() {
+        let jobs = experiment_matrix();
+        for j in jobs.iter().filter(|j| j.tags.contains(&"bench")) {
+            if j.outputs.is_empty() {
+                assert!(j.env.is_empty(), "{}: ungated bins profile nothing", j.name);
+                continue;
+            }
+            let profile = j.outputs.iter().find(|o| o.ends_with(".profile.json"));
+            let profile = profile.unwrap_or_else(|| panic!("{}: no profile output", j.name));
+            assert!(
+                j.env.contains(&("TWOFACE_PROFILE".to_string(), profile.clone())),
+                "{}: TWOFACE_PROFILE must point at the gated sidecar",
+                j.name
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The machine-readable fleet report: per-job status plus the baseline
 //! check, written to `results/fleet_report.json`. The file is excluded from
-//! gating (it carries wall times by design).
+//! gating (it carries wall times and peak-RSS samples by design).
 
 use crate::diff::CheckReport;
 use crate::run::JobOutcome;
@@ -92,6 +92,7 @@ mod tests {
             wall_seconds: 0.1,
             timeout_seconds: 10,
             log: format!("results/fleet_logs/{name}.log"),
+            peak_rss_bytes: Some(4096),
             outputs: vec![],
         }
     }

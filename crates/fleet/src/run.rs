@@ -68,6 +68,10 @@ pub struct JobOutcome {
     pub timeout_seconds: u64,
     /// Repo-relative log file with the captured stdout/stderr.
     pub log: String,
+    /// Peak resident-set size of the job process in bytes (informational;
+    /// the maximum `VmHWM` observed across attempts while polling, `null`
+    /// where the platform exposes no `/proc/<pid>/status`).
+    pub peak_rss_bytes: Option<u64>,
     /// Gated reports this job regenerates.
     pub outputs: Vec<String>,
 }
@@ -90,9 +94,12 @@ pub fn run_job(root: &Path, job: &JobSpec, date: &str) -> JobOutcome {
     let started = Instant::now();
     let mut status = JobStatus::SpawnError { error: "no attempt ran".into() };
     let mut attempts = 0;
+    let mut peak_rss_bytes = None;
     for attempt in 1..=MAX_ATTEMPTS {
         attempts = attempt;
-        status = run_attempt(root, job, date, &log_path, attempt);
+        let (s, rss) = run_attempt(root, job, date, &log_path, attempt);
+        status = s;
+        peak_rss_bytes = peak_rss_bytes.max(rss);
         if status == JobStatus::Passed {
             break;
         }
@@ -106,11 +113,18 @@ pub fn run_job(root: &Path, job: &JobSpec, date: &str) -> JobOutcome {
         wall_seconds: started.elapsed().as_secs_f64(),
         timeout_seconds: job.timeout.as_secs(),
         log: log_rel,
+        peak_rss_bytes,
         outputs: job.outputs.clone(),
     }
 }
 
-fn run_attempt(root: &Path, job: &JobSpec, date: &str, log_path: &Path, attempt: u32) -> JobStatus {
+fn run_attempt(
+    root: &Path,
+    job: &JobSpec,
+    date: &str,
+    log_path: &Path,
+    attempt: u32,
+) -> (JobStatus, Option<u64>) {
     let mut log = std::fs::OpenOptions::new()
         .create(true)
         .write(true)
@@ -138,34 +152,49 @@ fn run_attempt(root: &Path, job: &JobSpec, date: &str, log_path: &Path, attempt:
 
     let mut child = match cmd.spawn() {
         Ok(c) => c,
-        Err(e) => return JobStatus::SpawnError { error: e.to_string() },
+        Err(e) => return (JobStatus::SpawnError { error: e.to_string() }, None),
     };
     let deadline = Instant::now() + job.timeout;
+    // Piggyback on the wait-poll cadence to track the child's high-water
+    // RSS; `VmHWM` is monotone, so the last successful probe is the peak.
+    let mut peak_rss = None;
     loop {
         match child.try_wait() {
             Ok(Some(exit)) => {
-                return if exit.success() {
+                let status = if exit.success() {
                     JobStatus::Passed
                 } else {
                     JobStatus::Failed { exit_code: exit.code() }
                 };
+                return (status, peak_rss);
             }
             Ok(None) => {
+                peak_rss = peak_rss.max(probe_vm_hwm(child.id()));
                 if Instant::now() >= deadline {
                     writeln!(log, "=== killed: exceeded {:?} timeout", job.timeout).ok();
                     child.kill().ok();
                     child.wait().ok();
-                    return JobStatus::TimedOut;
+                    return (JobStatus::TimedOut, peak_rss);
                 }
                 std::thread::sleep(Duration::from_millis(50));
             }
             Err(e) => {
                 child.kill().ok();
                 child.wait().ok();
-                return JobStatus::SpawnError { error: e.to_string() };
+                return (JobStatus::SpawnError { error: e.to_string() }, peak_rss);
             }
         }
     }
+}
+
+/// The high-water resident-set size of `pid` in bytes, from
+/// `/proc/<pid>/status` (`VmHWM` is reported in kB). `None` off Linux or
+/// once the process is gone.
+fn probe_vm_hwm(pid: u32) -> Option<u64> {
+    let status = std::fs::read_to_string(format!("/proc/{pid}/status")).ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 /// The env var carrying the run date into report envelopes (mirrors
@@ -217,6 +246,17 @@ mod tests {
         assert_eq!(out.status, JobStatus::TimedOut);
         assert_eq!(out.attempts, MAX_ATTEMPTS);
         assert!(started.elapsed() < Duration::from_secs(60), "kill actually happened");
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn long_enough_jobs_report_a_peak_rss() {
+        let root = std::env::temp_dir();
+        let out =
+            run_job(&root, &job("rss", &["sleep", "0.3"], Duration::from_secs(30)), "2026-01-01");
+        assert!(out.passed());
+        // The 50ms poll cadence guarantees several VmHWM probes landed.
+        assert!(out.peak_rss_bytes.is_some_and(|b| b > 0), "got {:?}", out.peak_rss_bytes);
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! The simulated cluster: rank threads, lanes, collectives, and one-sided
 //! windows.
 
-use crate::event::{EventSink, Observability, OpEvent, OpKind};
+use crate::event::{
+    EventSink, FlightEntry, FlightRecorder, Observability, OpEvent, OpKind, FLIGHT_CAPACITY_DEFAULT,
+};
 use crate::meet::{MeetOutcome, MeetPoison, MeetRegistry, Payload};
 use crate::metrics::MetricsRegistry;
 use crate::{
     CostModel, FaultEvent, FaultKind, FaultPlan, NetError, PhaseClass, RankTrace, SimTime,
 };
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The two virtual execution lanes of a rank.
@@ -71,6 +73,7 @@ struct Shared {
     retain_windows: AtomicBool,
     fault_plan: Mutex<Option<Arc<FaultPlan>>>,
     observability: Mutex<Observability>,
+    flight_capacity: AtomicUsize,
 }
 
 /// Meet arrival spread in integer nanoseconds, for histogram bucketing.
@@ -126,6 +129,12 @@ pub struct RankOutput<R> {
     /// Counters and histograms recorded during the run (empty unless
     /// observability is enabled).
     pub metrics: MetricsRegistry,
+    /// The always-on flight recorder: the last N communication operations
+    /// of this rank in chronological order, recorded at every
+    /// [`TraceLevel`](crate::TraceLevel) including `Off` (see
+    /// [`Cluster::set_flight_capacity`]). Faulted runs are post-mortem
+    /// debuggable from this tail without re-running under tracing.
+    pub flight: Vec<FlightEntry>,
 }
 
 impl<R> RankOutput<R> {
@@ -153,8 +162,23 @@ impl Cluster {
                 retain_windows: AtomicBool::new(false),
                 fault_plan: Mutex::new(None),
                 observability: Mutex::new(Observability::off()),
+                flight_capacity: AtomicUsize::new(FLIGHT_CAPACITY_DEFAULT),
             }),
         }
+    }
+
+    /// Sets the per-rank capacity of the always-on flight recorder (default
+    /// [`FLIGHT_CAPACITY_DEFAULT`]; zero disables recording entirely, which
+    /// exists to measure the recorder's own overhead). Like
+    /// [`Cluster::set_observability`], each [`Cluster::run`] snapshots the
+    /// capacity in force when it starts.
+    pub fn set_flight_capacity(&self, capacity: usize) {
+        self.shared.flight_capacity.store(capacity, Ordering::Relaxed);
+    }
+
+    /// The flight-recorder capacity in force.
+    pub fn flight_capacity(&self) -> usize {
+        self.shared.flight_capacity.load(Ordering::Relaxed)
     }
 
     /// Installs (or, with `None`, removes) a fault plan. Each
@@ -266,6 +290,7 @@ impl Cluster {
         let plan = self.shared.fault_plan.lock().expect("fault plan poisoned").clone();
         let observability =
             self.shared.observability.lock().expect("observability poisoned").clone();
+        let flight_capacity = self.shared.flight_capacity.load(Ordering::Relaxed);
         let shared = &self.shared;
         let plan = &plan;
         let observability = &observability;
@@ -285,6 +310,7 @@ impl Cluster {
                             faults: plan.clone(),
                             events: EventSink::new(observability),
                             metrics: MetricsRegistry::new(),
+                            flight: FlightRecorder::new(flight_capacity),
                         };
                         let result = f(&mut ctx);
                         RankOutput {
@@ -294,6 +320,7 @@ impl Cluster {
                             lane_times: ctx.clocks,
                             events: ctx.events.into_events(),
                             metrics: ctx.metrics,
+                            flight: ctx.flight.into_entries(),
                         }
                     })
                 })
@@ -325,6 +352,7 @@ pub struct RankCtx {
     faults: Option<Arc<FaultPlan>>,
     events: EventSink,
     metrics: MetricsRegistry,
+    flight: FlightRecorder,
 }
 
 impl RankCtx {
@@ -545,6 +573,7 @@ impl RankCtx {
                 attempt: 0,
                 seconds: jitter,
             });
+            self.flight_fault(FaultKind::MeetJitter, Lane::Sync, PhaseClass::Other, self.now());
             self.record_fault_instant(
                 FaultKind::MeetJitter,
                 Lane::Sync,
@@ -561,6 +590,7 @@ impl RankCtx {
                 attempt: 0,
                 seconds: slow,
             });
+            self.flight_fault(FaultKind::RankStall, Lane::Sync, PhaseClass::Other, self.now());
             self.record_fault_instant(
                 FaultKind::RankStall,
                 Lane::Sync,
@@ -570,6 +600,22 @@ impl RankCtx {
             delay += slow;
         }
         (meet_idx, delay)
+    }
+
+    /// Flight-recorder entry for an injected fault instant. Unlike
+    /// [`RankCtx::record_fault_instant`] this is unconditional: the ring's
+    /// contents never depend on the trace level.
+    fn flight_fault(&mut self, fault: FaultKind, lane: Lane, class: PhaseClass, at: SimTime) {
+        self.flight.record(
+            OpKind::Fault,
+            lane,
+            class,
+            at.seconds(),
+            at.seconds(),
+            0,
+            None,
+            Some(fault),
+        );
     }
 
     /// Surfaces a poisoned (aborted) meet as the stall error every surviving
@@ -643,8 +689,18 @@ impl RankCtx {
         let Some(plan) = self.faults.clone() else {
             let start = self.clocks[lane.index()];
             self.advance_quiet(lane, base_cost, class);
+            let end = self.clocks[lane.index()];
+            self.flight.record(
+                kind,
+                lane,
+                class,
+                start.seconds(),
+                end.seconds(),
+                elements,
+                Some(target),
+                None,
+            );
             if self.events.comm() {
-                let end = self.clocks[lane.index()];
                 self.record_comm_event(kind, lane, class, start, end, elements, vec![target], true);
                 self.metrics.observe("retries_per_op", 0);
             }
@@ -671,6 +727,29 @@ impl RankCtx {
                     attempt,
                     seconds: lost,
                 });
+                // The failed attempt and its backoff enter the flight ring
+                // with the fault carried on the retry entry, so the last
+                // operations before a TransferTimeout are always visible.
+                self.flight.record(
+                    OpKind::Retry,
+                    lane,
+                    class,
+                    start.seconds(),
+                    transfer_end.seconds(),
+                    elements,
+                    Some(target),
+                    Some(FaultKind::GetFailure),
+                );
+                self.flight.record(
+                    OpKind::Backoff,
+                    lane,
+                    PhaseClass::Recovery,
+                    transfer_end.seconds(),
+                    backoff_end.seconds(),
+                    0,
+                    Some(target),
+                    None,
+                );
                 if self.events.comm() {
                     self.record_comm_event(
                         OpKind::Retry,
@@ -722,11 +801,22 @@ impl RankCtx {
                         attempt,
                         seconds: extra,
                     });
+                    self.flight_fault(FaultKind::LatencySpike, lane, class, start);
                     self.record_fault_instant(FaultKind::LatencySpike, lane, class, start);
                 }
                 self.advance_quiet(lane, base_cost + extra, class);
+                let end = self.clocks[lane.index()];
+                self.flight.record(
+                    kind,
+                    lane,
+                    class,
+                    start.seconds(),
+                    end.seconds(),
+                    elements,
+                    Some(target),
+                    None,
+                );
                 if self.events.comm() {
-                    let end = self.clocks[lane.index()];
                     self.record_comm_event(
                         kind,
                         lane,
@@ -763,6 +853,16 @@ impl RankCtx {
         let wait = outcome.time.since(arrive);
         self.trace.add_time(PhaseClass::Other, wait);
         self.clocks = [outcome.time; 2];
+        self.flight.record(
+            OpKind::Barrier,
+            Lane::Sync,
+            PhaseClass::Other,
+            arrive.seconds(),
+            outcome.time.seconds(),
+            0,
+            Some(outcome.straggler),
+            None,
+        );
         if self.events.comm() {
             self.record_comm_event(
                 OpKind::Barrier,
@@ -810,8 +910,18 @@ impl RankCtx {
         self.trace.messages += 1;
         self.trace.elements_sent += (my_len * (p - 1)) as u64;
         self.trace.elements_received += (total - my_len) as u64;
+        let moved = (my_len * (p - 1) + (total - my_len)) as u64;
+        self.flight.record(
+            OpKind::Allgather,
+            Lane::Sync,
+            PhaseClass::SyncComm,
+            arrive.seconds(),
+            (outcome.time + cost).seconds(),
+            moved,
+            Some(outcome.straggler),
+            None,
+        );
         if self.events.comm() {
-            let moved = (my_len * (p - 1) + (total - my_len)) as u64;
             self.record_comm_event(
                 OpKind::MeetWait,
                 Lane::Sync,
@@ -891,6 +1001,16 @@ impl RankCtx {
         } else {
             self.trace.elements_received += buf.len() as u64;
         }
+        self.flight.record(
+            OpKind::Multicast,
+            Lane::Sync,
+            PhaseClass::SyncComm,
+            arrive.seconds(),
+            (outcome.time + cost).seconds(),
+            if is_root { (buf.len() * destinations) as u64 } else { buf.len() as u64 },
+            if is_root { None } else { Some(root) },
+            None,
+        );
         if self.events.comm() {
             let (elements, peers) = if is_root {
                 let others = group.iter().copied().filter(|&r| r != self.rank).collect();
@@ -961,6 +1081,16 @@ impl RankCtx {
         self.trace.messages += 1;
         self.trace.elements_sent += my_len as u64;
         self.trace.elements_received += buf.len() as u64;
+        self.flight.record(
+            OpKind::ShiftRing,
+            Lane::Sync,
+            PhaseClass::SyncComm,
+            arrive.seconds(),
+            (outcome.time + cost).seconds(),
+            (my_len + buf.len()) as u64,
+            Some(from),
+            None,
+        );
         if self.events.comm() {
             let to = (self.rank + distance % p) % p;
             self.record_comm_event(
@@ -1020,6 +1150,16 @@ impl RankCtx {
         let cost = self.shared.cost.alpha_sync;
         self.clocks = [outcome.time + cost; 2];
         self.trace.add_time(PhaseClass::Other, outcome.time.since(arrive) + cost);
+        self.flight.record(
+            OpKind::WindowCreate,
+            Lane::Sync,
+            PhaseClass::Other,
+            arrive.seconds(),
+            (outcome.time + cost).seconds(),
+            0,
+            None,
+            None,
+        );
         if self.events.comm() {
             self.record_comm_event(
                 OpKind::MeetWait,
@@ -1391,6 +1531,51 @@ mod tests {
         let a: Vec<SimTime> = run().into_iter().map(|o| o.result).collect();
         let b: Vec<SimTime> = run().into_iter().map(|o| o.result).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flight_recorder_is_always_on_and_bounded() {
+        let c = cluster(2);
+        c.set_flight_capacity(3);
+        assert_eq!(c.flight_capacity(), 3);
+        let out = c.run(|ctx| {
+            for _ in 0..5 {
+                ctx.barrier().unwrap();
+            }
+        });
+        for o in &out {
+            // Observability is off, yet the tail of operations is retained.
+            assert!(o.events.is_empty());
+            assert_eq!(o.flight.len(), 3);
+            assert!(o.flight.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+            let last = o.flight.last().unwrap();
+            assert_eq!(last.kind, OpKind::Barrier);
+            assert_eq!(last.seq, 4, "five barriers, tail retained");
+        }
+        c.set_flight_capacity(0);
+        let out = c.run(|ctx| ctx.barrier().unwrap());
+        assert!(out.iter().all(|o| o.flight.is_empty()));
+    }
+
+    #[test]
+    fn flight_recorder_contents_are_trace_level_independent() {
+        let run_at = |obs: Observability| {
+            let c = cluster(2);
+            c.set_observability(obs);
+            c.run(|ctx| {
+                let win = ctx.create_window(vec![1.0; 8]).unwrap();
+                let peer = 1 - ctx.rank();
+                let _ = ctx.win_get(win, peer, 0..8, Lane::Sync, PhaseClass::SyncComm).unwrap();
+                ctx.advance(Lane::Sync, 0.5, PhaseClass::SyncComp);
+                ctx.barrier().unwrap();
+            })
+        };
+        let off = run_at(Observability::off());
+        let full = run_at(Observability::full());
+        for (a, b) in off.iter().zip(full.iter()) {
+            assert_eq!(a.flight, b.flight, "rank {} ring differs by level", a.rank);
+            assert!(!a.flight.is_empty());
+        }
     }
 
     #[test]

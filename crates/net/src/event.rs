@@ -119,9 +119,44 @@ pub enum OpKind {
     /// [`RankCtx::advance_span`](crate::RankCtx::advance_span). Only
     /// recorded at [`TraceLevel::Full`].
     Kernel,
+    /// A host-side pass of the streamed (out-of-core) pipeline driver. The
+    /// simulated span is an instant (the pipeline runs outside virtual
+    /// time); the real duration lives in [`OpEvent::wall_nanos`].
+    HostPass,
+    /// A spill-shard write or read by the streamed pipeline driver
+    /// (`elements` counts the bytes moved; `initiator` is `true` for
+    /// writes, `false` for reads).
+    Spill,
+    /// A host-memory gauge sample from the streamed pipeline driver
+    /// (`elements` is the estimated high-water mark in bytes).
+    Gauge,
 }
 
 impl OpKind {
+    /// Every kind, in a stable order used for profile-cell sorting.
+    pub const ALL: [OpKind; 15] = [
+        OpKind::Multicast,
+        OpKind::Allgather,
+        OpKind::ShiftRing,
+        OpKind::Barrier,
+        OpKind::WindowCreate,
+        OpKind::MeetWait,
+        OpKind::Get,
+        OpKind::RgetRows,
+        OpKind::Retry,
+        OpKind::Backoff,
+        OpKind::Fault,
+        OpKind::Kernel,
+        OpKind::HostPass,
+        OpKind::Spill,
+        OpKind::Gauge,
+    ];
+
+    /// Position of this kind in [`OpKind::ALL`].
+    pub fn index(self) -> usize {
+        OpKind::ALL.iter().position(|&k| k == self).expect("every kind is in ALL")
+    }
+
     /// Short display name (used as the Perfetto slice name).
     pub fn label(self) -> &'static str {
         match self {
@@ -137,6 +172,9 @@ impl OpKind {
             OpKind::Backoff => "backoff",
             OpKind::Fault => "fault",
             OpKind::Kernel => "kernel",
+            OpKind::HostPass => "host_pass",
+            OpKind::Spill => "spill",
+            OpKind::Gauge => "gauge",
         }
     }
 }
@@ -200,6 +238,141 @@ pub fn seconds_by_class(events: &[OpEvent]) -> [f64; 6] {
         out[e.class.index()] += e.duration_seconds();
     }
     out
+}
+
+/// Default per-rank capacity of the always-on flight recorder.
+pub const FLIGHT_CAPACITY_DEFAULT: usize = 64;
+
+/// One compact flight-recorder entry: the fixed-size shadow of an
+/// [`OpEvent`] kept by the always-on ring (see
+/// [`RankOutput::flight`](crate::RankOutput::flight)).
+///
+/// Unlike [`OpEvent`], entries are recorded at every [`TraceLevel`]
+/// including `Off`, so they must stay allocation-free: the peer list is
+/// collapsed to the single most informative peer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlightEntry {
+    /// Per-rank flight sequence number (total entries ever recorded; gaps
+    /// never occur — the ring drops only from the front).
+    pub seq: u64,
+    /// What the operation was.
+    pub kind: OpKind,
+    /// The virtual lane whose clock the operation advanced.
+    pub lane: Lane,
+    /// The Figure-10 class its time was attributed to.
+    pub class: PhaseClass,
+    /// Simulated start time (seconds).
+    pub start_seconds: f64,
+    /// Simulated end time (seconds).
+    pub end_seconds: f64,
+    /// Dense elements moved; zero when not applicable.
+    pub elements: u64,
+    /// The primary peer: the transfer target, multicast root, or collective
+    /// straggler. `None` for symmetric all-rank ops.
+    pub peer: Option<usize>,
+    /// The injected fault, for fault instants.
+    pub fault: Option<FaultKind>,
+}
+
+impl FlightEntry {
+    /// Compact single-line rendering used in error contexts.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "#{} {} {:.6}s+{:.2}us",
+            self.seq,
+            self.kind.label(),
+            self.start_seconds,
+            (self.end_seconds - self.start_seconds) * 1e6,
+        );
+        if self.elements > 0 {
+            out.push_str(&format!(" {}el", self.elements));
+        }
+        if let Some(peer) = self.peer {
+            out.push_str(&format!(" peer={peer}"));
+        }
+        if let Some(fault) = self.fault {
+            out.push_str(&format!(" [{}]", fault.label()));
+        }
+        out
+    }
+}
+
+/// The always-on bounded ring of the last N operations of one rank.
+///
+/// Recording is unconditional (even at [`TraceLevel::Off`]) and cheap: one
+/// fixed-size store per *communication* operation, no allocation after
+/// construction, no branching beyond the ring wrap. Kernel spans are not
+/// recorded — they are orders of magnitude more frequent and carry no
+/// post-mortem signal for transfer/stall failures.
+#[derive(Debug, Clone)]
+pub(crate) struct FlightRecorder {
+    entries: Vec<FlightEntry>,
+    next: usize,
+    total: u64,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    pub(crate) fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder { entries: Vec::with_capacity(capacity), next: 0, total: 0, capacity }
+    }
+
+    /// Records one entry, overwriting the oldest once the ring is full.
+    /// `seq` is assigned by the recorder. A zero-capacity recorder drops
+    /// everything (used to measure the recorder's own overhead).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record(
+        &mut self,
+        kind: OpKind,
+        lane: Lane,
+        class: PhaseClass,
+        start_seconds: f64,
+        end_seconds: f64,
+        elements: u64,
+        peer: Option<usize>,
+        fault: Option<FaultKind>,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let entry = FlightEntry {
+            seq: self.total,
+            kind,
+            lane,
+            class,
+            start_seconds,
+            end_seconds,
+            elements,
+            peer,
+            fault,
+        };
+        self.total += 1;
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else {
+            self.entries[self.next] = entry;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Total entries ever recorded (≥ the retained count).
+    #[cfg(test)]
+    pub(crate) fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Drains the ring into chronological order.
+    pub(crate) fn into_entries(self) -> Vec<FlightEntry> {
+        if self.entries.len() < self.capacity || self.next == 0 {
+            self.entries
+        } else {
+            let mut out = Vec::with_capacity(self.entries.len());
+            out.extend_from_slice(&self.entries[self.next..]);
+            out.extend_from_slice(&self.entries[..self.next]);
+            out
+        }
+    }
 }
 
 /// The per-rank event recorder: gates, samples, and buffers [`OpEvent`]s.
@@ -321,5 +494,59 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(OpKind::RgetRows.label(), "rget_rows");
         assert_eq!(OpKind::MeetWait.label(), "meet_wait");
+        assert_eq!(OpKind::HostPass.label(), "host_pass");
+        for (i, kind) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn flight_ring_keeps_last_n_in_order() {
+        let mut ring = FlightRecorder::new(4);
+        for i in 0..7u64 {
+            ring.record(
+                OpKind::Get,
+                Lane::Async,
+                PhaseClass::AsyncComm,
+                i as f64,
+                i as f64 + 0.5,
+                i,
+                Some(i as usize),
+                None,
+            );
+        }
+        assert_eq!(ring.total(), 7);
+        let entries = ring.into_entries();
+        assert_eq!(entries.iter().map(|e| e.seq).collect::<Vec<u64>>(), vec![3, 4, 5, 6]);
+        assert_eq!(entries[0].start_seconds, 3.0);
+        assert_eq!(entries[3].peer, Some(6));
+    }
+
+    #[test]
+    fn flight_ring_zero_capacity_drops_everything() {
+        let mut ring = FlightRecorder::new(0);
+        ring.record(OpKind::Get, Lane::Sync, PhaseClass::SyncComm, 0.0, 1.0, 1, None, None);
+        assert_eq!(ring.total(), 0);
+        assert!(ring.into_entries().is_empty());
+    }
+
+    #[test]
+    fn flight_entry_renders_compactly() {
+        let entry = FlightEntry {
+            seq: 9,
+            kind: OpKind::Retry,
+            lane: Lane::Async,
+            class: PhaseClass::Recovery,
+            start_seconds: 0.5,
+            end_seconds: 0.5005,
+            elements: 128,
+            peer: Some(3),
+            fault: Some(FaultKind::GetFailure),
+        };
+        let text = entry.render();
+        assert!(text.contains("retry"), "{text}");
+        assert!(text.contains("128el"), "{text}");
+        assert!(text.contains("peer=3"), "{text}");
+        assert!(text.contains("get failure"), "{text}");
     }
 }

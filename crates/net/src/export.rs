@@ -179,77 +179,105 @@ pub struct ParsedEvents {
     pub traces: Vec<RankTrace>,
 }
 
+/// A typed [`parse_events_jsonl`] failure naming the offending line, so
+/// tooling can point at the corruption instead of panicking or guessing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the malformed line, or `None` for
+    /// stream-level problems (empty input, a rank with no summary).
+    pub line: Option<usize>,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl ParseError {
+    fn stream(message: impl Into<String>) -> ParseError {
+        ParseError { line: None, message: message.into() }
+    }
+
+    fn at(line: usize, message: impl std::fmt::Display) -> ParseError {
+        ParseError { line: Some(line), message: message.to_string() }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
 /// Parses and validates [`events_jsonl`] output.
 ///
 /// # Errors
 ///
-/// Returns a [`DeError`] describing the first malformed line: bad JSON, an
+/// Returns a [`ParseError`] naming the first malformed line: bad JSON, an
 /// unknown `type`, a rank out of range, an event span ending before it
-/// starts, or a missing per-rank summary.
-pub fn parse_events_jsonl(text: &str) -> Result<ParsedEvents, DeError> {
+/// starts, or a missing per-rank summary. Truncated or corrupted trace
+/// files therefore fail with a position, never a panic.
+pub fn parse_events_jsonl(text: &str) -> Result<ParsedEvents, ParseError> {
     let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
-    let (_, header) = lines.next().ok_or_else(|| DeError::custom("empty event stream"))?;
-    let header: Value = serde_json::from_str(header)?;
+    let (header_idx, header) =
+        lines.next().ok_or_else(|| ParseError::stream("empty event stream"))?;
+    let header_no = header_idx + 1;
+    let header: Value = serde_json::from_str(header).map_err(|e| ParseError::at(header_no, e))?;
     if header.get("type").and_then(Value::as_str) != Some("meta")
         || header.get("format").and_then(Value::as_str) != Some("twoface-events")
     {
-        return Err(DeError::custom("first line must be a twoface-events meta header"));
+        return Err(ParseError::at(header_no, "first line must be a twoface-events meta header"));
     }
     match header.get("version").and_then(Value::as_u64) {
         Some(1) => {}
-        other => return Err(DeError::custom(format!("unsupported version {other:?}"))),
+        other => return Err(ParseError::at(header_no, format!("unsupported version {other:?}"))),
     }
     let ranks = header
         .get("ranks")
         .and_then(Value::as_u64)
-        .ok_or_else(|| DeError::custom("meta header lacks `ranks`"))? as usize;
+        .ok_or_else(|| ParseError::at(header_no, "meta header lacks `ranks`"))?
+        as usize;
 
     let mut events_by_rank = vec![Vec::new(); ranks];
     let mut traces: Vec<Option<RankTrace>> = vec![None; ranks];
     for (idx, line) in lines {
         let line_no = idx + 1;
-        let value: Value = serde_json::from_str(line)
-            .map_err(|e| DeError::custom(format!("line {line_no}: {e}")))?;
+        let value: Value = serde_json::from_str(line).map_err(|e| ParseError::at(line_no, e))?;
         let rank = value
             .get("rank")
             .and_then(Value::as_u64)
-            .ok_or_else(|| DeError::custom(format!("line {line_no}: missing `rank`")))?
-            as usize;
+            .ok_or_else(|| ParseError::at(line_no, "missing `rank`"))? as usize;
         if rank >= ranks {
-            return Err(DeError::custom(format!(
-                "line {line_no}: rank {rank} out of range for {ranks} ranks"
-            )));
+            return Err(ParseError::at(
+                line_no,
+                format!("rank {rank} out of range for {ranks} ranks"),
+            ));
         }
         match value.get("type").and_then(Value::as_str) {
             Some("event") => {
-                let event = OpEvent::from_value(&value)
-                    .map_err(|e| DeError::custom(format!("line {line_no}: {e}")))?;
+                let event = OpEvent::from_value(&value).map_err(|e| ParseError::at(line_no, e))?;
                 if event.end_seconds < event.start_seconds {
-                    return Err(DeError::custom(format!(
-                        "line {line_no}: event ends before it starts"
-                    )));
+                    return Err(ParseError::at(line_no, "event ends before it starts"));
                 }
                 events_by_rank[rank].push(event);
             }
             Some("summary") => {
                 let trace = value
                     .get("trace")
-                    .ok_or_else(|| DeError::custom(format!("line {line_no}: missing `trace`")))
+                    .ok_or_else(|| DeError::custom("missing `trace`"))
                     .and_then(RankTrace::from_value)
-                    .map_err(|e| DeError::custom(format!("line {line_no}: {e}")))?;
+                    .map_err(|e| ParseError::at(line_no, e))?;
                 traces[rank] = Some(trace);
             }
-            other => {
-                return Err(DeError::custom(format!(
-                    "line {line_no}: unknown record type {other:?}"
-                )))
-            }
+            other => return Err(ParseError::at(line_no, format!("unknown record type {other:?}"))),
         }
     }
     let traces: Vec<RankTrace> = traces
         .into_iter()
         .enumerate()
-        .map(|(r, t)| t.ok_or_else(|| DeError::custom(format!("rank {r} has no summary line"))))
+        .map(|(r, t)| t.ok_or_else(|| ParseError::stream(format!("rank {r} has no summary line"))))
         .collect::<Result<_, _>>()?;
     Ok(ParsedEvents { events_by_rank, traces })
 }
@@ -366,5 +394,26 @@ mod tests {
         assert!(err.to_string().contains("no summary"), "got: {err}");
         let garbled = format!("{good}not json\n");
         assert!(parse_events_jsonl(&garbled).is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_line() {
+        let good = events_jsonl(&sample_events(), &sample_traces(), false);
+        // Corrupt the third line (an event) by truncating it mid-object.
+        let mut lines: Vec<String> = good.lines().map(str::to_string).collect();
+        let half = lines[2].len() / 2;
+        lines[2].truncate(half);
+        let corrupted = lines.join("\n");
+        let err = parse_events_jsonl(&corrupted).unwrap_err();
+        assert_eq!(err.line, Some(3), "got: {err}");
+        assert!(err.to_string().starts_with("line 3:"), "got: {err}");
+        // Appending garbage is attributed to the appended line.
+        let garbled = format!("{good}not json\n");
+        let err = parse_events_jsonl(&garbled).unwrap_err();
+        assert_eq!(err.line, Some(good.lines().count() + 1), "got: {err}");
+        // Stream-level failures carry no line number.
+        let err = parse_events_jsonl("").unwrap_err();
+        assert_eq!(err.line, None);
+        assert_eq!(err.to_string(), "empty event stream");
     }
 }

@@ -57,15 +57,20 @@ mod fault;
 mod grid;
 mod meet;
 mod metrics;
+mod profile;
 mod time;
 mod trace;
 
 pub use cluster::{Cluster, Lane, RankCtx, RankOutput, WindowId};
 pub use cost::{CostModel, SpmmStats};
-pub use event::{seconds_by_class, Observability, OpEvent, OpKind, TraceLevel};
+pub use event::{
+    seconds_by_class, FlightEntry, Observability, OpEvent, OpKind, TraceLevel,
+    FLIGHT_CAPACITY_DEFAULT,
+};
 pub use fault::{FaultPlan, NetError, RetryPolicy, SlowRank};
 pub use grid::Grid2d;
 pub use meet::Payload;
 pub use metrics::{Histogram, MetricsRegistry};
+pub use profile::{ProfileCell, ProfileSummary, PROFILE_FORMAT, PROFILE_VERSION};
 pub use time::SimTime;
 pub use trace::{FaultEvent, FaultKind, PhaseClass, RankTrace};

@@ -106,6 +106,40 @@ impl Histogram {
         })
     }
 
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) by linear interpolation inside
+    /// the log₂ bucket holding rank `q * (count - 1)`.
+    ///
+    /// `q <= 0` returns the exact minimum and `q >= 1` the exact maximum;
+    /// interior quantiles are approximate (bucket-resolution) but
+    /// deterministic, and the result is always clamped to `[min, max]`.
+    /// Returns `None` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if q <= 0.0 {
+            return Some(self.min as f64);
+        }
+        if q >= 1.0 {
+            return Some(self.max as f64);
+        }
+        let target = q * (self.count - 1) as f64;
+        let mut before = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if ((before + n) as f64) > target {
+                let (lo, hi) = Histogram::bucket_bounds(i);
+                let frac = (target - before as f64) / n as f64;
+                let value = lo as f64 + (hi as f64 - lo as f64) * frac;
+                return Some(value.clamp(self.min as f64, self.max as f64));
+            }
+            before += n;
+        }
+        Some(self.max as f64)
+    }
+
     /// Folds another histogram's samples into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -319,6 +353,31 @@ mod tests {
         assert_eq!(h.bucket_count(9), 1); // 300
         let buckets: Vec<_> = h.nonzero_buckets().collect();
         assert_eq!(buckets, vec![(0, 0, 1), (1, 1, 1), (4, 7, 2), (256, 511, 1)]);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        // Pinned values on the known sample set [0, 1, 5, 5, 300]:
+        // buckets {0}:1, {1}:1, [4,7]:2, [256,511]:1; rank(q) = 4q.
+        let mut h = Histogram::default();
+        for v in [0, 1, 5, 5, 300] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0.0)); // exact min
+        assert_eq!(h.quantile(0.25), Some(1.0)); // rank 1 → bucket {1}
+        assert_eq!(h.quantile(0.5), Some(4.0)); // rank 2 → [4,7] frac 0
+        assert_eq!(h.quantile(0.75), Some(5.5)); // rank 3 → [4,7] frac 1/2
+        assert_eq!(h.quantile(1.0), Some(300.0)); // exact max
+                                                  // Interior high quantiles stay inside the bucket holding the rank.
+        let p95 = h.quantile(0.95).unwrap();
+        assert!((p95 - 6.7).abs() < 1e-9, "p95 = {p95}");
+        assert_eq!(Histogram::default().quantile(0.5), None);
+        // A single sample answers every quantile with itself.
+        let mut one = Histogram::default();
+        one.observe(42);
+        assert_eq!(one.quantile(0.0), Some(42.0));
+        assert_eq!(one.quantile(0.5), Some(42.0));
+        assert_eq!(one.quantile(0.99), Some(42.0));
     }
 
     #[test]

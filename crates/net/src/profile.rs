@@ -1,0 +1,373 @@
+//! Per-run profile summaries: the regression-attribution artifact.
+//!
+//! The fleet gate compares bench outputs bit-exactly, but a failing field
+//! name ("seconds moved") says nothing about *which* phase, operation, or
+//! rank moved. A [`ProfileSummary`] is the attribution substrate: for every
+//! ([`PhaseClass`], [`OpKind`]) pair observed in an event stream it keeps
+//! event counts, simulated seconds, elements moved, and per-rank second
+//! totals, plus retry/recovery totals, per-rank finish times, and a
+//! deterministic mergeable quantile sketch ([`Histogram`]) of operation
+//! durations. Summaries are derivable from any [`OpEvent`] stream
+//! ([`ProfileSummary::from_events`]), mergeable across runs
+//! ([`ProfileSummary::merge`]), and serialized as a stable JSON artifact
+//! next to each `results/*.json` (see the `TWOFACE_PROFILE` knob in
+//! `twoface-core`).
+//!
+//! # Determinism contract
+//!
+//! Everything in a summary derives from simulated clocks and element
+//! counts; host wall-time never enters. Two replays of the same seeded
+//! run produce byte-identical serialized summaries, so the fleet gate can
+//! treat `*.profile.json` artifacts like any other gated result.
+
+use crate::event::{OpEvent, OpKind};
+use crate::metrics::Histogram;
+use crate::trace::PhaseClass;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+
+/// The `format` tag of a serialized [`ProfileSummary`].
+pub const PROFILE_FORMAT: &str = "twoface-profile";
+
+/// The `version` of the serialized schema.
+pub const PROFILE_VERSION: u64 = 1;
+
+/// Per-([`PhaseClass`], [`OpKind`]) accumulator of one or more runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileCell {
+    /// The Figure-10 class the operations were attributed to.
+    pub class: PhaseClass,
+    /// The operation kind.
+    pub kind: OpKind,
+    /// Number of recorded events.
+    pub events: u64,
+    /// Total simulated seconds across all events.
+    pub seconds: f64,
+    /// Total elements moved (or MAC products for kernel spans).
+    pub elements: u64,
+    /// Simulated seconds split by issuing rank (index = rank).
+    pub rank_seconds: Vec<f64>,
+    /// Quantile sketch of per-event simulated durations in nanoseconds
+    /// (log₂ buckets; see [`Histogram::quantile`]).
+    pub duration_ns: Histogram,
+}
+
+impl ProfileCell {
+    fn new(class: PhaseClass, kind: OpKind, ranks: usize) -> ProfileCell {
+        ProfileCell {
+            class,
+            kind,
+            events: 0,
+            seconds: 0.0,
+            elements: 0,
+            rank_seconds: vec![0.0; ranks],
+            duration_ns: Histogram::default(),
+        }
+    }
+
+    /// Stable sort key: class in Figure-10 order, then kind.
+    pub fn key(&self) -> (usize, usize) {
+        (self.class.index(), self.kind.index())
+    }
+
+    /// `"Sync Comm/multicast"`-style display label.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.class.label(), self.kind.label())
+    }
+
+    fn merge(&mut self, other: &ProfileCell) {
+        self.events += other.events;
+        self.seconds += other.seconds;
+        self.elements += other.elements;
+        if self.rank_seconds.len() < other.rank_seconds.len() {
+            self.rank_seconds.resize(other.rank_seconds.len(), 0.0);
+        }
+        for (mine, theirs) in self.rank_seconds.iter_mut().zip(other.rank_seconds.iter()) {
+            *mine += theirs;
+        }
+        self.duration_ns.merge(&other.duration_ns);
+    }
+}
+
+/// The per-run (or merged multi-run) attribution artifact.
+///
+/// Produced by [`ProfileSummary::from_events`] from any event stream
+/// recorded at [`TraceLevel::Comm`](crate::TraceLevel::Comm) or above;
+/// merged run-over-run with [`ProfileSummary::merge`] so one bench binary's
+/// many runs fold into a single artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSummary {
+    /// Artifact format tag ([`PROFILE_FORMAT`]).
+    pub format: String,
+    /// Schema version ([`PROFILE_VERSION`]).
+    pub version: u64,
+    /// Widest rank count of any merged run.
+    pub ranks: usize,
+    /// Number of runs folded in.
+    pub runs: u64,
+    /// Sparse per-(class, kind) cells, sorted by [`ProfileCell::key`].
+    pub cells: Vec<ProfileCell>,
+    /// Total [`OpKind::Retry`] events (transiently failed one-sided
+    /// attempts).
+    pub retry_events: u64,
+    /// Total [`OpKind::Backoff`] events.
+    pub backoff_events: u64,
+    /// Total [`OpKind::Fault`] instants.
+    pub fault_events: u64,
+    /// Total simulated seconds attributed to [`PhaseClass::Recovery`].
+    pub recovery_seconds: f64,
+    /// Per-rank finish times (max event end), summed over merged runs.
+    pub rank_finish_seconds: Vec<f64>,
+    /// Load imbalance of [`ProfileSummary::rank_finish_seconds`]:
+    /// `max / mean`, or `0.0` with no recorded time.
+    pub imbalance: f64,
+}
+
+impl ProfileSummary {
+    /// An empty summary (zero runs) that any run can be merged into.
+    pub fn empty() -> ProfileSummary {
+        ProfileSummary {
+            format: PROFILE_FORMAT.to_string(),
+            version: PROFILE_VERSION,
+            ranks: 0,
+            runs: 0,
+            cells: Vec::new(),
+            retry_events: 0,
+            backoff_events: 0,
+            fault_events: 0,
+            recovery_seconds: 0.0,
+            rank_finish_seconds: Vec::new(),
+            imbalance: 0.0,
+        }
+    }
+
+    /// Distills one run's event stream (`events_by_rank[r]` = rank `r`'s
+    /// events) into a single-run summary.
+    pub fn from_events(events_by_rank: &[Vec<OpEvent>]) -> ProfileSummary {
+        let ranks = events_by_rank.len();
+        let mut cells: BTreeMap<(usize, usize), ProfileCell> = BTreeMap::new();
+        let mut out = ProfileSummary::empty();
+        out.ranks = ranks;
+        out.runs = 1;
+        out.rank_finish_seconds = vec![0.0; ranks];
+        for (rank, events) in events_by_rank.iter().enumerate() {
+            for e in events {
+                let key = (e.class.index(), e.kind.index());
+                let cell =
+                    cells.entry(key).or_insert_with(|| ProfileCell::new(e.class, e.kind, ranks));
+                let duration = e.duration_seconds();
+                cell.events += 1;
+                cell.seconds += duration;
+                cell.elements += e.elements;
+                cell.rank_seconds[rank] += duration;
+                cell.duration_ns.observe((duration * 1e9).round() as u64);
+                match e.kind {
+                    OpKind::Retry => out.retry_events += 1,
+                    OpKind::Backoff => out.backoff_events += 1,
+                    OpKind::Fault => out.fault_events += 1,
+                    _ => {}
+                }
+                if e.class == PhaseClass::Recovery {
+                    out.recovery_seconds += duration;
+                }
+                let finish = &mut out.rank_finish_seconds[rank];
+                if e.end_seconds > *finish {
+                    *finish = e.end_seconds;
+                }
+            }
+        }
+        out.cells = cells.into_values().collect();
+        out.imbalance = imbalance(&out.rank_finish_seconds);
+        out
+    }
+
+    /// Folds another summary into this one. Cells merge by (class, kind);
+    /// per-rank vectors widen to the larger rank count (runs at different
+    /// `p` aggregate by rank position); finish times accumulate.
+    pub fn merge(&mut self, other: &ProfileSummary) {
+        self.ranks = self.ranks.max(other.ranks);
+        self.runs += other.runs;
+        let mut cells: BTreeMap<(usize, usize), ProfileCell> =
+            std::mem::take(&mut self.cells).into_iter().map(|c| (c.key(), c)).collect();
+        for theirs in &other.cells {
+            match cells.get_mut(&theirs.key()) {
+                Some(mine) => mine.merge(theirs),
+                None => {
+                    cells.insert(theirs.key(), theirs.clone());
+                }
+            }
+        }
+        self.cells = cells.into_values().collect();
+        self.retry_events += other.retry_events;
+        self.backoff_events += other.backoff_events;
+        self.fault_events += other.fault_events;
+        self.recovery_seconds += other.recovery_seconds;
+        if self.rank_finish_seconds.len() < other.rank_finish_seconds.len() {
+            self.rank_finish_seconds.resize(other.rank_finish_seconds.len(), 0.0);
+        }
+        for (mine, theirs) in
+            self.rank_finish_seconds.iter_mut().zip(other.rank_finish_seconds.iter())
+        {
+            *mine += theirs;
+        }
+        self.imbalance = imbalance(&self.rank_finish_seconds);
+    }
+
+    /// The cell for (`class`, `kind`), if any events were recorded there.
+    pub fn cell(&self, class: PhaseClass, kind: OpKind) -> Option<&ProfileCell> {
+        self.cells.iter().find(|c| c.class == class && c.kind == kind)
+    }
+
+    /// Total simulated seconds across all cells.
+    pub fn total_seconds(&self) -> f64 {
+        self.cells.iter().map(|c| c.seconds).sum()
+    }
+
+    /// Serializes to stable pretty JSON (sorted cells, no wall time).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("value trees always serialize")
+    }
+
+    /// Parses a serialized summary, checking the format tag and version.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] on malformed JSON, a wrong `format` tag, or an
+    /// unsupported `version`.
+    pub fn from_json(text: &str) -> Result<ProfileSummary, DeError> {
+        let value: Value = serde_json::from_str(text)?;
+        let summary = ProfileSummary::from_value(&value)?;
+        if summary.format != PROFILE_FORMAT {
+            return Err(DeError::custom(format!(
+                "not a {PROFILE_FORMAT} artifact (format = {:?})",
+                summary.format
+            )));
+        }
+        if summary.version != PROFILE_VERSION {
+            return Err(DeError::custom(format!(
+                "unsupported {PROFILE_FORMAT} version {}",
+                summary.version
+            )));
+        }
+        Ok(summary)
+    }
+}
+
+/// `max / mean` of a per-rank time vector (`0.0` when empty or all-zero).
+fn imbalance(rank_seconds: &[f64]) -> f64 {
+    if rank_seconds.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = rank_seconds.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mean = total / rank_seconds.len() as f64;
+    let max = rank_seconds.iter().cloned().fold(0.0, f64::max);
+    max / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Lane;
+
+    fn event(kind: OpKind, class: PhaseClass, start: f64, end: f64, elements: u64) -> OpEvent {
+        OpEvent {
+            seq: 0,
+            kind,
+            lane: Lane::Sync,
+            class,
+            start_seconds: start,
+            end_seconds: end,
+            elements,
+            peers: Vec::new(),
+            initiator: true,
+            fault: None,
+            wall_nanos: None,
+        }
+    }
+
+    fn sample() -> ProfileSummary {
+        ProfileSummary::from_events(&[
+            vec![
+                event(OpKind::Multicast, PhaseClass::SyncComm, 0.0, 2.0, 100),
+                event(OpKind::Kernel, PhaseClass::SyncComp, 2.0, 3.0, 400),
+            ],
+            vec![
+                event(OpKind::Multicast, PhaseClass::SyncComm, 0.0, 1.0, 100),
+                event(OpKind::Retry, PhaseClass::AsyncComm, 1.0, 1.5, 0),
+                event(OpKind::Backoff, PhaseClass::Recovery, 1.5, 1.75, 0),
+            ],
+        ])
+    }
+
+    #[test]
+    fn from_events_aggregates_cells_and_totals() {
+        let s = sample();
+        assert_eq!(s.ranks, 2);
+        assert_eq!(s.runs, 1);
+        let mc = s.cell(PhaseClass::SyncComm, OpKind::Multicast).unwrap();
+        assert_eq!(mc.events, 2);
+        assert_eq!(mc.seconds, 3.0);
+        assert_eq!(mc.elements, 200);
+        assert_eq!(mc.rank_seconds, vec![2.0, 1.0]);
+        assert_eq!(mc.duration_ns.count(), 2);
+        assert_eq!(s.retry_events, 1);
+        assert_eq!(s.backoff_events, 1);
+        assert_eq!(s.fault_events, 0);
+        assert_eq!(s.recovery_seconds, 0.25);
+        assert_eq!(s.rank_finish_seconds, vec![3.0, 1.75]);
+        // Cells come out sorted by (class index, kind index).
+        let keys: Vec<(usize, usize)> = s.cells.iter().map(ProfileCell::key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        // imbalance = max(3.0, 1.75) / mean(2.375)
+        assert!((s.imbalance - 3.0 / 2.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_and_widens() {
+        let mut total = ProfileSummary::empty();
+        total.merge(&sample());
+        total.merge(&sample());
+        assert_eq!(total.runs, 2);
+        let mc = total.cell(PhaseClass::SyncComm, OpKind::Multicast).unwrap();
+        assert_eq!(mc.events, 4);
+        assert_eq!(mc.seconds, 6.0);
+        assert_eq!(total.rank_finish_seconds, vec![6.0, 3.5]);
+        // Merging a wider (3-rank) run widens the vectors.
+        let wide = ProfileSummary::from_events(&[
+            Vec::new(),
+            Vec::new(),
+            vec![event(OpKind::Get, PhaseClass::AsyncComm, 0.0, 1.0, 8)],
+        ]);
+        total.merge(&wide);
+        assert_eq!(total.ranks, 3);
+        assert_eq!(total.rank_finish_seconds.len(), 3);
+        assert_eq!(total.cell(PhaseClass::AsyncComm, OpKind::Get).unwrap().rank_seconds[2], 1.0);
+    }
+
+    #[test]
+    fn json_round_trips_and_is_stable() {
+        let s = sample();
+        let text = s.to_json_pretty();
+        let back = ProfileSummary::from_json(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json_pretty(), text, "serialization must be stable");
+        assert!(ProfileSummary::from_json("{}").is_err());
+        let wrong = text.replacen(PROFILE_FORMAT, "something-else", 1);
+        assert!(ProfileSummary::from_json(&wrong).is_err());
+    }
+
+    #[test]
+    fn quantiles_read_back_from_the_sketch() {
+        let s = sample();
+        let mc = s.cell(PhaseClass::SyncComm, OpKind::Multicast).unwrap();
+        // Durations 2s and 1s → 2e9 ns and 1e9 ns.
+        assert_eq!(mc.duration_ns.min(), Some(1_000_000_000));
+        assert_eq!(mc.duration_ns.max(), Some(2_000_000_000));
+        assert_eq!(mc.duration_ns.quantile(1.0), Some(2e9));
+    }
+}

@@ -55,7 +55,7 @@ impl PhaseClass {
 
     /// Position in [`PhaseClass::ALL`] (also the storage index of
     /// per-class arrays and the Perfetto track order).
-    pub(crate) fn index(self) -> usize {
+    pub fn index(self) -> usize {
         match self {
             PhaseClass::SyncComp => 0,
             PhaseClass::SyncComm => 1,

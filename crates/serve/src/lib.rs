@@ -56,5 +56,7 @@ mod timeline;
 
 pub use cache::{CacheStats, PlanCache};
 pub use error::ServeError;
-pub use service::{MatrixHandle, RequestId, ServeConfig, SpmmRequest, SpmmResponse, SpmmService};
+pub use service::{
+    MatrixHandle, RequestId, ServeConfig, SessionDigest, SpmmRequest, SpmmResponse, SpmmService,
+};
 pub use timeline::{timeline_jsonl, SessionEvent, SessionPhase};

@@ -3,6 +3,7 @@
 use crate::cache::{CacheStats, PlanCache};
 use crate::error::ServeError;
 use crate::timeline::{dominant_class, SessionEvent, SessionPhase};
+use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
 use twoface_core::{
@@ -10,7 +11,9 @@ use twoface_core::{
     Problem, RunError, RunOptions, TwoFaceConfig,
 };
 use twoface_matrix::{CooMatrix, DenseMatrix, Fingerprint};
-use twoface_net::{Cluster, CostModel, FaultPlan, MetricsRegistry, Observability, PhaseClass};
+use twoface_net::{
+    Cluster, CostModel, FaultPlan, Histogram, MetricsRegistry, Observability, PhaseClass,
+};
 use twoface_partition::{ClassifierKind, ModelCoefficients, OneDimLayout, PartitionPlan};
 
 /// Static configuration of an [`SpmmService`].
@@ -296,6 +299,7 @@ impl SpmmService {
         self.next_request += 1;
         self.queue.push(Pending { id: id.0, matrix, b: request.b, algorithm: request.algorithm });
         self.metrics.inc("serve.requests_submitted", 1);
+        self.metrics.observe("serve.queue_depth", self.queue.len() as u64);
         Ok(id)
     }
 
@@ -798,6 +802,37 @@ impl SpmmService {
         &self.metrics
     }
 
+    /// Quantile sketch of per-request simulated service latency in
+    /// nanoseconds — one sample per completed request, read back with
+    /// [`Histogram::quantile`]. `None` before any request completes.
+    pub fn latency_sketch(&self) -> Option<&Histogram> {
+        self.metrics.histogram("serve.request_sim_ns")
+    }
+
+    /// Quantile sketch of the pending-queue depth, sampled after every
+    /// accepted submit. `None` before any submit.
+    pub fn queue_depth_sketch(&self) -> Option<&Histogram> {
+        self.metrics.histogram("serve.queue_depth")
+    }
+
+    /// The timeline's summary row: deterministic latency and queue-depth
+    /// percentiles for the session so far. Everything derives from
+    /// simulated time and queue counts — never host wall time — so two
+    /// replays of the same request sequence digest identically.
+    pub fn session_digest(&self) -> SessionDigest {
+        let latency = self.latency_sketch();
+        let depth = self.queue_depth_sketch();
+        let q = |h: Option<&Histogram>, at: f64| h.and_then(|h| h.quantile(at)).unwrap_or(0.0);
+        SessionDigest {
+            requests: latency.map_or(0, Histogram::count),
+            latency_ns_p50: q(latency, 0.50),
+            latency_ns_p95: q(latency, 0.95),
+            latency_ns_p99: q(latency, 0.99),
+            queue_depth_p50: q(depth, 0.50),
+            queue_depth_max: depth.and_then(Histogram::max).unwrap_or(0),
+        }
+    }
+
     /// Plan-cache counters and occupancy.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -834,6 +869,25 @@ impl SpmmService {
             "explicit session reset: plan cache and windows dropped".into(),
         );
     }
+}
+
+/// The session's latency/queue-depth percentile digest (see
+/// [`SpmmService::session_digest`]). Serializable for inclusion in bench
+/// results and timeline exports.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SessionDigest {
+    /// Completed requests (the latency sample count).
+    pub requests: u64,
+    /// Median per-request simulated latency, in nanoseconds.
+    pub latency_ns_p50: f64,
+    /// 95th-percentile per-request simulated latency, in nanoseconds.
+    pub latency_ns_p95: f64,
+    /// 99th-percentile per-request simulated latency, in nanoseconds.
+    pub latency_ns_p99: f64,
+    /// Median pending-queue depth observed at submit time.
+    pub queue_depth_p50: f64,
+    /// Deepest pending queue observed at submit time.
+    pub queue_depth_max: u64,
 }
 
 /// Fuses the batch's `B` panels into one row-major operand with

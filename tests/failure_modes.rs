@@ -222,8 +222,8 @@ fn run_error_variants_display_and_source() {
         RunError::ReplicationExceedsNodes { replication: 8, nodes: 4 },
         RunError::Shape { context: "B has 3 rows but A has 4 columns".into() },
         RunError::ValidationFailed { max_abs_diff: 0.25 },
-        RunError::TransferTimeout { rank: 2, source: transfer.clone() },
-        RunError::RankStalled { rank: 0, source: stall.clone() },
+        RunError::TransferTimeout { rank: 2, source: transfer.clone(), flight: vec![] },
+        RunError::RankStalled { rank: 0, source: stall.clone(), flight: vec![] },
     ];
 
     for e in &variants {

@@ -23,6 +23,7 @@ use twoface_core::{run_algorithm, Algorithm, Breakdown, ExecutionReport, Problem
 use twoface_matrix::gen::{webcrawl, WebcrawlConfig};
 use twoface_net::{
     export, seconds_by_class, CostModel, FaultPlan, Observability, OpKind, PhaseClass,
+    ProfileSummary, RetryPolicy, FLIGHT_CAPACITY_DEFAULT,
 };
 
 /// Serializes the whole file: see the module docs.
@@ -281,12 +282,13 @@ fn sampling_thins_the_stream_preserving_sequence_numbers() {
     assert!(kept_fewer, "sampling at 4 must drop events somewhere");
 }
 
-/// Removes `TWOFACE_TRACE` even if the test panics, so a failure here cannot
-/// corrupt the other tests' runs.
+/// Removes the observability env knobs even if the test panics, so a
+/// failure here cannot corrupt the other tests' runs.
 struct EnvGuard;
 impl Drop for EnvGuard {
     fn drop(&mut self) {
         std::env::remove_var(twoface_core::TRACE_ENV);
+        std::env::remove_var(twoface_core::PROFILE_ENV);
     }
 }
 
@@ -321,4 +323,104 @@ fn trace_env_promotes_recording_and_writes_unique_files() {
     export::parse_events_jsonl(&std::fs::read_to_string(&second).expect("readable"))
         .expect("suffixed trace parses");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `TWOFACE_PROFILE=<path>` promotes an untraced run to `Comm` and leaves a
+/// `ProfileSummary` artifact behind; a second run in the same process folds
+/// into the *same* artifact (one merged profile per destination, so
+/// multi-run bench binaries produce one blessable sidecar).
+#[test]
+fn profile_env_writes_a_merged_blessable_artifact() {
+    let _guard = lock();
+    let dir = std::env::temp_dir().join(format!("twoface_prof_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("can create temp dir");
+    let path = dir.join("run.profile.json");
+    std::env::set_var(twoface_core::PROFILE_ENV, &path);
+    let _env = EnvGuard;
+
+    let problem = fixture();
+    let options = RunOptions { compute_values: false, ..Default::default() };
+    let report = run(&problem, &options);
+    assert!(
+        report.rank_events.iter().all(|e| !e.is_empty()),
+        "the profile knob must promote recording"
+    );
+    let text = std::fs::read_to_string(&path).expect("profile artifact written");
+    let one = ProfileSummary::from_json(&text).expect("artifact validates");
+    assert_eq!((one.runs, one.ranks), (1, report.p));
+    assert!(!one.cells.is_empty());
+    assert_close(
+        one.total_seconds(),
+        ProfileSummary::from_events(&report.rank_events).total_seconds(),
+        "artifact matches the run's own events",
+    );
+
+    // Second run: same destination, merged in place — not a suffixed file.
+    run(&problem, &options);
+    let merged = ProfileSummary::from_json(&std::fs::read_to_string(&path).expect("readable"))
+        .expect("merged artifact validates");
+    assert_eq!(merged.runs, 2);
+    for cell in &one.cells {
+        let m = merged.cell(cell.class, cell.kind).expect("cell survives the merge");
+        assert_eq!(m.events, cell.events * 2, "{}: deterministic runs double", cell.label());
+    }
+    assert_close(merged.total_seconds(), 2.0 * one.total_seconds(), "seconds accumulate");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite (b): a corrupted trace file produces a typed [`export::ParseError`]
+/// naming the failing line — never a panic.
+#[test]
+fn corrupted_trace_file_is_a_typed_error_naming_the_line() {
+    let _guard = lock();
+    let problem = fixture();
+    let report = run(&problem, &traced(Observability::full()));
+    let jsonl = export::events_jsonl(&report.rank_events, &report.rank_traces, false);
+
+    // Truncate the third line mid-record, as a half-written file would.
+    let mut lines: Vec<String> = jsonl.lines().map(str::to_string).collect();
+    assert!(lines.len() > 3, "fixture stream is long enough to corrupt");
+    let half = lines[2].len() / 2;
+    lines[2].truncate(half);
+    let corrupted = lines.join("\n");
+    let dir = std::env::temp_dir().join(format!("twoface_corrupt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("can create temp dir");
+    let file = dir.join("corrupted.jsonl");
+    std::fs::write(&file, &corrupted).expect("can write fixture");
+
+    let err = export::parse_events_jsonl(&std::fs::read_to_string(&file).expect("readable"))
+        .expect_err("a truncated record must not parse");
+    assert_eq!(err.line, Some(3), "the error names the corrupted line: {err}");
+    assert!(!err.message.is_empty());
+    assert!(err.to_string().contains("line 3"), "Display carries the line: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The always-on flight recorder: with tracing fully off, a run that dies
+/// of an exhausted retry budget still carries the last comm ops in its
+/// error context, bounded by the default ring capacity.
+#[test]
+fn run_errors_carry_the_flight_tail_with_tracing_off() {
+    let _guard = lock();
+    let problem = fixture();
+    let plan = FaultPlan::seeded(0xF11)
+        .with_get_failure_rate(1.0)
+        .with_retry(RetryPolicy { max_attempts: 3, ..Default::default() });
+    let options =
+        RunOptions { compute_values: false, fault_plan: Some(plan), ..Default::default() };
+    let err = run_algorithm(Algorithm::AsyncFine, &problem, &CostModel::delta_scaled(), &options)
+        .expect_err("every get fails forever");
+    let flight = err.flight();
+    assert!(!flight.is_empty(), "the ring records even at TraceLevel::Off");
+    assert!(flight.len() <= FLIGHT_CAPACITY_DEFAULT);
+    assert!(
+        flight.iter().any(|e| matches!(e.kind, OpKind::Get | OpKind::Retry)),
+        "the tail shows the failing one-sided traffic: {flight:?}"
+    );
+    assert!(
+        flight.iter().any(|e| e.fault.is_some()),
+        "the injected failure is visible in the tail: {flight:?}"
+    );
+    let text = err.to_string();
+    assert!(text.contains("[flight recorder"), "Display dumps the tail: {text}");
 }

@@ -182,6 +182,46 @@ fn batched_requests_are_bit_identical_to_solo_runs() {
     assert_eq!(solo.cache_stats().hits, 2);
 }
 
+/// The request-level sketches (ISSUE 9): per-request simulated latency and
+/// submit-time queue depth feed mergeable histograms, readable as quantiles
+/// through [`SessionDigest`] — all derived from simulated time, so the
+/// digest is deterministic.
+#[test]
+fn latency_and_queue_depth_sketches_summarize_the_session() {
+    let mut service = SpmmService::new(config());
+    let h = service.register_matrix(matrix(17), STRIPE).unwrap();
+    assert!(service.latency_sketch().is_none(), "no requests, no sketch");
+    assert_eq!(service.session_digest().requests, 0);
+
+    let panels: Vec<_> = (0..4).map(|i| dense(8, 60 + i)).collect();
+    for b in &panels {
+        service.submit(SpmmRequest::new(h, Arc::clone(b))).unwrap();
+    }
+    service.drain();
+
+    let latency = service.latency_sketch().expect("completed requests recorded latency");
+    assert_eq!(latency.count(), 4);
+    let depth = service.queue_depth_sketch().expect("each submit sampled the queue");
+    assert_eq!(depth.count(), 4);
+    assert_eq!(depth.max(), Some(4), "the queue reached all four waiting requests");
+
+    let digest = service.session_digest();
+    assert_eq!(digest.requests, 4);
+    assert!(digest.latency_ns_p50 > 0.0);
+    assert!(digest.latency_ns_p50 <= digest.latency_ns_p95);
+    assert!(digest.latency_ns_p95 <= digest.latency_ns_p99);
+    assert_eq!(digest.queue_depth_max, 4);
+
+    // Determinism: an identical session produces the identical digest.
+    let mut replay = SpmmService::new(config());
+    let rh = replay.register_matrix(matrix(17), STRIPE).unwrap();
+    for b in &panels {
+        replay.submit(SpmmRequest::new(rh, Arc::clone(b))).unwrap();
+    }
+    replay.drain();
+    assert_eq!(replay.session_digest(), digest);
+}
+
 #[test]
 fn batched_bit_identity_holds_under_chaos() {
     let a = matrix(13);

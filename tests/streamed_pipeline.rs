@@ -15,7 +15,7 @@ use twoface_core::{
 };
 use twoface_matrix::gen::{assemble, ErdosChunks, HubChunks, RmatChunks, TripletSource};
 use twoface_matrix::gen::{HubConfig, RmatConfig};
-use twoface_net::CostModel;
+use twoface_net::{CostModel, Observability, OpKind};
 
 /// Runs the resident Two-Face path on the assembled source and the streamed
 /// path on a fresh source, then checks the full bit-identity contract.
@@ -169,6 +169,77 @@ fn resident_runner_enforces_the_host_budget() {
     .expect("no budget");
     assert_eq!(gated.output, ungated.output);
     assert_eq!(gated.seconds, ungated.seconds);
+}
+
+/// The streamed pipeline's telemetry contract (ISSUE 9): turning
+/// observability on changes no gated result bit, the five host passes each
+/// leave a span, spill counters reconcile with the bytes the pipeline put
+/// on disk, and the high-water gauge respects the declared budget.
+#[test]
+fn streamed_telemetry_is_bit_identical_and_reconciles_with_disk() {
+    let cost = CostModel::delta_scaled();
+    let make = || ErdosChunks::new(1024, 1024, 20_000, 5);
+    let budget = 1usize << 30;
+    let base = StreamOptions { memory_budget: Some(budget), ..Default::default() };
+    let off = run_twoface_streamed(&mut make(), 8, 4, 32, &cost, &base).expect("fits");
+    let on = run_twoface_streamed(
+        &mut make(),
+        8,
+        4,
+        32,
+        &cost,
+        &StreamOptions { observability: Observability::full(), ..base },
+    )
+    .expect("fits");
+
+    // Bit-identity: telemetry must not move a single gated field.
+    assert_eq!(on.report.output, off.report.output);
+    assert_eq!(on.report.seconds, off.report.seconds);
+    assert_eq!(on.report.rank_breakdowns, off.report.rank_breakdowns);
+    assert_eq!(on.report.elements_received, off.report.elements_received);
+    assert_eq!(on.spilled_bytes, off.spilled_bytes);
+    assert_eq!(on.estimated_host_bytes, off.estimated_host_bytes);
+    assert!(off.report.rank_events.iter().all(Vec::is_empty), "off means off");
+    assert_eq!(off.report.metrics.counter("stream.passes"), 0);
+
+    // Pass spans: all five passes, in order, as sim-time-zero instants on
+    // rank 0 (wall stamping is off, so the stream stays deterministic).
+    let driver: Vec<_> = on.report.rank_events[0]
+        .iter()
+        .filter(|e| matches!(e.kind, OpKind::HostPass | OpKind::Spill | OpKind::Gauge))
+        .collect();
+    let passes: Vec<usize> =
+        driver.iter().filter(|e| e.kind == OpKind::HostPass).map(|e| e.peers[0]).collect();
+    assert_eq!(passes, vec![1, 2, 3, 4, 5], "every pass leaves exactly one span");
+    for e in &driver {
+        assert_eq!((e.start_seconds, e.end_seconds), (0.0, 0.0), "driver events are instants");
+        assert_eq!(e.wall_nanos, None, "no wall stamps unless requested");
+    }
+
+    // Spill counters reconcile with the bytes actually written to disk
+    // (every write event's `elements` is a fresh stat of the file).
+    let written: u64 =
+        driver.iter().filter(|e| e.kind == OpKind::Spill && e.initiator).map(|e| e.elements).sum();
+    assert_eq!(written, on.spilled_bytes as u64, "spill-write events match bytes on disk");
+    assert_eq!(on.report.metrics.counter("stream.spill_bytes_written"), written);
+    assert_eq!(
+        on.report.metrics.counter("stream.shards_written"),
+        driver.iter().filter(|e| e.kind == OpKind::Spill && e.initiator).count() as u64
+    );
+    assert!(on.report.metrics.counter("stream.spill_bytes_read") > 0, "passes re-read shards");
+
+    // The high-water gauge never exceeds the declared budget, and the
+    // recorded headroom is exactly the remainder.
+    let hwm = on.report.metrics.counter("stream.host_bytes_high_water");
+    assert_eq!(hwm, on.estimated_host_bytes as u64);
+    assert!(hwm <= budget as u64, "gauge {hwm} exceeds budget {budget}");
+    let headroom = on
+        .report
+        .metrics
+        .histogram("stream.budget_headroom_bytes")
+        .expect("budget declared, so headroom is sampled");
+    assert_eq!(headroom.count(), 1);
+    assert_eq!(headroom.max(), Some(budget as u64 - hwm));
 }
 
 #[test]
