@@ -314,6 +314,35 @@ pub fn resolve_auto(
     AutoChoice { algorithm, stats, predictions, feasible }
 }
 
+/// The closed-form predicted execution time, in simulated seconds, of one
+/// `A × B` run of `algorithm` — the latency estimate a deadline-aware
+/// scheduler compares against an SLO before the dense operand even exists.
+///
+/// Concrete algorithms evaluate their own [`predict`] model directly;
+/// [`Algorithm::Auto`] resolves first (via [`resolve_auto`]) and predicts
+/// its winner. The estimate is deterministic: it depends only on the matrix
+/// structure, layout, `k`, config, and cost model.
+pub fn predict_latency(
+    a: &CooMatrix,
+    layout: &OneDimLayout,
+    k: usize,
+    config: &TwoFaceConfig,
+    cost: &CostModel,
+    algorithm: Algorithm,
+) -> f64 {
+    match algorithm {
+        Algorithm::Auto => {
+            let choice = resolve_auto(a, layout, k, config, cost);
+            choice
+                .predictions
+                .iter()
+                .find(|(alg, _)| *alg == choice.algorithm)
+                .map_or(0.0, |&(_, t)| t)
+        }
+        concrete => predict(concrete, &spmm_stats(a, layout, k, config), cost),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,7 +57,9 @@ pub mod sampling;
 pub mod sddmm;
 pub mod stream;
 
-pub use algo::auto::{auto_candidates, predict, resolve_auto, spmm_stats, AutoChoice};
+pub use algo::auto::{
+    auto_candidates, predict, predict_latency, resolve_auto, spmm_stats, AutoChoice,
+};
 pub use algo::Algorithm;
 pub use coalesce::{coalesce_rows, runs_to_rows, RowRun};
 pub use config::{AsyncLayout, TwoFaceConfig};

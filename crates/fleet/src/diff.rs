@@ -35,6 +35,9 @@ pub const INFO_KEYWORDS: &[&str] = &[
     "over_baseline",
     "speedup_vs_1",
     "amortization",
+    // Queue-depth sketches: deterministic inline, but scheduling vocabulary
+    // rather than simulated physics — reported, never gated.
+    "queue_depth",
     // Report metadata from the normalized envelope and the BENCH records.
     "date",
     "harness",

@@ -70,6 +70,7 @@ const BENCH_BINS: &[(&str, &[&str], u64)] = &[
     ("extension_spmv", &["extension"], 1800),
     ("family_auto_selection", &["fig", "family"], 3600),
     ("serve_throughput", &["fast", "serve"], 600),
+    ("frontend_serving", &["fast", "serve", "frontend"], 600),
     ("layout", &["fast", "layout", "streaming"], 900),
     ("trace_summary", &["fast", "observability"], 600),
     ("observability", &["fast", "observability", "flight"], 900),

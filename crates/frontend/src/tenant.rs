@@ -1,0 +1,102 @@
+//! Tenants: identities, quotas, and per-tenant accounting.
+
+use serde::Serialize;
+
+/// Opaque id of a registered tenant (dense, in registration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId(pub(crate) usize);
+
+impl TenantId {
+    /// The raw tenant index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Admission quotas of one tenant.
+///
+/// Both limits are *admission-time* backpressure, not scheduling priority:
+/// a tenant within its quotas competes for batch slots only through the
+/// deficit-round-robin former.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Requests the tenant may have queued (admitted, not yet executing).
+    pub max_queued: usize,
+    /// Dense columns (`K`) the tenant may have in flight — admitted but not
+    /// yet completed, queued and executing alike.
+    pub max_in_flight_k: usize,
+}
+
+impl TenantQuota {
+    /// Effectively unbounded quotas, for single-tenant or trusted callers.
+    pub fn unlimited() -> TenantQuota {
+        TenantQuota { max_queued: usize::MAX, max_in_flight_k: usize::MAX }
+    }
+}
+
+impl Default for TenantQuota {
+    /// 64 queued requests, 4096 in-flight columns.
+    fn default() -> TenantQuota {
+        TenantQuota { max_queued: 64, max_in_flight_k: 4096 }
+    }
+}
+
+/// One tenant's bookkeeping inside the front-end core.
+pub(crate) struct TenantState {
+    pub(crate) name: String,
+    pub(crate) quota: TenantQuota,
+    /// Requests currently queued (not yet handed to an execution).
+    pub(crate) queued: usize,
+    /// Columns admitted and not yet completed.
+    pub(crate) in_flight_k: usize,
+    /// Deficit-round-robin credit, in columns.
+    pub(crate) deficit: usize,
+    pub(crate) submitted: u64,
+    pub(crate) rejected: u64,
+    pub(crate) completed: u64,
+    pub(crate) deadline_hits: u64,
+    pub(crate) deadline_misses: u64,
+}
+
+impl TenantState {
+    pub(crate) fn new(name: String, quota: TenantQuota) -> TenantState {
+        TenantState {
+            name,
+            quota,
+            queued: 0,
+            in_flight_k: 0,
+            deficit: 0,
+            submitted: 0,
+            rejected: 0,
+            completed: 0,
+            deadline_hits: 0,
+            deadline_misses: 0,
+        }
+    }
+}
+
+/// A tenant's session summary — the per-tenant analogue of the service's
+/// [`SessionDigest`](twoface_serve::SessionDigest). Latencies are
+/// *simulated* queue-to-completion times (arrival to batch completion on
+/// the session clock), so replays digest identically.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantDigest {
+    /// The tenant's registered name.
+    pub tenant: String,
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Requests refused by admission control.
+    pub rejected: u64,
+    /// Requests completed (successfully or with an execution error).
+    pub completed: u64,
+    /// Median simulated queue-to-completion latency, in nanoseconds.
+    pub latency_ns_p50: f64,
+    /// 95th-percentile simulated queue-to-completion latency, in
+    /// nanoseconds.
+    pub latency_ns_p95: f64,
+    /// Completions at or before their deadline (deadline-less requests
+    /// count as hits).
+    pub deadline_hits: u64,
+    /// Completions after their deadline.
+    pub deadline_misses: u64,
+}

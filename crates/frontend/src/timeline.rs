@@ -1,0 +1,147 @@
+//! The front-end timeline: admission, batching, and completion events,
+//! per tenant and merged.
+//!
+//! This sits one level above the serving session timeline
+//! ([`SessionEvent`](twoface_serve::SessionEvent)): the service records
+//! what *executed*; the front-end records why — who submitted, which rung
+//! of the backpressure ladder rejected, what closed a batch and under what
+//! pressure. Events keep the [`PhaseClass`] tagging so the Figure-10 class
+//! vocabulary applies across all three levels (operation, session,
+//! front-end).
+
+use serde::Serialize;
+use twoface_net::PhaseClass;
+
+/// What kind of front-end action a [`FrontendEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FrontendPhase {
+    /// A tenant was registered.
+    Tenant,
+    /// A request was admitted into the queue.
+    Submit,
+    /// Admission control refused a request.
+    Reject,
+    /// A batch closed (left the queue for execution); the detail names the
+    /// close reason.
+    Close,
+    /// A closed batch executed on the backing service.
+    Execute,
+    /// One request completed (its panel of the batch output was returned).
+    Complete,
+    /// A drain began: every queued group was flush-closed.
+    Drain,
+}
+
+impl FrontendPhase {
+    /// Short display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            FrontendPhase::Tenant => "tenant",
+            FrontendPhase::Submit => "submit",
+            FrontendPhase::Reject => "reject",
+            FrontendPhase::Close => "close",
+            FrontendPhase::Execute => "execute",
+            FrontendPhase::Complete => "complete",
+            FrontendPhase::Drain => "drain",
+        }
+    }
+}
+
+/// One entry of the front-end timeline.
+///
+/// `sim_seconds` is the serving session clock (cumulative simulated seconds
+/// executed) at the time of the action; admission events between executions
+/// share the clock value of the last completed execution.
+#[derive(Debug, Clone, Serialize)]
+pub struct FrontendEvent {
+    /// Monotonic event index within the front-end session.
+    pub seq: u64,
+    /// What the front-end did.
+    pub phase: FrontendPhase,
+    /// [`PhaseClass::Other`] for bookkeeping, [`PhaseClass::Recovery`] for
+    /// rejections, and the executed batch's dominant class for Execute
+    /// events.
+    pub class: PhaseClass,
+    /// The acting tenant's name (empty for session-wide actions such as
+    /// Close, Execute, and Drain).
+    pub tenant: String,
+    /// The front-end job ids this action covers.
+    pub jobs: Vec<u64>,
+    /// Session clock, in simulated seconds.
+    pub sim_seconds: f64,
+    /// Human-readable context (quotas, close reason, predicted seconds,
+    /// rejection rung).
+    pub detail: String,
+}
+
+/// Renders events as one JSON object per line — the same JSONL convention
+/// as [`timeline_jsonl`](twoface_serve::timeline_jsonl).
+pub fn frontend_timeline_jsonl(events: &[FrontendEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("frontend events serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// The per-tenant slice of a merged timeline: events naming `tenant` plus
+/// the session-wide events (empty tenant) whose `jobs` include one of the
+/// tenant's jobs. Order (and `seq`) is preserved from the merged stream.
+pub fn tenant_events<'a>(
+    events: &'a [FrontendEvent],
+    tenant: &str,
+    jobs: &[u64],
+) -> Vec<&'a FrontendEvent> {
+    events
+        .iter()
+        .filter(|e| {
+            e.tenant == tenant || (e.tenant.is_empty() && e.jobs.iter().any(|j| jobs.contains(j)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(seq: u64, phase: FrontendPhase, tenant: &str, jobs: Vec<u64>) -> FrontendEvent {
+        FrontendEvent {
+            seq,
+            phase,
+            class: PhaseClass::Other,
+            tenant: tenant.into(),
+            jobs,
+            sim_seconds: 0.0,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let events = vec![
+            event(0, FrontendPhase::Submit, "alpha", vec![0]),
+            event(1, FrontendPhase::Close, "", vec![0]),
+        ];
+        let body = frontend_timeline_jsonl(&events);
+        assert_eq!(body.lines().count(), 2);
+        for line in body.lines() {
+            let v: serde::Value = serde_json::from_str(line).unwrap();
+            assert!(v.get("phase").is_some() && v.get("sim_seconds").is_some());
+        }
+    }
+
+    #[test]
+    fn tenant_slice_keeps_own_and_shared_events() {
+        let events = vec![
+            event(0, FrontendPhase::Submit, "alpha", vec![0]),
+            event(1, FrontendPhase::Submit, "bravo", vec![1]),
+            event(2, FrontendPhase::Close, "", vec![0, 1]),
+            event(3, FrontendPhase::Complete, "bravo", vec![1]),
+        ];
+        let alpha: Vec<u64> = tenant_events(&events, "alpha", &[0]).iter().map(|e| e.seq).collect();
+        assert_eq!(alpha, vec![0, 2]);
+        let bravo: Vec<u64> = tenant_events(&events, "bravo", &[1]).iter().map(|e| e.seq).collect();
+        assert_eq!(bravo, vec![1, 2, 3]);
+    }
+}

@@ -70,7 +70,7 @@ pub use event::{
 pub use fault::{FaultPlan, NetError, RetryPolicy, SlowRank};
 pub use grid::Grid2d;
 pub use meet::Payload;
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{labeled_metric, Histogram, MetricsRegistry};
 pub use profile::{ProfileCell, ProfileSummary, PROFILE_FORMAT, PROFILE_VERSION};
 pub use time::SimTime;
 pub use trace::{FaultEvent, FaultKind, PhaseClass, RankTrace};

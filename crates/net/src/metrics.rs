@@ -264,6 +264,41 @@ impl MetricsRegistry {
             self.histograms.entry(name.clone()).or_default().merge(hist);
         }
     }
+
+    /// Adds `by` to the `label`-qualified variant of counter `name` — the
+    /// multi-tenant flavor of [`MetricsRegistry::inc`]. Stored under
+    /// [`labeled_metric`] names, so per-label series sort together and read
+    /// back with the same key.
+    pub fn inc_labeled(&mut self, name: &str, label: (&str, &str), by: u64) {
+        let key = labeled_metric(name, label.0, label.1);
+        *self.counters.entry(key).or_insert(0) += by;
+    }
+
+    /// Records `value` into the `label`-qualified variant of histogram
+    /// `name` (see [`MetricsRegistry::inc_labeled`]).
+    pub fn observe_labeled(&mut self, name: &str, label: (&str, &str), value: u64) {
+        let key = labeled_metric(name, label.0, label.1);
+        self.histograms.entry(key).or_default().observe(value);
+    }
+
+    /// Current value of the `label`-qualified counter (zero if never
+    /// incremented).
+    pub fn counter_labeled(&self, name: &str, label: (&str, &str)) -> u64 {
+        self.counter(&labeled_metric(name, label.0, label.1))
+    }
+
+    /// The `label`-qualified histogram, if any samples were recorded.
+    pub fn histogram_labeled(&self, name: &str, label: (&str, &str)) -> Option<&Histogram> {
+        self.histogram(&labeled_metric(name, label.0, label.1))
+    }
+}
+
+/// The canonical name of a labeled metric series: `name{key="value"}`
+/// (the Prometheus exposition convention). Per-label series share a base
+/// name, so a sorted registry dump keeps every label value of one metric
+/// adjacent.
+pub fn labeled_metric(name: &str, key: &str, value: &str) -> String {
+    format!("{name}{{{key}=\"{value}\"}}")
 }
 
 // Manual impls: the vendored serde derive has no map support. Keys are
@@ -401,6 +436,35 @@ mod tests {
         assert!(a.histogram("spread").is_some());
         assert!(!a.is_empty());
         assert!(MetricsRegistry::new().is_empty());
+    }
+
+    #[test]
+    fn labeled_metrics_are_per_label_series() {
+        assert_eq!(
+            labeled_metric("serve.requests", "tenant", "alpha"),
+            "serve.requests{tenant=\"alpha\"}"
+        );
+        let mut reg = MetricsRegistry::new();
+        reg.inc_labeled("frontend.completed", ("tenant", "alpha"), 2);
+        reg.inc_labeled("frontend.completed", ("tenant", "bravo"), 1);
+        reg.inc_labeled("frontend.completed", ("tenant", "alpha"), 3);
+        reg.observe_labeled("frontend.latency_ns", ("tenant", "alpha"), 10);
+        reg.observe_labeled("frontend.latency_ns", ("tenant", "alpha"), 30);
+        assert_eq!(reg.counter_labeled("frontend.completed", ("tenant", "alpha")), 5);
+        assert_eq!(reg.counter_labeled("frontend.completed", ("tenant", "bravo")), 1);
+        assert_eq!(reg.counter_labeled("frontend.completed", ("tenant", "charlie")), 0);
+        // Labeled series are ordinary registry entries: they merge, dump,
+        // and serialize exactly like unlabeled ones.
+        let hist = reg.histogram_labeled("frontend.latency_ns", ("tenant", "alpha")).unwrap();
+        assert_eq!(hist.count(), 2);
+        assert!(reg.histogram_labeled("frontend.latency_ns", ("tenant", "bravo")).is_none());
+        let names: Vec<&str> = reg.counters().map(|(n, _)| n).collect();
+        assert_eq!(
+            names,
+            vec!["frontend.completed{tenant=\"alpha\"}", "frontend.completed{tenant=\"bravo\"}"]
+        );
+        let back = MetricsRegistry::from_value(&reg.to_value()).unwrap();
+        assert_eq!(back, reg);
     }
 
     #[test]

@@ -63,10 +63,19 @@ mod tests {
     use super::*;
     use std::error::Error;
 
+    /// Every `ServeError` variant is constructible, Displays usefully, and
+    /// `Run` round-trips its cause through `source` — down to the network
+    /// error at the bottom of the chain (the `RunError` precedent in the
+    /// failure-mode suite).
     #[test]
     fn display_and_source() {
         let e = ServeError::UnknownMatrix { handle: 3 };
         assert!(e.to_string().contains("handle 3"));
+        assert!(e.source().is_none());
+
+        let e = ServeError::Shape { context: "B has 3 rows but A has 4 columns".into() };
+        let s = e.to_string();
+        assert!(s.contains("shape mismatch") && s.contains("3 rows"), "{s}");
         assert!(e.source().is_none());
 
         let e = ServeError::Run {
@@ -77,5 +86,25 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("request 7") && s.contains("4 attempt"), "{s}");
         assert!(e.source().is_some());
+
+        // A net-backed run failure chains two levels deep:
+        // ServeError -> RunError -> NetError.
+        let net = twoface_net::NetError::TransferTimeout {
+            rank: 2,
+            target: 0,
+            attempts: 5,
+            waited_seconds: 1.5,
+        };
+        let e = ServeError::Run {
+            request: 9,
+            attempts: 2,
+            source: RunError::TransferTimeout { rank: 2, source: net.clone(), flight: vec![] },
+        };
+        let run = e.source().expect("Run exposes the RunError");
+        let bottom = run.source().expect("the RunError exposes its NetError");
+        let found = bottom
+            .downcast_ref::<twoface_net::NetError>()
+            .expect("the bottom of the chain is the NetError");
+        assert_eq!(*found, net);
     }
 }

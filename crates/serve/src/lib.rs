@@ -51,11 +51,13 @@
 
 mod cache;
 mod error;
+mod former;
 mod service;
 mod timeline;
 
 pub use cache::{CacheStats, PlanCache};
 pub use error::ServeError;
+pub use former::BatchPolicy;
 pub use service::{
     MatrixHandle, RequestId, ServeConfig, SessionDigest, SpmmRequest, SpmmResponse, SpmmService,
 };

@@ -2,13 +2,14 @@
 
 use crate::cache::{CacheStats, PlanCache};
 use crate::error::ServeError;
+use crate::former::{form_batches, Batch, BatchPolicy, Pending};
 use crate::timeline::{dominant_class, SessionEvent, SessionPhase};
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
 use twoface_core::{
-    resolve_auto, run_algorithm_on, Algorithm, AsyncLayout, ExecutionReport, PreparedMatrix,
-    Problem, RunError, RunOptions, TwoFaceConfig,
+    predict_latency, resolve_auto, run_algorithm_on, Algorithm, AsyncLayout, ExecutionReport,
+    PreparedMatrix, Problem, RunError, RunOptions, TwoFaceConfig,
 };
 use twoface_matrix::{CooMatrix, DenseMatrix, Fingerprint};
 use twoface_net::{
@@ -35,6 +36,10 @@ pub struct ServeConfig {
     /// fused while their combined `K` stays within this bound; a single
     /// request wider than the bound still runs (solo).
     pub max_k_per_batch: usize,
+    /// How the drain groups compatible requests into fused executions (see
+    /// [`BatchPolicy`]). The policy never changes output bits, only which
+    /// requests share an execution.
+    pub batch_policy: BatchPolicy,
     /// Byte budget of the plan cache.
     pub cache_budget_bytes: usize,
     /// Transient-failure retries per algorithm attempt: a request may
@@ -67,6 +72,7 @@ impl ServeConfig {
             classifier: ClassifierKind::Greedy,
             coefficients: None,
             max_k_per_batch: 512,
+            batch_policy: BatchPolicy::default(),
             cache_budget_bytes: 256 << 20,
             retry_budget: 2,
             fallback: true,
@@ -152,20 +158,6 @@ struct Registered {
     a: Arc<CooMatrix>,
     stripe_width: usize,
     fingerprint: u64,
-}
-
-struct Pending {
-    id: u64,
-    matrix: usize,
-    b: Arc<DenseMatrix>,
-    algorithm: Algorithm,
-}
-
-struct Batch {
-    matrix: usize,
-    algorithm: Algorithm,
-    k_each: usize,
-    requests: Vec<Pending>,
 }
 
 /// A long-lived SpMM serving session.
@@ -323,36 +315,19 @@ impl SpmmService {
     /// Executes every queued request and returns responses in submission
     /// order.
     ///
-    /// Scheduling: requests are grouped (first-fit, preserving submission
-    /// order) by `(matrix, algorithm, K)`; each group fuses `B` panels up to
-    /// [`ServeConfig::max_k_per_batch`] columns and executes once on the
-    /// warm cluster. After the queue is drained the session's retained
-    /// windows are dropped ([`Cluster::reset`]), releasing the `B` buffers
-    /// they pin.
+    /// Scheduling: requests are grouped by `(matrix, algorithm, K)` under
+    /// the configured [`BatchPolicy`] (the default groups across the whole
+    /// queue, so compatible requests fuse regardless of interleaving); each
+    /// batch fuses `B` panels up to [`ServeConfig::max_k_per_batch`]
+    /// columns and executes once on the warm cluster. After the queue is
+    /// drained the session's retained windows are dropped
+    /// ([`Cluster::reset`]), releasing the `B` buffers they pin.
     pub fn drain(&mut self) -> Vec<SpmmResponse> {
         let queue = std::mem::take(&mut self.queue);
         if queue.is_empty() {
             return Vec::new();
         }
-        let mut batches: Vec<Batch> = Vec::new();
-        for pending in queue {
-            let k = pending.b.cols();
-            let fits = batches.iter_mut().find(|b| {
-                b.matrix == pending.matrix
-                    && b.algorithm == pending.algorithm
-                    && b.k_each == k
-                    && (b.requests.len() + 1) * k <= self.config.max_k_per_batch
-            });
-            match fits {
-                Some(batch) => batch.requests.push(pending),
-                None => batches.push(Batch {
-                    matrix: pending.matrix,
-                    algorithm: pending.algorithm,
-                    k_each: k,
-                    requests: vec![pending],
-                }),
-            }
-        }
+        let batches = form_batches(queue, self.config.max_k_per_batch, self.config.batch_policy);
         let mut responses = Vec::new();
         for batch in batches {
             self.execute_batch(batch, &mut responses);
@@ -395,6 +370,72 @@ impl SpmmService {
             .get(matrix.0 as usize)
             .ok_or(ServeError::UnknownMatrix { handle: matrix.0 })?;
         Ok(self.cache_key(registered, algorithm, k))
+    }
+
+    /// The calibrated cost model's predicted execution time, in simulated
+    /// seconds, for a solo `(matrix, algorithm, k)` request on this service
+    /// — the quantity a deadline-aware scheduler compares against an SLO.
+    /// `Algorithm::Auto` predicts its resolved winner. Deterministic: two
+    /// services with equal configuration and matrices agree exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownMatrix`] for a foreign handle.
+    pub fn predicted_seconds(
+        &self,
+        matrix: MatrixHandle,
+        algorithm: Algorithm,
+        k: usize,
+    ) -> Result<f64, ServeError> {
+        let registered = self
+            .matrices
+            .get(matrix.0 as usize)
+            .ok_or(ServeError::UnknownMatrix { handle: matrix.0 })?;
+        let layout = OneDimLayout::new(
+            registered.a.rows(),
+            registered.a.cols(),
+            self.config.p,
+            registered.stripe_width,
+        );
+        let effective = self.config.exec.effective_cost(&self.config.cost);
+        Ok(predict_latency(&registered.a, &layout, k, &self.config.exec, &effective, algorithm))
+    }
+
+    /// Whether the preprocessing artifact a `(matrix, algorithm, k)` request
+    /// would use is resident in the plan cache right now. Always `false`
+    /// for algorithms that use no plan.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownMatrix`] for a foreign handle.
+    pub fn plan_resident(
+        &self,
+        matrix: MatrixHandle,
+        algorithm: Algorithm,
+        k: usize,
+    ) -> Result<bool, ServeError> {
+        let registered = self
+            .matrices
+            .get(matrix.0 as usize)
+            .ok_or(ServeError::UnknownMatrix { handle: matrix.0 })?;
+        if !self.resolve_algorithm(registered, algorithm, k).uses_plan() {
+            return Ok(false);
+        }
+        Ok(self.cache.contains(self.cache_key(registered, algorithm, k)))
+    }
+
+    /// Shape and population of a registered matrix as
+    /// `(rows, cols, nnz)` — what an admission layer needs to validate
+    /// operands without holding the matrix itself. `None` for a foreign
+    /// handle.
+    pub fn matrix_shape(&self, matrix: MatrixHandle) -> Option<(usize, usize, usize)> {
+        let registered = self.matrices.get(matrix.0 as usize)?;
+        Some((registered.a.rows(), registered.a.cols(), registered.a.nnz()))
+    }
+
+    /// Every handle registered so far, in registration order.
+    pub fn matrix_handles(&self) -> Vec<MatrixHandle> {
+        (0..self.matrices.len() as u64).map(MatrixHandle).collect()
     }
 
     /// Resolves [`Algorithm::Auto`] against this matrix and the service's

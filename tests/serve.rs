@@ -462,3 +462,99 @@ fn non_plan_algorithms_batch_but_bypass_the_cache() {
     }
     assert_eq!(service.cache_stats().misses, 0);
 }
+
+/// ISSUE 10, satellite: batch formation must not be sensitive to arrival
+/// interleaving. Under the default key-grouped policy, any permutation of
+/// the same request set produces the same number of executions and —
+/// like every policy — outputs bitwise equal to solo runs.
+#[test]
+fn batch_formation_is_arrival_order_insensitive() {
+    let a1 = matrix(81);
+    let a2 = matrix(82);
+    // Three fusion keys: (a1, k=8) x3, (a2, k=8) x2, (a1, k=16) x2.
+    let specs: Vec<(usize, usize, u64)> =
+        vec![(0, 8, 90), (0, 8, 91), (0, 8, 92), (1, 8, 93), (1, 8, 94), (0, 16, 95), (0, 16, 96)];
+    let orders: Vec<Vec<usize>> = vec![
+        (0..specs.len()).collect(),
+        (0..specs.len()).rev().collect(),
+        vec![3, 0, 5, 1, 4, 6, 2], // fully interleaved across keys
+    ];
+
+    let tight = || {
+        let mut cfg = config();
+        cfg.max_k_per_batch = 32; // chunks: 4 at k=8, 2 at k=16
+        cfg
+    };
+
+    // Solo reference bits per spec.
+    let mut solo = SpmmService::new(tight());
+    let handles = [
+        solo.register_matrix(Arc::clone(&a1), STRIPE).unwrap(),
+        solo.register_matrix(Arc::clone(&a2), STRIPE).unwrap(),
+    ];
+    let reference: Vec<DenseMatrix> = specs
+        .iter()
+        .map(|&(m, k, seed)| {
+            solo.run_one(SpmmRequest::new(handles[m], dense(k, seed))).unwrap().output.unwrap()
+        })
+        .collect();
+
+    let mut batch_counts = Vec::new();
+    for order in &orders {
+        let mut service = SpmmService::new(tight());
+        let h = [
+            service.register_matrix(Arc::clone(&a1), STRIPE).unwrap(),
+            service.register_matrix(Arc::clone(&a2), STRIPE).unwrap(),
+        ];
+        let ids: Vec<_> = order
+            .iter()
+            .map(|&at| {
+                let (m, k, seed) = specs[at];
+                (at, service.submit(SpmmRequest::new(h[m], dense(k, seed))).unwrap())
+            })
+            .collect();
+        let responses = service.drain();
+        assert_eq!(responses.len(), specs.len());
+        for (at, id) in ids {
+            let response = responses.iter().find(|r| r.request == id).unwrap();
+            assert_eq!(
+                response.output.as_ref().unwrap().as_slice(),
+                reference[at].as_slice(),
+                "order {order:?}, spec {at}: batched output must match solo bitwise"
+            );
+        }
+        batch_counts.push(service.metrics().counter("serve.batches"));
+    }
+    assert!(
+        batch_counts.windows(2).all(|w| w[0] == w[1]),
+        "key-grouped formation fuses identically under every arrival order: {batch_counts:?}"
+    );
+
+    // The legacy first-fit policy may form different batch sequences per
+    // order, but its outputs keep the bit-identity contract.
+    for order in &orders {
+        let mut cfg = tight();
+        cfg.batch_policy = twoface_serve::BatchPolicy::FirstFit;
+        let mut service = SpmmService::new(cfg);
+        let h = [
+            service.register_matrix(Arc::clone(&a1), STRIPE).unwrap(),
+            service.register_matrix(Arc::clone(&a2), STRIPE).unwrap(),
+        ];
+        let ids: Vec<_> = order
+            .iter()
+            .map(|&at| {
+                let (m, k, seed) = specs[at];
+                (at, service.submit(SpmmRequest::new(h[m], dense(k, seed))).unwrap())
+            })
+            .collect();
+        let responses = service.drain();
+        for (at, id) in ids {
+            let response = responses.iter().find(|r| r.request == id).unwrap();
+            assert_eq!(
+                response.output.as_ref().unwrap().as_slice(),
+                reference[at].as_slice(),
+                "first-fit, order {order:?}, spec {at}: outputs stay bit-identical"
+            );
+        }
+    }
+}
